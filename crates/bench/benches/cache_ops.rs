@@ -1,0 +1,121 @@
+//! Cache substrate costs: hit/miss/insert/invalidate paths, the timer
+//! wheel, and the sharded wrapper under a contended mix.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fresca_cache::{Cache, CacheConfig, Capacity, EvictionPolicy, ShardedCache, TimerWheel};
+use fresca_sim::{SimDuration, SimTime};
+
+fn cache(entries: usize) -> Cache {
+    Cache::new(CacheConfig { capacity: Capacity::Entries(entries), eviction: EvictionPolicy::Lru })
+}
+
+fn bench_cache_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("get_hit", |b| {
+        let mut ca = cache(4096);
+        for k in 0..4096u64 {
+            ca.insert(k, 1, 64, SimTime::ZERO, None);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % 4096;
+            i += 1;
+            black_box(ca.get(black_box(k), SimTime::from_secs(1)))
+        });
+    });
+    group.bench_function("get_cold_miss", |b| {
+        let mut ca = cache(64);
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ca.get(black_box(i), SimTime::from_secs(1)))
+        });
+    });
+    group.bench_function("insert_evict", |b| {
+        let mut ca = cache(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ca.insert(i, 1, 64, SimTime::from_nanos(i), None))
+        });
+    });
+    group.bench_function("apply_invalidate", |b| {
+        let mut ca = cache(4096);
+        for k in 0..4096u64 {
+            ca.insert(k, 1, 64, SimTime::ZERO, None);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % 4096;
+            i += 1;
+            black_box(ca.apply_invalidate(k))
+        });
+    });
+    group.finish();
+}
+
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timer_wheel");
+    group.bench_function("schedule_cancel", |b| {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new(SimDuration::from_millis(1));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let tok = wheel.schedule(SimTime::from_millis(i % 60_000 + 1), i);
+            black_box(wheel.cancel(tok))
+        });
+    });
+    group.bench_function("rearm_cycle", |b| {
+        // TTL-polling style: 1024 timers, advance one tick, re-arm fired.
+        let mut wheel: TimerWheel<u64> = TimerWheel::new(SimDuration::from_millis(1));
+        for k in 0..1024u64 {
+            wheel.schedule(SimTime::from_millis(k % 100 + 1), k);
+        }
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            for (_, k) in wheel.advance(SimTime::from_millis(now)) {
+                wheel.schedule(SimTime::from_millis(now + 100), k);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_cache");
+    for shards in [1usize, 8] {
+        group.bench_function(format!("mixed_{shards}shards"), |b| {
+            let ca = ShardedCache::new(
+                CacheConfig {
+                    capacity: Capacity::Entries(4096),
+                    eviction: EvictionPolicy::Lru,
+                },
+                shards,
+            );
+            for k in 0..4096u64 {
+                ca.insert(k, 1, 64, SimTime::ZERO, None);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                let k = (i * 2654435761) % 4096;
+                i += 1;
+                match i % 8 {
+                    0 => {
+                        black_box(ca.apply_invalidate(k));
+                    }
+                    1 => {
+                        black_box(ca.apply_update(k, i, 64, SimTime::from_nanos(i), None));
+                    }
+                    _ => {
+                        black_box(ca.get(k, SimTime::from_nanos(i)));
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_paths, bench_timer_wheel, bench_sharded);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Discrete-event kernel costs: queue operations and the scheduler's
+//! interleaved push/pop pattern that every engine run exercises millions
+//! of times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fresca_sim::{EventQueue, Scheduler, SimDuration, SimTime};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.push(SimTime::from_nanos((i * 2654435761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("scheduler_periodic_rearm", |b| {
+        // The flush-timer pattern: pop one event, schedule the next.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule(SimTime::from_nanos(1), 0);
+        b.iter(|| {
+            let (t, v) = s.pop().expect("always one pending");
+            s.schedule(t + SimDuration::from_nanos(100), v + 1);
+            black_box(v)
+        });
+    });
+    group.bench_function("scheduler_fanout_64", |b| {
+        // Refresh-timer pattern: 64 concurrent periodic timers.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..64u32 {
+            s.schedule(SimTime::from_nanos(i as u64 + 1), i);
+        }
+        b.iter(|| {
+            let (t, v) = s.pop().expect("pending");
+            s.schedule(t + SimDuration::from_micros(1), v);
+            black_box(v)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

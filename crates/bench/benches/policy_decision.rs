@@ -1,0 +1,55 @@
+//! Cost of one policy decision — the paper's argument that per-object
+//! decisions can be "implemented efficiently" rests on this being
+//! trivially cheap next to any message.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fresca_core::cost::{CostModel, ObjectSize};
+use fresca_core::model::WorkloadPoint;
+use fresca_core::policy::{rules, AdaptivePolicy};
+use fresca_sketch::TopKEw;
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_rules");
+    let cost = CostModel::default();
+    let point = WorkloadPoint::new(3.0, 0.8);
+    group.bench_function("exact_rule", |b| {
+        b.iter(|| black_box(rules::should_update_exact(black_box(&point), &cost, 0.5)));
+    });
+    group.bench_function("limit_rule", |b| {
+        b.iter(|| black_box(rules::should_update_limit(black_box(&point), &cost)));
+    });
+    group.bench_function("ew_rule", |b| {
+        b.iter(|| black_box(rules::should_update_ew(black_box(Some(1.7)), 0.5, 1.0, 0.1)));
+    });
+    group.bench_function("slo_rule", |b| {
+        b.iter(|| black_box(rules::should_update_slo(black_box(&point), &cost, 0.01)));
+    });
+    group.finish();
+}
+
+fn bench_adaptive_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_decide");
+    let cost = CostModel::default();
+    let size = ObjectSize { key: 16, value: 512 };
+    let mut policy = AdaptivePolicy::new(TopKEw::new(256, 256, 2));
+    for i in 0..100_000u64 {
+        let k = (i * 2654435761) % 2000;
+        if i % 3 == 0 {
+            policy.on_write(k);
+        } else {
+            policy.on_read(k);
+        }
+    }
+    group.bench_function("topk_backed", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % 2000;
+            i += 1;
+            black_box(policy.decide(black_box(k), &cost, size))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules, bench_adaptive_decide);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Per-operation cost of the three `E[W]` estimators — the measured
+//! backing for Figure 6a's "negligible compared to the network delay".
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fresca_sketch::{CountMinEw, EwEstimator, ExactEw, TopKEw};
+
+const KEYS: u64 = 10_000;
+
+fn feed<E: EwEstimator>(est: &mut E, n: u64) {
+    for i in 0..n {
+        let k = (i * 2654435761) % KEYS;
+        if i % 4 == 0 {
+            est.record_write(k);
+        } else {
+            est.record_read(k);
+        }
+    }
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch/record");
+    group.bench_function(BenchmarkId::new("exact", KEYS), |b| {
+        let mut est = ExactEw::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % KEYS;
+            if i.is_multiple_of(4) {
+                est.record_write(black_box(k));
+            } else {
+                est.record_read(black_box(k));
+            }
+            i += 1;
+        });
+    });
+    group.bench_function(BenchmarkId::new("count-min", "256x2"), |b| {
+        let mut est = CountMinEw::new(256, 2);
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % KEYS;
+            if i.is_multiple_of(4) {
+                est.record_write(black_box(k));
+            } else {
+                est.record_read(black_box(k));
+            }
+            i += 1;
+        });
+    });
+    group.bench_function(BenchmarkId::new("top-k", "256/256x2"), |b| {
+        let mut est = TopKEw::new(256, 256, 2);
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % KEYS;
+            if i.is_multiple_of(4) {
+                est.record_write(black_box(k));
+            } else {
+                est.record_read(black_box(k));
+            }
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch/estimate");
+    let mut exact = ExactEw::new();
+    feed(&mut exact, 100_000);
+    group.bench_function("exact", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % KEYS;
+            i += 1;
+            black_box(exact.estimate(black_box(k)))
+        });
+    });
+    let mut cm = CountMinEw::new(256, 2);
+    feed(&mut cm, 100_000);
+    group.bench_function("count-min", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % KEYS;
+            i += 1;
+            black_box(cm.estimate(black_box(k)))
+        });
+    });
+    let mut topk = TopKEw::new(256, 256, 2);
+    feed(&mut topk, 100_000);
+    group.bench_function("top-k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = (i * 2654435761) % KEYS;
+            i += 1;
+            black_box(topk.estimate(black_box(k)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_estimate);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Ablation: the §3.2 SLO knob — maximise throughput subject to a bound
+//! on the stale-read ratio. Sweeps the SLO from strict to absent on a
+//! write-leaning workload and shows the freshness-cost / staleness
+//! trade-off frontier, with always-update and always-invalidate as the
+//! endpoints.
+//!
+//! ```sh
+//! cargo run --release -p fresca-bench --bin ablate_slo
+//! ```
+
+use fresca_bench::{fmt_pct, fmt_sig, write_json, Table};
+use fresca_core::engine::{EngineConfig, PolicyConfig, TraceEngine};
+use fresca_core::experiment::workloads;
+use fresca_sim::SimDuration;
+use fresca_workload::{MultiClassConfig, WorkloadGen};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    label: String,
+    slo: Option<f64>,
+    cf_normalized: f64,
+    cs_normalized: f64,
+    updates: u64,
+    invalidates: u64,
+}
+
+fn main() {
+    // Heterogeneous key classes: five disjoint key groups with read
+    // ratios from write-dominated to read-leaning. Each SLO setting
+    // forces updates exactly for the classes whose staleness `1 − r`
+    // exceeds it, so the sweep traces a graded frontier instead of a
+    // single step.
+    let trace = MultiClassConfig::from_read_ratios(
+        &[0.05, 0.2, 0.35, 0.5, 0.8],
+        10.0,
+        20,
+        SimDuration::from_secs(2_000),
+    )
+    .generate(workloads::SEED);
+    let cfg = EngineConfig {
+        staleness_bound: SimDuration::from_millis(100),
+        ..EngineConfig::default()
+    };
+
+    println!("== §3.2 SLO sweep: throughput vs staleness frontier (T = 100ms) ==\n");
+    let mut table = Table::new(vec!["policy", "C'_F (x)", "C'_S", "upd", "inv"]);
+    let mut rows: Vec<Row> = Vec::new();
+
+    let mut record = |label: String, slo: Option<f64>, policy: PolicyConfig| {
+        let r = TraceEngine::new(cfg, policy).run(&trace);
+        let (upd, inv) = r.adaptive_decisions.unwrap_or((
+            r.breakdown.updates_sent,
+            r.breakdown.invalidates_sent,
+        ));
+        table.row(vec![
+            label.clone(),
+            fmt_sig(r.cf_normalized),
+            fmt_pct(r.cs_normalized),
+            upd.to_string(),
+            inv.to_string(),
+        ]);
+        rows.push(Row {
+            label,
+            slo,
+            cf_normalized: r.cf_normalized,
+            cs_normalized: r.cs_normalized,
+            updates: upd,
+            invalidates: inv,
+        });
+    };
+
+    record("always-update".into(), None, PolicyConfig::AlwaysUpdate);
+    // Steps sit at the classes' 1 − r values (0.95, 0.8, 0.65; the
+    // r = 0.5 and 0.8 classes update on the throughput clause alone).
+    for slo in [0.01, 0.3, 0.6, 0.7, 0.85, 0.96, 1.0] {
+        record(
+            format!("slo={slo}"),
+            Some(slo),
+            PolicyConfig::AdaptiveSlo { staleness_slo: slo },
+        );
+    }
+    record("always-invalidate".into(), None, PolicyConfig::AlwaysInvalidate);
+    table.print();
+    write_json("ablate_slo", &rows);
+
+    // The contract: measured C'_S stays under each SLO.
+    for row in &rows {
+        if let Some(slo) = row.slo {
+            assert!(
+                row.cs_normalized <= slo + 0.02,
+                "SLO {slo} violated: measured {}",
+                row.cs_normalized
+            );
+        }
+    }
+    println!(
+        "\nReading: the SLO knob traces the frontier between always-update\n\
+         (zero staleness, every write ships a value) and always-invalidate\n\
+         (cheapest, staleness → 1−r). Measured C'_S respects the bound at\n\
+         every setting (asserted)."
+    );
+}

@@ -1,0 +1,101 @@
+//! Figure 5: comparison to baselines. For each of the four workloads, run
+//! the seven policies (TTL-expiry, TTL-polling, Inv., Up., Adpt.,
+//! Adpt.+C.S., Opt.) at the real-time bound and report `C'_F` (the
+//! paper's blue bars, in × of useful work, log scale) and `C'_S` (green
+//! bars, %).
+//!
+//! ```sh
+//! cargo run --release -p fresca-bench --bin fig5
+//! ```
+
+use fresca_bench::{fmt_pct, fmt_sig, write_json, Table};
+use fresca_core::engine::{EngineConfig, PolicyConfig, RunReport, TraceEngine};
+use fresca_core::experiment::workloads;
+use fresca_sim::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Bar {
+    workload: String,
+    policy: String,
+    cf_normalized: f64,
+    cs_normalized: f64,
+    cf_total: f64,
+    cs_events: u64,
+}
+
+fn main() {
+    // The real-time operating point of the paper's comparison.
+    let cfg = EngineConfig {
+        staleness_bound: SimDuration::from_secs(1),
+        ..EngineConfig::default()
+    };
+    let policies = [
+        PolicyConfig::TtlExpiry,
+        PolicyConfig::TtlPolling,
+        PolicyConfig::AlwaysInvalidate,
+        PolicyConfig::AlwaysUpdate,
+        PolicyConfig::adaptive(),
+        PolicyConfig::adaptive_cache_state(),
+        PolicyConfig::Oracle,
+    ];
+
+    let mut bars: Vec<Bar> = Vec::new();
+    for (name, gen) in workloads::all() {
+        let trace = gen.generate(workloads::SEED);
+        println!(
+            "== Figure 5 ({name}): {} requests, T = {}s ==",
+            trace.len(),
+            cfg.staleness_bound.as_secs_f64()
+        );
+        let mut table =
+            Table::new(vec!["policy", "C'_F (x)", "C'_S", "inv", "upd", "stale", "poll"]);
+        // The seven policy runs are independent; run them in parallel.
+        let reports: Vec<RunReport> = fresca_bench::run_parallel(
+            policies
+                .iter()
+                .map(|&policy| {
+                    let trace = &trace;
+                    move || TraceEngine::new(cfg, policy).run(trace)
+                })
+                .collect(),
+        );
+        for r in &reports {
+            table.row(vec![
+                r.policy.clone(),
+                fmt_sig(r.cf_normalized),
+                fmt_pct(r.cs_normalized),
+                r.breakdown.invalidates_sent.to_string(),
+                r.breakdown.updates_sent.to_string(),
+                r.breakdown.stale_fetches.to_string(),
+                r.breakdown.polling_refreshes.to_string(),
+            ]);
+            bars.push(Bar {
+                workload: name.into(),
+                policy: r.policy.clone(),
+                cf_normalized: r.cf_normalized,
+                cs_normalized: r.cs_normalized,
+                cf_total: r.cf_total,
+                cs_events: r.cs_events,
+            });
+        }
+        table.print();
+        // The paper's three conclusions, checked numerically per workload.
+        let cf = |p: &str| reports.iter().find(|r| r.policy == p).unwrap().cf_total;
+        let ttl_best = cf("ttl-expiry").min(cf("ttl-polling"));
+        let react_worst = ["invalidate", "update", "adaptive"]
+            .iter()
+            .map(|p| cf(p))
+            .fold(f64::MIN, f64::max);
+        println!(
+            "  reacting-to-writes vs TTL: {:.0}x lower C_F (worst reactive vs best TTL)",
+            ttl_best / react_worst.max(1e-12)
+        );
+        println!(
+            "  adaptive vs best static arm: {:.2}x   |   oracle gap: {:.2}x\n",
+            cf("adaptive") / cf("invalidate").min(cf("update")).max(1e-12),
+            cf("adaptive") / cf("oracle").max(1e-12),
+        );
+    }
+    write_json("fig5", &bars);
+}

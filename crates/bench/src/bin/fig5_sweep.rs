@@ -1,0 +1,95 @@
+//! Extension of Figure 5: the policy comparison swept across staleness
+//! bounds. The paper's bar chart fixes one real-time operating point;
+//! this sweep shows *why TTLs were acceptable for two decades* — as `T`
+//! grows toward minutes, TTL-expiry's freshness cost converges toward the
+//! write-reactive policies' — and where the real-time regime breaks them.
+//!
+//! ```sh
+//! cargo run --release -p fresca-bench --bin fig5_sweep
+//! ```
+
+use fresca_bench::{fmt_sig, run_parallel, write_json, Table};
+use fresca_core::engine::{EngineConfig, PolicyConfig, TraceEngine};
+use fresca_core::experiment::workloads;
+use fresca_sim::SimDuration;
+use fresca_workload::WorkloadGen;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    staleness_bound_s: f64,
+    policy: String,
+    cf_normalized: f64,
+    cs_normalized: f64,
+}
+
+fn main() {
+    let trace = workloads::poisson().generate(workloads::SEED);
+    let policies = [
+        PolicyConfig::TtlExpiry,
+        PolicyConfig::TtlPolling,
+        PolicyConfig::AlwaysInvalidate,
+        PolicyConfig::AlwaysUpdate,
+        PolicyConfig::adaptive(),
+    ];
+    let bounds = [0.5, 1.0, 5.0, 20.0, 60.0, 300.0, 1800.0];
+
+    println!("== Figure 5 extension: C'_F across staleness bounds (poisson) ==\n");
+    let mut table = Table::new(vec![
+        "T (s)",
+        "ttl-expiry",
+        "ttl-polling",
+        "invalidate",
+        "update",
+        "adaptive",
+        "ttl-exp/adaptive",
+    ]);
+    let mut points: Vec<Point> = Vec::new();
+    for &t in &bounds {
+        let cfg = EngineConfig {
+            staleness_bound: SimDuration::from_secs_f64(t),
+            ..EngineConfig::default()
+        };
+        let reports = run_parallel(
+            policies
+                .iter()
+                .map(|&policy| {
+                    let trace = &trace;
+                    move || TraceEngine::new(cfg, policy).run(trace)
+                })
+                .collect(),
+        );
+        let cf = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.policy == name)
+                .map(|r| r.cf_normalized)
+                .expect("policy present")
+        };
+        table.row(vec![
+            format!("{t}"),
+            fmt_sig(cf("ttl-expiry")),
+            fmt_sig(cf("ttl-polling")),
+            fmt_sig(cf("invalidate")),
+            fmt_sig(cf("update")),
+            fmt_sig(cf("adaptive")),
+            format!("{:.1}x", cf("ttl-expiry") / cf("adaptive").max(1e-12)),
+        ]);
+        for r in &reports {
+            points.push(Point {
+                staleness_bound_s: t,
+                policy: r.policy.clone(),
+                cf_normalized: r.cf_normalized,
+                cs_normalized: r.cs_normalized,
+            });
+        }
+    }
+    table.print();
+    write_json("fig5_sweep", &points);
+    println!(
+        "\nReading: at minutes-scale bounds the TTL-expiry overhead shrinks\n\
+         toward the write-reactive policies' (its misses amortise over many\n\
+         reads), which is why TTLs were good enough for two decades; at\n\
+         sub-minute bounds the gap explodes — the paper's core motivation."
+    );
+}

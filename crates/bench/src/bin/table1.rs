@@ -1,0 +1,128 @@
+//! Table 1: the `c_m` / `c_i` / `c_u` breakdown into serialisation,
+//! deserialisation and storage primitives at the cache and the data
+//! store, for each bottleneck — plus a calibration pass that measures the
+//! real codec from `fresca-net` to ground the per-byte constants.
+//!
+//! ```sh
+//! cargo run --release -p fresca-bench --bin table1
+//! ```
+
+use bytes::BytesMut;
+use fresca_bench::{write_json, Table};
+use fresca_core::cost::{Bottleneck, CostModel, ObjectSize, PrimitiveCosts};
+use fresca_net::{FrameCodec, Message, UpdateItem};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CostRow {
+    bottleneck: String,
+    key_bytes: u32,
+    value_bytes: u32,
+    c_m: f64,
+    c_i: f64,
+    c_u: f64,
+}
+
+fn measure_codec_ns_per_byte() -> (f64, f64) {
+    // Encode+decode large updates to estimate per-byte serde cost, and
+    // tiny acks to estimate the fixed per-message cost.
+    let big = Message::Update {
+        seq: 1,
+        items: (0..64)
+            .map(|i| UpdateItem { key: i, version: 1, value_size: 4096 })
+            .collect(),
+    };
+    let small = Message::Ack { seq: 1 };
+    let time = |msg: &Message, iters: u32| -> f64 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let mut buf = BytesMut::new();
+            FrameCodec::encode(msg, &mut buf);
+            let mut codec = FrameCodec::new();
+            codec.feed(&buf);
+            let decoded = codec.next().unwrap().unwrap();
+            std::hint::black_box(decoded);
+        }
+        start.elapsed().as_secs_f64() * 1e9 / iters as f64
+    };
+    let big_ns = time(&big, 2_000);
+    let small_ns = time(&small, 50_000);
+    let per_byte = (big_ns - small_ns) / big.wire_size() as f64;
+    (per_byte.max(0.001), small_ns)
+}
+
+fn main() {
+    println!("== Table 1: cost parameter breakdown (per-message cost units) ==\n");
+    println!("c_m (miss):        cache: ser(K) + deser(K+V) + update | store: deser(K) + read + ser(K+V)");
+    println!("c_i (invalidation): cache: deser(K) + delete            | store: ser(K)");
+    println!("c_u (update):       cache: deser(K+V) + update          | store: ser(K+V)\n");
+
+    let sizes = [
+        ObjectSize { key: 16, value: 128 },
+        ObjectSize { key: 16, value: 512 },
+        ObjectSize { key: 16, value: 4096 },
+    ];
+    let mut rows: Vec<CostRow> = Vec::new();
+    for bottleneck in [
+        Bottleneck::CacheCpu,
+        Bottleneck::BackendCpu,
+        Bottleneck::Network,
+        Bottleneck::Balanced,
+    ] {
+        let model = CostModel::from_bottleneck(bottleneck, PrimitiveCosts::default());
+        let mut table = Table::new(vec!["key B", "value B", "c_m", "c_i", "c_u", "c_u/c_m"]);
+        println!("bottleneck: {bottleneck:?}");
+        for size in sizes {
+            let (cm, ci, cu) =
+                (model.miss_cost(size), model.invalidate_cost(size), model.update_cost(size));
+            table.row(vec![
+                size.key.to_string(),
+                size.value.to_string(),
+                format!("{cm:.4}"),
+                format!("{ci:.4}"),
+                format!("{cu:.4}"),
+                format!("{:.3}", cu / cm),
+            ]);
+            rows.push(CostRow {
+                bottleneck: format!("{bottleneck:?}"),
+                key_bytes: size.key,
+                value_bytes: size.value,
+                c_m: cm,
+                c_i: ci,
+                c_u: cu,
+            });
+        }
+        table.print();
+        println!();
+    }
+
+    // Calibration: measure the real codec.
+    let (per_byte_ns, fixed_ns) = measure_codec_ns_per_byte();
+    println!(
+        "codec calibration (this machine): serde ≈ {per_byte_ns:.3} ns/byte,\n\
+         fixed per-message ≈ {fixed_ns:.0} ns. With these primitives:"
+    );
+    let calibrated = CostModel::from_bottleneck(
+        Bottleneck::Balanced,
+        PrimitiveCosts {
+            serde_per_byte: per_byte_ns,
+            serde_fixed: fixed_ns,
+            cache_update: fixed_ns, // map op ≈ one fixed message cost
+            cache_delete: fixed_ns / 2.0,
+            store_read: 4.0 * fixed_ns,
+            net_per_byte: per_byte_ns * 2.0,
+        },
+    );
+    let size = ObjectSize { key: 16, value: 512 };
+    println!(
+        "  c_m = {:.0} ns   c_i = {:.0} ns   c_u = {:.0} ns   (key 16B, value 512B)\n\
+         orderings c_i < c_u < c_m hold: {}",
+        calibrated.miss_cost(size),
+        calibrated.invalidate_cost(size),
+        calibrated.update_cost(size),
+        calibrated.invalidate_cost(size) < calibrated.update_cost(size)
+            && calibrated.update_cost(size) < calibrated.miss_cost(size),
+    );
+    write_json("table1", &rows);
+}

@@ -1,0 +1,117 @@
+//! Cache entry metadata and the freshness state machine.
+
+use fresca_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Freshness state of a cached entry.
+///
+/// ```text
+///            insert/update/refresh
+///    ┌─────────────────────────────────┐
+///    ▼                                 │
+///  Fresh ── invalidate msg ──► Invalidated ── read (stale miss + refetch) ──► Fresh
+///    │
+///    └─ TTL deadline passes (checked lazily on read) ⇒ reported stale
+/// ```
+///
+/// TTL expiry is *lazy*: the entry stays in the map past its deadline and
+/// is classified stale when read (the common memcached/CacheLib design).
+/// Proactive expiry via a [`crate::TimerWheel`] is available to the system
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Freshness {
+    /// Entry reflects the most recent state the cache has been told about.
+    Fresh,
+    /// A backend invalidation marked this entry stale in place.
+    Invalidated,
+}
+
+/// Metadata for one cached object. The simulated cache stores versions and
+/// sizes, not payload bytes — payloads would only burn memory without
+/// changing any measured quantity (the wire codec in `fresca-net` carries
+/// real bytes where that matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Backend version this entry reflects (monotone per key).
+    pub version: u64,
+    /// Value size in bytes (for byte-based capacity and cost scaling).
+    pub value_size: u32,
+    /// Freshness state.
+    pub state: Freshness,
+    /// When the entry was inserted.
+    pub inserted_at: SimTime,
+    /// When the entry was last made fresh (insert, update, or refresh).
+    pub refreshed_at: SimTime,
+    /// TTL deadline; `None` for policies that do not use TTLs.
+    pub expires_at: Option<SimTime>,
+}
+
+impl Entry {
+    /// A new fresh entry.
+    pub fn new(version: u64, value_size: u32, now: SimTime, expires_at: Option<SimTime>) -> Self {
+        Entry { version, value_size, state: Freshness::Fresh, inserted_at: now, refreshed_at: now, expires_at }
+    }
+
+    /// True if the entry is stale at `now`: invalidated, or past its TTL
+    /// deadline. (An entry expiring exactly *at* `now` is stale: the TTL
+    /// contract is "fresh strictly within the deadline".)
+    pub fn is_stale(&self, now: SimTime) -> bool {
+        if self.state == Freshness::Invalidated {
+            return true;
+        }
+        match self.expires_at {
+            Some(deadline) => now >= deadline,
+            None => false,
+        }
+    }
+
+    /// Make the entry fresh again with a new version/size/deadline.
+    pub fn refresh(&mut self, version: u64, value_size: u32, now: SimTime, expires_at: Option<SimTime>) {
+        self.version = version;
+        self.value_size = value_size;
+        self.state = Freshness::Fresh;
+        self.refreshed_at = now;
+        self.expires_at = expires_at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fresca_sim::SimDuration;
+
+    #[test]
+    fn fresh_without_ttl_never_expires() {
+        let e = Entry::new(1, 100, SimTime::ZERO, None);
+        assert!(!e.is_stale(SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn ttl_expiry_is_inclusive_at_deadline() {
+        let now = SimTime::from_secs(10);
+        let e = Entry::new(1, 100, now, Some(now + SimDuration::from_secs(5)));
+        assert!(!e.is_stale(SimTime::from_secs(14)));
+        assert!(e.is_stale(SimTime::from_secs(15)), "deadline instant counts as stale");
+        assert!(e.is_stale(SimTime::from_secs(16)));
+    }
+
+    #[test]
+    fn invalidation_beats_ttl() {
+        let mut e = Entry::new(1, 100, SimTime::ZERO, Some(SimTime::from_secs(100)));
+        e.state = Freshness::Invalidated;
+        assert!(e.is_stale(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn refresh_resets_everything() {
+        let mut e = Entry::new(1, 100, SimTime::ZERO, Some(SimTime::from_secs(1)));
+        e.state = Freshness::Invalidated;
+        let now = SimTime::from_secs(5);
+        e.refresh(7, 256, now, Some(now + SimDuration::from_secs(1)));
+        assert_eq!(e.version, 7);
+        assert_eq!(e.value_size, 256);
+        assert_eq!(e.state, Freshness::Fresh);
+        assert!(!e.is_stale(SimTime::from_secs(5)));
+        assert!(e.is_stale(SimTime::from_secs(6)));
+    }
+}

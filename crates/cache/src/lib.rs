@@ -1,0 +1,39 @@
+//! # fresca-cache — the cache-aside cache substrate
+//!
+//! The paper's system (its Figure 1/4) is a *lazy* or *cache-aside*
+//! cache: reads are served from the cache, writes bypass it to the data
+//! store, and the cache is populated on read misses. Freshness machinery
+//! acts on cached entries from the outside: TTL timers expire or refresh
+//! them, and backend-originated invalidate/update messages mark or rewrite
+//! them. This crate provides that cache:
+//!
+//! * [`Cache`] — single-threaded (deterministic) cache with entry- or
+//!   byte-based capacity, pluggable eviction ([`EvictionPolicy`]: LRU,
+//!   FIFO, or the freshness-aware extension from the paper's §5), lazy TTL
+//!   expiry, and the exact freshness state machine the engines meter.
+//! * [`ShardedCache`] — a `parking_lot`-sharded concurrent wrapper for the
+//!   message-driven system engine and the throughput benches.
+//! * [`TimerWheel`] — a hierarchical timing wheel for managing per-entry
+//!   TTL deadlines in O(1), the classic network-stack data structure.
+//!
+//! Terminology used across the workspace (and in metric names):
+//!
+//! * **fresh hit** — entry present and fresh: served from cache.
+//! * **stale miss** — entry *present but stale* (TTL-expired or
+//!   invalidated): this is the paper's staleness cost `C_S`.
+//! * **cold miss** — entry absent (never cached or evicted): a normal
+//!   cache miss, *not* part of `C_S`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod entry;
+pub mod lru;
+pub mod sharded;
+pub mod wheel;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Capacity, EvictionPolicy, GetResult};
+pub use entry::{Entry, Freshness};
+pub use sharded::ShardedCache;
+pub use wheel::TimerWheel;

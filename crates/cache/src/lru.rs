@@ -1,0 +1,225 @@
+//! An intrusive doubly-linked recency list backed by a slab.
+//!
+//! This is the order-maintenance structure under both LRU and FIFO
+//! eviction: O(1) insert at head, unlink, move-to-front, and pop from
+//! tail, with stable `usize` handles instead of pointers (no unsafe, no
+//! allocation per operation after warm-up).
+
+/// Sentinel for "no node".
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+    occupied: bool,
+}
+
+/// Doubly-linked list of `u64` keys in a slab; head = most recent.
+#[derive(Debug, Clone, Default)]
+pub struct LinkedSlab {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl LinkedSlab {
+    /// New empty list.
+    pub fn new() -> Self {
+        LinkedSlab { nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL, len: 0 }
+    }
+
+    /// Number of linked nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no nodes are linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `key` at the head (most-recent end); returns its handle.
+    pub fn push_front(&mut self, key: u64) -> usize {
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { key, prev: NIL, next: self.head, occupied: true };
+                i
+            }
+            None => {
+                self.nodes.push(Node { key, prev: NIL, next: self.head, occupied: true });
+                self.nodes.len() - 1
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        self.len += 1;
+        idx
+    }
+
+    /// Unlink the node with handle `idx`; returns its key.
+    pub fn remove(&mut self, idx: usize) -> u64 {
+        let node = self.nodes[idx];
+        assert!(node.occupied, "removing vacant slab node {idx}");
+        if node.prev != NIL {
+            self.nodes[node.prev].next = node.next;
+        } else {
+            self.head = node.next;
+        }
+        if node.next != NIL {
+            self.nodes[node.next].prev = node.prev;
+        } else {
+            self.tail = node.prev;
+        }
+        self.nodes[idx].occupied = false;
+        self.free.push(idx);
+        self.len -= 1;
+        node.key
+    }
+
+    /// Move the node to the head (touch for LRU).
+    pub fn move_to_front(&mut self, idx: usize) {
+        assert!(self.nodes[idx].occupied, "touching vacant slab node {idx}");
+        if self.head == idx {
+            return;
+        }
+        let key = self.remove(idx);
+        let new_idx = self.push_front(key);
+        // remove() pushed idx onto the free list and push_front popped it
+        // back, so the handle is stable.
+        debug_assert_eq!(new_idx, idx);
+    }
+
+    /// Key at the tail (least-recent end), if any.
+    pub fn back(&self) -> Option<u64> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].key)
+    }
+
+    /// Handle of the tail node, if any.
+    pub fn back_handle(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Walk `n` nodes from the tail toward the head, yielding
+    /// `(handle, key)` — used by the freshness-aware eviction probe.
+    pub fn iter_from_back(&self, n: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let mut cur = self.tail;
+        (0..n).map_while(move |_| {
+            if cur == NIL {
+                return None;
+            }
+            let idx = cur;
+            let node = self.nodes[idx];
+            cur = node.prev;
+            Some((idx, node.key))
+        })
+    }
+
+    /// Key stored at a handle (debug/test access).
+    pub fn key_at(&self, idx: usize) -> Option<u64> {
+        self.nodes.get(idx).filter(|n| n.occupied).map(|n| n.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_back_to_front(l: &LinkedSlab) -> Vec<u64> {
+        l.iter_from_back(usize::MAX >> 1).map(|(_, k)| k).collect()
+    }
+
+    #[test]
+    fn push_and_order() {
+        let mut l = LinkedSlab::new();
+        l.push_front(1);
+        l.push_front(2);
+        l.push_front(3);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.back(), Some(1));
+        assert_eq!(keys_back_to_front(&l), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_front(1);
+        let _b = l.push_front(2);
+        let _c = l.push_front(3);
+        l.move_to_front(a);
+        assert_eq!(keys_back_to_front(&l), vec![2, 3, 1]);
+        assert_eq!(l.back(), Some(2));
+    }
+
+    #[test]
+    fn move_front_is_noop_for_head() {
+        let mut l = LinkedSlab::new();
+        l.push_front(1);
+        let b = l.push_front(2);
+        l.move_to_front(b);
+        assert_eq!(keys_back_to_front(&l), vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_middle_and_reuse() {
+        let mut l = LinkedSlab::new();
+        let _a = l.push_front(1);
+        let b = l.push_front(2);
+        let _c = l.push_front(3);
+        assert_eq!(l.remove(b), 2);
+        assert_eq!(keys_back_to_front(&l), vec![1, 3]);
+        // Freed slot is reused.
+        let d = l.push_front(4);
+        assert_eq!(d, b);
+        assert_eq!(keys_back_to_front(&l), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn handle_stable_across_touch() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_front(10);
+        l.push_front(20);
+        l.move_to_front(a);
+        assert_eq!(l.key_at(a), Some(10));
+    }
+
+    #[test]
+    fn empty_to_nonempty_roundtrip() {
+        let mut l = LinkedSlab::new();
+        assert!(l.is_empty());
+        assert_eq!(l.back(), None);
+        let a = l.push_front(5);
+        assert_eq!(l.remove(a), 5);
+        assert!(l.is_empty());
+        assert_eq!(l.back(), None);
+        l.push_front(6);
+        assert_eq!(l.back(), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn remove_twice_panics() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_front(1);
+        l.remove(a);
+        l.remove(a);
+    }
+
+    #[test]
+    fn iter_from_back_bounded() {
+        let mut l = LinkedSlab::new();
+        for k in 0..10 {
+            l.push_front(k);
+        }
+        let three: Vec<u64> = l.iter_from_back(3).map(|(_, k)| k).collect();
+        assert_eq!(three, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,442 @@
+//! Hierarchical timing wheel.
+//!
+//! The classic O(1) timer structure from network stacks (Varghese & Lauck;
+//! the design behind kernel and tokio timers): six levels of 64 slots,
+//! each level covering 64× the span of the one below. Scheduling and
+//! cancellation are O(1); advancing time cascades higher-level slots down
+//! as the cursor crosses level boundaries.
+//!
+//! Two implementation notes that matter for correctness:
+//!
+//! * Within one tick, cascades run from the highest level downward
+//!   *before* level 0 fires, so an entry cascading down with a deadline at
+//!   this very tick still fires on time.
+//! * A sorted index of pending deadline ticks lets [`TimerWheel::advance`]
+//!   skip idle stretches in O(log n) instead of walking every empty tick;
+//!   when a skip crosses a cascade boundary the wheel re-places all
+//!   pending entries (rare, and O(pending)).
+//!
+//! The system engine uses the wheel for per-entry TTL deadlines (thousands
+//! of concurrent timers re-armed every interval), where a binary-heap
+//! scheduler would pay O(log n) per re-arm plus tombstone management for
+//! the cancel-heavy TTL workload.
+
+use fresca_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: usize = 6; // covers 64^6 ≈ 6.9e10 ticks
+
+/// Handle for a scheduled timer, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerToken {
+    index: usize,
+    generation: u64,
+}
+
+#[derive(Debug)]
+struct TimerEntry<T> {
+    deadline_tick: u64,
+    generation: u64,
+    data: Option<T>,
+    /// (level, slot) where the entry currently sits, for O(1) unlink.
+    location: Option<(usize, usize)>,
+}
+
+/// A hierarchical timing wheel holding timers of type `T`.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    granularity: SimDuration,
+    /// `slots[level][slot]` = indices into `entries`.
+    slots: Vec<Vec<Vec<usize>>>,
+    entries: Vec<TimerEntry<T>>,
+    free: Vec<usize>,
+    /// The current tick (all timers with deadline_tick <= cursor fired).
+    cursor: u64,
+    pending: usize,
+    /// deadline tick → number of pending timers at that tick.
+    deadline_index: BTreeMap<u64, usize>,
+}
+
+impl<T> TimerWheel<T> {
+    /// New wheel with the given tick granularity. Deadlines are rounded
+    /// *up* to the next tick (a timer never fires early).
+    pub fn new(granularity: SimDuration) -> Self {
+        assert!(!granularity.is_zero(), "granularity must be positive");
+        TimerWheel {
+            granularity,
+            slots: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            cursor: 0,
+            pending: 0,
+            deadline_index: BTreeMap::new(),
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The wheel's tick granularity.
+    pub fn granularity(&self) -> SimDuration {
+        self.granularity
+    }
+
+    /// Earliest pending deadline, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.deadline_index
+            .keys()
+            .next()
+            .map(|&t| SimTime::from_nanos(t * self.granularity.as_nanos()))
+    }
+
+    fn time_to_tick(&self, t: SimTime) -> u64 {
+        // Round up so a deadline strictly inside a tick fires at its end.
+        let g = self.granularity.as_nanos();
+        t.as_nanos().div_ceil(g)
+    }
+
+    /// Where a deadline tick belongs given the current cursor.
+    fn place(&self, deadline_tick: u64) -> (usize, usize) {
+        let delta = deadline_tick.saturating_sub(self.cursor).max(1);
+        let mut level = 0;
+        // Level l holds deadlines with delta in [64^l, 64^(l+1)).
+        while level + 1 < LEVELS && delta >= (1u64 << (SLOT_BITS * (level as u32 + 1))) {
+            level += 1;
+        }
+        let slot = ((deadline_tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        (level, slot)
+    }
+
+    /// Schedule `data` to fire at `deadline`. Deadlines at or before the
+    /// current time fire on the next [`TimerWheel::advance`] call.
+    pub fn schedule(&mut self, deadline: SimTime, data: T) -> TimerToken {
+        let deadline_tick = self.time_to_tick(deadline).max(self.cursor + 1);
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.entries.push(TimerEntry {
+                    deadline_tick: 0,
+                    generation: 0,
+                    data: None,
+                    location: None,
+                });
+                self.entries.len() - 1
+            }
+        };
+        let generation = self.entries[index].generation;
+        let (level, slot) = self.place(deadline_tick);
+        self.entries[index].deadline_tick = deadline_tick;
+        self.entries[index].data = Some(data);
+        self.entries[index].location = Some((level, slot));
+        self.slots[level][slot].push(index);
+        self.pending += 1;
+        *self.deadline_index.entry(deadline_tick).or_insert(0) += 1;
+        TimerToken { index, generation }
+    }
+
+    fn index_remove(&mut self, deadline_tick: u64) {
+        match self.deadline_index.get_mut(&deadline_tick) {
+            Some(1) => {
+                self.deadline_index.remove(&deadline_tick);
+            }
+            Some(n) => *n -= 1,
+            None => unreachable!("deadline index out of sync"),
+        }
+    }
+
+    /// Cancel a timer. Returns its payload if it had not fired yet.
+    pub fn cancel(&mut self, token: TimerToken) -> Option<T> {
+        let entry = self.entries.get_mut(token.index)?;
+        if entry.generation != token.generation || entry.data.is_none() {
+            return None;
+        }
+        let data = entry.data.take();
+        let deadline_tick = entry.deadline_tick;
+        let (level, slot) = entry.location.take().expect("live timer must be slotted");
+        entry.generation += 1;
+        let bucket = &mut self.slots[level][slot];
+        let pos = bucket.iter().position(|&i| i == token.index).expect("entry in its slot");
+        bucket.swap_remove(pos);
+        self.free.push(token.index);
+        self.pending -= 1;
+        self.index_remove(deadline_tick);
+        data
+    }
+
+    /// Re-place every pending entry relative to the current cursor (after
+    /// a long skip that crossed cascade boundaries).
+    fn rebuild(&mut self) {
+        let mut live: Vec<usize> = Vec::with_capacity(self.pending);
+        for level in &mut self.slots {
+            for slot in level {
+                live.append(slot);
+            }
+        }
+        for idx in live {
+            let deadline_tick = self.entries[idx].deadline_tick;
+            let (l, s) = self.place(deadline_tick);
+            self.entries[idx].location = Some((l, s));
+            self.slots[l][s].push(idx);
+        }
+    }
+
+    /// Process exactly one tick (cursor + 1): cascade boundaries crossed
+    /// at that tick from the top level down, then fire level 0.
+    fn step_tick(&mut self, fired: &mut Vec<(u64, T)>) {
+        self.cursor += 1;
+        let tick = self.cursor;
+        for level in (1..LEVELS).rev() {
+            let span = 1u64 << (SLOT_BITS * level as u32);
+            if !tick.is_multiple_of(span) {
+                continue;
+            }
+            let slot = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            let bucket = std::mem::take(&mut self.slots[level][slot]);
+            for idx in bucket {
+                let deadline_tick = self.entries[idx].deadline_tick;
+                let (nl, ns) = self.place(deadline_tick);
+                debug_assert!(nl < level, "cascade must strictly descend");
+                self.entries[idx].location = Some((nl, ns));
+                self.slots[nl][ns].push(idx);
+            }
+        }
+        let slot0 = (tick & (SLOTS as u64 - 1)) as usize;
+        let bucket = std::mem::take(&mut self.slots[0][slot0]);
+        for idx in bucket {
+            let e = &mut self.entries[idx];
+            debug_assert_eq!(e.deadline_tick, tick, "level-0 slot holds exact deadlines");
+            let data = e.data.take().expect("live entry");
+            e.location = None;
+            e.generation += 1;
+            self.free.push(idx);
+            self.pending -= 1;
+            fired.push((tick, data));
+            self.index_remove(tick);
+        }
+    }
+
+    /// Advance the wheel to `now`, returning all timers with deadlines at
+    /// or before it, ordered by deadline (ties by schedule order within a
+    /// tick).
+    pub fn advance(&mut self, now: SimTime) -> Vec<(SimTime, T)> {
+        // Last tick that has fully elapsed at `now`.
+        let target = {
+            let g = self.granularity.as_nanos();
+            now.as_nanos() / g
+        }
+        .max(self.cursor);
+        let mut fired: Vec<(u64, T)> = Vec::new();
+        while self.cursor < target {
+            match self.deadline_index.keys().next().copied() {
+                None => {
+                    self.cursor = target;
+                    break;
+                }
+                Some(n) if n > target => {
+                    // Nothing can fire; skip ahead. Placement only depends
+                    // on the cursor through cascade boundaries, so rebuild
+                    // if we crossed any 64-tick boundary.
+                    let crossed = (target >> SLOT_BITS) > (self.cursor >> SLOT_BITS);
+                    self.cursor = target;
+                    if crossed {
+                        self.rebuild();
+                    }
+                    break;
+                }
+                Some(n) => {
+                    if n > self.cursor + 1 {
+                        let jump_to = n - 1;
+                        let crossed = (jump_to >> SLOT_BITS) > (self.cursor >> SLOT_BITS);
+                        self.cursor = jump_to;
+                        if crossed {
+                            self.rebuild();
+                        }
+                    }
+                    self.step_tick(&mut fired);
+                }
+            }
+        }
+        fired
+            .into_iter()
+            .map(|(tick, d)| (SimTime::from_nanos(tick * self.granularity.as_nanos()), d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimerWheel<u32> {
+        TimerWheel::new(SimDuration::from_millis(1))
+    }
+
+    #[test]
+    fn fires_at_deadline_not_before() {
+        let mut w = wheel();
+        w.schedule(SimTime::from_millis(10), 1);
+        assert!(w.advance(SimTime::from_millis(9)).is_empty());
+        let fired = w.advance(SimTime::from_millis(10));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1, 1);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn rounds_deadlines_up() {
+        let mut w = wheel();
+        w.schedule(SimTime::from_micros(9_200), 7);
+        assert!(w.advance(SimTime::from_millis(9)).is_empty());
+        assert_eq!(w.advance(SimTime::from_millis(10)).len(), 1);
+    }
+
+    #[test]
+    fn multiple_timers_fire_in_deadline_order() {
+        let mut w = wheel();
+        w.schedule(SimTime::from_millis(30), 3);
+        w.schedule(SimTime::from_millis(10), 1);
+        w.schedule(SimTime::from_millis(20), 2);
+        let fired: Vec<u32> =
+            w.advance(SimTime::from_millis(100)).into_iter().map(|(_, d)| d).collect();
+        assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn long_deadlines_cascade_correctly() {
+        let mut w = wheel();
+        // Far beyond level 0 (64ms) and level 1 (4096ms) spans.
+        w.schedule(SimTime::from_secs(300), 42);
+        assert!(w.advance(SimTime::from_secs(299)).is_empty());
+        let fired = w.advance(SimTime::from_secs(301));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut w = wheel();
+        let t1 = w.schedule(SimTime::from_millis(5), 1);
+        w.schedule(SimTime::from_millis(5), 2);
+        assert_eq!(w.cancel(t1), Some(1));
+        assert_eq!(w.cancel(t1), None, "double cancel is None");
+        let fired: Vec<u32> =
+            w.advance(SimTime::from_millis(10)).into_iter().map(|(_, d)| d).collect();
+        assert_eq!(fired, vec![2]);
+    }
+
+    #[test]
+    fn token_reuse_is_safe() {
+        let mut w = wheel();
+        let t1 = w.schedule(SimTime::from_millis(5), 1);
+        w.advance(SimTime::from_millis(10));
+        // Slot is recycled for a new timer; the old token must not cancel it.
+        let _t2 = w.schedule(SimTime::from_millis(20), 2);
+        assert_eq!(w.cancel(t1), None);
+        assert_eq!(w.pending(), 1);
+    }
+
+    #[test]
+    fn past_deadline_fires_next_advance() {
+        let mut w = wheel();
+        w.advance(SimTime::from_millis(50));
+        w.schedule(SimTime::from_millis(10), 9); // already past
+        let fired = w.advance(SimTime::from_millis(51));
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn many_timers_across_levels() {
+        let mut w = wheel();
+        let mut expected: Vec<u32> = Vec::new();
+        for i in 1..=500u32 {
+            // Deadlines spread over ~8 minutes, various levels.
+            w.schedule(SimTime::from_millis(i as u64 * 997), i);
+            expected.push(i);
+        }
+        let fired: Vec<u32> =
+            w.advance(SimTime::from_secs(600)).into_iter().map(|(_, d)| d).collect();
+        assert_eq!(fired, expected, "all fire, in deadline order");
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn empty_advance_is_cheap_and_correct() {
+        let mut w = wheel();
+        // Jump years ahead with nothing pending — must not walk ticks.
+        let fired = w.advance(SimTime::from_secs(100_000_000));
+        assert!(fired.is_empty());
+        // Still schedulable afterwards.
+        w.schedule(SimTime::from_secs(100_000_001), 1);
+        assert_eq!(w.advance(SimTime::from_secs(100_000_002)).len(), 1);
+    }
+
+    #[test]
+    fn sparse_timers_with_long_gaps() {
+        // Skip-ahead with pending timers must not lose or early-fire them.
+        let mut w = wheel();
+        w.schedule(SimTime::from_secs(10), 1);
+        w.schedule(SimTime::from_secs(10_000), 2);
+        let f1 = w.advance(SimTime::from_secs(9_999));
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].1, 1);
+        let f2 = w.advance(SimTime::from_secs(10_001));
+        assert_eq!(f2.len(), 1);
+        assert_eq!(f2[0].1, 2);
+        assert_eq!(f2[0].0, SimTime::from_secs(10_000));
+    }
+
+    #[test]
+    fn incremental_vs_single_advance_agree() {
+        // Property: advancing in many small steps fires exactly the same
+        // (deadline, payload) multiset as one big advance.
+        let deadlines: Vec<u64> = (1..=200).map(|i| i * 37 + (i % 5) * 1000).collect();
+        let run = |steps: &[u64]| {
+            let mut w = wheel();
+            for (i, &d) in deadlines.iter().enumerate() {
+                w.schedule(SimTime::from_millis(d), i as u32);
+            }
+            let mut fired = Vec::new();
+            for &s in steps {
+                fired.extend(w.advance(SimTime::from_millis(s)));
+            }
+            fired
+        };
+        let big = run(&[20_000]);
+        let steps: Vec<u64> = (1..=200).map(|i| i * 100).collect();
+        let small = run(&steps);
+        assert_eq!(big, small);
+        assert_eq!(big.len(), deadlines.len());
+    }
+
+    #[test]
+    fn rearm_pattern_like_ttl_polling() {
+        // Re-arm a timer every 10ms for a while, as TTL-polling does.
+        let mut w = wheel();
+        let mut fired_count = 0;
+        let mut token = w.schedule(SimTime::from_millis(10), 0);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            now += SimDuration::from_millis(10);
+            let fired = w.advance(now);
+            for _ in fired {
+                fired_count += 1;
+                token = w.schedule(now + SimDuration::from_millis(10), 0);
+            }
+        }
+        let _ = token;
+        assert_eq!(fired_count, 100);
+    }
+
+    #[test]
+    fn next_deadline_reports_earliest() {
+        let mut w = wheel();
+        assert_eq!(w.next_deadline(), None);
+        w.schedule(SimTime::from_millis(30), 1);
+        w.schedule(SimTime::from_millis(10), 2);
+        assert_eq!(w.next_deadline(), Some(SimTime::from_millis(10)));
+    }
+}

@@ -1,0 +1,197 @@
+//! Bottleneck detection (§3.3).
+//!
+//! "To estimate `c_u`, `c_i`, `c_m`, the policy first detects system
+//! bottlenecks … by measuring backend CPU utilization from /proc/stat,
+//! network usage from /proc/net/dev, and disk I/O usage from
+//! /proc/diskstats. Users can also label a resource as the bottleneck
+//! based on offline profiling."
+//!
+//! Reading `/proc` is environment-specific I/O; what the paper's policy
+//! actually needs is the *decision logic* downstream of the samples:
+//! pick the most-saturated resource and derive the cost model from it.
+//! [`BottleneckProbe`] abstracts the sample source; [`SyntheticProbe`]
+//! provides deterministic, replayable samples (the DESIGN.md §4
+//! substitution); [`detect`] and [`cost_model_for`] implement the logic.
+//! A production deployment would implement `BottleneckProbe` over
+//! `/proc` in a dozen lines.
+
+use crate::cost::{Bottleneck, CostModel, PrimitiveCosts};
+use serde::{Deserialize, Serialize};
+
+/// One utilisation sample, all fields in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSample {
+    /// Cache-node CPU utilisation.
+    pub cache_cpu: f64,
+    /// Backend (data store) CPU utilisation.
+    pub backend_cpu: f64,
+    /// Network link utilisation.
+    pub network: f64,
+}
+
+impl ResourceSample {
+    fn validate(&self) {
+        for (name, v) in [
+            ("cache_cpu", self.cache_cpu),
+            ("backend_cpu", self.backend_cpu),
+            ("network", self.network),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} utilisation must be in [0,1], got {v}");
+        }
+    }
+}
+
+/// A source of utilisation samples.
+pub trait BottleneckProbe {
+    /// Take one sample of current utilisation.
+    fn sample(&mut self) -> ResourceSample;
+}
+
+/// Deterministic probe that replays a fixed sequence of samples (cycling
+/// when exhausted). Stands in for `/proc` sampling in simulations and
+/// tests.
+#[derive(Debug, Clone)]
+pub struct SyntheticProbe {
+    samples: Vec<ResourceSample>,
+    cursor: usize,
+}
+
+impl SyntheticProbe {
+    /// New probe over a non-empty sample sequence.
+    pub fn new(samples: Vec<ResourceSample>) -> Self {
+        assert!(!samples.is_empty(), "probe needs at least one sample");
+        for s in &samples {
+            s.validate();
+        }
+        SyntheticProbe { samples, cursor: 0 }
+    }
+
+    /// Probe that always reports the same utilisation.
+    pub fn constant(sample: ResourceSample) -> Self {
+        Self::new(vec![sample])
+    }
+}
+
+impl BottleneckProbe for SyntheticProbe {
+    fn sample(&mut self) -> ResourceSample {
+        let s = self.samples[self.cursor % self.samples.len()];
+        self.cursor += 1;
+        s
+    }
+}
+
+/// Utilisation above which a resource counts as saturated.
+pub const SATURATION_THRESHOLD: f64 = 0.7;
+
+/// Detect the bottleneck from `n` samples: average utilisations, then
+/// pick the most-utilised resource if it crosses the saturation
+/// threshold; otherwise report [`Bottleneck::Balanced`] (no single
+/// scarce resource — count both sides).
+pub fn detect<P: BottleneckProbe>(probe: &mut P, n: usize) -> Bottleneck {
+    assert!(n >= 1, "need at least one sample");
+    let mut acc = ResourceSample { cache_cpu: 0.0, backend_cpu: 0.0, network: 0.0 };
+    for _ in 0..n {
+        let s = probe.sample();
+        acc.cache_cpu += s.cache_cpu;
+        acc.backend_cpu += s.backend_cpu;
+        acc.network += s.network;
+    }
+    let nf = n as f64;
+    let (cache, backend, net) = (acc.cache_cpu / nf, acc.backend_cpu / nf, acc.network / nf);
+    let max = cache.max(backend).max(net);
+    if max < SATURATION_THRESHOLD {
+        return Bottleneck::Balanced;
+    }
+    // Deterministic tie-break: network beats backend beats cache (a
+    // saturated network constrains both CPUs' ability to help).
+    if net >= max {
+        Bottleneck::Network
+    } else if backend >= max {
+        Bottleneck::BackendCpu
+    } else {
+        Bottleneck::CacheCpu
+    }
+}
+
+/// End-to-end convenience: sample the probe and return the Table-1 cost
+/// model for the detected bottleneck.
+pub fn cost_model_for<P: BottleneckProbe>(
+    probe: &mut P,
+    n: usize,
+    primitives: PrimitiveCosts,
+) -> (Bottleneck, CostModel) {
+    let b = detect(probe, n);
+    (b, CostModel::from_bottleneck(b, primitives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ObjectSize;
+
+    fn sample(cache: f64, backend: f64, net: f64) -> ResourceSample {
+        ResourceSample { cache_cpu: cache, backend_cpu: backend, network: net }
+    }
+
+    #[test]
+    fn detects_each_bottleneck() {
+        let mut p = SyntheticProbe::constant(sample(0.9, 0.2, 0.1));
+        assert_eq!(detect(&mut p, 5), Bottleneck::CacheCpu);
+        let mut p = SyntheticProbe::constant(sample(0.2, 0.95, 0.1));
+        assert_eq!(detect(&mut p, 5), Bottleneck::BackendCpu);
+        let mut p = SyntheticProbe::constant(sample(0.2, 0.3, 0.8));
+        assert_eq!(detect(&mut p, 5), Bottleneck::Network);
+    }
+
+    #[test]
+    fn unsaturated_system_is_balanced() {
+        let mut p = SyntheticProbe::constant(sample(0.3, 0.4, 0.2));
+        assert_eq!(detect(&mut p, 10), Bottleneck::Balanced);
+    }
+
+    #[test]
+    fn averaging_smooths_transients() {
+        // One spike in a calm sequence must not flip the verdict.
+        let mut p = SyntheticProbe::new(vec![
+            sample(0.2, 0.2, 0.1),
+            sample(0.2, 0.95, 0.1), // transient backend spike
+            sample(0.2, 0.2, 0.1),
+            sample(0.2, 0.2, 0.1),
+        ]);
+        assert_eq!(detect(&mut p, 4), Bottleneck::Balanced);
+        // Sustained saturation does flip it.
+        let mut p = SyntheticProbe::new(vec![
+            sample(0.2, 0.9, 0.1),
+            sample(0.2, 0.85, 0.1),
+            sample(0.2, 0.95, 0.1),
+            sample(0.2, 0.9, 0.1),
+        ]);
+        assert_eq!(detect(&mut p, 4), Bottleneck::BackendCpu);
+    }
+
+    #[test]
+    fn probe_cycles_its_samples() {
+        let mut p = SyntheticProbe::new(vec![sample(0.1, 0.2, 0.3), sample(0.4, 0.5, 0.6)]);
+        let a = p.sample();
+        let b = p.sample();
+        let a2 = p.sample();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cost_model_for_composes() {
+        let mut p = SyntheticProbe::constant(sample(0.1, 0.1, 0.9));
+        let (b, model) = cost_model_for(&mut p, 3, PrimitiveCosts::default());
+        assert_eq!(b, Bottleneck::Network);
+        // Network bottleneck ⇒ invalidates cost only key bytes.
+        let size = ObjectSize { key: 16, value: 4096 };
+        assert!(model.invalidate_cost(size) < model.update_cost(size) / 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn rejects_bad_utilisation() {
+        SyntheticProbe::constant(sample(1.5, 0.0, 0.0));
+    }
+}

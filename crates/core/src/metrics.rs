@@ -1,0 +1,170 @@
+//! Freshness/staleness cost accounting (§2.1–2.2).
+//!
+//! `C_F` aggregates every cost incurred *to keep cached data fresh*:
+//! invalidate messages, update messages, re-fetches caused by stale data,
+//! and TTL-polling refreshes. Cold misses are normal cache behaviour, not
+//! freshness overhead — they are tracked for completeness but excluded
+//! from `C_F` (the paper: "the only overhead incurred as part of `C_F` is
+//! those to service misses due to stale data").
+//!
+//! Normalisations (§2.2):
+//!
+//! * `C'_F = C_F / Σ_reads c_h` — "the ratio of the wasted cycles to the
+//!   useful cycles spent serving data".
+//! * `C'_S = C_S / (reads where the object was present)` — "the miss
+//!   ratio caused solely due to reading stale data".
+
+use serde::{Deserialize, Serialize};
+
+/// Event counts behind the cost totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Invalidation messages sent.
+    pub invalidates_sent: u64,
+    /// Update messages sent.
+    pub updates_sent: u64,
+    /// Re-fetches caused by reads of stale entries (`C_S` events).
+    pub stale_fetches: u64,
+    /// TTL-polling refreshes performed.
+    pub polling_refreshes: u64,
+    /// Cold-miss fetches (not part of `C_F`).
+    pub cold_fetches: u64,
+    /// Cost units spent on invalidates.
+    pub invalidate_cost: f64,
+    /// Cost units spent on updates.
+    pub update_cost: f64,
+    /// Cost units spent on stale re-fetches.
+    pub stale_fetch_cost: f64,
+    /// Cost units spent on polling refreshes.
+    pub refresh_cost: f64,
+}
+
+/// Online cost meters, fed by the engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostMeters {
+    breakdown: CostBreakdown,
+    /// Total useful-work cost of serving reads (`Σ c_h`).
+    useful_read_cost: f64,
+    /// Total reads observed.
+    reads: u64,
+}
+
+impl CostMeters {
+    /// New zeroed meters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A read was served (any outcome); `c_h` is its useful-work cost.
+    pub fn on_read(&mut self, c_h: f64) {
+        self.reads += 1;
+        self.useful_read_cost += c_h;
+    }
+
+    /// An invalidation message was sent.
+    pub fn on_invalidate_sent(&mut self, c_i: f64) {
+        self.breakdown.invalidates_sent += 1;
+        self.breakdown.invalidate_cost += c_i;
+    }
+
+    /// An update message was sent.
+    pub fn on_update_sent(&mut self, c_u: f64) {
+        self.breakdown.updates_sent += 1;
+        self.breakdown.update_cost += c_u;
+    }
+
+    /// A read found a present-but-stale entry and re-fetched.
+    pub fn on_stale_fetch(&mut self, c_m: f64) {
+        self.breakdown.stale_fetches += 1;
+        self.breakdown.stale_fetch_cost += c_m;
+    }
+
+    /// A TTL-polling refresh ran.
+    pub fn on_polling_refresh(&mut self, c_m: f64) {
+        self.breakdown.polling_refreshes += 1;
+        self.breakdown.refresh_cost += c_m;
+    }
+
+    /// A cold miss was serviced (not freshness overhead).
+    pub fn on_cold_fetch(&mut self) {
+        self.breakdown.cold_fetches += 1;
+    }
+
+    /// Total freshness cost `C_F` in cost units.
+    pub fn cf_total(&self) -> f64 {
+        let b = &self.breakdown;
+        b.invalidate_cost + b.update_cost + b.stale_fetch_cost + b.refresh_cost
+    }
+
+    /// Staleness cost `C_S`: number of stale-data misses.
+    pub fn cs_total(&self) -> u64 {
+        self.breakdown.stale_fetches
+    }
+
+    /// `C'_F`: wasted over useful cost. Zero when no reads were served.
+    pub fn cf_normalized(&self) -> f64 {
+        if self.useful_read_cost == 0.0 {
+            0.0
+        } else {
+            self.cf_total() / self.useful_read_cost
+        }
+    }
+
+    /// `C'_S`: stale-miss ratio over reads that found the object present.
+    /// The caller supplies `present_reads` (from the cache's counters).
+    pub fn cs_normalized(&self, present_reads: u64) -> f64 {
+        if present_reads == 0 {
+            0.0
+        } else {
+            self.cs_total() as f64 / present_reads as f64
+        }
+    }
+
+    /// Reads observed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Event counts and per-component costs.
+    pub fn breakdown(&self) -> CostBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cf_sums_all_freshness_components() {
+        let mut m = CostMeters::new();
+        m.on_invalidate_sent(0.1);
+        m.on_update_sent(0.5);
+        m.on_stale_fetch(1.0);
+        m.on_polling_refresh(1.0);
+        m.on_cold_fetch();
+        assert!((m.cf_total() - 2.6).abs() < 1e-12, "cold fetches excluded");
+        assert_eq!(m.cs_total(), 1);
+    }
+
+    #[test]
+    fn normalisations() {
+        let mut m = CostMeters::new();
+        for _ in 0..10 {
+            m.on_read(1.0);
+        }
+        m.on_stale_fetch(1.0);
+        m.on_update_sent(0.5);
+        assert!((m.cf_normalized() - 0.15).abs() < 1e-12);
+        // 8 of the reads found the object present.
+        assert!((m.cs_normalized(8) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meters_are_zero_not_nan() {
+        let m = CostMeters::new();
+        assert_eq!(m.cf_normalized(), 0.0);
+        assert_eq!(m.cs_normalized(0), 0.0);
+        assert_eq!(m.cf_total(), 0.0);
+    }
+}

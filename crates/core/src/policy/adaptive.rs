@@ -1,0 +1,137 @@
+//! The adaptive policy (§3.3): per-key update/invalidate decisions from an
+//! online `E[W]` estimator.
+
+use crate::cost::{CostModel, ObjectSize};
+use crate::policy::{rules, FlushDecision};
+use fresca_sketch::EwEstimator;
+
+/// Adaptive update-vs-invalidate policy backed by a pluggable estimator
+/// (exact counters, Count-min, or the paper's Top-K sketch).
+///
+/// The estimator is fed the full request stream (the paper's Figure 4
+/// places the policy at the load balancer / proxy, which sees both reads
+/// and writes); decisions are made lazily at flush time, per dirty key.
+pub struct AdaptivePolicy<E: EwEstimator> {
+    estimator: E,
+    decisions_update: u64,
+    decisions_invalidate: u64,
+}
+
+impl<E: EwEstimator> AdaptivePolicy<E> {
+    /// New policy around an estimator.
+    pub fn new(estimator: E) -> Self {
+        AdaptivePolicy { estimator, decisions_update: 0, decisions_invalidate: 0 }
+    }
+
+    /// Observe a read (estimator feed).
+    pub fn on_read(&mut self, key: u64) {
+        self.estimator.record_read(key);
+    }
+
+    /// Observe a write (estimator feed).
+    pub fn on_write(&mut self, key: u64) {
+        self.estimator.record_write(key);
+    }
+
+    /// Decide for `key` at flush time: update iff `E[W]·c_u < c_m + c_i`.
+    pub fn decide(&mut self, key: u64, cost: &CostModel, size: ObjectSize) -> FlushDecision {
+        let ew = self.estimator.estimate(key);
+        let update = rules::should_update_ew(
+            ew,
+            cost.update_cost(size),
+            cost.miss_cost(size),
+            cost.invalidate_cost(size),
+        );
+        if update {
+            self.decisions_update += 1;
+            FlushDecision::Update
+        } else {
+            self.decisions_invalidate += 1;
+            FlushDecision::Invalidate
+        }
+    }
+
+    /// `(updates, invalidates)` decided so far.
+    pub fn decision_counts(&self) -> (u64, u64) {
+        (self.decisions_update, self.decisions_invalidate)
+    }
+
+    /// Access the estimator (for memory reporting).
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fresca_sketch::ExactEw;
+
+    const SIZE: ObjectSize = ObjectSize { key: 16, value: 512 };
+
+    fn cost() -> CostModel {
+        // Threshold (c_m + c_i)/c_u = 2.2.
+        CostModel::unit(1.0, 0.1, 0.5, 1.0)
+    }
+
+    #[test]
+    fn read_mostly_key_gets_updates() {
+        let mut p = AdaptivePolicy::new(ExactEw::new());
+        // One write per three reads → E[W] ≈ 1/3 < 2.2.
+        for _ in 0..30 {
+            p.on_write(1);
+            p.on_read(1);
+            p.on_read(1);
+            p.on_read(1);
+        }
+        assert_eq!(p.decide(1, &cost(), SIZE), FlushDecision::Update);
+    }
+
+    #[test]
+    fn write_heavy_key_gets_invalidates() {
+        let mut p = AdaptivePolicy::new(ExactEw::new());
+        // Three writes per read → E[W] = 3 > 2.2.
+        for _ in 0..30 {
+            p.on_write(2);
+            p.on_write(2);
+            p.on_write(2);
+            p.on_read(2);
+        }
+        assert_eq!(p.decide(2, &cost(), SIZE), FlushDecision::Invalidate);
+    }
+
+    #[test]
+    fn unknown_key_defaults_to_update() {
+        let mut p = AdaptivePolicy::new(ExactEw::new());
+        assert_eq!(p.decide(99, &cost(), SIZE), FlushDecision::Update);
+    }
+
+    #[test]
+    fn per_key_decisions_are_independent() {
+        let mut p = AdaptivePolicy::new(ExactEw::new());
+        for _ in 0..20 {
+            p.on_write(1);
+            p.on_read(1);
+            p.on_read(1); // E[W] = 0.5 → update
+            for _ in 0..5 {
+                p.on_write(2);
+            }
+            p.on_read(2); // E[W] = 5 → invalidate
+        }
+        assert_eq!(p.decide(1, &cost(), SIZE), FlushDecision::Update);
+        assert_eq!(p.decide(2, &cost(), SIZE), FlushDecision::Invalidate);
+        assert_eq!(p.decision_counts(), (1, 1));
+    }
+
+    #[test]
+    fn latency_mode_always_updates() {
+        // §3.3: "the policy can set c_m = ∞ and only send updates".
+        let cost = CostModel::default().latency_over_throughput();
+        let mut p = AdaptivePolicy::new(ExactEw::new());
+        for _ in 0..100 {
+            p.on_write(1);
+        }
+        p.on_read(1);
+        assert_eq!(p.decide(1, &cost, SIZE), FlushDecision::Update);
+    }
+}

@@ -1,0 +1,27 @@
+//! Freshness policies.
+//!
+//! A policy answers one question, once per dirty key per interval flush:
+//! *what should the backend send to the cache for this key?* —
+//! an update, an invalidate, or nothing.
+
+pub mod adaptive;
+pub mod oracle;
+pub mod rules;
+pub mod slo;
+
+pub use adaptive::AdaptivePolicy;
+pub use oracle::OraclePolicy;
+pub use slo::SloAdaptivePolicy;
+
+/// The backend's per-key action at an interval flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushDecision {
+    /// Send an update message (key + value): refreshes the cached entry
+    /// if present, does nothing if absent.
+    Update,
+    /// Send an invalidation message (key only): marks the cached entry
+    /// stale if present.
+    Invalidate,
+    /// Send nothing (used by cache-state-aware and oracle policies).
+    Nothing,
+}

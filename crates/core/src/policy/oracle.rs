@@ -1,0 +1,212 @@
+//! The omniscient optimal policy ("Opt." in Figure 5).
+//!
+//! Opt. knows both the cache contents and the *future* request stream. At
+//! each flush it answers, per dirty key:
+//!
+//! * key not cached → **nothing** (no message can help);
+//! * next request for the key is a write (or there is none) → **nothing**
+//!   (defer: the write re-dirties the key and the decision is re-made
+//!   later with no read in between that could go stale);
+//! * next request is a read →
+//!     * entry currently valid: pay `min(c_u, c_i + c_m)` — update now, or
+//!       invalidate now and let the read pay the miss;
+//!     * entry already invalidated (the read will miss regardless): update
+//!       only if healing is cheaper than the miss (`c_u < c_m`), else
+//!       nothing (the pending miss re-fetches the latest value anyway).
+//!
+//! This decision procedure dominates the paper's per-interval gap
+//! formulation (deferring through write-only intervals coalesces messages
+//! it would send), so it remains a valid lower-bound curve for Figure 5.
+
+use crate::cost::{CostModel, ObjectSize};
+use crate::policy::FlushDecision;
+use fresca_sim::SimTime;
+use fresca_workload::{Op, Trace};
+use std::collections::HashMap;
+
+/// Per-key future-request index over a trace.
+pub struct LookaheadIndex {
+    /// key → time-sorted (at, op).
+    per_key: HashMap<u64, Vec<(SimTime, Op)>>,
+}
+
+impl LookaheadIndex {
+    /// Build the index from a trace.
+    pub fn build(trace: &Trace) -> Self {
+        let mut per_key: HashMap<u64, Vec<(SimTime, Op)>> = HashMap::new();
+        for r in trace {
+            per_key.entry(r.key.0).or_default().push((r.at, r.op));
+        }
+        LookaheadIndex { per_key }
+    }
+
+    /// First request for `key` strictly after `t`.
+    pub fn next_request_after(&self, key: u64, t: SimTime) -> Option<(SimTime, Op)> {
+        let reqs = self.per_key.get(&key)?;
+        let idx = reqs.partition_point(|&(at, _)| at <= t);
+        reqs.get(idx).copied()
+    }
+}
+
+/// The omniscient policy.
+pub struct OraclePolicy {
+    index: LookaheadIndex,
+    decisions_update: u64,
+    decisions_invalidate: u64,
+    decisions_nothing: u64,
+}
+
+impl OraclePolicy {
+    /// New oracle over a trace.
+    pub fn new(trace: &Trace) -> Self {
+        OraclePolicy {
+            index: LookaheadIndex::build(trace),
+            decisions_update: 0,
+            decisions_invalidate: 0,
+            decisions_nothing: 0,
+        }
+    }
+
+    /// Decide for `key` at flush time `now`.
+    ///
+    /// `cached` / `already_invalidated` come from the engine's (exact)
+    /// cache state and tracker.
+    pub fn decide(
+        &mut self,
+        key: u64,
+        now: SimTime,
+        cached: bool,
+        already_invalidated: bool,
+        cost: &CostModel,
+        size: ObjectSize,
+    ) -> FlushDecision {
+        let decision = if !cached {
+            FlushDecision::Nothing
+        } else {
+            match self.index.next_request_after(key, now) {
+                None | Some((_, Op::Write)) => FlushDecision::Nothing,
+                Some((_, Op::Read)) => {
+                    let c_u = cost.update_cost(size);
+                    let c_m = cost.miss_cost(size);
+                    let c_i = cost.invalidate_cost(size);
+                    if already_invalidated {
+                        // The read will miss unless we heal the entry.
+                        if c_u < c_m {
+                            FlushDecision::Update
+                        } else {
+                            FlushDecision::Nothing
+                        }
+                    } else if c_u < c_i + c_m {
+                        FlushDecision::Update
+                    } else {
+                        FlushDecision::Invalidate
+                    }
+                }
+            }
+        };
+        match decision {
+            FlushDecision::Update => self.decisions_update += 1,
+            FlushDecision::Invalidate => self.decisions_invalidate += 1,
+            FlushDecision::Nothing => self.decisions_nothing += 1,
+        }
+        decision
+    }
+
+    /// `(updates, invalidates, nothings)` decided so far.
+    pub fn decision_counts(&self) -> (u64, u64, u64) {
+        (self.decisions_update, self.decisions_invalidate, self.decisions_nothing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fresca_workload::{Key, Request};
+    use fresca_workload::request::TraceMeta;
+
+    const SIZE: ObjectSize = ObjectSize { key: 16, value: 512 };
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn trace(reqs: Vec<Request>) -> Trace {
+        Trace::from_sorted(TraceMeta::default(), reqs)
+    }
+
+    fn cost() -> CostModel {
+        CostModel::unit(1.0, 0.1, 0.5, 1.0)
+    }
+
+    #[test]
+    fn lookahead_finds_strictly_future_requests() {
+        let tr = trace(vec![
+            Request::read(t(5), Key(1), 8),
+            Request::write(t(10), Key(1), 8),
+        ]);
+        let idx = LookaheadIndex::build(&tr);
+        assert_eq!(idx.next_request_after(1, t(0)), Some((t(5), Op::Read)));
+        assert_eq!(idx.next_request_after(1, t(5)), Some((t(10), Op::Write)));
+        assert_eq!(idx.next_request_after(1, t(10)), None);
+        assert_eq!(idx.next_request_after(9, t(0)), None);
+    }
+
+    #[test]
+    fn uncached_key_gets_nothing() {
+        let tr = trace(vec![Request::read(t(5), Key(1), 8)]);
+        let mut o = OraclePolicy::new(&tr);
+        assert_eq!(o.decide(1, t(0), false, false, &cost(), SIZE), FlushDecision::Nothing);
+    }
+
+    #[test]
+    fn next_read_with_cheap_update_updates() {
+        // c_u = 0.5 < c_i + c_m = 1.1 → update.
+        let tr = trace(vec![Request::read(t(5), Key(1), 8)]);
+        let mut o = OraclePolicy::new(&tr);
+        assert_eq!(o.decide(1, t(0), true, false, &cost(), SIZE), FlushDecision::Update);
+    }
+
+    #[test]
+    fn next_read_with_expensive_update_invalidates() {
+        // c_u = 1.5 > c_i + c_m = 1.1 → invalidate (read pays the miss).
+        let expensive = CostModel::Unit { c_m: 1.0, c_i: 0.1, c_u: 1.5, c_h: 1.0 };
+        let tr = trace(vec![Request::read(t(5), Key(1), 8)]);
+        let mut o = OraclePolicy::new(&tr);
+        assert_eq!(o.decide(1, t(0), true, false, &expensive, SIZE), FlushDecision::Invalidate);
+    }
+
+    #[test]
+    fn next_write_defers() {
+        let tr = trace(vec![
+            Request::write(t(5), Key(1), 8),
+            Request::read(t(6), Key(1), 8),
+        ]);
+        let mut o = OraclePolicy::new(&tr);
+        assert_eq!(
+            o.decide(1, t(0), true, false, &cost(), SIZE),
+            FlushDecision::Nothing,
+            "a following write re-dirties the key; defer"
+        );
+    }
+
+    #[test]
+    fn already_invalidated_heals_only_if_cheaper_than_miss() {
+        let tr = trace(vec![Request::read(t(5), Key(1), 8)]);
+        // c_u = 0.5 < c_m = 1.0 → heal.
+        let mut o = OraclePolicy::new(&tr);
+        assert_eq!(o.decide(1, t(0), true, true, &cost(), SIZE), FlushDecision::Update);
+        // c_u = 0.9 ≥ c_m = 0.8 → the miss is cheaper; do nothing.
+        let c2 = CostModel::Unit { c_m: 0.8, c_i: 0.1, c_u: 0.9, c_h: 1.0 };
+        let tr2 = trace(vec![Request::read(t(5), Key(1), 8)]);
+        let mut o2 = OraclePolicy::new(&tr2);
+        assert_eq!(o2.decide(1, t(0), true, true, &c2, SIZE), FlushDecision::Nothing);
+    }
+
+    #[test]
+    fn no_future_request_does_nothing() {
+        let tr = trace(vec![Request::write(t(1), Key(1), 8)]);
+        let mut o = OraclePolicy::new(&tr);
+        assert_eq!(o.decide(1, t(2), true, false, &cost(), SIZE), FlushDecision::Nothing);
+        assert_eq!(o.decision_counts(), (0, 0, 1));
+    }
+}

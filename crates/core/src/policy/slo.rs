@@ -1,0 +1,170 @@
+//! SLO-constrained adaptive policy (§3.2, "Maximizing throughput for a
+//! latency SLO").
+//!
+//! "System designers rarely optimize throughput in isolation; instead,
+//! they typically seek to maximize throughput while meeting a latency
+//! target." Latency is proxied by the stale-miss ratio `C'_S`, which for
+//! invalidation tends to `1 − r` as `T → 0`. Given a user bound `C` on
+//! `C'_S`, the backend "chooses to send updates if
+//! `(c_i + c_m)·r > c_u` **or** `1 − r > C`, and chooses to send
+//! invalidates otherwise".
+//!
+//! The per-key read ratio `r` is measured online with two counters per
+//! key (reads, writes) — the same storage class as the §3.3 exact `E[W]`
+//! tracker; a sketch-backed variant would substitute
+//! [`fresca_sketch::CountMinEw`]'s counts.
+
+use crate::cost::{CostModel, ObjectSize};
+use crate::policy::FlushDecision;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-key observed read/write counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Mix {
+    reads: u64,
+    writes: u64,
+}
+
+impl Mix {
+    fn read_ratio(&self) -> Option<f64> {
+        let total = self.reads + self.writes;
+        (total > 0).then(|| self.reads as f64 / total as f64)
+    }
+}
+
+/// Adaptive policy under a staleness SLO.
+pub struct SloAdaptivePolicy {
+    /// Upper bound on the acceptable stale-miss ratio.
+    slo: f64,
+    mixes: HashMap<u64, Mix>,
+    decisions_update: u64,
+    decisions_invalidate: u64,
+}
+
+impl SloAdaptivePolicy {
+    /// New policy with a stale-miss-ratio bound in `[0, 1]`.
+    pub fn new(slo: f64) -> Self {
+        assert!((0.0..=1.0).contains(&slo), "SLO is a miss-ratio bound in [0,1], got {slo}");
+        SloAdaptivePolicy {
+            slo,
+            mixes: HashMap::new(),
+            decisions_update: 0,
+            decisions_invalidate: 0,
+        }
+    }
+
+    /// The configured bound.
+    pub fn slo(&self) -> f64 {
+        self.slo
+    }
+
+    /// Observe a read of `key`.
+    pub fn on_read(&mut self, key: u64) {
+        self.mixes.entry(key).or_default().reads += 1;
+    }
+
+    /// Observe a write of `key`.
+    pub fn on_write(&mut self, key: u64) {
+        self.mixes.entry(key).or_default().writes += 1;
+    }
+
+    /// Decide at flush time. A key with no history defaults to *update*:
+    /// under an SLO the safe side is zero staleness.
+    pub fn decide(&mut self, key: u64, cost: &CostModel, size: ObjectSize) -> FlushDecision {
+        let r = self.mixes.get(&key).and_then(Mix::read_ratio).unwrap_or(1.0);
+        let c_u = cost.update_cost(size);
+        let c_m = cost.miss_cost(size);
+        let c_i = cost.invalidate_cost(size);
+        let update = (c_i + c_m) * r > c_u || 1.0 - r > self.slo;
+        if update {
+            self.decisions_update += 1;
+            FlushDecision::Update
+        } else {
+            self.decisions_invalidate += 1;
+            FlushDecision::Invalidate
+        }
+    }
+
+    /// `(updates, invalidates)` decided so far.
+    pub fn decision_counts(&self) -> (u64, u64) {
+        (self.decisions_update, self.decisions_invalidate)
+    }
+
+    /// Approximate memory of the per-key mix table.
+    pub fn memory_bytes(&self) -> usize {
+        (self.mixes.len() as f64 * (8.0 + 16.0) * 1.75) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZE: ObjectSize = ObjectSize { key: 16, value: 512 };
+
+    fn cost() -> CostModel {
+        CostModel::unit(1.0, 0.1, 0.5, 1.0)
+    }
+
+    fn feed(p: &mut SloAdaptivePolicy, key: u64, reads: u64, writes: u64) {
+        for _ in 0..reads {
+            p.on_read(key);
+        }
+        for _ in 0..writes {
+            p.on_write(key);
+        }
+    }
+
+    #[test]
+    fn tight_slo_forces_updates_for_written_keys() {
+        // r = 0.2: throughput-wise invalidate ((1.1)(0.2) = 0.22 < 0.5),
+        // but 1 − r = 0.8 > 0.01 → update.
+        let mut p = SloAdaptivePolicy::new(0.01);
+        feed(&mut p, 1, 20, 80);
+        assert_eq!(p.decide(1, &cost(), SIZE), FlushDecision::Update);
+    }
+
+    #[test]
+    fn loose_slo_recovers_throughput_rule() {
+        // Same key, SLO 0.9: 1 − r = 0.8 ≤ 0.9 and 0.22 < 0.5 →
+        // invalidate.
+        let mut p = SloAdaptivePolicy::new(0.9);
+        feed(&mut p, 1, 20, 80);
+        assert_eq!(p.decide(1, &cost(), SIZE), FlushDecision::Invalidate);
+    }
+
+    #[test]
+    fn read_heavy_keys_update_under_any_slo() {
+        // r = 0.9: (c_i + c_m)·r = 0.99 > c_u = 0.5 → update regardless.
+        for slo in [0.001, 0.5, 1.0] {
+            let mut p = SloAdaptivePolicy::new(slo);
+            feed(&mut p, 1, 90, 10);
+            assert_eq!(p.decide(1, &cost(), SIZE), FlushDecision::Update, "slo={slo}");
+        }
+    }
+
+    #[test]
+    fn unknown_key_defaults_to_update() {
+        let mut p = SloAdaptivePolicy::new(0.05);
+        assert_eq!(p.decide(9, &cost(), SIZE), FlushDecision::Update);
+    }
+
+    #[test]
+    fn per_key_mix_is_independent() {
+        let mut p = SloAdaptivePolicy::new(0.9);
+        feed(&mut p, 1, 95, 5); // read-heavy → update (throughput clause)
+        // r = 0.2: 1 − r = 0.8 within the loose SLO and the throughput
+        // clause prefers invalidation.
+        feed(&mut p, 2, 20, 80);
+        assert_eq!(p.decide(1, &cost(), SIZE), FlushDecision::Update);
+        assert_eq!(p.decide(2, &cost(), SIZE), FlushDecision::Invalidate);
+        assert_eq!(p.decision_counts(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "miss-ratio bound")]
+    fn rejects_bad_slo() {
+        SloAdaptivePolicy::new(1.2);
+    }
+}

@@ -1,0 +1,354 @@
+//! Length-prefixed binary framing.
+//!
+//! Frame layout: `u32` total-length (including the 5-byte header), `u8`
+//! message type, then type-specific fields in big-endian. Values are
+//! carried as opaque zero bytes of the declared size — the simulation
+//! never reads them, but they occupy wire bytes so that measured message
+//! sizes match [`crate::Message::wire_size`] exactly.
+//!
+//! The decoder is *streaming*: feed it arbitrary byte chunks, it yields
+//! complete messages and buffers partial frames (the Tokio-tutorial
+//! framing pattern, without the async machinery the simulation doesn't
+//! need).
+
+use crate::msg::{Message, UpdateItem};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+/// Maximum accepted frame size; larger frames are a protocol error (guards
+/// against a corrupted length prefix swallowing the stream).
+pub const MAX_FRAME: usize = 64 << 20;
+
+const TAG_READ_REQ: u8 = 1;
+const TAG_READ_RESP: u8 = 2;
+const TAG_WRITE_REQ: u8 = 3;
+const TAG_WRITE_ACK: u8 = 4;
+const TAG_INVALIDATE: u8 = 5;
+const TAG_UPDATE: u8 = 6;
+const TAG_ACK: u8 = 7;
+
+/// Decode errors. Encoding is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Unknown message type byte.
+    UnknownTag(u8),
+    /// Declared frame length exceeds [`MAX_FRAME`] or is shorter than a
+    /// header.
+    BadLength(u32),
+    /// Frame contents shorter than its fields require.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::BadLength(l) => write!(f, "bad frame length {l}"),
+            CodecError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Streaming frame codec.
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    buf: BytesMut,
+}
+
+impl FrameCodec {
+    /// New codec with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode one message into `out`.
+    pub fn encode(msg: &Message, out: &mut BytesMut) {
+        let total = msg.wire_size();
+        out.reserve(total);
+        out.put_u32(total as u32);
+        match msg {
+            Message::ReadReq { key } => {
+                out.put_u8(TAG_READ_REQ);
+                out.put_u64(*key);
+            }
+            Message::ReadResp { key, version, value_size } => {
+                out.put_u8(TAG_READ_RESP);
+                out.put_u64(*key);
+                out.put_u64(*version);
+                out.put_u32(*value_size);
+                out.put_bytes(0, *value_size as usize);
+            }
+            Message::WriteReq { key, value_size } => {
+                out.put_u8(TAG_WRITE_REQ);
+                out.put_u64(*key);
+                out.put_u32(*value_size);
+                out.put_bytes(0, *value_size as usize);
+            }
+            Message::WriteAck { key, version } => {
+                out.put_u8(TAG_WRITE_ACK);
+                out.put_u64(*key);
+                out.put_u64(*version);
+            }
+            Message::Invalidate { seq, keys } => {
+                out.put_u8(TAG_INVALIDATE);
+                out.put_u64(*seq);
+                out.put_u32(keys.len() as u32);
+                for k in keys {
+                    out.put_u64(*k);
+                }
+            }
+            Message::Update { seq, items } => {
+                out.put_u8(TAG_UPDATE);
+                out.put_u64(*seq);
+                out.put_u32(items.len() as u32);
+                for it in items {
+                    out.put_u64(it.key);
+                    out.put_u64(it.version);
+                    out.put_u32(it.value_size);
+                    out.put_bytes(0, it.value_size as usize);
+                }
+            }
+            Message::Ack { seq } => {
+                out.put_u8(TAG_ACK);
+                out.put_u64(*seq);
+            }
+        }
+    }
+
+    /// Feed raw bytes into the decoder.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means "need more
+    /// bytes". (Named like, but distinct from, `Iterator::next` — the
+    /// fallible tri-state return does not fit the trait.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Message>, CodecError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if (len as usize) < 5 || len as usize > MAX_FRAME {
+            return Err(CodecError::BadLength(len));
+        }
+        if self.buf.len() < len as usize {
+            return Ok(None);
+        }
+        let mut frame = self.buf.split_to(len as usize);
+        frame.advance(4); // length
+        let tag = frame.get_u8();
+        let msg = Self::decode_body(tag, &mut frame)?;
+        Ok(Some(msg))
+    }
+
+    fn need(frame: &BytesMut, n: usize, what: &'static str) -> Result<(), CodecError> {
+        if frame.remaining() < n {
+            Err(CodecError::Malformed(what))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn decode_body(tag: u8, frame: &mut BytesMut) -> Result<Message, CodecError> {
+        match tag {
+            TAG_READ_REQ => {
+                Self::need(frame, 8, "read-req key")?;
+                Ok(Message::ReadReq { key: frame.get_u64() })
+            }
+            TAG_READ_RESP => {
+                Self::need(frame, 20, "read-resp header")?;
+                let key = frame.get_u64();
+                let version = frame.get_u64();
+                let value_size = frame.get_u32();
+                Self::need(frame, value_size as usize, "read-resp value")?;
+                frame.advance(value_size as usize);
+                Ok(Message::ReadResp { key, version, value_size })
+            }
+            TAG_WRITE_REQ => {
+                Self::need(frame, 12, "write-req header")?;
+                let key = frame.get_u64();
+                let value_size = frame.get_u32();
+                Self::need(frame, value_size as usize, "write-req value")?;
+                frame.advance(value_size as usize);
+                Ok(Message::WriteReq { key, value_size })
+            }
+            TAG_WRITE_ACK => {
+                Self::need(frame, 16, "write-ack")?;
+                Ok(Message::WriteAck { key: frame.get_u64(), version: frame.get_u64() })
+            }
+            TAG_INVALIDATE => {
+                Self::need(frame, 12, "invalidate header")?;
+                let seq = frame.get_u64();
+                let n = frame.get_u32() as usize;
+                Self::need(frame, n * 8, "invalidate keys")?;
+                let keys = (0..n).map(|_| frame.get_u64()).collect();
+                Ok(Message::Invalidate { seq, keys })
+            }
+            TAG_UPDATE => {
+                Self::need(frame, 12, "update header")?;
+                let seq = frame.get_u64();
+                let n = frame.get_u32() as usize;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    Self::need(frame, 20, "update item header")?;
+                    let key = frame.get_u64();
+                    let version = frame.get_u64();
+                    let value_size = frame.get_u32();
+                    Self::need(frame, value_size as usize, "update item value")?;
+                    frame.advance(value_size as usize);
+                    items.push(UpdateItem { key, version, value_size });
+                }
+                Ok(Message::Update { seq, items })
+            }
+            TAG_ACK => {
+                Self::need(frame, 8, "ack")?;
+                Ok(Message::Ack { seq: frame.get_u64() })
+            }
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: &Message) -> Message {
+        let mut out = BytesMut::new();
+        FrameCodec::encode(msg, &mut out);
+        assert_eq!(out.len(), msg.wire_size(), "wire_size must match encoding");
+        let mut codec = FrameCodec::new();
+        codec.feed(&out);
+        codec.next().unwrap().expect("complete frame")
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs = vec![
+            Message::ReadReq { key: 42 },
+            Message::ReadResp { key: 42, version: 7, value_size: 100 },
+            Message::WriteReq { key: 1, value_size: 0 },
+            Message::WriteAck { key: 1, version: 3 },
+            Message::Invalidate { seq: 9, keys: vec![1, 2, 3] },
+            Message::Invalidate { seq: 10, keys: vec![] },
+            Message::Update {
+                seq: 11,
+                items: vec![
+                    UpdateItem { key: 1, version: 2, value_size: 10 },
+                    UpdateItem { key: 2, version: 9, value_size: 0 },
+                ],
+            },
+            Message::Ack { seq: 12 },
+        ];
+        for m in msgs {
+            assert_eq!(roundtrip(&m), m);
+        }
+    }
+
+    #[test]
+    fn streaming_partial_feeds() {
+        let msg = Message::Update {
+            seq: 5,
+            items: vec![UpdateItem { key: 8, version: 1, value_size: 64 }],
+        };
+        let mut encoded = BytesMut::new();
+        FrameCodec::encode(&msg, &mut encoded);
+        let mut codec = FrameCodec::new();
+        // Feed one byte at a time; must yield exactly once, at the end.
+        let mut yielded = Vec::new();
+        for (i, b) in encoded.iter().enumerate() {
+            codec.feed(&[*b]);
+            if let Some(m) = codec.next().unwrap() {
+                yielded.push((i, m));
+            }
+        }
+        assert_eq!(yielded.len(), 1);
+        assert_eq!(yielded[0].0, encoded.len() - 1);
+        assert_eq!(yielded[0].1, msg);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_feed() {
+        let a = Message::ReadReq { key: 1 };
+        let b = Message::Ack { seq: 2 };
+        let mut encoded = BytesMut::new();
+        FrameCodec::encode(&a, &mut encoded);
+        FrameCodec::encode(&b, &mut encoded);
+        let mut codec = FrameCodec::new();
+        codec.feed(&encoded);
+        assert_eq!(codec.next().unwrap(), Some(a));
+        assert_eq!(codec.next().unwrap(), Some(b));
+        assert_eq!(codec.next().unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut codec = FrameCodec::new();
+        codec.feed(&[0, 0, 0, 6, 99, 0]);
+        assert_eq!(codec.next(), Err(CodecError::UnknownTag(99)));
+    }
+
+    #[test]
+    fn rejects_absurd_length() {
+        let mut codec = FrameCodec::new();
+        codec.feed(&[0xFF, 0xFF, 0xFF, 0xFF, 1]);
+        assert!(matches!(codec.next(), Err(CodecError::BadLength(_))));
+        let mut codec = FrameCodec::new();
+        codec.feed(&[0, 0, 0, 2, 0]);
+        assert!(matches!(codec.next(), Err(CodecError::BadLength(2))));
+    }
+
+    #[test]
+    fn rejects_truncated_fields() {
+        // Frame claims length 9 with tag read-req but only 4 key bytes.
+        let mut codec = FrameCodec::new();
+        codec.feed(&[0, 0, 0, 9, TAG_READ_REQ, 1, 2, 3, 4]);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("read-req key")));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_invalidate(
+            seq in any::<u64>(),
+            keys in proptest::collection::vec(any::<u64>(), 0..100),
+        ) {
+            let m = Message::Invalidate { seq, keys };
+            prop_assert_eq!(roundtrip(&m), m);
+        }
+
+        #[test]
+        fn roundtrip_arbitrary_update(
+            seq in any::<u64>(),
+            items in proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), 0u32..2048),
+                0..50,
+            ),
+        ) {
+            let m = Message::Update {
+                seq,
+                items: items
+                    .into_iter()
+                    .map(|(key, version, value_size)| UpdateItem { key, version, value_size })
+                    .collect(),
+            };
+            prop_assert_eq!(roundtrip(&m), m);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut codec = FrameCodec::new();
+            codec.feed(&data);
+            // Drain until error, need-more, or exhaustion; must not panic.
+            for _ in 0..64 {
+                match codec.next() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+}

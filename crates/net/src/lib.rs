@@ -1,0 +1,31 @@
+//! # fresca-net — wire protocol and simulated network
+//!
+//! The paper's open question #1 (§5) is what lost or re-ordered
+//! invalidates/updates do to freshness: unlike TTLs, a dropped invalidate
+//! can leave a cached object stale *forever*. This crate provides the
+//! machinery to study that:
+//!
+//! * [`msg`] — the cache⇄store protocol messages (read, write,
+//!   batched invalidate/update, acks) with exact wire sizes, which also
+//!   ground the byte-scaled cost model of Table 1.
+//! * [`codec`] — a length-prefixed binary framing codec on [`bytes`]
+//!   (`u32` length + type byte + fields), with a streaming decoder that
+//!   tolerates partial frames and rejects oversized or malformed ones.
+//! * [`simnet`] — a deterministic simulated network: configurable delay
+//!   distribution plus smoltcp-style fault injection (drop, duplicate,
+//!   reorder), driven entirely by the caller's scheduler.
+//! * [`reliable`] — an ack + retransmission layer and a de-duplicating
+//!   receiver, the fix the lossy-delivery experiment evaluates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod msg;
+pub mod reliable;
+pub mod simnet;
+
+pub use codec::{CodecError, FrameCodec};
+pub use msg::{Message, UpdateItem};
+pub use reliable::{DedupReceiver, ReliableSender};
+pub use simnet::{FaultConfig, NetStats, SimNetwork};

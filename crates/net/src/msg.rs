@@ -1,0 +1,144 @@
+//! Protocol messages between the application, cache and data store.
+//!
+//! Payload values are represented by their size: the simulation never
+//! inspects value bytes, but wire sizes must be exact because the cost
+//! model scales `c_u`/`c_i`/`c_m` by message size when the network is the
+//! bottleneck (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// One item of a batched update message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateItem {
+    /// Key being refreshed.
+    pub key: u64,
+    /// Backend version after the write burst.
+    pub version: u64,
+    /// Value size in bytes (the wire carries the value itself).
+    pub value_size: u32,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// Cache → store: fetch a key (miss path or poll).
+    ReadReq {
+        /// Key to fetch.
+        key: u64,
+    },
+    /// Store → cache: value response.
+    ReadResp {
+        /// Key fetched.
+        key: u64,
+        /// Version served.
+        version: u64,
+        /// Size of the value carried.
+        value_size: u32,
+    },
+    /// App → store: write a key (bypasses the cache).
+    WriteReq {
+        /// Key written.
+        key: u64,
+        /// New value size (value carried on the wire).
+        value_size: u32,
+    },
+    /// Store → app: write acknowledged.
+    WriteAck {
+        /// Key written.
+        key: u64,
+        /// Version assigned.
+        version: u64,
+    },
+    /// Store → cache: batched invalidations for the last interval.
+    Invalidate {
+        /// Sequence number for reliable delivery.
+        seq: u64,
+        /// Keys to mark stale.
+        keys: Vec<u64>,
+    },
+    /// Store → cache: batched updates for the last interval.
+    Update {
+        /// Sequence number for reliable delivery.
+        seq: u64,
+        /// Refreshed items (values carried on the wire).
+        items: Vec<UpdateItem>,
+    },
+    /// Cache → store: acknowledgement of an Invalidate/Update batch.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+}
+
+impl Message {
+    /// Exact encoded size in bytes (header + fields + carried values),
+    /// kept in lock-step with the codec by a round-trip test.
+    pub fn wire_size(&self) -> usize {
+        // Frame header: u32 length + u8 type tag.
+        const HDR: usize = 5;
+        match self {
+            Message::ReadReq { .. } => HDR + 8,
+            Message::ReadResp { value_size, .. } => HDR + 8 + 8 + 4 + *value_size as usize,
+            Message::WriteReq { value_size, .. } => HDR + 8 + 4 + *value_size as usize,
+            Message::WriteAck { .. } => HDR + 8 + 8,
+            Message::Invalidate { keys, .. } => HDR + 8 + 4 + keys.len() * 8,
+            Message::Update { items, .. } => {
+                HDR + 8
+                    + 4
+                    + items
+                        .iter()
+                        .map(|it| 8 + 8 + 4 + it.value_size as usize)
+                        .sum::<usize>()
+            }
+            Message::Ack { .. } => HDR + 8,
+        }
+    }
+
+    /// Sequence number for reliable batches, if this message carries one.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Message::Invalidate { seq, .. } | Message::Update { seq, .. } | Message::Ack { seq } => {
+                Some(*seq)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = Message::ReadResp { key: 1, version: 1, value_size: 10 };
+        let big = Message::ReadResp { key: 1, version: 1, value_size: 1000 };
+        assert_eq!(big.wire_size() - small.wire_size(), 990);
+        // Invalidates carry keys only — independent of value size.
+        let inv = Message::Invalidate { seq: 0, keys: vec![1, 2, 3] };
+        assert_eq!(inv.wire_size(), 5 + 8 + 4 + 24);
+    }
+
+    #[test]
+    fn invalidate_smaller_than_update_for_same_keys() {
+        // The heart of the c_i < c_u assumption: invalidates don't carry
+        // values.
+        let keys = vec![1u64, 2, 3];
+        let inv = Message::Invalidate { seq: 0, keys: keys.clone() };
+        let upd = Message::Update {
+            seq: 0,
+            items: keys
+                .iter()
+                .map(|&k| UpdateItem { key: k, version: 1, value_size: 500 })
+                .collect(),
+        };
+        assert!(inv.wire_size() < upd.wire_size());
+    }
+
+    #[test]
+    fn seq_only_on_reliable_messages() {
+        assert_eq!(Message::ReadReq { key: 1 }.seq(), None);
+        assert_eq!(Message::Ack { seq: 7 }.seq(), Some(7));
+        assert_eq!(Message::Invalidate { seq: 9, keys: vec![] }.seq(), Some(9));
+    }
+}

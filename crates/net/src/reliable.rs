@@ -1,0 +1,255 @@
+//! Reliable delivery for invalidate/update batches.
+//!
+//! §5, open question 1: "lost or re-ordered updates and invalidates may
+//! cause a cached object to remain in a stale state in the cache
+//! indefinitely". The fix evaluated by the `lossy` bench is the classic
+//! one: sequence numbers, acknowledgements, timeout-based retransmission
+//! on the sender ([`ReliableSender`]), and duplicate suppression on the
+//! receiver ([`DedupReceiver`]).
+//!
+//! Both halves are scheduler-agnostic: the sender tells the caller *when*
+//! the next retransmission check is due; the caller drives it from its
+//! own clock. No threads, no timers of its own — same philosophy as the
+//! rest of the workspace.
+
+use crate::msg::Message;
+use fresca_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashSet};
+
+/// Sender half: assigns sequence numbers, tracks unacknowledged batches,
+/// and produces retransmissions after a timeout.
+#[derive(Debug)]
+pub struct ReliableSender {
+    next_seq: u64,
+    rto: SimDuration,
+    max_retries: u32,
+    /// seq → (message, deadline, retries so far).
+    pending: BTreeMap<u64, (Message, SimTime, u32)>,
+    /// Batches abandoned after exhausting retries.
+    gave_up: u64,
+    retransmissions: u64,
+}
+
+impl ReliableSender {
+    /// New sender with retransmission timeout `rto` and a retry budget.
+    pub fn new(rto: SimDuration, max_retries: u32) -> Self {
+        assert!(!rto.is_zero(), "rto must be positive");
+        ReliableSender {
+            next_seq: 1,
+            rto,
+            max_retries,
+            pending: BTreeMap::new(),
+            gave_up: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Allocate the next sequence number (embed it in the outgoing message
+    /// before calling [`ReliableSender::track`]).
+    pub fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Start tracking an outgoing message (must carry a seq).
+    pub fn track(&mut self, msg: Message, now: SimTime) {
+        let seq = msg.seq().expect("reliable messages carry a sequence number");
+        self.pending.insert(seq, (msg, now + self.rto, 0));
+    }
+
+    /// Process an acknowledgement. Returns true if it cleared a pending
+    /// batch (false for duplicates/strays).
+    pub fn on_ack(&mut self, seq: u64) -> bool {
+        self.pending.remove(&seq).is_some()
+    }
+
+    /// Collect retransmissions due at `now`. Each returned message has had
+    /// its deadline re-armed; messages out of retries are dropped and
+    /// counted in [`ReliableSender::gave_up`].
+    pub fn due(&mut self, now: SimTime) -> Vec<Message> {
+        let mut out = Vec::new();
+        let mut abandon = Vec::new();
+        for (&seq, (msg, deadline, retries)) in self.pending.iter_mut() {
+            if *deadline > now {
+                continue;
+            }
+            if *retries >= self.max_retries {
+                abandon.push(seq);
+                continue;
+            }
+            *retries += 1;
+            // Exponential backoff: rto << retries.
+            let backoff = SimDuration::from_nanos(
+                self.rto.as_nanos().saturating_mul(1u64 << (*retries).min(16)),
+            );
+            *deadline = now + backoff;
+            self.retransmissions += 1;
+            out.push(msg.clone());
+        }
+        for seq in abandon {
+            self.pending.remove(&seq);
+            self.gave_up += 1;
+        }
+        out
+    }
+
+    /// Earliest pending retransmission deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.values().map(|&(_, d, _)| d).min()
+    }
+
+    /// Unacknowledged batches.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Batches abandoned after the retry budget.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+
+    /// Retransmissions sent so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+}
+
+/// Receiver half: suppresses duplicate batches by sequence number.
+///
+/// Sequence numbers are never reused within a connection, so a plain set
+/// suffices; `compact` trims it using the contiguity frontier when callers
+/// want bounded memory.
+#[derive(Debug, Default)]
+pub struct DedupReceiver {
+    seen: HashSet<u64>,
+    /// All seqs `<= frontier` have been seen.
+    frontier: u64,
+    duplicates: u64,
+}
+
+impl DedupReceiver {
+    /// New receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe a batch. Returns true if it is new (process it), false for
+    /// a duplicate (ack it again, but don't re-apply).
+    pub fn observe(&mut self, seq: u64) -> bool {
+        if seq <= self.frontier || !self.seen.insert(seq) {
+            self.duplicates += 1;
+            return false;
+        }
+        // Advance the frontier over any contiguous run.
+        while self.seen.remove(&(self.frontier + 1)) {
+            self.frontier += 1;
+        }
+        true
+    }
+
+    /// Duplicates suppressed so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Number of out-of-order seqs currently buffered.
+    pub fn pending_gap(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(seq: u64) -> Message {
+        Message::Invalidate { seq, keys: vec![1] }
+    }
+
+    #[test]
+    fn ack_clears_pending() {
+        let mut s = ReliableSender::new(SimDuration::from_millis(10), 3);
+        let seq = s.next_seq();
+        s.track(inv(seq), SimTime::ZERO);
+        assert_eq!(s.in_flight(), 1);
+        assert!(s.on_ack(seq));
+        assert!(!s.on_ack(seq), "second ack is a stray");
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.due(SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn retransmits_after_rto() {
+        let mut s = ReliableSender::new(SimDuration::from_millis(10), 3);
+        let seq = s.next_seq();
+        s.track(inv(seq), SimTime::ZERO);
+        assert!(s.due(SimTime::from_millis(9)).is_empty(), "not due yet");
+        let again = s.due(SimTime::from_millis(10));
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].seq(), Some(seq));
+        assert_eq!(s.retransmissions(), 1);
+    }
+
+    #[test]
+    fn exponential_backoff_spacing() {
+        let mut s = ReliableSender::new(SimDuration::from_millis(10), 10);
+        let seq = s.next_seq();
+        s.track(inv(seq), SimTime::ZERO);
+        // First retransmit at 10ms; deadline re-armed to now + 20ms.
+        assert_eq!(s.due(SimTime::from_millis(10)).len(), 1);
+        assert!(s.due(SimTime::from_millis(29)).is_empty());
+        assert_eq!(s.due(SimTime::from_millis(30)).len(), 1);
+        // Next: now + 40ms.
+        assert!(s.due(SimTime::from_millis(69)).is_empty());
+        assert_eq!(s.due(SimTime::from_millis(70)).len(), 1);
+    }
+
+    #[test]
+    fn gives_up_after_retry_budget() {
+        let mut s = ReliableSender::new(SimDuration::from_millis(1), 2);
+        let seq = s.next_seq();
+        s.track(inv(seq), SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        let mut sent = 0;
+        for _ in 0..10 {
+            t += SimDuration::from_secs(1);
+            sent += s.due(t).len();
+        }
+        assert_eq!(sent, 2, "exactly max_retries retransmissions");
+        assert_eq!(s.gave_up(), 1);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn dedup_accepts_once() {
+        let mut r = DedupReceiver::new();
+        assert!(r.observe(1));
+        assert!(!r.observe(1));
+        assert!(r.observe(2));
+        assert!(!r.observe(2));
+        assert_eq!(r.duplicates(), 2);
+    }
+
+    #[test]
+    fn dedup_handles_reordering() {
+        let mut r = DedupReceiver::new();
+        assert!(r.observe(3));
+        assert!(r.observe(1));
+        assert!(r.observe(2));
+        assert!(!r.observe(3), "3 was seen before the frontier caught up");
+        // Frontier is now 3; memory is compacted.
+        assert_eq!(r.pending_gap(), 0);
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest() {
+        let mut s = ReliableSender::new(SimDuration::from_millis(10), 3);
+        assert_eq!(s.next_deadline(), None);
+        let a = s.next_seq();
+        s.track(inv(a), SimTime::ZERO);
+        let b = s.next_seq();
+        s.track(inv(b), SimTime::from_millis(5));
+        assert_eq!(s.next_deadline(), Some(SimTime::from_millis(10)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Exact per-key `E[W]` tracking (the paper's three-counter scheme).
+
+use crate::EwEstimator;
+use std::collections::HashMap;
+
+/// Per-key counters, named after the paper:
+///
+/// * `c1` — sum of completed `E[W]` samples,
+/// * `c2` — number of completed samples,
+/// * `c3` — consecutive writes since the last read (the in-flight sample).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Sum of `E[W]` samples.
+    pub c1: u64,
+    /// Number of samples.
+    pub c2: u64,
+    /// Writes since last read.
+    pub c3: u64,
+}
+
+/// Exact `E[W]` tracker. Memory is Θ(distinct keys): three `u64` counters
+/// plus hash-map overhead per key — the baseline Figure 6c measures the
+/// sketches' savings against.
+#[derive(Debug, Clone, Default)]
+pub struct ExactEw {
+    keys: HashMap<u64, Counters>,
+}
+
+impl ExactEw {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys tracked.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no key has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Raw counters for a key (test/debug access).
+    pub fn counters(&self, key: u64) -> Option<Counters> {
+        self.keys.get(&key).copied()
+    }
+}
+
+impl EwEstimator for ExactEw {
+    fn record_read(&mut self, key: u64) {
+        let c = self.keys.entry(key).or_default();
+        // Paper §3.3: "Upon read after a write, we add C3 to C1 and
+        // increment C2 by 1" — a read directly after another read closes
+        // no sample, so E[W] is the mean write-run length *conditioned on
+        // at least one write*. For a Bernoulli mix that is 1/r, which
+        // makes the E[W] rule coincide exactly with the §3.2 exact rule.
+        if c.c3 > 0 {
+            c.c1 += c.c3;
+            c.c2 += 1;
+            c.c3 = 0;
+        }
+    }
+
+    fn record_write(&mut self, key: u64) {
+        self.keys.entry(key).or_default().c3 += 1;
+    }
+
+    fn estimate(&self, key: u64) -> Option<f64> {
+        let c = self.keys.get(&key)?;
+        if c.c2 > 0 {
+            Some(c.c1 as f64 / c.c2 as f64)
+        } else if c.c3 > 0 {
+            // Never read, only written: no completed sample exists, but the
+            // write-run length is a lower bound on E[W] and the only
+            // evidence available — report it so write-only keys look
+            // invalidate-worthy instead of unknown.
+            Some(c.c3 as f64)
+        } else {
+            None
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Key (8) + three counters (24) per entry, plus a conservative
+        // 1.75x hash-map overhead factor (load factor + control bytes).
+        let per_entry = (8 + std::mem::size_of::<Counters>()) as f64 * 1.75;
+        (self.keys.len() as f64 * per_entry) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counter_semantics() {
+        // W W R  → first read closes a sample of 2.
+        let mut e = ExactEw::new();
+        e.record_write(1);
+        e.record_write(1);
+        e.record_read(1);
+        assert_eq!(e.counters(1), Some(Counters { c1: 2, c2: 1, c3: 0 }));
+        assert_eq!(e.estimate(1), Some(2.0));
+        // W R → sample of 1; E[W] = (2+1)/2.
+        e.record_write(1);
+        e.record_read(1);
+        assert_eq!(e.estimate(1), Some(1.5));
+        // A read directly after a read closes no sample (paper: "upon
+        // read after a write") — the estimate is unchanged.
+        e.record_read(1);
+        assert_eq!(e.estimate(1), Some(1.5));
+    }
+
+    #[test]
+    fn write_only_key_reports_run_length() {
+        let mut e = ExactEw::new();
+        e.record_write(9);
+        e.record_write(9);
+        // No read yet → no completed sample → fall back to the write-run
+        // length so the key looks invalidate-worthy.
+        assert_eq!(e.estimate(9), Some(2.0));
+    }
+
+    #[test]
+    fn unknown_key_has_no_estimate() {
+        let e = ExactEw::new();
+        assert_eq!(e.estimate(123), None);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut e = ExactEw::new();
+        e.record_write(1);
+        e.record_read(1);
+        e.record_read(2);
+        assert_eq!(e.estimate(1), Some(1.0));
+        // Key 2 was only ever read: no write-run has completed, so there
+        // is no basis for an estimate.
+        assert_eq!(e.estimate(2), None);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn memory_grows_linearly() {
+        let mut e = ExactEw::new();
+        for k in 0..1000 {
+            e.record_read(k);
+        }
+        let m1000 = e.memory_bytes();
+        for k in 1000..2000 {
+            e.record_read(k);
+        }
+        let m2000 = e.memory_bytes();
+        assert!(m2000 > m1000, "memory must grow with keys");
+        assert!((m2000 as f64 / m1000 as f64 - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,270 @@
+//! The paper's modified Top-K sketch (§3.3): exact `E[W]` counters for the
+//! K most-accessed keys, Count-min for the cold tail, with promotion and
+//! demotion as keys heat up and cool down.
+
+use crate::countmin::CountMinEw;
+use crate::exact::Counters;
+use crate::{EwEstimator};
+use std::collections::HashMap;
+
+/// Entry for a hot key: the exact three counters plus an access count used
+/// for the promotion/demotion ordering.
+#[derive(Debug, Clone, Copy, Default)]
+struct HotEntry {
+    counters: Counters,
+    accesses: u64,
+}
+
+/// Hybrid Top-K + Count-min `E[W]` estimator.
+///
+/// Invariants:
+/// * at most `k` keys are tracked exactly;
+/// * a key is promoted when its (sketch-estimated) access count exceeds
+///   the coldest hot key's count; the coldest hot key is demoted and its
+///   history continues in the sketch (its exact counters are folded into
+///   the sketch so mass is not lost);
+/// * queries prefer the exact entry and fall back to the sketch ratio.
+#[derive(Debug, Clone)]
+pub struct TopKEw {
+    k: usize,
+    hot: HashMap<u64, HotEntry>,
+    tail: CountMinEw,
+    /// Cached (key, accesses) of the coldest hot entry; `None` when stale.
+    cold_cache: Option<(u64, u64)>,
+}
+
+impl TopKEw {
+    /// New estimator keeping `k` exact entries, tail sketch `width × depth`
+    /// per read/write sketch.
+    pub fn new(k: usize, width: usize, depth: usize) -> Self {
+        assert!(k >= 1, "top-k needs k >= 1");
+        TopKEw { k, hot: HashMap::with_capacity(k + 1), tail: CountMinEw::new(width, depth), cold_cache: None }
+    }
+
+    /// Number of keys currently tracked exactly.
+    pub fn hot_len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// True if `key` is currently tracked exactly.
+    pub fn is_hot(&self, key: u64) -> bool {
+        self.hot.contains_key(&key)
+    }
+
+    fn coldest(&mut self) -> Option<(u64, u64)> {
+        if let Some(c) = self.cold_cache {
+            return Some(c);
+        }
+        let c = self
+            .hot
+            .iter()
+            .map(|(&k, e)| (k, e.accesses))
+            // Deterministic tie-break on key id: HashMap iteration order
+            // must not leak into results.
+            .min_by_key(|&(k, a)| (a, k));
+        self.cold_cache = c;
+        c
+    }
+
+    /// Record an access (read or write) and return whether the key is (now)
+    /// hot. Handles promotion/demotion.
+    fn touch(&mut self, key: u64, is_read: bool) -> bool {
+        if let Some(e) = self.hot.get_mut(&key) {
+            e.accesses += 1;
+            // Only the coldest entry's count matters for the cache; it can
+            // only have grown, so invalidate lazily when it is the one
+            // touched.
+            if let Some((ck, _)) = self.cold_cache {
+                if ck == key {
+                    self.cold_cache = None;
+                }
+            }
+            return true;
+        }
+        // Key is cold: record into the tail sketch first.
+        if is_read {
+            self.tail.record_read(key);
+        } else {
+            self.tail.record_write(key);
+        }
+        let est_accesses = self.tail.read_count(key) + self.tail.write_count(key);
+        if self.hot.len() < self.k {
+            self.hot.insert(key, HotEntry { counters: Counters::default(), accesses: est_accesses });
+            self.cold_cache = None;
+            return true;
+        }
+        if let Some((cold_key, cold_accesses)) = self.coldest() {
+            if est_accesses > cold_accesses {
+                // Promote `key`, demote `cold_key`: fold the demoted key's
+                // exact history back into the sketch so its mass survives.
+                let demoted = self.hot.remove(&cold_key).expect("coldest key must exist");
+                let reads = demoted.counters.c2;
+                let writes = demoted.counters.c1 + demoted.counters.c3;
+                if reads > 0 {
+                    for _ in 0..reads {
+                        self.tail.record_read(cold_key);
+                    }
+                }
+                if writes > 0 {
+                    for _ in 0..writes {
+                        self.tail.record_write(cold_key);
+                    }
+                }
+                self.hot.insert(
+                    key,
+                    HotEntry { counters: Counters::default(), accesses: est_accesses },
+                );
+                self.cold_cache = None;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl EwEstimator for TopKEw {
+    fn record_read(&mut self, key: u64) {
+        if self.touch(key, true) {
+            let e = self.hot.get_mut(&key).expect("hot after touch");
+            // Same conditional-sample semantics as ExactEw (paper §3.3:
+            // "upon read after a write").
+            if e.counters.c3 > 0 {
+                e.counters.c1 += e.counters.c3;
+                e.counters.c2 += 1;
+                e.counters.c3 = 0;
+            }
+        }
+    }
+
+    fn record_write(&mut self, key: u64) {
+        if self.touch(key, false) {
+            let e = self.hot.get_mut(&key).expect("hot after touch");
+            e.counters.c3 += 1;
+        }
+    }
+
+    fn estimate(&self, key: u64) -> Option<f64> {
+        if let Some(e) = self.hot.get(&key) {
+            if e.counters.c2 > 0 {
+                return Some(e.counters.c1 as f64 / e.counters.c2 as f64);
+            }
+            if e.counters.c3 > 0 {
+                // Same write-only fallback as ExactEw.
+                return Some(e.counters.c3 as f64);
+            }
+            // Freshly promoted with no completed sample yet: fall back to
+            // the sketch's ratio view.
+        }
+        self.tail.estimate(key)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let per_entry = (8 + std::mem::size_of::<HotEntry>()) as f64 * 1.75;
+        (self.hot.len() as f64 * per_entry) as usize + self.tail.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_k_slots_first() {
+        let mut t = TopKEw::new(3, 64, 2);
+        t.record_read(1);
+        t.record_read(2);
+        t.record_read(3);
+        assert_eq!(t.hot_len(), 3);
+        assert!(t.is_hot(1) && t.is_hot(2) && t.is_hot(3));
+    }
+
+    #[test]
+    fn hot_key_estimates_are_exact() {
+        let mut t = TopKEw::new(4, 64, 2);
+        // Key 9: W W R W R → samples 2, 1 → E[W] = 1.5.
+        t.record_write(9);
+        t.record_write(9);
+        t.record_read(9);
+        t.record_write(9);
+        t.record_read(9);
+        assert!(t.is_hot(9));
+        assert_eq!(t.estimate(9), Some(1.5));
+    }
+
+    #[test]
+    fn promotes_hot_key_over_cold() {
+        let mut t = TopKEw::new(2, 1024, 4);
+        // Fill with two keys, one access each.
+        t.record_read(100);
+        t.record_read(200);
+        assert_eq!(t.hot_len(), 2);
+        // Key 300 becomes much hotter than either.
+        for _ in 0..50 {
+            t.record_read(300);
+        }
+        assert!(t.is_hot(300), "hot key must be promoted");
+        assert_eq!(t.hot_len(), 2, "k bound must hold");
+        assert!(
+            !(t.is_hot(100) && t.is_hot(200)),
+            "one cold key must have been demoted"
+        );
+    }
+
+    #[test]
+    fn demoted_mass_survives_in_sketch() {
+        let mut t = TopKEw::new(1, 1024, 4);
+        // Key 1 hot with writes-per-read 2.
+        for _ in 0..10 {
+            t.record_write(1);
+            t.record_write(1);
+            t.record_read(1);
+        }
+        assert_eq!(t.estimate(1), Some(2.0));
+        // Key 2 takes over.
+        for _ in 0..200 {
+            t.record_read(2);
+        }
+        assert!(t.is_hot(2));
+        assert!(!t.is_hot(1));
+        // Key 1's ratio view persists: ~20 writes / ~10 reads ≈ 2.
+        let est = t.estimate(1).unwrap();
+        assert!((est - 2.0).abs() < 0.5, "demoted estimate {est}");
+    }
+
+    #[test]
+    fn memory_bounded_by_k_plus_sketch() {
+        let mut t = TopKEw::new(10, 256, 4);
+        for k in 0..10_000u64 {
+            t.record_write(k);
+            t.record_read(k);
+        }
+        let sketch_only = CountMinEw::new(256, 4).memory_bytes();
+        let upper = sketch_only + 10 * 64 * 2; // generous per-entry bound
+        assert!(t.memory_bytes() <= upper, "{} > {upper}", t.memory_bytes());
+        assert_eq!(t.hot_len(), 10);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // Two runs over the same stream must agree exactly even when
+        // promotion candidates tie (HashMap order must not leak).
+        let stream: Vec<(u64, bool)> =
+            (0..500).map(|i| (i % 7, i % 3 == 0)).collect();
+        let run = || {
+            let mut t = TopKEw::new(3, 64, 2);
+            for &(k, r) in &stream {
+                if r {
+                    t.record_read(k);
+                } else {
+                    t.record_write(k);
+                }
+            }
+            (0..7).map(|k| t.estimate(k)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

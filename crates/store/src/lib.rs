@@ -1,0 +1,30 @@
+//! # fresca-store — the backend data store substrate
+//!
+//! The paper's data store (Figure 4) is more than a KV map: it is where
+//! write-triggered freshness originates. On every write it records the key
+//! as dirty; at the end of each staleness interval `T` it flushes the
+//! buffered keys as invalidate or update messages; and it tracks which
+//! keys it has already invalidated so that repeated writes to an
+//! already-invalidated key send no second invalidate (the dedup that makes
+//! invalidation cheap for write-heavy keys, §3.1).
+//!
+//! * [`DataStore`] — versioned KV store (versions are monotone per key;
+//!   the simulation stores sizes/versions, not payloads).
+//! * [`WriteBuffer`] — dirty-key set with deterministic drain order.
+//! * [`InvalidationTracker`] — the backend's "is this key already
+//!   invalidated in the cache?" set, with suppression counting.
+//! * [`CacheStateMirror`] — the backend's (optional) view of cache
+//!   contents, used by the Adpt.+C.S. hypothetical policy in Figure 5.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod mirror;
+pub mod store;
+pub mod tracker;
+
+pub use buffer::WriteBuffer;
+pub use mirror::CacheStateMirror;
+pub use store::{DataStore, Record, StoreStats};
+pub use tracker::InvalidationTracker;

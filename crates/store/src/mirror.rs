@@ -1,0 +1,100 @@
+//! Cache-state mirror for the Adpt.+C.S. policy.
+//!
+//! Figure 5's "Adpt.+C.S." assumes "the data store has knowledge of which
+//! keys are present in the cache; this enables it to send updates and
+//! invalidates only to relevant data objects". In a real deployment that
+//! knowledge is approximate (lease tables, TTL'd hints); in the simulation
+//! the engine feeds the mirror exact populate/evict events, giving the
+//! *best case* the hypothetical policy is meant to represent.
+
+use std::collections::HashSet;
+
+/// Backend-side view of which keys are cached.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStateMirror {
+    cached: HashSet<u64>,
+    /// Messages skipped because the key was not cached.
+    skipped: u64,
+}
+
+impl CacheStateMirror {
+    /// New empty mirror.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache populated `key`.
+    pub fn on_populate(&mut self, key: u64) {
+        self.cached.insert(key);
+    }
+
+    /// The cache evicted or removed `key`.
+    pub fn on_evict(&mut self, key: u64) {
+        self.cached.remove(&key);
+    }
+
+    /// Should a freshness message be sent for `key`? Counts a skip when
+    /// the key is not cached.
+    pub fn should_send(&mut self, key: u64) -> bool {
+        if self.cached.contains(&key) {
+            true
+        } else {
+            self.skipped += 1;
+            false
+        }
+    }
+
+    /// True if the mirror believes `key` is cached.
+    pub fn contains(&self, key: u64) -> bool {
+        self.cached.contains(&key)
+    }
+
+    /// Number of keys believed cached.
+    pub fn len(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// True if the mirror is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cached.is_empty()
+    }
+
+    /// Messages skipped so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_populate_and_evict() {
+        let mut m = CacheStateMirror::new();
+        m.on_populate(1);
+        assert!(m.contains(1));
+        m.on_evict(1);
+        assert!(!m.contains(1));
+    }
+
+    #[test]
+    fn skips_uncached_keys() {
+        let mut m = CacheStateMirror::new();
+        m.on_populate(1);
+        assert!(m.should_send(1));
+        assert!(!m.should_send(2));
+        assert!(!m.should_send(3));
+        assert_eq!(m.skipped(), 2);
+    }
+
+    #[test]
+    fn double_populate_is_idempotent() {
+        let mut m = CacheStateMirror::new();
+        m.on_populate(1);
+        m.on_populate(1);
+        assert_eq!(m.len(), 1);
+        m.on_evict(1);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! The versioned KV store.
+
+use fresca_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One backend object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Monotone version; bumped by every write.
+    pub version: u64,
+    /// Current value size in bytes.
+    pub value_size: u32,
+    /// Time of the last write.
+    pub last_write_at: SimTime,
+}
+
+/// Counters exported by the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Reads served by the backend (cache misses + refreshes + polls).
+    pub reads: u64,
+    /// Writes applied.
+    pub writes: u64,
+}
+
+/// The backend data store. Writes bypass the cache and land here
+/// (cache-aside, Figure 1); reads hit it only when the cache cannot serve.
+#[derive(Debug, Clone, Default)]
+pub struct DataStore {
+    records: HashMap<u64, Record>,
+    stats: StoreStats,
+}
+
+impl DataStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a client write: bump the version, set the size. Returns the
+    /// new record.
+    pub fn write(&mut self, key: u64, value_size: u32, now: SimTime) -> Record {
+        self.stats.writes += 1;
+        let rec = self.records.entry(key).or_insert(Record {
+            version: 0,
+            value_size,
+            last_write_at: now,
+        });
+        rec.version += 1;
+        rec.value_size = value_size;
+        rec.last_write_at = now;
+        *rec
+    }
+
+    /// Serve a read (miss path / poll / refresh). A read of a key that was
+    /// never written returns version 0 — the cache-aside pattern populates
+    /// on miss regardless of write history.
+    pub fn read(&mut self, key: u64, default_size: u32) -> Record {
+        self.stats.reads += 1;
+        *self.records.entry(key).or_insert(Record {
+            version: 0,
+            value_size: default_size,
+            last_write_at: SimTime::ZERO,
+        })
+    }
+
+    /// Current record without counting a served read (backend-internal
+    /// access used when composing update messages).
+    pub fn peek(&self, key: u64) -> Option<Record> {
+        self.records.get(&key).copied()
+    }
+
+    /// Number of distinct keys ever touched.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no key was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_monotone_per_key() {
+        let mut s = DataStore::new();
+        let r1 = s.write(1, 10, SimTime::from_secs(1));
+        let r2 = s.write(1, 12, SimTime::from_secs(2));
+        let r3 = s.write(2, 9, SimTime::from_secs(3));
+        assert_eq!(r1.version, 1);
+        assert_eq!(r2.version, 2);
+        assert_eq!(r3.version, 1, "versions are per-key");
+        assert_eq!(r2.value_size, 12);
+    }
+
+    #[test]
+    fn read_before_any_write_populates_v0() {
+        let mut s = DataStore::new();
+        let r = s.read(5, 100);
+        assert_eq!(r.version, 0);
+        assert_eq!(r.value_size, 100);
+        // A later write starts from there.
+        assert_eq!(s.write(5, 100, SimTime::from_secs(1)).version, 1);
+    }
+
+    #[test]
+    fn stats_count_reads_and_writes() {
+        let mut s = DataStore::new();
+        s.write(1, 1, SimTime::ZERO);
+        s.read(1, 1);
+        s.read(2, 1);
+        assert_eq!(s.stats(), StoreStats { reads: 2, writes: 1 });
+        // peek does not count.
+        s.peek(1);
+        assert_eq!(s.stats().reads, 2);
+    }
+
+    #[test]
+    fn peek_does_not_create() {
+        let mut s = DataStore::new();
+        assert!(s.peek(9).is_none());
+        s.read(9, 1);
+        assert!(s.peek(9).is_some());
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Measured statistics over a trace.
+//!
+//! [`TraceStats`] computes, from an actual request stream, the quantities
+//! the paper's model takes as inputs — observed read ratio `r`, arrival
+//! rate `λ`, per-key `E[W]` (expected number of writes between consecutive
+//! reads) — plus popularity concentration diagnostics. Generators are
+//! validated against their targets with these measurements, and the figure
+//! harnesses use them to annotate results with *measured* rather than
+//! nominal parameters.
+
+use crate::request::{Key, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-key tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KeyStats {
+    /// Number of reads of this key.
+    pub reads: u64,
+    /// Number of writes of this key.
+    pub writes: u64,
+    /// Sum of "writes between consecutive reads" samples.
+    pub ew_sum: u64,
+    /// Number of such samples (reads that followed ≥0 writes).
+    pub ew_samples: u64,
+}
+
+impl KeyStats {
+    /// Exact `E[W]` for this key: mean length of a write run between
+    /// consecutive reads, conditioned on the run being non-empty (the
+    /// paper's three-counter semantics). `None` if no read ever followed
+    /// a write.
+    pub fn expected_writes_between_reads(&self) -> Option<f64> {
+        (self.ew_samples > 0).then(|| self.ew_sum as f64 / self.ew_samples as f64)
+    }
+}
+
+/// Aggregate statistics for a whole trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total requests.
+    pub total: u64,
+    /// Total reads.
+    pub reads: u64,
+    /// Total writes.
+    pub writes: u64,
+    /// Observed aggregate arrival rate (req/s over the span of the trace).
+    pub rate: f64,
+    /// Number of distinct keys actually touched.
+    pub distinct_keys: u64,
+    /// Share of requests going to the most popular key.
+    pub top_key_share: f64,
+    /// Share of requests going to the top 1% of touched keys.
+    pub top1pct_share: f64,
+    /// Per-key tallies.
+    #[serde(skip)]
+    pub per_key: HashMap<Key, KeyStats>,
+}
+
+impl TraceStats {
+    /// Compute statistics from a trace.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut per_key: HashMap<Key, KeyStats> = HashMap::new();
+        // Consecutive-writes-since-last-read counter per key (the paper's
+        // C3), folded into ew_sum/ew_samples (C1/C2) on each read.
+        let mut since_read: HashMap<Key, u64> = HashMap::new();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for r in trace {
+            let ks = per_key.entry(r.key).or_default();
+            if r.op.is_read() {
+                reads += 1;
+                ks.reads += 1;
+                // Paper semantics: a sample closes only on a read *after
+                // a write* (conditional mean over write-runs).
+                let w = since_read.insert(r.key, 0).unwrap_or(0);
+                if w > 0 {
+                    ks.ew_sum += w;
+                    ks.ew_samples += 1;
+                }
+            } else {
+                writes += 1;
+                ks.writes += 1;
+                *since_read.entry(r.key).or_insert(0) += 1;
+            }
+        }
+        let total = trace.len() as u64;
+        let span = trace.end_time().as_secs_f64();
+        let rate = if span > 0.0 { total as f64 / span } else { 0.0 };
+
+        let mut counts: Vec<u64> = per_key.values().map(|k| k.reads + k.writes).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_key_share =
+            counts.first().map(|&c| c as f64 / total.max(1) as f64).unwrap_or(0.0);
+        let top1 = ((counts.len() as f64 * 0.01).ceil() as usize).max(1).min(counts.len());
+        let top1pct_share = if counts.is_empty() {
+            0.0
+        } else {
+            counts[..top1].iter().sum::<u64>() as f64 / total.max(1) as f64
+        };
+
+        TraceStats {
+            total,
+            reads,
+            writes,
+            rate,
+            distinct_keys: per_key.len() as u64,
+            top_key_share,
+            top1pct_share,
+            per_key,
+        }
+    }
+
+    /// Observed read ratio.
+    pub fn read_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.reads as f64 / self.total as f64
+        }
+    }
+
+    /// Trace-wide mean `E[W]` weighted by per-key sample counts — the
+    /// quantity the adaptive policy's estimators approximate.
+    pub fn mean_expected_writes_between_reads(&self) -> Option<f64> {
+        let (sum, n) = self
+            .per_key
+            .values()
+            .fold((0u64, 0u64), |(s, n), k| (s + k.ew_sum, n + k.ew_samples));
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{PoissonZipfConfig, WorkloadGen};
+    use crate::request::{Op, Request, TraceMeta};
+    use fresca_sim::{SimDuration, SimTime};
+
+    fn req(at_s: u64, key: u64, op: Op) -> Request {
+        Request { at: SimTime::from_secs(at_s), key: Key(key), op, value_size: 8 }
+    }
+
+    #[test]
+    fn ew_counting_matches_paper_definition() {
+        // Sequence on one key: W W R W R R → samples: 2 (first R), 1
+        // (second R); the third R follows a read and closes no sample.
+        // E[W] = (2+1)/2 = 1.5.
+        let reqs = vec![
+            req(1, 7, Op::Write),
+            req(2, 7, Op::Write),
+            req(3, 7, Op::Read),
+            req(4, 7, Op::Write),
+            req(5, 7, Op::Read),
+            req(6, 7, Op::Read),
+        ];
+        let tr = Trace::from_sorted(TraceMeta::default(), reqs);
+        let st = TraceStats::compute(&tr);
+        let ks = &st.per_key[&Key(7)];
+        assert_eq!(ks.ew_sum, 3);
+        assert_eq!(ks.ew_samples, 2);
+        assert_eq!(ks.expected_writes_between_reads(), Some(1.5));
+    }
+
+    #[test]
+    fn bernoulli_mix_ew_converges_to_conditional_mean() {
+        // For independent reads w.p. r, a non-empty write run is
+        // geometric with mean 1/r.
+        let cfg = PoissonZipfConfig {
+            rate: 100.0,
+            num_keys: 10,
+            zipf_exponent: 0.8,
+            read_ratio: 0.8,
+            horizon: SimDuration::from_secs(5_000),
+            ..Default::default()
+        };
+        let tr = cfg.generate(21);
+        let st = TraceStats::compute(&tr);
+        let ew = st.mean_expected_writes_between_reads().unwrap();
+        let expected = 1.0 / 0.8;
+        assert!((ew - expected).abs() < 0.02, "E[W] {ew} vs {expected}");
+    }
+
+    #[test]
+    fn rate_and_ratio_measured() {
+        let cfg = PoissonZipfConfig {
+            rate: 25.0,
+            read_ratio: 0.6,
+            horizon: SimDuration::from_secs(2_000),
+            ..Default::default()
+        };
+        let st = TraceStats::compute(&cfg.generate(3));
+        assert!((st.rate - 25.0).abs() < 1.0, "rate {}", st.rate);
+        assert!((st.read_ratio() - 0.6).abs() < 0.02);
+        assert_eq!(st.total, st.reads + st.writes);
+    }
+
+    #[test]
+    fn skew_diagnostics_ordered() {
+        let skewed = PoissonZipfConfig {
+            zipf_exponent: 1.5,
+            horizon: SimDuration::from_secs(1_000),
+            ..Default::default()
+        };
+        let flat = PoissonZipfConfig {
+            zipf_exponent: 0.5,
+            horizon: SimDuration::from_secs(1_000),
+            ..Default::default()
+        };
+        let s1 = TraceStats::compute(&skewed.generate(8));
+        let s2 = TraceStats::compute(&flat.generate(8));
+        assert!(
+            s1.top_key_share > s2.top_key_share,
+            "zipf 1.5 ({}) should concentrate more than 0.5 ({})",
+            s1.top_key_share,
+            s2.top_key_share
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let st = TraceStats::compute(&Trace::new(TraceMeta::default()));
+        assert_eq!(st.total, 0);
+        assert_eq!(st.read_ratio(), 0.0);
+        assert!(st.mean_expected_writes_between_reads().is_none());
+    }
+}

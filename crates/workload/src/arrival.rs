@@ -1,0 +1,314 @@
+//! Arrival-time processes.
+//!
+//! An [`ArrivalProcess`] produces the timestamp of the next request given
+//! the current one. The paper's model assumes Poisson arrivals per object;
+//! the aggregate workloads here use Poisson arrivals across the whole key
+//! space (which, thinned by key popularity, yields per-key Poisson streams
+//! — the superposition/splitting property the analytic model relies on).
+//!
+//! The Meta-like workload modulates the rate sinusoidally (a compressed
+//! diurnal cycle); non-homogeneous sampling uses Lewis–Shedler thinning,
+//! which is exact for any bounded rate function.
+
+use crate::dist::{Exp, SampleF64};
+use fresca_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+/// A point process on virtual time.
+pub trait ArrivalProcess {
+    /// Time of the next arrival strictly after `now`.
+    fn next_after<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> SimTime;
+
+    /// The long-run average rate in arrivals/second, if known.
+    fn mean_rate(&self) -> Option<f64>;
+}
+
+/// Homogeneous Poisson process with rate `lambda` arrivals/second.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    exp: Exp,
+}
+
+impl Poisson {
+    /// New process with rate `lambda > 0` per second.
+    pub fn new(lambda: f64) -> Self {
+        Poisson { exp: Exp::new(lambda) }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_after<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> SimTime {
+        now + SimDuration::from_secs_f64(self.exp.sample(rng))
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        Some(self.exp.lambda())
+    }
+}
+
+/// Deterministic constant-rate arrivals (period `1/rate`). Useful as a
+/// degenerate case in tests and for polling-style load.
+#[derive(Debug, Clone)]
+pub struct ConstantRate {
+    period: SimDuration,
+    rate: f64,
+}
+
+impl ConstantRate {
+    /// New process with `rate > 0` arrivals/second.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        ConstantRate { period: SimDuration::from_secs_f64(1.0 / rate), rate }
+    }
+}
+
+impl ArrivalProcess for ConstantRate {
+    fn next_after<R: Rng + ?Sized>(&mut self, now: SimTime, _rng: &mut R) -> SimTime {
+        now + self.period
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        Some(self.rate)
+    }
+}
+
+/// Non-homogeneous Poisson process with a sinusoidally modulated rate:
+///
+/// `λ(t) = base · (1 + amplitude · sin(2π · t / period))`
+///
+/// sampled by Lewis–Shedler thinning against the envelope
+/// `λ_max = base · (1 + amplitude)`. `amplitude` must lie in `[0, 1)` so
+/// the rate stays positive.
+#[derive(Debug, Clone)]
+pub struct DiurnalPoisson {
+    base: f64,
+    amplitude: f64,
+    period: SimDuration,
+    envelope: Exp,
+}
+
+impl DiurnalPoisson {
+    /// New modulated process.
+    pub fn new(base: f64, amplitude: f64, period: SimDuration) -> Self {
+        assert!(base > 0.0, "base rate must be positive");
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0,1)");
+        assert!(!period.is_zero(), "period must be positive");
+        let lambda_max = base * (1.0 + amplitude);
+        DiurnalPoisson { base, amplitude, period, envelope: Exp::new(lambda_max) }
+    }
+
+    /// Instantaneous rate at time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let phase = std::f64::consts::TAU * (t.as_secs_f64() / self.period.as_secs_f64());
+        self.base * (1.0 + self.amplitude * phase.sin())
+    }
+}
+
+impl ArrivalProcess for DiurnalPoisson {
+    fn next_after<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> SimTime {
+        let lambda_max = self.base * (1.0 + self.amplitude);
+        let mut t = now;
+        loop {
+            t += SimDuration::from_secs_f64(self.envelope.sample(rng));
+            let accept: f64 = rng.gen();
+            if accept * lambda_max <= self.rate_at(t) {
+                return t;
+            }
+        }
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        // The sinusoid integrates to zero over a full period.
+        Some(self.base)
+    }
+}
+
+/// On/off (interrupted Poisson) process: alternates exponentially
+/// distributed ON and OFF phases; arrivals are Poisson(`rate_on`) during
+/// ON phases and absent during OFF. Models bursty producers.
+#[derive(Debug, Clone)]
+pub struct OnOffBursty {
+    rate_on: f64,
+    on_dur: Exp,
+    off_dur: Exp,
+    /// End of the current ON phase (arrivals allowed before this).
+    phase_end: SimTime,
+    in_on: bool,
+    initialized: bool,
+}
+
+impl OnOffBursty {
+    /// New process: `rate_on` arrivals/second while ON, mean phase lengths
+    /// `mean_on` and `mean_off` seconds.
+    pub fn new(rate_on: f64, mean_on: f64, mean_off: f64) -> Self {
+        assert!(rate_on > 0.0 && mean_on > 0.0 && mean_off > 0.0);
+        OnOffBursty {
+            rate_on,
+            on_dur: Exp::new(1.0 / mean_on),
+            off_dur: Exp::new(1.0 / mean_off),
+            phase_end: SimTime::ZERO,
+            in_on: false,
+            initialized: false,
+        }
+    }
+
+    fn advance_phase<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.in_on = !self.in_on;
+        let dur = if self.in_on { self.on_dur.sample(rng) } else { self.off_dur.sample(rng) };
+        self.phase_end += SimDuration::from_secs_f64(dur);
+    }
+}
+
+impl ArrivalProcess for OnOffBursty {
+    fn next_after<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> SimTime {
+        if !self.initialized {
+            self.initialized = true;
+            self.phase_end = now;
+            self.in_on = false; // first advance flips to ON
+            self.advance_phase(rng);
+        }
+        let mut t = now;
+        loop {
+            if !self.in_on {
+                // Skip to the next ON phase.
+                t = t.max(self.phase_end);
+                self.advance_phase(rng);
+                continue;
+            }
+            let candidate =
+                t + SimDuration::from_secs_f64(Exp::new(self.rate_on).sample(rng));
+            if candidate <= self.phase_end {
+                return candidate;
+            }
+            // Burst ended before the candidate arrival: move through OFF.
+            t = self.phase_end;
+            self.advance_phase(rng); // -> OFF
+        }
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        let mean_on = 1.0 / self.on_dur.lambda();
+        let mean_off = 1.0 / self.off_dur.lambda();
+        Some(self.rate_on * mean_on / (mean_on + mean_off))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fresca_sim::Xoshiro256PlusPlus;
+
+    fn count_until<P: ArrivalProcess>(
+        p: &mut P,
+        horizon: SimTime,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        let mut n = 0;
+        let mut t = SimTime::ZERO;
+        loop {
+            t = p.next_after(t, rng);
+            if t > horizon {
+                return n;
+            }
+            n += 1;
+        }
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let mut p = Poisson::new(10.0);
+        let n = count_until(&mut p, SimTime::from_secs(10_000), &mut rng);
+        let rate = n as f64 / 10_000.0;
+        assert!((rate - 10.0).abs() < 0.2, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_is_one() {
+        // Coefficient of variation of exponential inter-arrivals is 1.
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let mut p = Poisson::new(5.0);
+        let mut t = SimTime::ZERO;
+        let mut gaps = Vec::new();
+        for _ in 0..50_000 {
+            let next = p.next_after(t, &mut rng);
+            gaps.push((next - t).as_secs_f64());
+            t = next;
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn constant_rate_is_exact() {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let mut p = ConstantRate::new(4.0);
+        let n = count_until(&mut p, SimTime::from_secs(100), &mut rng);
+        assert_eq!(n, 400);
+    }
+
+    #[test]
+    fn diurnal_long_run_rate_matches_base() {
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        let period = SimDuration::from_secs(100);
+        let mut p = DiurnalPoisson::new(10.0, 0.5, period);
+        // Whole number of periods so modulation integrates out.
+        let n = count_until(&mut p, SimTime::from_secs(10_000), &mut rng);
+        let rate = n as f64 / 10_000.0;
+        assert!((rate - 10.0).abs() < 0.3, "rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_peak_exceeds_trough() {
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        let period = SimDuration::from_secs(100);
+        let mut p = DiurnalPoisson::new(10.0, 0.8, period);
+        // Count arrivals in peak quarter (around t=25) vs trough (t=75),
+        // aggregated over many periods.
+        let mut peak = 0usize;
+        let mut trough = 0usize;
+        let mut t = SimTime::ZERO;
+        let horizon = SimTime::from_secs(20_000);
+        loop {
+            t = p.next_after(t, &mut rng);
+            if t > horizon {
+                break;
+            }
+            let phase = t.as_secs_f64() % 100.0;
+            if (12.5..37.5).contains(&phase) {
+                peak += 1;
+            } else if (62.5..87.5).contains(&phase) {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > 2.0 * trough as f64,
+            "peak {peak} should dominate trough {trough}"
+        );
+    }
+
+    #[test]
+    fn onoff_mean_rate_formula() {
+        let mut rng = Xoshiro256PlusPlus::new(6);
+        let mut p = OnOffBursty::new(100.0, 1.0, 9.0);
+        // Duty cycle 10% → mean rate 10/s.
+        let n = count_until(&mut p, SimTime::from_secs(20_000), &mut rng);
+        let rate = n as f64 / 20_000.0;
+        assert!((rate - 10.0).abs() < 1.0, "rate {rate}");
+        assert!((p.mean_rate().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_strictly_advance() {
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        let mut p = Poisson::new(1e6); // very high rate → tiny gaps
+        let mut t = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let next = p.next_after(t, &mut rng);
+            assert!(next >= t);
+            t = next;
+        }
+    }
+}

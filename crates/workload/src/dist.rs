@@ -1,0 +1,492 @@
+//! Numeric distributions, implemented from scratch.
+//!
+//! `rand_distr` is deliberately not used: pinning the exact sampling
+//! algorithm in-tree makes every generated trace reproducible for the
+//! lifetime of the repository, independent of ecosystem version bumps.
+//! Each sampler is a small, well-known algorithm:
+//!
+//! * [`Exp`] — inverse CDF.
+//! * [`Normal`] / [`LogNormal`] — Box–Muller (both variates consumed per
+//!   call pair, no caching, so streams stay position-independent).
+//! * [`Pareto`] — inverse CDF.
+//! * [`Zipf`] — Hörmann–Derflinger rejection-inversion (the algorithm
+//!   behind Apache Commons' `RejectionInversionZipfSampler` and
+//!   `rand_distr::Zipf`), exact for any exponent `s > 0` including `s = 1`.
+//! * [`Discrete`] — Walker/Vose alias method for O(1) weighted choice.
+
+use rand::Rng;
+
+/// A distribution over `f64` values.
+pub trait SampleF64 {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Distribution mean, if finite and known in closed form.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// New exponential with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "rate must be positive, got {lambda}");
+        Exp { lambda }
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl SampleF64 for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on (0, 1]; `1 - gen::<f64>()` maps [0,1) → (0,1]
+        // avoiding ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+}
+
+/// Normal distribution via Box–Muller. One variate per call; the cosine
+/// twin is discarded to keep the stream a pure function of call index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// New normal with mean `mu` and standard deviation `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0, got {sigma}");
+        Normal { mu, sigma }
+    }
+}
+
+impl SampleF64 for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mu)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Parameterised by the *underlying normal*, as is conventional: the
+/// median is `exp(mu)` and the mean `exp(mu + sigma²/2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// New log-normal from the underlying normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal { normal: Normal::new(mu, sigma) }
+    }
+
+    /// Convenience constructor from a target median.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        Self::new(median.ln(), sigma)
+    }
+}
+
+impl SampleF64 for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.normal.mu + 0.5 * self.normal.sigma * self.normal.sigma).exp())
+    }
+}
+
+/// Pareto distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// New Pareto with `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        Pareto { x_min, alpha }
+    }
+}
+
+impl SampleF64 for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.x_min / (self.alpha - 1.0))
+    }
+}
+
+/// Constant "distribution" — always returns the same value. Useful as a
+/// degenerate size model in tests and ablations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl SampleF64 for Constant {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.0
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.0)
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformF64 {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformF64 {
+    /// New uniform on `[lo, hi)` with `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "uniform requires lo < hi");
+        UniformF64 { lo, hi }
+    }
+}
+
+impl SampleF64 for UniformF64 {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.gen::<f64>()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(0.5 * (self.lo + self.hi))
+    }
+}
+
+/// Zipf distribution over ranks `1..=n`: `P(k) ∝ k^{-s}`.
+///
+/// Sampling uses Hörmann–Derflinger rejection-inversion, which is exact,
+/// O(1) expected time, and handles any `s > 0` (including `s = 1`, where
+/// the integral degenerates to a logarithm — the `helper` functions below
+/// take the limit smoothly via `ln(1+x)/x` and `(e^x - 1)/x`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    threshold: f64,
+}
+
+/// `ln(1 + x) / x`, continuous at 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x / 3.0)
+    }
+}
+
+/// `(e^x - 1) / x`, continuous at 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * (0.5 + x / 6.0)
+    }
+}
+
+impl Zipf {
+    /// New Zipf over `1..=n` with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "zipf needs at least one element");
+        assert!(s.is_finite() && s > 0.0, "zipf exponent must be positive, got {s}");
+        let mut z = Zipf { n, s, h_integral_x1: 0.0, h_integral_n: 0.0, threshold: 0.0 };
+        z.h_integral_x1 = z.h_integral(1.5) - 1.0;
+        z.h_integral_n = z.h_integral(n as f64 + 0.5);
+        z.threshold = 2.0 - z.h_integral_inverse(z.h_integral(2.5) - z.h(2.0));
+        z
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// `H(x) = ∫ t^{-s} dt`, normalised so the family is continuous in `s`.
+    fn h_integral(&self, x: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - self.s) * log_x) * log_x
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        (-self.s * x.ln()).exp()
+    }
+
+    fn h_integral_inverse(&self, x: f64) -> f64 {
+        let mut t = x * (1.0 - self.s);
+        if t < -1.0 {
+            // Numeric guard from the reference implementation.
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u: f64 =
+                self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let x = self.h_integral_inverse(u);
+            let k64 = x.round().clamp(1.0, self.n as f64);
+            let k = k64 as u64;
+            if k64 - x <= self.threshold || u >= self.h_integral(k64 + 0.5) - self.h(k64) {
+                return k;
+            }
+        }
+    }
+
+    /// Exact probability mass of rank `k` (O(n) normalisation; test/debug
+    /// helper, not used on the sampling path).
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n);
+        let norm: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / norm
+    }
+}
+
+/// Weighted discrete distribution over `0..weights.len()` using the
+/// Walker/Vose alias method: O(n) setup, O(1) sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Discrete {
+    /// Build from non-negative weights (at least one strictly positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(weights.iter().all(|&w| w.is_finite() && w >= 0.0), "weights must be >= 0");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let n = weights.len();
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut scaled = scaled;
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = large.pop().expect("checked non-empty");
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Discrete { prob, alias }
+    }
+
+    /// Draw an index.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fresca_sim::Xoshiro256PlusPlus;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::new(0xFEED)
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let d = Exp::new(4.0);
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_is_memoryless_tail() {
+        // P(X > t) = e^{-λt}; check at t = 1/λ.
+        let d = Exp::new(2.0);
+        let mut r = rng();
+        let n = 100_000;
+        let tail = (0..n).filter(|_| d.sample(&mut r) > 0.5).count() as f64 / n as f64;
+        assert!((tail - (-1.0f64).exp()).abs() < 0.01, "tail {tail}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0);
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::from_median(350.0, 1.0);
+        let mut r = rng();
+        let n = 100_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median / 350.0 - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn pareto_support_and_mean() {
+        let d = Pareto::new(1.0, 2.5);
+        let mut r = rng();
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!(x >= 1.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - d.mean().unwrap()).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_matches_pmf_for_small_n() {
+        // Exact chi-square-style check against the closed-form pmf.
+        for s in [0.5, 1.0, 1.3, 2.0] {
+            let d = Zipf::new(10, s);
+            let mut r = rng();
+            let n = 300_000;
+            let mut counts = [0u64; 10];
+            for _ in 0..n {
+                counts[(d.sample_rank(&mut r) - 1) as usize] += 1;
+            }
+            for k in 1..=10u64 {
+                let expected = d.pmf(k) * n as f64;
+                let got = counts[(k - 1) as usize] as f64;
+                // 5 sigma tolerance on a binomial count.
+                let sigma = (expected * (1.0 - d.pmf(k))).sqrt();
+                assert!(
+                    (got - expected).abs() < 5.0 * sigma + 1.0,
+                    "s={s} k={k}: got {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_rank_bounds() {
+        let d = Zipf::new(1_000_000, 1.3);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let k = d.sample_rank(&mut r);
+            assert!((1..=1_000_000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_skew_increases_with_s() {
+        let mut r = rng();
+        let top_share = |s: f64, r: &mut Xoshiro256PlusPlus| {
+            let d = Zipf::new(1000, s);
+            let n = 50_000;
+            (0..n).filter(|_| d.sample_rank(r) == 1).count() as f64 / n as f64
+        };
+        let low = top_share(0.8, &mut r);
+        let high = top_share(1.5, &mut r);
+        assert!(high > low, "top-rank share should grow with s: {low} vs {high}");
+    }
+
+    #[test]
+    fn discrete_alias_proportions() {
+        let d = Discrete::new(&[1.0, 2.0, 7.0]);
+        let mut r = rng();
+        let n = 200_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[d.sample_index(&mut r)] += 1;
+        }
+        let f: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((f[0] - 0.1).abs() < 0.01);
+        assert!((f[1] - 0.2).abs() < 0.01);
+        assert!((f[2] - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zipf_rejects_zero_exponent() {
+        Zipf::new(10, 0.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        assert_eq!(Constant(5.0).sample(&mut r), 5.0);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let d = UniformF64::new(2.0, 3.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! Workload generators for the paper's four evaluation workloads.
+//!
+//! | Paper workload | Generator | Provenance of parameters |
+//! |----------------|-----------|--------------------------|
+//! | Poisson        | [`PoissonZipfConfig`] | §2.2: λ=10, Zipf s=1.3 across keys; reads w.p. `r` |
+//! | Poisson (Mix)  | [`PoissonMixConfig`]  | §3.4: 50-50 mix of a read-heavy and a write-heavy Poisson workload |
+//! | Meta           | [`MetaLikeConfig`]    | CacheLib characterisation: heavy read bias (~30:1 get/set), Zipf ≈ 0.9, small values, diurnal load |
+//! | Twitter        | [`TwitterLikeConfig`] | Yang et al. '21: cluster mixture; many clusters are write-heavy — modelled as 80% read-heavy + 20% write-heavy cluster traffic |
+//!
+//! The Meta and Twitter entries are *synthetic stand-ins* for closed
+//! production traces (substitution documented in DESIGN.md §4). Every
+//! generator is a pure function of its config and a seed.
+
+use crate::arrival::{ArrivalProcess, DiurnalPoisson, Poisson};
+use crate::dist::{LogNormal, SampleF64};
+use crate::keyspace::KeySpace;
+use crate::request::{Key, Op, Request, Trace, TraceMeta};
+use fresca_sim::{RngFactory, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Anything that can produce a [`Trace`] from a seed.
+pub trait WorkloadGen {
+    /// Generator name recorded in the trace metadata.
+    fn name(&self) -> &'static str;
+
+    /// Generate the trace. Must be deterministic in `(self, seed)`.
+    fn generate(&self, seed: u64) -> Trace;
+}
+
+/// Value-size model shared by the generators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeModel {
+    /// Every value has the same size in bytes.
+    Fixed(u32),
+    /// Log-normal sizes: `median` bytes, shape `sigma`, clamped to
+    /// `[1, max]`.
+    LogNormal {
+        /// Median value size in bytes.
+        median: f64,
+        /// Log-space standard deviation.
+        sigma: f64,
+        /// Upper clamp in bytes.
+        max: u32,
+    },
+}
+
+impl SizeModel {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match *self {
+            SizeModel::Fixed(s) => s,
+            SizeModel::LogNormal { median, sigma, max } => {
+                let v = LogNormal::from_median(median, sigma).sample(rng);
+                (v.round() as u64).clamp(1, max as u64) as u32
+            }
+        }
+    }
+}
+
+/// Per-key value sizes: a key always has the *current* size assigned by
+/// its latest write; reads report the size they observe. To keep the
+/// stream single-pass we fix one size per key at generation time, drawn
+/// from the size model — what matters to the cost model is the size
+/// *distribution*, not per-write variation.
+#[derive(Debug, Clone)]
+struct KeySizes {
+    sizes: Vec<u32>,
+    base: u64,
+}
+
+impl KeySizes {
+    fn new<R: Rng + ?Sized>(n: u64, base: u64, model: SizeModel, rng: &mut R) -> Self {
+        KeySizes { sizes: (0..n).map(|_| model.sample(rng)).collect(), base }
+    }
+
+    fn get(&self, key: Key) -> u32 {
+        self.sizes[(key.0 - self.base) as usize]
+    }
+}
+
+/// The paper's synthetic Poisson workload (§2.2): aggregate Poisson
+/// arrivals at `rate` req/s, key chosen Zipf(`zipf_exponent`) from
+/// `num_keys` keys, each request independently a read with probability
+/// `read_ratio`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoissonZipfConfig {
+    /// Aggregate request rate, req/s (paper: λ = 10).
+    pub rate: f64,
+    /// Number of distinct keys.
+    pub num_keys: u64,
+    /// Zipf exponent across keys (paper: s = 1.3).
+    pub zipf_exponent: f64,
+    /// Probability a request is a read (paper's `r`).
+    pub read_ratio: f64,
+    /// Trace horizon.
+    pub horizon: SimDuration,
+    /// Value-size model.
+    pub size: SizeModel,
+    /// First key id (offset for disjoint mixes).
+    pub key_base: u64,
+}
+
+impl Default for PoissonZipfConfig {
+    fn default() -> Self {
+        PoissonZipfConfig {
+            rate: 10.0,
+            num_keys: 1000,
+            zipf_exponent: 1.3,
+            read_ratio: 0.9,
+            horizon: SimDuration::from_secs(10_000),
+            size: SizeModel::Fixed(512),
+            key_base: 0,
+        }
+    }
+}
+
+impl PoissonZipfConfig {
+    fn validate(&self) {
+        assert!(self.rate > 0.0, "rate must be positive");
+        assert!(self.num_keys >= 1, "need at least one key");
+        assert!((0.0..=1.0).contains(&self.read_ratio), "read_ratio must be in [0,1]");
+        assert!(!self.horizon.is_zero(), "horizon must be positive");
+    }
+}
+
+impl WorkloadGen for PoissonZipfConfig {
+    fn name(&self) -> &'static str {
+        "poisson-zipf"
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        self.validate();
+        let f = RngFactory::new(seed);
+        let mut arrivals_rng = f.stream("poisson.arrivals");
+        let mut key_rng = f.stream("poisson.keys");
+        let mut op_rng = f.stream("poisson.ops");
+        let mut perm_rng = f.stream("poisson.permutation");
+        let mut size_rng = f.stream("poisson.sizes");
+
+        let ks = KeySpace::new(self.num_keys, self.zipf_exponent, self.key_base, &mut perm_rng);
+        let sizes = KeySizes::new(self.num_keys, self.key_base, self.size, &mut size_rng);
+        let mut proc = Poisson::new(self.rate);
+
+        let mut requests = Vec::new();
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + self.horizon;
+        loop {
+            t = proc.next_after(t, &mut arrivals_rng);
+            if t > end {
+                break;
+            }
+            let key = ks.sample(&mut key_rng);
+            let op = if op_rng.gen::<f64>() < self.read_ratio { Op::Read } else { Op::Write };
+            requests.push(Request { at: t, key, op, value_size: sizes.get(key) });
+        }
+        Trace::from_sorted(
+            TraceMeta {
+                generator: self.name().into(),
+                seed,
+                num_keys: self.num_keys,
+                horizon: self.horizon,
+            },
+            requests,
+        )
+    }
+}
+
+/// The paper's fourth workload (§3.4): a 50-50 mix of a read-heavy and a
+/// write-heavy Poisson workload on disjoint key spaces — "these workloads
+/// occur when sharing a cache across multiple applications".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoissonMixConfig {
+    /// Total rate across both halves (each half gets half of it).
+    pub rate: f64,
+    /// Keys per half.
+    pub num_keys_each: u64,
+    /// Zipf exponent (both halves).
+    pub zipf_exponent: f64,
+    /// Read ratio of the read-heavy half.
+    pub read_heavy_ratio: f64,
+    /// Read ratio of the write-heavy half.
+    pub write_heavy_ratio: f64,
+    /// Trace horizon.
+    pub horizon: SimDuration,
+    /// Value-size model (both halves).
+    pub size: SizeModel,
+}
+
+impl Default for PoissonMixConfig {
+    fn default() -> Self {
+        PoissonMixConfig {
+            rate: 10.0,
+            num_keys_each: 500,
+            zipf_exponent: 1.3,
+            read_heavy_ratio: 0.95,
+            write_heavy_ratio: 0.10,
+            horizon: SimDuration::from_secs(10_000),
+            size: SizeModel::Fixed(512),
+        }
+    }
+}
+
+impl WorkloadGen for PoissonMixConfig {
+    fn name(&self) -> &'static str {
+        "poisson-mix"
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        let read_heavy = PoissonZipfConfig {
+            rate: self.rate / 2.0,
+            num_keys: self.num_keys_each,
+            zipf_exponent: self.zipf_exponent,
+            read_ratio: self.read_heavy_ratio,
+            horizon: self.horizon,
+            size: self.size,
+            key_base: 0,
+        };
+        let write_heavy = PoissonZipfConfig {
+            rate: self.rate / 2.0,
+            num_keys: self.num_keys_each,
+            zipf_exponent: self.zipf_exponent,
+            read_ratio: self.write_heavy_ratio,
+            horizon: self.horizon,
+            size: self.size,
+            key_base: self.num_keys_each,
+        };
+        // Distinct seeds per half derived from the master seed.
+        let f = RngFactory::new(seed);
+        let mut trace = read_heavy
+            .generate(f.stream_seed("mix.read-heavy"))
+            .merge(write_heavy.generate(f.stream_seed("mix.write-heavy")));
+        trace.meta_mut().generator = self.name().into();
+        trace.meta_mut().seed = seed;
+        trace.meta_mut().num_keys = 2 * self.num_keys_each;
+        Trace::from_sorted(trace.meta().clone(), trace.requests().to_vec())
+    }
+}
+
+/// Synthetic stand-in for the Meta production workload (CacheLib's
+/// fb-hw-eval cachebench profile). Published characteristics preserved:
+/// strong read bias (get:set ≈ 30:1 ⇒ `read_ratio ≈ 0.97`), moderate
+/// Zipf skew (≈0.9), small log-normal values (median ≈ 350 B), smooth
+/// diurnal load variation (compressed here from 24 h to `diurnal_period`
+/// so short horizons still see it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaLikeConfig {
+    /// Mean aggregate request rate, req/s.
+    pub rate: f64,
+    /// Number of distinct keys.
+    pub num_keys: u64,
+    /// Zipf exponent (published ≈ 0.9).
+    pub zipf_exponent: f64,
+    /// Read probability (published get:set ≈ 30:1).
+    pub read_ratio: f64,
+    /// Diurnal modulation amplitude in [0,1).
+    pub diurnal_amplitude: f64,
+    /// Diurnal period (compressed day).
+    pub diurnal_period: SimDuration,
+    /// Trace horizon.
+    pub horizon: SimDuration,
+    /// Value-size model (published: small objects, long tail).
+    pub size: SizeModel,
+}
+
+impl Default for MetaLikeConfig {
+    fn default() -> Self {
+        MetaLikeConfig {
+            rate: 10.0,
+            num_keys: 1000,
+            zipf_exponent: 0.9,
+            read_ratio: 0.97,
+            diurnal_amplitude: 0.3,
+            diurnal_period: SimDuration::from_secs(2000),
+            horizon: SimDuration::from_secs(10_000),
+            size: SizeModel::LogNormal { median: 350.0, sigma: 1.0, max: 1 << 20 },
+        }
+    }
+}
+
+impl WorkloadGen for MetaLikeConfig {
+    fn name(&self) -> &'static str {
+        "meta-like"
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        let f = RngFactory::new(seed);
+        let mut arrivals_rng = f.stream("meta.arrivals");
+        let mut key_rng = f.stream("meta.keys");
+        let mut op_rng = f.stream("meta.ops");
+        let mut perm_rng = f.stream("meta.permutation");
+        let mut size_rng = f.stream("meta.sizes");
+
+        let ks = KeySpace::new(self.num_keys, self.zipf_exponent, 0, &mut perm_rng);
+        let sizes = KeySizes::new(self.num_keys, 0, self.size, &mut size_rng);
+        let mut proc =
+            DiurnalPoisson::new(self.rate, self.diurnal_amplitude, self.diurnal_period);
+
+        let mut requests = Vec::new();
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + self.horizon;
+        loop {
+            t = proc.next_after(t, &mut arrivals_rng);
+            if t > end {
+                break;
+            }
+            let key = ks.sample(&mut key_rng);
+            let op = if op_rng.gen::<f64>() < self.read_ratio { Op::Read } else { Op::Write };
+            requests.push(Request { at: t, key, op, value_size: sizes.get(key) });
+        }
+        Trace::from_sorted(
+            TraceMeta {
+                generator: self.name().into(),
+                seed,
+                num_keys: self.num_keys,
+                horizon: self.horizon,
+            },
+            requests,
+        )
+    }
+}
+
+/// Synthetic stand-in for the Twitter production workload (Yang et al.,
+/// "A large-scale analysis of hundreds of in-memory key-value cache
+/// clusters at Twitter"). The salient published finding the paper's
+/// evaluation leans on is that *many Twitter clusters are write-heavy*:
+/// modelled as a mixture of a read-heavy cluster (high skew) and a
+/// write-heavy cluster (lower skew) on disjoint key spaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwitterLikeConfig {
+    /// Total request rate across clusters, req/s.
+    pub rate: f64,
+    /// Fraction of traffic from the read-heavy cluster.
+    pub read_cluster_share: f64,
+    /// Read-heavy cluster: read ratio.
+    pub read_cluster_ratio: f64,
+    /// Read-heavy cluster: Zipf exponent (published ≈ 1.2).
+    pub read_cluster_zipf: f64,
+    /// Read-heavy cluster: number of keys.
+    pub read_cluster_keys: u64,
+    /// Write-heavy cluster: read ratio (many Twitter clusters < 0.5).
+    pub write_cluster_ratio: f64,
+    /// Write-heavy cluster: Zipf exponent.
+    pub write_cluster_zipf: f64,
+    /// Write-heavy cluster: number of keys.
+    pub write_cluster_keys: u64,
+    /// Trace horizon.
+    pub horizon: SimDuration,
+    /// Value-size model (published: very small tweets/keys).
+    pub size: SizeModel,
+}
+
+impl Default for TwitterLikeConfig {
+    fn default() -> Self {
+        TwitterLikeConfig {
+            rate: 10.0,
+            read_cluster_share: 0.8,
+            read_cluster_ratio: 0.99,
+            read_cluster_zipf: 1.2,
+            read_cluster_keys: 800,
+            write_cluster_ratio: 0.45,
+            write_cluster_zipf: 0.8,
+            write_cluster_keys: 200,
+            horizon: SimDuration::from_secs(10_000),
+            size: SizeModel::LogNormal { median: 230.0, sigma: 0.8, max: 1 << 16 },
+        }
+    }
+}
+
+impl WorkloadGen for TwitterLikeConfig {
+    fn name(&self) -> &'static str {
+        "twitter-like"
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!((0.0..=1.0).contains(&self.read_cluster_share));
+        let f = RngFactory::new(seed);
+        let read_cluster = PoissonZipfConfig {
+            rate: self.rate * self.read_cluster_share,
+            num_keys: self.read_cluster_keys,
+            zipf_exponent: self.read_cluster_zipf,
+            read_ratio: self.read_cluster_ratio,
+            horizon: self.horizon,
+            size: self.size,
+            key_base: 0,
+        };
+        let write_cluster = PoissonZipfConfig {
+            rate: self.rate * (1.0 - self.read_cluster_share),
+            num_keys: self.write_cluster_keys,
+            zipf_exponent: self.write_cluster_zipf,
+            read_ratio: self.write_cluster_ratio,
+            horizon: self.horizon,
+            size: self.size,
+            key_base: self.read_cluster_keys,
+        };
+        let mut trace = read_cluster
+            .generate(f.stream_seed("twitter.read-cluster"))
+            .merge(write_cluster.generate(f.stream_seed("twitter.write-cluster")));
+        trace.meta_mut().generator = self.name().into();
+        trace.meta_mut().seed = seed;
+        trace.meta_mut().num_keys = self.read_cluster_keys + self.write_cluster_keys;
+        Trace::from_sorted(trace.meta().clone(), trace.requests().to_vec())
+    }
+}
+
+/// One class of a [`MultiClassConfig`] workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// Request rate of this class, req/s.
+    pub rate: f64,
+    /// Keys in this class (key ids are allocated disjointly, in class
+    /// order).
+    pub num_keys: u64,
+    /// Zipf exponent within the class.
+    pub zipf_exponent: f64,
+    /// Read probability for this class's requests.
+    pub read_ratio: f64,
+}
+
+/// A workload composed of several key classes with heterogeneous
+/// read/write mixes — the general form of which [`PoissonMixConfig`] and
+/// [`TwitterLikeConfig`] are two-class special cases. Used wherever an
+/// experiment needs keys spread across the decision thresholds (e.g. the
+/// §3.2 SLO frontier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiClassConfig {
+    /// The classes; at least one.
+    pub classes: Vec<ClassSpec>,
+    /// Trace horizon (shared).
+    pub horizon: SimDuration,
+    /// Value-size model (shared).
+    pub size: SizeModel,
+}
+
+impl MultiClassConfig {
+    /// Convenience constructor with uniform rate/keys/zipf across classes
+    /// and the given per-class read ratios.
+    pub fn from_read_ratios(
+        ratios: &[f64],
+        rate_each: f64,
+        keys_each: u64,
+        horizon: SimDuration,
+    ) -> Self {
+        assert!(!ratios.is_empty(), "need at least one class");
+        MultiClassConfig {
+            classes: ratios
+                .iter()
+                .map(|&read_ratio| ClassSpec {
+                    rate: rate_each,
+                    num_keys: keys_each,
+                    zipf_exponent: 1.0,
+                    read_ratio,
+                })
+                .collect(),
+            horizon,
+            size: SizeModel::Fixed(512),
+        }
+    }
+}
+
+impl WorkloadGen for MultiClassConfig {
+    fn name(&self) -> &'static str {
+        "multi-class"
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(!self.classes.is_empty(), "need at least one class");
+        let f = RngFactory::new(seed);
+        let mut key_base = 0u64;
+        let mut merged: Option<Trace> = None;
+        for (i, class) in self.classes.iter().enumerate() {
+            let part = PoissonZipfConfig {
+                rate: class.rate,
+                num_keys: class.num_keys,
+                zipf_exponent: class.zipf_exponent,
+                read_ratio: class.read_ratio,
+                horizon: self.horizon,
+                size: self.size,
+                key_base,
+            }
+            .generate(f.stream_seed(&format!("multi-class.{i}")));
+            key_base += class.num_keys;
+            merged = Some(match merged {
+                None => part,
+                Some(t) => t.merge(part),
+            });
+        }
+        let mut trace = merged.expect("at least one class");
+        trace.meta_mut().generator = self.name().into();
+        trace.meta_mut().seed = seed;
+        trace.meta_mut().num_keys = key_base;
+        Trace::from_sorted(trace.meta().clone(), trace.requests().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_zipf_is_deterministic() {
+        let cfg = PoissonZipfConfig { horizon: SimDuration::from_secs(100), ..Default::default() };
+        let a = cfg.generate(42);
+        let b = cfg.generate(42);
+        assert_eq!(a, b);
+        let c = cfg.generate(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_zipf_hits_rate_and_ratio() {
+        let cfg = PoissonZipfConfig {
+            rate: 50.0,
+            read_ratio: 0.9,
+            horizon: SimDuration::from_secs(2000),
+            ..Default::default()
+        };
+        let tr = cfg.generate(7);
+        let rate = tr.len() as f64 / 2000.0;
+        assert!((rate - 50.0).abs() < 1.5, "rate {rate}");
+        let r = tr.num_reads() as f64 / tr.len() as f64;
+        assert!((r - 0.9).abs() < 0.01, "read ratio {r}");
+    }
+
+    #[test]
+    fn traces_are_sorted() {
+        for tr in [
+            PoissonZipfConfig { horizon: SimDuration::from_secs(200), ..Default::default() }
+                .generate(1),
+            PoissonMixConfig { horizon: SimDuration::from_secs(200), ..Default::default() }
+                .generate(1),
+            MetaLikeConfig { horizon: SimDuration::from_secs(200), ..Default::default() }
+                .generate(1),
+            TwitterLikeConfig { horizon: SimDuration::from_secs(200), ..Default::default() }
+                .generate(1),
+        ] {
+            assert!(
+                tr.requests().windows(2).all(|w| w[0].at <= w[1].at),
+                "{} trace not sorted",
+                tr.meta().generator
+            );
+            assert!(!tr.is_empty());
+        }
+    }
+
+    #[test]
+    fn mix_halves_have_expected_ratios() {
+        let cfg = PoissonMixConfig {
+            rate: 40.0,
+            horizon: SimDuration::from_secs(1000),
+            ..Default::default()
+        };
+        let tr = cfg.generate(3);
+        let boundary = cfg.num_keys_each;
+        let (mut rh_reads, mut rh_total, mut wh_reads, mut wh_total) = (0u64, 0u64, 0u64, 0u64);
+        for r in &tr {
+            if r.key.0 < boundary {
+                rh_total += 1;
+                rh_reads += r.op.is_read() as u64;
+            } else {
+                wh_total += 1;
+                wh_reads += r.op.is_read() as u64;
+            }
+        }
+        let rh = rh_reads as f64 / rh_total as f64;
+        let wh = wh_reads as f64 / wh_total as f64;
+        assert!((rh - 0.95).abs() < 0.02, "read-heavy half ratio {rh}");
+        assert!((wh - 0.10).abs() < 0.02, "write-heavy half ratio {wh}");
+        // ~50/50 traffic split.
+        let share = rh_total as f64 / tr.len() as f64;
+        assert!((share - 0.5).abs() < 0.05, "split {share}");
+    }
+
+    #[test]
+    fn meta_like_is_read_dominated() {
+        let cfg = MetaLikeConfig { horizon: SimDuration::from_secs(1000), ..Default::default() };
+        let tr = cfg.generate(5);
+        let r = tr.num_reads() as f64 / tr.len() as f64;
+        assert!(r > 0.95, "meta-like must be read-dominated, got {r}");
+    }
+
+    #[test]
+    fn twitter_like_has_write_heavy_cluster() {
+        let cfg =
+            TwitterLikeConfig { horizon: SimDuration::from_secs(2000), ..Default::default() };
+        let tr = cfg.generate(5);
+        let boundary = cfg.read_cluster_keys;
+        let (mut wh_reads, mut wh_total) = (0u64, 0u64);
+        for r in &tr {
+            if r.key.0 >= boundary {
+                wh_total += 1;
+                wh_reads += r.op.is_read() as u64;
+            }
+        }
+        assert!(wh_total > 0);
+        let wh = wh_reads as f64 / wh_total as f64;
+        assert!((wh - 0.45).abs() < 0.05, "write cluster ratio {wh}");
+    }
+
+    #[test]
+    fn multi_class_ratios_hold_per_class() {
+        let cfg = MultiClassConfig::from_read_ratios(
+            &[0.1, 0.5, 0.9],
+            20.0,
+            50,
+            SimDuration::from_secs(1000),
+        );
+        let tr = cfg.generate(7);
+        assert_eq!(tr.meta().num_keys, 150);
+        for (i, expected_r) in [0.1, 0.5, 0.9].iter().enumerate() {
+            let lo = (i as u64) * 50;
+            let hi = lo + 50;
+            let (mut reads, mut total) = (0u64, 0u64);
+            for r in &tr {
+                if (lo..hi).contains(&r.key.0) {
+                    total += 1;
+                    reads += r.op.is_read() as u64;
+                }
+            }
+            assert!(total > 0, "class {i} empty");
+            let got = reads as f64 / total as f64;
+            assert!((got - expected_r).abs() < 0.03, "class {i}: {got} vs {expected_r}");
+        }
+    }
+
+    #[test]
+    fn multi_class_is_deterministic_and_sorted() {
+        let cfg = MultiClassConfig::from_read_ratios(
+            &[0.2, 0.8],
+            10.0,
+            20,
+            SimDuration::from_secs(200),
+        );
+        let a = cfg.generate(1);
+        let b = cfg.generate(1);
+        assert_eq!(a, b);
+        assert!(a.requests().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn multi_class_rejects_empty() {
+        MultiClassConfig { classes: vec![], horizon: SimDuration::from_secs(1), size: SizeModel::Fixed(1) }
+            .generate(1);
+    }
+
+    #[test]
+    fn sizes_are_stable_per_key() {
+        let cfg = MetaLikeConfig { horizon: SimDuration::from_secs(500), ..Default::default() };
+        let tr = cfg.generate(9);
+        let mut sizes: std::collections::HashMap<Key, u32> = std::collections::HashMap::new();
+        for r in &tr {
+            let prev = sizes.insert(r.key, r.value_size);
+            if let Some(p) = prev {
+                assert_eq!(p, r.value_size, "key {} changed size", r.key);
+            }
+        }
+    }
+}

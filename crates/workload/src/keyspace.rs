@@ -1,0 +1,122 @@
+//! Key popularity models.
+//!
+//! A [`KeySpace`] maps a sampled *popularity rank* to a stable [`Key`].
+//! The indirection matters: if key ids were equal to ranks, any consumer
+//! that iterated keys in id order (sharding, eviction scans, sketches)
+//! would accidentally see them in popularity order and could be biased by
+//! it. The rank→key table is a Fisher–Yates permutation drawn from its own
+//! RNG stream.
+
+use crate::dist::Zipf;
+use crate::request::Key;
+use rand::Rng;
+
+/// A finite key space with Zipfian popularity.
+#[derive(Debug, Clone)]
+pub struct KeySpace {
+    /// rank (0-based) → key id
+    rank_to_key: Vec<u64>,
+    zipf: Zipf,
+    /// First key id of this space (key spaces can be offset so that
+    /// mixed workloads use disjoint keys).
+    base: u64,
+}
+
+impl KeySpace {
+    /// Build a key space of `n` keys with Zipf exponent `s`, key ids
+    /// `base..base+n`, permuted by `rng`.
+    pub fn new<R: Rng + ?Sized>(n: u64, s: f64, base: u64, rng: &mut R) -> Self {
+        assert!(n >= 1, "key space must be non-empty");
+        let mut rank_to_key: Vec<u64> = (0..n).collect();
+        // Fisher–Yates.
+        for i in (1..n as usize).rev() {
+            let j = rng.gen_range(0..=i);
+            rank_to_key.swap(i, j);
+        }
+        KeySpace { rank_to_key, zipf: Zipf::new(n, s), base }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> u64 {
+        self.rank_to_key.len() as u64
+    }
+
+    /// True if the space holds no keys (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rank_to_key.is_empty()
+    }
+
+    /// Zipf exponent in use.
+    pub fn exponent(&self) -> f64 {
+        self.zipf.s()
+    }
+
+    /// Sample a key according to popularity.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Key {
+        let rank = self.zipf.sample_rank(rng) - 1; // 1-based → 0-based
+        Key(self.base + self.rank_to_key[rank as usize])
+    }
+
+    /// The key holding popularity rank `rank` (0 = hottest). Exposed so
+    /// tests and analyses can find the hot keys deterministically.
+    pub fn key_at_rank(&self, rank: u64) -> Key {
+        Key(self.base + self.rank_to_key[rank as usize])
+    }
+
+    /// Smallest key id in this space.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fresca_sim::Xoshiro256PlusPlus;
+    use std::collections::HashMap;
+
+    #[test]
+    fn keys_cover_range_exactly_once() {
+        let mut rng = Xoshiro256PlusPlus::new(11);
+        let ks = KeySpace::new(100, 1.0, 1000, &mut rng);
+        let mut seen: Vec<u64> = (0..100).map(|r| ks.key_at_rank(r).0).collect();
+        seen.sort_unstable();
+        let expected: Vec<u64> = (1000..1100).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn hot_key_dominates() {
+        let mut rng = Xoshiro256PlusPlus::new(12);
+        let ks = KeySpace::new(50, 1.3, 0, &mut rng);
+        let hot = ks.key_at_rank(0);
+        let mut counts: HashMap<Key, usize> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(ks.sample(&mut rng)).or_default() += 1;
+        }
+        let hot_count = counts[&hot];
+        let max_other = counts.iter().filter(|(k, _)| **k != hot).map(|(_, c)| *c).max().unwrap();
+        assert!(hot_count > max_other, "rank-0 key must be the most sampled");
+    }
+
+    #[test]
+    fn permutation_depends_on_rng() {
+        let mut r1 = Xoshiro256PlusPlus::new(1);
+        let mut r2 = Xoshiro256PlusPlus::new(2);
+        let a = KeySpace::new(64, 1.0, 0, &mut r1);
+        let b = KeySpace::new(64, 1.0, 0, &mut r2);
+        let same = (0..64).all(|r| a.key_at_rank(r) == b.key_at_rank(r));
+        assert!(!same, "different seeds should permute differently");
+    }
+
+    #[test]
+    fn disjoint_bases_do_not_overlap() {
+        let mut rng = Xoshiro256PlusPlus::new(13);
+        let a = KeySpace::new(10, 1.0, 0, &mut rng);
+        let b = KeySpace::new(10, 1.0, 10, &mut rng);
+        for r in 0..10 {
+            assert!(a.key_at_rank(r).0 < 10);
+            assert!(b.key_at_rank(r).0 >= 10);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # fresca-workload — request streams for freshness experiments
+//!
+//! The paper evaluates freshness policies on four workloads: a synthetic
+//! Poisson workload with Zipfian popularity (λ=10, s=1.3), a 50-50 mix of
+//! a read-heavy and a write-heavy Poisson workload, and two production
+//! workloads from Meta and Twitter. The production traces are not
+//! redistributable, so this crate ships *generators*: parameterised
+//! synthetic sources whose per-key request interleaving, read/write mix
+//! and popularity skew match the published characterisations (see
+//! `DESIGN.md` §4 for the substitution argument).
+//!
+//! Contents:
+//!
+//! * [`request`] — the `Request` / `Trace` data model shared by every
+//!   engine and bench in the workspace.
+//! * [`dist`] — numeric distributions implemented from scratch on top of
+//!   `rand` (Zipf via Hörmann–Derflinger rejection-inversion, exponential,
+//!   log-normal, Pareto, …), so the streams are reproducible forever.
+//! * [`arrival`] — arrival-time processes: homogeneous Poisson,
+//!   non-homogeneous (diurnal) Poisson via thinning, on/off bursty.
+//! * [`keyspace`] — key popularity models (rank permutation so key ids do
+//!   not encode popularity).
+//! * [`gen`] — the four paper workloads plus a builder for custom ones.
+//! * [`trace_io`] — binary and CSV trace serialisation.
+//! * [`analyze`] — measured statistics over a trace (observed read ratio,
+//!   per-key `E[W]`, skew), used by tests and by the figure harnesses.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyze;
+pub mod arrival;
+pub mod dist;
+pub mod gen;
+pub mod keyspace;
+pub mod request;
+pub mod trace_io;
+
+pub use analyze::TraceStats;
+pub use gen::{
+    ClassSpec, MetaLikeConfig, MultiClassConfig, PoissonMixConfig, PoissonZipfConfig,
+    TwitterLikeConfig, WorkloadGen,
+};
+pub use request::{Key, Op, Request, Trace};

@@ -1,0 +1,277 @@
+//! The request and trace data model.
+//!
+//! A [`Request`] is one client operation against one object: a read or a
+//! write of `key` at virtual time `at`, carrying the (simulated) value
+//! size used by byte-scaled cost models. A [`Trace`] is a time-sorted
+//! sequence of requests plus the metadata needed to interpret it
+//! (key-space size, horizon, generator name and seed).
+
+use fresca_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An object identifier. Dense `u64` ids keep per-key state in flat
+/// vectors where possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Key(pub u64);
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Operation type. Reads are served cache-aside; writes go directly to the
+/// backend data store (Figure 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Client read of an object.
+    Read,
+    /// Client write (the cache is bypassed; freshness machinery reacts).
+    Write,
+}
+
+impl Op {
+    /// True for [`Op::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Read)
+    }
+
+    /// True for [`Op::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, Op::Write)
+    }
+}
+
+/// One client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Object accessed.
+    pub key: Key,
+    /// Read or write.
+    pub op: Op,
+    /// Size of the object's value in bytes (writes set it; reads observe
+    /// it). Used by byte-scaled cost models and by the wire codec.
+    pub value_size: u32,
+}
+
+impl Request {
+    /// Construct a read request.
+    pub fn read(at: SimTime, key: Key, value_size: u32) -> Self {
+        Request { at, key, op: Op::Read, value_size }
+    }
+
+    /// Construct a write request.
+    pub fn write(at: SimTime, key: Key, value_size: u32) -> Self {
+        Request { at, key, op: Op::Write, value_size }
+    }
+}
+
+/// Metadata describing how a trace was produced.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Human-readable generator name (e.g. `"poisson-zipf"`).
+    pub generator: String,
+    /// Master seed the trace was generated from.
+    pub seed: u64,
+    /// Number of distinct keys the generator could emit.
+    pub num_keys: u64,
+    /// Nominal horizon the generator was asked for.
+    pub horizon: SimDuration,
+}
+
+/// A time-sorted sequence of requests.
+///
+/// Sortedness is an invariant: constructors either sort or assert, and
+/// [`Trace::push`] rejects out-of-order appends, so every consumer
+/// (engines, the Oracle's look-ahead, the analyzer) can rely on it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    meta: TraceMeta,
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Empty trace with the given metadata.
+    pub fn new(meta: TraceMeta) -> Self {
+        Trace { meta, requests: Vec::new() }
+    }
+
+    /// Build from an unsorted request vector (sorts by time, stable).
+    pub fn from_unsorted(meta: TraceMeta, mut requests: Vec<Request>) -> Self {
+        requests.sort_by_key(|r| r.at);
+        Trace { meta, requests }
+    }
+
+    /// Build from a vector the caller guarantees is sorted. Panics (debug)
+    /// if the guarantee is violated.
+    pub fn from_sorted(meta: TraceMeta, requests: Vec<Request>) -> Self {
+        debug_assert!(
+            requests.windows(2).all(|w| w[0].at <= w[1].at),
+            "trace must be sorted by time"
+        );
+        Trace { meta, requests }
+    }
+
+    /// Append a request; must not be earlier than the current tail.
+    pub fn push(&mut self, r: Request) {
+        if let Some(last) = self.requests.last() {
+            assert!(r.at >= last.at, "push would unsort trace: {} < {}", r.at, last.at);
+        }
+        self.requests.push(r);
+    }
+
+    /// Trace metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Mutable access to the metadata (used by mergers and loaders).
+    pub fn meta_mut(&mut self) -> &mut TraceMeta {
+        &mut self.meta
+    }
+
+    /// All requests in time order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if there are no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Timestamp of the last request, or zero for an empty trace.
+    pub fn end_time(&self) -> SimTime {
+        self.requests.last().map(|r| r.at).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Count of read requests.
+    pub fn num_reads(&self) -> usize {
+        self.requests.iter().filter(|r| r.op.is_read()).count()
+    }
+
+    /// Count of write requests.
+    pub fn num_writes(&self) -> usize {
+        self.requests.iter().filter(|r| r.op.is_write()).count()
+    }
+
+    /// Merge two traces into one time-sorted trace (stable two-way merge;
+    /// ties keep `self`'s requests first). Metadata is taken from `self`
+    /// with the generator names joined by `+`.
+    pub fn merge(self, other: Trace) -> Trace {
+        let mut meta = self.meta.clone();
+        if !other.meta.generator.is_empty() {
+            meta.generator = format!("{}+{}", meta.generator, other.meta.generator);
+        }
+        meta.num_keys = meta.num_keys.max(other.meta.num_keys);
+        meta.horizon = meta.horizon.max(other.meta.horizon);
+        let (a, b) = (self.requests, other.requests);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].at <= b[j].at {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Trace { meta, requests: out }
+    }
+
+    /// Iterate over the requests.
+    pub fn iter(&self) -> std::slice::Iter<'_, Request> {
+        self.requests.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Request;
+    type IntoIter = std::slice::Iter<'a, Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut tr = Trace::new(TraceMeta::default());
+        tr.push(Request::read(t(1), Key(1), 10));
+        tr.push(Request::write(t(2), Key(1), 10));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.num_reads(), 1);
+        assert_eq!(tr.num_writes(), 1);
+        assert_eq!(tr.end_time(), t(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsort")]
+    fn push_rejects_out_of_order() {
+        let mut tr = Trace::new(TraceMeta::default());
+        tr.push(Request::read(t(5), Key(1), 10));
+        tr.push(Request::read(t(1), Key(1), 10));
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let reqs = vec![
+            Request::read(t(3), Key(3), 1),
+            Request::read(t(1), Key(1), 1),
+            Request::read(t(2), Key(2), 1),
+        ];
+        let tr = Trace::from_unsorted(TraceMeta::default(), reqs);
+        let times: Vec<_> = tr.iter().map(|r| r.at).collect();
+        assert_eq!(times, vec![t(1), t(2), t(3)]);
+    }
+
+    #[test]
+    fn merge_is_sorted_and_complete() {
+        let a = Trace::from_sorted(
+            TraceMeta { generator: "a".into(), ..Default::default() },
+            vec![Request::read(t(1), Key(1), 1), Request::read(t(4), Key(1), 1)],
+        );
+        let b = Trace::from_sorted(
+            TraceMeta { generator: "b".into(), ..Default::default() },
+            vec![Request::write(t(2), Key(2), 1), Request::write(t(3), Key(2), 1)],
+        );
+        let m = a.merge(b);
+        assert_eq!(m.len(), 4);
+        assert!(m.requests().windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(m.meta().generator, "a+b");
+    }
+
+    #[test]
+    fn merge_tie_keeps_left_first() {
+        let a = Trace::from_sorted(
+            TraceMeta::default(),
+            vec![Request::read(t(1), Key(10), 1)],
+        );
+        let b = Trace::from_sorted(
+            TraceMeta::default(),
+            vec![Request::read(t(1), Key(20), 1)],
+        );
+        let m = a.merge(b);
+        assert_eq!(m.requests()[0].key, Key(10));
+        assert_eq!(m.requests()[1].key, Key(20));
+    }
+}

@@ -1,0 +1,317 @@
+//! Trace serialisation.
+//!
+//! Two formats:
+//!
+//! * **Binary** — a compact length-prefixed format built on [`bytes`]
+//!   (magic, version, metadata, then fixed-width records). This is the
+//!   format the benches use to cache expensive traces between runs.
+//! * **CSV** — `time_ns,key,op,value_size` with a header row, for eyeball
+//!   debugging and for importing into plotting tools.
+//!
+//! Both round-trip exactly (covered by proptest).
+
+use crate::request::{Key, Op, Request, Trace, TraceMeta};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fresca_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// Magic bytes identifying a fresca binary trace.
+pub const MAGIC: &[u8; 4] = b"FRTR";
+/// Current binary format version.
+pub const VERSION: u8 = 1;
+
+/// Errors produced while decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceIoError {
+    /// Input does not start with the fresca magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Input ended before the declared number of records.
+    Truncated,
+    /// A field had an invalid value (op code, utf-8, number).
+    Malformed(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::BadMagic => write!(f, "not a fresca trace (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::Truncated => write!(f, "trace data truncated"),
+            TraceIoError::Malformed(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+/// Encode a trace to the binary format.
+pub fn encode_binary(trace: &Trace) -> Bytes {
+    let meta = trace.meta();
+    let name = meta.generator.as_bytes();
+    let mut buf = BytesMut::with_capacity(64 + name.len() + trace.len() * 21);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u16(name.len() as u16);
+    buf.put_slice(name);
+    buf.put_u64(meta.seed);
+    buf.put_u64(meta.num_keys);
+    buf.put_u64(meta.horizon.as_nanos());
+    buf.put_u64(trace.len() as u64);
+    for r in trace {
+        buf.put_u64(r.at.as_nanos());
+        buf.put_u64(r.key.0);
+        buf.put_u8(match r.op {
+            Op::Read => 0,
+            Op::Write => 1,
+        });
+        buf.put_u32(r.value_size);
+    }
+    buf.freeze()
+}
+
+/// Decode a trace from the binary format.
+pub fn decode_binary(mut data: &[u8]) -> Result<Trace, TraceIoError> {
+    if data.remaining() < 5 {
+        return Err(TraceIoError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    if data.remaining() < 2 {
+        return Err(TraceIoError::Truncated);
+    }
+    let name_len = data.get_u16() as usize;
+    if data.remaining() < name_len {
+        return Err(TraceIoError::Truncated);
+    }
+    let name = std::str::from_utf8(&data[..name_len])
+        .map_err(|e| TraceIoError::Malformed(format!("generator name: {e}")))?
+        .to_owned();
+    data.advance(name_len);
+    if data.remaining() < 8 * 4 {
+        return Err(TraceIoError::Truncated);
+    }
+    let seed = data.get_u64();
+    let num_keys = data.get_u64();
+    let horizon = SimDuration::from_nanos(data.get_u64());
+    let count = data.get_u64() as usize;
+    if data.remaining() < count * 21 {
+        return Err(TraceIoError::Truncated);
+    }
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        let at = SimTime::from_nanos(data.get_u64());
+        let key = Key(data.get_u64());
+        let op = match data.get_u8() {
+            0 => Op::Read,
+            1 => Op::Write,
+            o => return Err(TraceIoError::Malformed(format!("op code {o}"))),
+        };
+        let value_size = data.get_u32();
+        requests.push(Request { at, key, op, value_size });
+    }
+    if !requests.windows(2).all(|w| w[0].at <= w[1].at) {
+        return Err(TraceIoError::Malformed("records not time-sorted".into()));
+    }
+    Ok(Trace::from_sorted(TraceMeta { generator: name, seed, num_keys, horizon }, requests))
+}
+
+/// Encode a trace to CSV (`time_ns,key,op,value_size`, one header row;
+/// metadata goes into `#`-prefixed comment lines).
+pub fn encode_csv(trace: &Trace) -> String {
+    let meta = trace.meta();
+    let mut out = String::with_capacity(trace.len() * 24 + 128);
+    out.push_str(&format!(
+        "# generator={} seed={} num_keys={} horizon_ns={}\n",
+        meta.generator,
+        meta.seed,
+        meta.num_keys,
+        meta.horizon.as_nanos()
+    ));
+    out.push_str("time_ns,key,op,value_size\n");
+    for r in trace {
+        let op = if r.op.is_read() { 'R' } else { 'W' };
+        out.push_str(&format!("{},{},{},{}\n", r.at.as_nanos(), r.key.0, op, r.value_size));
+    }
+    out
+}
+
+/// Decode a trace from CSV produced by [`encode_csv`] (or hand-written in
+/// the same shape; the `#` metadata line is optional).
+pub fn decode_csv(text: &str) -> Result<Trace, TraceIoError> {
+    let mut meta = TraceMeta::default();
+    let mut requests = Vec::new();
+    let mut seen_header = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            for kv in rest.split_whitespace() {
+                if let Some((k, v)) = kv.split_once('=') {
+                    match k {
+                        "generator" => meta.generator = v.to_owned(),
+                        "seed" => {
+                            meta.seed = v
+                                .parse()
+                                .map_err(|e| TraceIoError::Malformed(format!("seed: {e}")))?
+                        }
+                        "num_keys" => {
+                            meta.num_keys = v
+                                .parse()
+                                .map_err(|e| TraceIoError::Malformed(format!("num_keys: {e}")))?
+                        }
+                        "horizon_ns" => {
+                            meta.horizon = SimDuration::from_nanos(v.parse().map_err(|e| {
+                                TraceIoError::Malformed(format!("horizon_ns: {e}"))
+                            })?)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        if !seen_header {
+            // First non-comment line must be the header.
+            if line != "time_ns,key,op,value_size" {
+                return Err(TraceIoError::Malformed(format!("unexpected header: {line}")));
+            }
+            seen_header = true;
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next = |name: &str| {
+            fields
+                .next()
+                .ok_or_else(|| TraceIoError::Malformed(format!("missing field {name}")))
+        };
+        let at: u64 = next("time_ns")?
+            .parse()
+            .map_err(|e| TraceIoError::Malformed(format!("time_ns: {e}")))?;
+        let key: u64 =
+            next("key")?.parse().map_err(|e| TraceIoError::Malformed(format!("key: {e}")))?;
+        let op = match next("op")? {
+            "R" => Op::Read,
+            "W" => Op::Write,
+            o => return Err(TraceIoError::Malformed(format!("op {o:?}"))),
+        };
+        let value_size: u32 = next("value_size")?
+            .parse()
+            .map_err(|e| TraceIoError::Malformed(format!("value_size: {e}")))?;
+        requests.push(Request { at: SimTime::from_nanos(at), key: Key(key), op, value_size });
+    }
+    if !requests.windows(2).all(|w| w[0].at <= w[1].at) {
+        return Err(TraceIoError::Malformed("records not time-sorted".into()));
+    }
+    Ok(Trace::from_sorted(meta, requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{PoissonZipfConfig, WorkloadGen};
+    use proptest::prelude::*;
+
+    fn sample_trace() -> Trace {
+        PoissonZipfConfig {
+            horizon: SimDuration::from_secs(50),
+            ..Default::default()
+        }
+        .generate(99)
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let tr = sample_trace();
+        let bytes = encode_binary(&tr);
+        let back = decode_binary(&bytes).unwrap();
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let tr = sample_trace();
+        let text = encode_csv(&tr);
+        let back = decode_csv(&text).unwrap();
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert_eq!(decode_binary(b"NOPE").unwrap_err(), TraceIoError::Truncated);
+        assert_eq!(decode_binary(b"NOPE!xxxxxxx").unwrap_err(), TraceIoError::BadMagic);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let tr = sample_trace();
+        let bytes = encode_binary(&tr);
+        let cut = &bytes[..bytes.len() - 3];
+        assert_eq!(decode_binary(cut).unwrap_err(), TraceIoError::Truncated);
+    }
+
+    #[test]
+    fn binary_rejects_wrong_version() {
+        let tr = sample_trace();
+        let mut bytes = encode_binary(&tr).to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode_binary(&bytes).unwrap_err(), TraceIoError::BadVersion(99));
+    }
+
+    #[test]
+    fn csv_rejects_bad_op() {
+        let text = "time_ns,key,op,value_size\n1,2,X,3\n";
+        assert!(matches!(decode_csv(text), Err(TraceIoError::Malformed(_))));
+    }
+
+    #[test]
+    fn csv_rejects_unsorted() {
+        let text = "time_ns,key,op,value_size\n10,1,R,1\n5,1,R,1\n";
+        assert!(matches!(decode_csv(text), Err(TraceIoError::Malformed(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn binary_roundtrip_arbitrary(
+            times in proptest::collection::vec(0u64..1_000_000_000_000, 0..200),
+            keys in proptest::collection::vec(0u64..1000, 200),
+            sizes in proptest::collection::vec(1u32..100_000, 200),
+            ops in proptest::collection::vec(0u8..2, 200),
+        ) {
+            let mut times = times;
+            times.sort_unstable();
+            let requests: Vec<Request> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Request {
+                    at: SimTime::from_nanos(t),
+                    key: Key(keys[i % keys.len()]),
+                    op: if ops[i % ops.len()] == 0 { Op::Read } else { Op::Write },
+                    value_size: sizes[i % sizes.len()],
+                })
+                .collect();
+            let tr = Trace::from_sorted(TraceMeta {
+                generator: "prop".into(),
+                seed: 1,
+                num_keys: 1000,
+                horizon: SimDuration::from_secs(1000),
+            }, requests);
+            let bytes = encode_binary(&tr);
+            let back = decode_binary(&bytes).unwrap();
+            prop_assert_eq!(&tr, &back);
+            let text = encode_csv(&tr);
+            let back2 = decode_csv(&text).unwrap();
+            prop_assert_eq!(&tr, &back2);
+        }
+    }
+}

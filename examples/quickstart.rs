@@ -1,0 +1,74 @@
+//! Quickstart: compare every freshness policy on one workload.
+//!
+//! Runs the paper's seven policies (Figure 5's bars) over a Poisson
+//! workload at a one-second staleness bound and prints the freshness cost
+//! `C'_F`, the staleness cost `C'_S`, and the message counts behind them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fresca::prelude::*;
+
+fn main() {
+    let trace = PoissonZipfConfig {
+        rate: 20.0,
+        num_keys: 500,
+        zipf_exponent: 1.3,
+        read_ratio: 0.9,
+        horizon: SimDuration::from_secs(2_000),
+        ..Default::default()
+    }
+    .generate(42);
+
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "workload: {} requests over {:.0}s, {:.1}% reads, {} distinct keys",
+        trace.len(),
+        trace.end_time().as_secs_f64(),
+        100.0 * stats.read_ratio(),
+        stats.distinct_keys
+    );
+
+    let config = EngineConfig {
+        staleness_bound: SimDuration::from_secs(1),
+        ..EngineConfig::default()
+    };
+    println!(
+        "staleness bound T = {:.1}s, cost model: c_m=1.0 c_u=0.5 c_i=0.1\n",
+        config.staleness_bound.as_secs_f64()
+    );
+
+    println!(
+        "{:<14} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "policy", "C'_F", "C'_S", "inv", "upd", "stale", "refresh"
+    );
+    let policies = [
+        PolicyConfig::TtlExpiry,
+        PolicyConfig::TtlPolling,
+        PolicyConfig::AlwaysInvalidate,
+        PolicyConfig::AlwaysUpdate,
+        PolicyConfig::adaptive(),
+        PolicyConfig::adaptive_cache_state(),
+        PolicyConfig::Oracle,
+    ];
+    for policy in policies {
+        let r = TraceEngine::new(config, policy).run(&trace);
+        println!(
+            "{:<14} {:>10.4} {:>8.2}% {:>8} {:>8} {:>8} {:>8}",
+            r.policy,
+            r.cf_normalized,
+            100.0 * r.cs_normalized,
+            r.breakdown.invalidates_sent,
+            r.breakdown.updates_sent,
+            r.breakdown.stale_fetches,
+            r.breakdown.polling_refreshes,
+        );
+    }
+
+    println!(
+        "\nTakeaway: at real-time bounds, reacting to writes (bottom five rows)\n\
+         costs a small fraction of the TTL policies, and the adaptive policy\n\
+         tracks the cheaper of update/invalidate per key."
+    );
+}

@@ -1,0 +1,97 @@
+//! §5 open question 1, end to end: message loss breaks the staleness
+//! bound for write-reactive policies; reliability machinery restores it;
+//! TTLs never needed it.
+
+use fresca::prelude::*;
+
+fn workload() -> Trace {
+    PoissonZipfConfig {
+        rate: 80.0,
+        num_keys: 120,
+        zipf_exponent: 1.1,
+        read_ratio: 0.8,
+        horizon: SimDuration::from_secs(400),
+        ..Default::default()
+    }
+    .generate(2025)
+}
+
+fn config(drop: f64, reliable: bool) -> SystemConfig {
+    SystemConfig {
+        engine: EngineConfig {
+            staleness_bound: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        },
+        faults: FaultConfig { drop_prob: drop, ..FaultConfig::default() },
+        reliable,
+        rto: SimDuration::from_millis(40),
+        max_retries: 10,
+        net_seed: 31,
+    }
+}
+
+#[test]
+fn loss_violates_bound_for_both_invalidate_and_update() {
+    let trace = workload();
+    for policy in [PolicyConfig::AlwaysInvalidate, PolicyConfig::AlwaysUpdate] {
+        let clean = SystemEngine::new(config(0.0, false), policy).run(&trace);
+        let lossy = SystemEngine::new(config(0.15, false), policy).run(&trace);
+        assert_eq!(clean.violations, 0, "{}: clean link is violation-free", clean.policy);
+        assert!(
+            lossy.violations > 100,
+            "{}: loss must violate the bound, got {}",
+            lossy.policy,
+            lossy.violations
+        );
+    }
+}
+
+#[test]
+fn reliability_restores_bound_within_retransmit_budget() {
+    let trace = workload();
+    for policy in [PolicyConfig::AlwaysInvalidate, PolicyConfig::AlwaysUpdate] {
+        let lossy = SystemEngine::new(config(0.15, false), policy).run(&trace);
+        let fixed = SystemEngine::new(config(0.15, true), policy).run(&trace);
+        assert!(
+            (fixed.violations as f64) < 0.02 * lossy.violations.max(1) as f64,
+            "{}: reliable {} vs lossy {}",
+            fixed.policy,
+            fixed.violations,
+            lossy.violations
+        );
+        assert!(fixed.retransmissions > 0);
+        // Whatever residual violations remain are bounded by the RTO
+        // chain, not unbounded like the lossy run's.
+        assert!(
+            fixed.max_overage_s < lossy.max_overage_s / 4.0,
+            "{}: overage {} vs {}",
+            fixed.policy,
+            fixed.max_overage_s,
+            lossy.max_overage_s
+        );
+    }
+}
+
+#[test]
+fn ttl_needs_no_messages_and_cannot_be_violated() {
+    let trace = workload();
+    let r = SystemEngine::new(config(0.5, false), PolicyConfig::TtlExpiry).run(&trace);
+    assert_eq!(r.net.sent, 0);
+    assert_eq!(r.violations, 0);
+    // But it pays with stale misses instead — the trade the paper frames.
+    assert!(r.stale_misses > 0);
+}
+
+#[test]
+fn duplicates_and_reordering_are_handled() {
+    let trace = workload();
+    let mut cfg = config(0.1, true);
+    cfg.faults.duplicate_prob = 0.3;
+    cfg.faults.jitter = SimDuration::from_millis(5);
+    let r = SystemEngine::new(cfg, PolicyConfig::AlwaysUpdate).run(&trace);
+    assert!(r.duplicates_suppressed > 0, "dedup layer exercised");
+    // Version guard + dedup keep correctness: residual violations only
+    // from retry exhaustion, which the generous budget prevents here.
+    assert_eq!(r.gave_up, 0);
+    assert!(r.violation_ratio() < 0.001, "ratio {}", r.violation_ratio());
+}

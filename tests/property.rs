@@ -1,0 +1,282 @@
+//! Property-based tests on cross-crate invariants: the cache against a
+//! reference model, the timer wheel against a naive timer list, and the
+//! engines' accounting identities over arbitrary workloads.
+
+use fresca::prelude::*;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+// ---------------------------------------------------------------------
+// Cache vs reference model
+// ---------------------------------------------------------------------
+
+/// Reference LRU cache: ordered map from recency stamp to key.
+struct ModelLru {
+    capacity: usize,
+    by_recency: BTreeMap<u64, u64>,
+    entries: HashMap<u64, (u64, bool)>, // key -> (stamp, stale)
+    clock: u64,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru { capacity, by_recency: BTreeMap::new(), entries: HashMap::new(), clock: 0 }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some((stamp, stale)) = self.entries.get(&key).copied() {
+            self.by_recency.remove(&stamp);
+            self.clock += 1;
+            self.by_recency.insert(self.clock, key);
+            self.entries.insert(key, (self.clock, stale));
+        }
+    }
+
+    fn insert(&mut self, key: u64) {
+        if self.entries.contains_key(&key) {
+            self.touch(key);
+            if let Some(e) = self.entries.get_mut(&key) {
+                e.1 = false;
+            }
+            return;
+        }
+        self.clock += 1;
+        self.by_recency.insert(self.clock, key);
+        self.entries.insert(key, (self.clock, false));
+        while self.entries.len() > self.capacity {
+            let (&stamp, &victim) = self.by_recency.iter().next().expect("non-empty");
+            self.by_recency.remove(&stamp);
+            self.entries.remove(&victim);
+        }
+    }
+
+    fn invalidate(&mut self, key: u64) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.1 = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn classify(&mut self, key: u64) -> &'static str {
+        match self.entries.get(&key).copied() {
+            None => "cold",
+            Some((_, stale)) => {
+                self.touch(key);
+                if stale {
+                    "stale"
+                } else {
+                    "fresh"
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Get(u64),
+    Insert(u64),
+    Invalidate(u64),
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..32).prop_map(CacheOp::Get),
+            (0u64..32).prop_map(CacheOp::Insert),
+            (0u64..32).prop_map(CacheOp::Invalidate),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production cache agrees with a naive reference LRU on every
+    /// observable outcome (hit/stale/cold classification, membership,
+    /// eviction victims) under arbitrary operation sequences.
+    #[test]
+    fn cache_matches_reference_lru(ops in cache_ops(), cap in 1usize..16) {
+        let mut real = Cache::new(CacheConfig {
+            capacity: Capacity::Entries(cap),
+            eviction: EvictionPolicy::Lru,
+        });
+        let mut model = ModelLru::new(cap);
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            let t = SimTime::from_nanos(now);
+            match op {
+                CacheOp::Get(k) => {
+                    let got = match real.get(k, t) {
+                        GetResult::FreshHit(_) => "fresh",
+                        GetResult::StaleMiss(_) => "stale",
+                        GetResult::ColdMiss => "cold",
+                    };
+                    let want = model.classify(k);
+                    prop_assert_eq!(got, want, "get({}) diverged", k);
+                }
+                CacheOp::Insert(k) => {
+                    real.insert(k, 1, 8, t, None);
+                    model.insert(k);
+                }
+                CacheOp::Invalidate(k) => {
+                    let got = real.apply_invalidate(k);
+                    let want = model.invalidate(k);
+                    prop_assert_eq!(got, want, "invalidate({}) diverged", k);
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len(), "size diverged");
+            prop_assert!(real.len() <= cap, "capacity violated");
+            for k in 0..32u64 {
+                prop_assert_eq!(
+                    real.contains(k),
+                    model.entries.contains_key(&k),
+                    "membership of {} diverged", k
+                );
+            }
+        }
+    }
+
+    /// The timer wheel fires exactly the same (deadline, payload) pairs
+    /// as a naive sorted timer list, for arbitrary schedules, cancels and
+    /// advance patterns.
+    #[test]
+    fn wheel_matches_naive_timer_list(
+        deadlines in proptest::collection::vec(1u64..5_000, 1..80),
+        cancels in proptest::collection::vec(any::<bool>(), 80),
+        steps in proptest::collection::vec(1u64..2_000, 1..8),
+    ) {
+        use fresca::fresca_cache::TimerWheel;
+        let mut wheel: TimerWheel<usize> = TimerWheel::new(SimDuration::from_millis(1));
+        let mut naive: Vec<(u64, usize, bool)> = Vec::new(); // (tick, id, live)
+        let mut tokens = Vec::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            tokens.push(wheel.schedule(SimTime::from_millis(d), i));
+            naive.push((d, i, true));
+        }
+        for (i, &cancel) in cancels.iter().take(deadlines.len()).enumerate() {
+            if cancel {
+                let from_wheel = wheel.cancel(tokens[i]);
+                prop_assert_eq!(from_wheel, Some(i));
+                naive[i].2 = false;
+            }
+        }
+        let mut now = 0u64;
+        for &s in &steps {
+            now += s;
+            let fired: Vec<(u64, usize)> = wheel
+                .advance(SimTime::from_millis(now))
+                .into_iter()
+                .map(|(t, id)| (t.as_nanos() / 1_000_000, id))
+                .collect();
+            let mut expected: Vec<(u64, usize)> = naive
+                .iter()
+                .filter(|&&(d, _, live)| live && d <= now)
+                .map(|&(d, id, _)| (d, id))
+                .collect();
+            expected.sort_by_key(|&(d, id)| (d, id));
+            // Mark them fired in the naive list.
+            for e in naive.iter_mut() {
+                if e.2 && e.0 <= now {
+                    e.2 = false;
+                }
+            }
+            let mut fired_sorted = fired.clone();
+            fired_sorted.sort_by_key(|&(d, id)| (d, id));
+            prop_assert_eq!(fired_sorted, expected, "fired set diverged at {}", now);
+            // Ordering property: fired deadlines are non-decreasing.
+            prop_assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+    }
+
+    /// Engine accounting identities hold on arbitrary small workloads:
+    /// every read is classified exactly once; C_S events equal stale
+    /// fetches; C_F components are consistent with the unit cost model.
+    #[test]
+    fn engine_accounting_identities(
+        seed in any::<u64>(),
+        rate in 5.0f64..50.0,
+        read_ratio in 0.05f64..0.95,
+        bound_ms in 100u64..5_000,
+        policy_idx in 0usize..5,
+    ) {
+        let trace = PoissonZipfConfig {
+            rate,
+            num_keys: 30,
+            read_ratio,
+            horizon: SimDuration::from_secs(60),
+            ..Default::default()
+        }
+        .generate(seed);
+        prop_assume!(!trace.is_empty());
+        let policy = [
+            PolicyConfig::TtlExpiry,
+            PolicyConfig::TtlPolling,
+            PolicyConfig::AlwaysInvalidate,
+            PolicyConfig::AlwaysUpdate,
+            PolicyConfig::adaptive(),
+        ][policy_idx];
+        let report = TraceEngine::new(
+            EngineConfig {
+                staleness_bound: SimDuration::from_millis(bound_ms),
+                ..EngineConfig::default()
+            },
+            policy,
+        )
+        .run(&trace);
+
+        // Reads classified exactly once.
+        prop_assert_eq!(
+            report.cache.fresh_hits + report.cache.stale_misses + report.cache.cold_misses,
+            report.reads
+        );
+        // C_S == stale fetches == cache stale misses.
+        prop_assert_eq!(report.cs_events, report.breakdown.stale_fetches);
+        prop_assert_eq!(report.cs_events, report.cache.stale_misses);
+        // Unit-cost identity: C_F = 0.1*inv + 0.5*upd + 1.0*(stale + poll).
+        let b = &report.breakdown;
+        let expect = 0.1 * b.invalidates_sent as f64
+            + 0.5 * b.updates_sent as f64
+            + (b.stale_fetches + b.polling_refreshes) as f64;
+        prop_assert!((report.cf_total - expect).abs() < 1e-6);
+        // Normalised forms are finite and non-negative.
+        prop_assert!(report.cf_normalized.is_finite() && report.cf_normalized >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.cs_normalized));
+        // Store writes equal trace writes.
+        prop_assert_eq!(report.store_writes, report.writes);
+    }
+
+    /// Zero-staleness policies never produce staleness events, for any
+    /// workload and bound.
+    #[test]
+    fn proactive_policies_never_stale(
+        seed in any::<u64>(),
+        read_ratio in 0.1f64..0.9,
+        bound_ms in 50u64..10_000,
+    ) {
+        let trace = PoissonZipfConfig {
+            rate: 20.0,
+            num_keys: 20,
+            read_ratio,
+            horizon: SimDuration::from_secs(30),
+            ..Default::default()
+        }
+        .generate(seed);
+        for policy in [PolicyConfig::TtlPolling, PolicyConfig::AlwaysUpdate] {
+            let report = TraceEngine::new(
+                EngineConfig {
+                    staleness_bound: SimDuration::from_millis(bound_ms),
+                    ..EngineConfig::default()
+                },
+                policy,
+            )
+            .run(&trace);
+            prop_assert_eq!(report.cs_events, 0, "{} leaked staleness", report.policy);
+        }
+    }
+}
