@@ -20,11 +20,10 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = jobs.into_iter().map(|job| s.spawn(move |_| job())).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = jobs.into_iter().map(|job| s.spawn(job)).collect();
         handles.into_iter().map(|h| h.join().expect("bench job panicked")).collect()
     })
-    .expect("bench scope panicked")
 }
 
 /// Directory where binaries drop their JSON series.

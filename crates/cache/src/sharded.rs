@@ -195,6 +195,82 @@ mod tests {
     }
 
     #[test]
+    fn capacity_split_bytes() {
+        // 1024 total bytes over 4 shards = 256 bytes/shard; 64-byte
+        // values → at most 4 entries per shard, 16 aggregate.
+        let c = ShardedCache::new(
+            CacheConfig { capacity: Capacity::Bytes(1024), eviction: EvictionPolicy::Lru },
+            4,
+        );
+        for k in 0..200u64 {
+            c.insert(k, 1, 64, t(0), None);
+        }
+        assert!(c.len() <= 16, "aggregate byte capacity respected, len = {}", c.len());
+        assert!(c.stats().evictions > 0, "byte pressure must evict");
+    }
+
+    #[test]
+    fn unbounded_capacity_never_evicts() {
+        let c = ShardedCache::new(
+            CacheConfig { capacity: Capacity::Unbounded, eviction: EvictionPolicy::Lru },
+            8,
+        );
+        for k in 0..10_000u64 {
+            c.insert(k, 1, 64, t(0), None);
+        }
+        assert_eq!(c.len(), 10_000);
+        assert_eq!(c.stats().evictions, 0);
+        for k in 0..10_000u64 {
+            assert!(c.contains(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_hammer_preserves_write_accounting() {
+        // Every invalidate/update lands exactly once, applied or missed;
+        // a torn counter or a lost message under contention breaks the
+        // equality. Unbounded capacity keeps eviction out of the picture.
+        let c = Arc::new(ShardedCache::new(
+            CacheConfig { capacity: Capacity::Unbounded, eviction: EvictionPolicy::Lru },
+            8,
+        ));
+        let threads = 8u64;
+        let per_thread = 4_000u64;
+        let mut handles = Vec::new();
+        for thread in 0..threads {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let k = (thread.wrapping_mul(2_654_435_761).wrapping_add(i * 13)) % 1024;
+                    match i % 4 {
+                        0 => {
+                            c.insert(k, i, 8, t(i), None);
+                        }
+                        1 => {
+                            c.apply_invalidate(k);
+                        }
+                        2 => {
+                            c.apply_update(k, i, 8, t(i), None);
+                        }
+                        _ => {
+                            c.get(k, t(i));
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        let calls_per_kind = threads * per_thread / 4;
+        assert_eq!(s.invalidations_applied + s.invalidations_missed, calls_per_kind);
+        assert_eq!(s.updates_applied + s.updates_missed, calls_per_kind);
+        assert_eq!(s.reads(), calls_per_kind);
+        assert!(c.len() <= 1024);
+    }
+
+    #[test]
     fn concurrent_mixed_workload_is_safe() {
         let c = Arc::new(cache(1024, 8));
         let mut handles = Vec::new();

@@ -1,0 +1,143 @@
+//! Multi-threaded throughput of [`ShardedCache`] as a function of shard
+//! count.
+//!
+//! Spawns `N` worker threads that hammer one shared `ShardedCache` with a
+//! mixed get/insert/invalidate/update workload over a skewed keyspace,
+//! then reports aggregate ops/sec for each shard count. With one shard,
+//! every operation serialises on a single mutex; with more shards,
+//! contention drops roughly linearly, so throughput should rise until it
+//! saturates the available cores.
+//!
+//! ```text
+//! cargo run --release --example sharded_throughput [threads] [ops_per_thread]
+//! ```
+//!
+//! The run also cross-checks the aggregate [`CacheStats`] accounting
+//! identity (every read classified exactly once), so the example doubles
+//! as a concurrency smoke test: a torn stats counter or a lost update
+//! would show up as a mismatch here.
+
+use fresca::fresca_cache::{CacheConfig, Capacity, EvictionPolicy, ShardedCache};
+use fresca::prelude::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// SplitMix64 step, used to scatter per-thread key sequences.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct RunResult {
+    shards: usize,
+    ops_per_sec: f64,
+    reads_seen: u64,
+    reads_classified: u64,
+}
+
+fn run_one(shards: usize, threads: usize, ops_per_thread: u64, keyspace: u64) -> RunResult {
+    // Twice the keyspace: the per-shard capacity split plus hash
+    // imbalance would otherwise make only the multi-shard runs evict,
+    // confounding the lock-contention comparison with eviction churn.
+    let cache = ShardedCache::new(
+        CacheConfig {
+            capacity: Capacity::Entries(2 * keyspace as usize),
+            eviction: EvictionPolicy::Lru,
+        },
+        shards,
+    );
+    // Warm the cache so gets mostly hit.
+    for k in 0..keyspace {
+        cache.insert(k, 1, 64, SimTime::ZERO, None);
+    }
+
+    let issued_reads = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let cache = &cache;
+            let issued_reads = &issued_reads;
+            s.spawn(move || {
+                let mut local_reads = 0u64;
+                for i in 0..ops_per_thread {
+                    // Skewed access: half the traffic on 1/8th of the keys.
+                    // Key class and operation come from independent bits of
+                    // the hash so every op kind hits both key classes.
+                    let r = mix(t as u64 ^ i.wrapping_mul(0x9E37_79B9));
+                    let k = if r & 1 == 0 { r % (keyspace / 8).max(1) } else { r % keyspace };
+                    let now = SimTime::from_nanos(i);
+                    match (r >> 33) % 10 {
+                        0 => {
+                            cache.insert(k, i, 64, now, None);
+                        }
+                        1 => {
+                            cache.apply_invalidate(k);
+                        }
+                        2 => {
+                            cache.apply_update(k, i, 64, now, None);
+                        }
+                        _ => {
+                            cache.get(k, now);
+                            local_reads += 1;
+                        }
+                    }
+                }
+                issued_reads.fetch_add(local_reads, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let stats = cache.stats();
+    let total_ops = ops_per_thread * threads as u64;
+    RunResult {
+        shards: cache.shard_count(),
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64(),
+        reads_seen: issued_reads.load(Ordering::Relaxed),
+        reads_classified: stats.reads(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let default_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads: usize = args
+        .next()
+        .map(|a| a.parse().expect("threads must be a number"))
+        .unwrap_or_else(|| default_threads.max(4));
+    let ops_per_thread: u64 = args
+        .next()
+        .map(|a| a.parse().expect("ops_per_thread must be a number"))
+        .unwrap_or(300_000);
+    let keyspace = 64 * 1024;
+
+    println!(
+        "sharded_throughput: {threads} threads x {ops_per_thread} ops, keyspace {keyspace}\n"
+    );
+    println!("{:>7}  {:>12}  {:>9}", "shards", "ops/sec", "speedup");
+    println!("{}", "-".repeat(32));
+
+    let mut baseline = None;
+    let mut results = Vec::new();
+    for shards in [1usize, 2, 4, 8, 16] {
+        let r = run_one(shards, threads, ops_per_thread, keyspace);
+        assert_eq!(
+            r.reads_seen, r.reads_classified,
+            "aggregate CacheStats lost reads under concurrency ({} shards)", r.shards
+        );
+        let base = *baseline.get_or_insert(r.ops_per_sec);
+        println!("{:>7}  {:>12.0}  {:>8.2}x", r.shards, r.ops_per_sec, r.ops_per_sec / base);
+        results.push(r);
+    }
+
+    let single = results[0].ops_per_sec;
+    let best = results.iter().skip(1).map(|r| r.ops_per_sec).fold(0.0f64, f64::max);
+    println!(
+        "\nbest multi-shard vs single-shard: {:.2}x ({} threads, {} core(s))",
+        best / single,
+        threads,
+        default_threads,
+    );
+}

@@ -1,0 +1,336 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of `Bytes`/`BytesMut`/`Buf`/`BufMut` that the
+//! fresca codecs use, backed by plain `Vec<u8>`. Big-endian accessors
+//! match the real crate's defaults. No shared-ownership tricks: `freeze`
+//! and `split_to` copy, which is fine at simulation scale.
+
+use std::ops::{Deref, DerefMut};
+
+/// Immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub const fn new() -> Self {
+        Bytes { data: Vec::new() }
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec() }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out to a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+/// Growable byte buffer with a read cursor at the front.
+///
+/// Reads (`Buf`) consume from the front; writes (`BufMut`) append at the
+/// back — the same observable behaviour as the real `BytesMut`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read cursor: everything before this offset has been consumed.
+    head: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub const fn new() -> Self {
+        BytesMut { data: Vec::new(), head: 0 }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap), head: 0 }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// True when no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Remove the first `at` unconsumed bytes and return them as a new
+    /// `BytesMut`, leaving the remainder in `self`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let front = self.data[self.head..self.head + at].to_vec();
+        self.head += at;
+        self.compact();
+        BytesMut { data: front, head: 0 }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data[self.head..].to_vec() }
+    }
+
+    /// Copy out the unconsumed bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.head..].to_vec()
+    }
+
+    /// Clear all content.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.head = 0;
+    }
+
+    fn compact(&mut self) {
+        // Reclaim consumed prefix once it dominates the buffer, keeping
+        // the amortized cost of `advance`/`split_to` linear.
+        if self.head > 4096 && self.head * 2 >= self.data.len() {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.data[head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Read access to a byte source with an advancing cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The readable contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Skip `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes out, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice out of bounds");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read a `u8`.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+        self.compact();
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+    fn advance(&mut self, cnt: usize) {
+        self.data.drain(..cnt);
+    }
+}
+
+/// Write access to a growable byte sink.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a `u8`.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, n: u16) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.put_slice(&vec![val; cnt]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ints() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u16(2);
+        b.put_u32(3);
+        b.put_u64(4);
+        b.put_bytes(0xAB, 3);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.get_u16(), 2);
+        assert_eq!(b.get_u32(), 3);
+        assert_eq!(b.get_u64(), 4);
+        assert_eq!(&b[..], &[0xAB; 3]);
+    }
+
+    #[test]
+    fn split_and_freeze() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"hello world");
+        let hello = b.split_to(5);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], b" world");
+    }
+
+    #[test]
+    fn slice_buf() {
+        let mut s: &[u8] = &[0, 0, 0, 7, 9];
+        assert_eq!(s.remaining(), 5);
+        assert_eq!(s.get_u32(), 7);
+        assert_eq!(s.get_u8(), 9);
+        assert_eq!(s.remaining(), 0);
+    }
+}

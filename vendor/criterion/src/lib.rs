@@ -1,0 +1,287 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A tiny wall-clock bench harness exposing the criterion API subset the
+//! fresca benches use: `criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with `throughput` /
+//! `sample_size` / `bench_with_input`, `BenchmarkId`, and `black_box`.
+//!
+//! Measurement model: each sample calls the routine through `Bencher::
+//! iter` enough times to cover a minimum window, then reports the median
+//! sample in ns/iter (plus derived throughput when configured). No
+//! statistics beyond that — this exists so `cargo bench` produces honest
+//! relative numbers offline, not publication-grade confidence intervals.
+//!
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! bench targets), every routine runs exactly one sample of one
+//! iteration, so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many samples to take per benchmark.
+const DEFAULT_SAMPLES: usize = 10;
+/// Minimum measured wall-clock window per sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(20);
+
+/// Units for reporting group throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Create an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the display string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the measured routine; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    /// ns/iter of the median sample, filled in by `iter`.
+    median_ns: f64,
+    samples: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measure `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.median_ns = 0.0;
+            return;
+        }
+        // Warm-up & calibration: find an iteration count that fills the
+        // sample window.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_WINDOW || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                16.0
+            } else {
+                (SAMPLE_WINDOW.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.1, 16.0)
+            };
+            iters_per_sample = ((iters_per_sample as f64 * scale).ceil() as u64).max(2);
+        }
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with `--test`; keep those fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = id.into_id();
+        run_one(&name, None, DEFAULT_SAMPLES, self.test_mode, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: DEFAULT_SAMPLES,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.throughput, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut b = Bencher { median_ns: f64::NAN, samples, test_mode };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok (bench smoke)");
+        return;
+    }
+    if !b.median_ns.is_finite() {
+        println!("{name:<50} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mut line = format!("{name:<50} {:>14.1} ns/iter", b.median_ns);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if b.median_ns > 0.0 => {
+            let gbps = bytes as f64 / b.median_ns;
+            line.push_str(&format!("  ({gbps:.3} GiB-ish/s)"));
+        }
+        Some(Throughput::Elements(n)) if b.median_ns > 0.0 => {
+            let mops = n as f64 * 1e3 / b.median_ns;
+            line.push_str(&format!("  ({mops:.3} Melem/s)"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Declare a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(3)).sample_size(2);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| {
+            b.iter(|| total += n)
+        });
+        group.finish();
+        assert!(total >= 3);
+    }
+}

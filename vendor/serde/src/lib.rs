@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so serialization is
+//! provided by this minimal vendored crate instead of the real serde.
+//! Rather than serde's zero-copy visitor architecture, everything funnels
+//! through an owned [`Value`] tree — `Serialize` renders into a `Value`,
+//! `Deserialize` reads back out of one, and `serde_json` is a printer and
+//! parser for that tree. The public *names* (`serde::Serialize`,
+//! `#[derive(Serialize, Deserialize)]`, `#[serde(transparent)]`,
+//! `#[serde(skip)]`, `serde_json::to_string_pretty`/`from_str`) match the
+//! real crates, so user code is source-compatible for the subset the
+//! fresca workspace uses and the real dependency can be swapped back in
+//! by editing manifests only.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing data tree — the interchange format between
+/// `Serialize`, `Deserialize`, and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer (preserves full `u64` precision).
+    U64(u64),
+    /// Negative integer (preserves full `i64` precision).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key-value map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Look up `key` in an entry list (helper for derived impls).
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Construct from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the interchange tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref other => return Err(DeError::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| DeError::custom(format!("integer {n} overflows i64")))?,
+                    Value::F64(f) if f.fract() == 0.0 => f as i64,
+                    ref other => return Err(DeError::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            // Non-finite floats serialize as null (they have no JSON form).
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(DeError::custom(format!("expected float, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError::custom("expected tuple sequence"))?;
+                Ok(($($t::from_value(
+                    s.get($n).ok_or_else(|| DeError::custom("tuple too short"))?
+                )?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys must render to / parse from a string.
+pub trait KeyCodec: Sized {
+    /// Render the key.
+    fn to_key(&self) -> String;
+    /// Parse the key.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl KeyCodec for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! impl_key_int {
+    ($($t:ty),*) => {$(
+        impl KeyCodec for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|e| DeError::custom(format!("bad map key {s:?}: {e}")))
+            }
+        }
+    )*};
+}
+
+impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: KeyCodec, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: KeyCodec + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: KeyCodec, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for stable output; HashMap iteration order must never
+        // leak into serialized artifacts (the determinism suite checks).
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: KeyCodec + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Vec::<u64>::from_value(&vec![1u64, 2].to_value()).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn hashmap_output_is_sorted() {
+        let mut m = HashMap::new();
+        m.insert(9u64, 1u64);
+        m.insert(10u64, 2u64);
+        m.insert(1u64, 3u64);
+        let v = m.to_value();
+        let keys: Vec<&str> =
+            v.as_map().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["1", "10", "9"]);
+    }
+}

@@ -1,0 +1,548 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro` (no `syn`/`quote` available offline).
+//! Parses structs and enums — named, tuple, and unit shapes — honouring
+//! `#[serde(transparent)]` and `#[serde(skip)]`, and emits impls of the
+//! stand-in's `to_value`/`from_value` trait methods. Generated code
+//! refers to the traits via the `::serde` crate path.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    /// Tuple fields; each entry records whether it is skipped.
+    Tuple(Vec<bool>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, transparent: bool, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Scan one attribute group body for `serde(...)` markers.
+fn scan_serde_attr(tokens: &[TokenTree], transparent: &mut bool, skip: &mut bool) {
+    let mut iter = tokens.iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    for inner in g.stream() {
+                        if let TokenTree::Ident(m) = inner {
+                            match m.to_string().as_str() {
+                                "transparent" => *transparent = true,
+                                "skip" | "skip_serializing" | "skip_deserializing" => {
+                                    *skip = true
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Consume leading attributes from `pos`, reporting serde markers.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize, transparent: &mut bool, skip: &mut bool) {
+    loop {
+        match (tokens.get(*pos), tokens.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                scan_serde_attr(&inner, transparent, skip);
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consume an optional visibility (`pub`, `pub(...)`).
+fn eat_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Split a token list on top-level commas. Delimiter groups are atomic
+/// token trees, but generic angle brackets are plain puncts, so commas
+/// inside `HashMap<K, V>`-style types need explicit depth tracking.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                '<' => angle_depth += 1,
+                '>' => {
+                    // Ignore the `>` of an `->` arrow (fn-pointer types).
+                    let is_arrow = matches!(
+                        cur.last(),
+                        Some(TokenTree::Punct(prev)) if prev.as_char() == '-'
+                    );
+                    if !is_arrow {
+                        angle_depth = angle_depth.saturating_sub(1);
+                    }
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    for piece in split_commas(body.into_iter().collect()) {
+        if piece.is_empty() {
+            continue;
+        }
+        let mut pos = 0;
+        let (mut transparent, mut skip) = (false, false);
+        eat_attrs(&piece, &mut pos, &mut transparent, &mut skip);
+        eat_vis(&piece, &mut pos);
+        let name = match piece.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<bool> {
+    split_commas(body.into_iter().collect())
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .map(|piece| {
+            let mut pos = 0;
+            let (mut transparent, mut skip) = (false, false);
+            eat_attrs(&piece, &mut pos, &mut transparent, &mut skip);
+            skip
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for piece in split_commas(body.into_iter().collect()) {
+        if piece.is_empty() {
+            continue;
+        }
+        let mut pos = 0;
+        let (mut transparent, mut skip) = (false, false);
+        eat_attrs(&piece, &mut pos, &mut transparent, &mut skip);
+        let name = match piece.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        pos += 1;
+        let shape = match piece.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let (mut transparent, mut skip) = (false, false);
+    eat_attrs(&tokens, &mut pos, &mut transparent, &mut skip);
+    eat_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    pos += 1;
+
+    // Generic items are not used with these derives in this workspace.
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in does not support generic types (on `{name}`)");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, transparent, shape }
+        }
+        "enum" => {
+            let variants = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-built, then reparsed)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, transparent, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(skips) => {
+                    let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+                    if *transparent || live.len() == 1 {
+                        // Newtype structs serialize as their inner value.
+                        format!("::serde::Serialize::to_value(&self.{})", live[0])
+                    } else {
+                        let items: Vec<String> = live
+                            .iter()
+                            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                            .collect();
+                        format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                    }
+                }
+                Shape::Named(fields) => {
+                    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                    if *transparent {
+                        assert_eq!(live.len(), 1, "transparent needs exactly one field");
+                        format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+                    } else {
+                        let items: Vec<String> = live
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!("::serde::Value::Map(vec![{}])", items.join(", "))
+                    }
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Shape::Tuple(skips) => {
+                            let binds: Vec<String> =
+                                (0..skips.len()).map(|i| format!("f{i}")).collect();
+                            let live: Vec<usize> =
+                                (0..skips.len()).filter(|&i| !skips[i]).collect();
+                            let inner = if live.len() == 1 {
+                                format!("::serde::Serialize::to_value(f{})", live[0])
+                            } else {
+                                let items: Vec<String> = live
+                                    .iter()
+                                    .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_named_constructor(path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{n}: ::std::default::Default::default(),", n = f.name)
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::from_value(\
+                         ::serde::map_get({src}, \"{n}\").ok_or_else(|| \
+                             ::serde::DeError::custom(format!(\"missing field `{n}` in {path}\")))?\
+                     )?,",
+                    n = f.name
+                )
+            }
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(" "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, transparent, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(skips) => {
+                    let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+                    if *transparent || live.len() == 1 {
+                        let inits: Vec<String> = (0..skips.len())
+                            .map(|i| {
+                                if skips[i] {
+                                    "::std::default::Default::default()".to_string()
+                                } else {
+                                    "::serde::Deserialize::from_value(v)?".to_string()
+                                }
+                            })
+                            .collect();
+                        format!("Ok({name}({}))", inits.join(", "))
+                    } else {
+                        let seq_err = format!(
+                            "\"expected sequence for tuple struct {name}\""
+                        );
+                        let mut next_live = 0usize;
+                        let inits: Vec<String> = (0..skips.len())
+                            .map(|i| {
+                                if skips[i] {
+                                    "::std::default::Default::default()".to_string()
+                                } else {
+                                    let idx = next_live;
+                                    next_live += 1;
+                                    format!(
+                                        "::serde::Deserialize::from_value(seq.get({idx}).ok_or_else(|| ::serde::DeError::custom(\"tuple struct too short\"))?)?"
+                                    )
+                                }
+                            })
+                            .collect();
+                        format!(
+                            "{{ let seq = v.as_seq().ok_or_else(|| ::serde::DeError::custom({seq_err}))?;\n\
+                               Ok({name}({})) }}",
+                            inits.join(", ")
+                        )
+                    }
+                }
+                Shape::Named(fields) => {
+                    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                    if *transparent && live.len() == 1 {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!(
+                                        "{n}: ::std::default::Default::default()",
+                                        n = f.name
+                                    )
+                                } else {
+                                    format!(
+                                        "{n}: ::serde::Deserialize::from_value(v)?",
+                                        n = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        format!("Ok({name} {{ {} }})", inits.join(", "))
+                    } else {
+                        let ctor = gen_named_constructor(name, fields, "m");
+                        format!(
+                            "{{ let m = v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}\"))?;\n\
+                               Ok({ctor}) }}"
+                        )
+                    }
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(skips) => {
+                            let live: Vec<usize> =
+                                (0..skips.len()).filter(|&i| !skips[i]).collect();
+                            let body = if live.len() == 1 {
+                                let inits: Vec<String> = (0..skips.len())
+                                    .map(|i| {
+                                        if skips[i] {
+                                            "::std::default::Default::default()".to_string()
+                                        } else {
+                                            "::serde::Deserialize::from_value(inner)?"
+                                                .to_string()
+                                        }
+                                    })
+                                    .collect();
+                                format!("Ok({name}::{vn}({}))", inits.join(", "))
+                            } else {
+                                let mut next_live = 0usize;
+                                let inits: Vec<String> = (0..skips.len())
+                                    .map(|i| {
+                                        if skips[i] {
+                                            "::std::default::Default::default()".to_string()
+                                        } else {
+                                            let idx = next_live;
+                                            next_live += 1;
+                                            format!(
+                                                "::serde::Deserialize::from_value(seq.get({idx}).ok_or_else(|| ::serde::DeError::custom(\"variant tuple too short\"))?)?"
+                                            )
+                                        }
+                                    })
+                                    .collect();
+                                format!(
+                                    "{{ let seq = inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}::{vn}\"))?;\n\
+                                       Ok({name}::{vn}({})) }}",
+                                    inits.join(", ")
+                                )
+                            };
+                            Some(format!("\"{vn}\" => {body},"))
+                        }
+                        Shape::Named(fields) => {
+                            let ctor = gen_named_constructor(
+                                &format!("{name}::{vn}"),
+                                fields,
+                                "mm",
+                            );
+                            Some(format!(
+                                "\"{vn}\" => {{ let mm = inner.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for {name}::{vn}\"))?; Ok({ctor}) }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (tag, inner) = &m[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::custom(format!(\"cannot deserialize {name} from {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Derive the stand-in `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize must parse")
+}
+
+/// Derive the stand-in `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize must parse")
+}
