@@ -1,3 +1,5 @@
+//! # fresca-bench — figure/table harness and micro-benches
+//!
 //! Shared harness for the figure/table reproduction binaries.
 //!
 //! Each `src/bin/figN.rs` regenerates one artifact of the paper's

@@ -2,7 +2,7 @@
 
 use crate::entry::{Entry, Freshness};
 use crate::lru::LinkedSlab;
-use fresca_sim::SimTime;
+use fresca_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -81,6 +81,41 @@ impl GetResult {
     }
 }
 
+/// Result of a staleness-bounded read ([`Cache::get_bounded`]): the
+/// serving-path classification, where a read carries its own maximum
+/// acceptable staleness and the cache decides whether to serve or refuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedGet {
+    /// Served: within its TTL and no older than the request's bound.
+    Fresh(Entry),
+    /// Served *stale*: past its TTL (or the TTL-less default contract)
+    /// but last refreshed within the request's bound — the caller asked
+    /// for "no staler than T" and this entry satisfies that.
+    ServedStale(Entry),
+    /// Refused: present but older than the bound, or known-stale via a
+    /// backend invalidation. The entry is returned so the caller can
+    /// inspect what was refused, but it must not be used as a value.
+    Refused(Entry),
+    /// Absent: a cold miss.
+    Miss,
+}
+
+impl BoundedGet {
+    /// True when a value was served ([`BoundedGet::Fresh`] or
+    /// [`BoundedGet::ServedStale`]).
+    pub fn is_served(&self) -> bool {
+        matches!(self, BoundedGet::Fresh(_) | BoundedGet::ServedStale(_))
+    }
+
+    /// The entry served, if any.
+    pub fn served_entry(&self) -> Option<&Entry> {
+        match self {
+            BoundedGet::Fresh(e) | BoundedGet::ServedStale(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// Counters exported by the cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
@@ -102,6 +137,12 @@ pub struct CacheStats {
     pub updates_missed: u64,
     /// TTL-polling refreshes applied.
     pub refreshes: u64,
+    /// Bounded reads served past their TTL but within the caller's bound
+    /// (a subset of `stale_misses`).
+    pub stale_served: u64,
+    /// Bounded reads refused because the entry exceeded the caller's
+    /// bound or was invalidated (a subset of `stale_misses`).
+    pub bound_refusals: u64,
 }
 
 impl CacheStats {
@@ -277,6 +318,65 @@ impl Cache {
                 }
             }
         }
+    }
+
+    /// Read `key` at `now` under a maximum acceptable staleness: the
+    /// serving-path read. `max_staleness` bounds the entry's *age* (time
+    /// since it was last made fresh); `None` accepts any age.
+    ///
+    /// Classification:
+    ///
+    /// * absent → [`BoundedGet::Miss`]
+    /// * invalidated → [`BoundedGet::Refused`] (known stale; its true
+    ///   staleness is unknowable, so no bound can admit it)
+    /// * age ≤ bound, within TTL → [`BoundedGet::Fresh`]
+    /// * age ≤ bound, past TTL → [`BoundedGet::ServedStale`] (the
+    ///   server's default contract expired, but the caller's explicit
+    ///   bound still admits it)
+    /// * age > bound → [`BoundedGet::Refused`] — even when the TTL says
+    ///   fresh: the reader's bound is tighter than the write's TTL
+    ///
+    /// Stats: `Fresh` counts as a fresh hit and `Miss` as a cold miss;
+    /// both `ServedStale` and `Refused` count as stale misses (the
+    /// paper's `C_S` event) and additionally bump `stale_served` /
+    /// `bound_refusals`, so [`CacheStats::reads`] stays the total over
+    /// every read path.
+    pub fn get_bounded(
+        &mut self,
+        key: u64,
+        now: SimTime,
+        max_staleness: Option<SimDuration>,
+    ) -> BoundedGet {
+        let Some(slot) = self.map.get(&key) else {
+            self.stats.cold_misses += 1;
+            return BoundedGet::Miss;
+        };
+        let entry = slot.entry;
+        self.touch_key(key);
+        let within_bound = entry.state != Freshness::Invalidated
+            && max_staleness.is_none_or(|bound| entry.age(now) <= bound);
+        match (within_bound, entry.is_stale(now)) {
+            (true, false) => {
+                self.stats.fresh_hits += 1;
+                BoundedGet::Fresh(entry)
+            }
+            (true, true) => {
+                self.stats.stale_misses += 1;
+                self.stats.stale_served += 1;
+                BoundedGet::ServedStale(entry)
+            }
+            (false, _) => {
+                self.stats.stale_misses += 1;
+                self.stats.bound_refusals += 1;
+                BoundedGet::Refused(entry)
+            }
+        }
+    }
+
+    /// Age of the entry for `key` at `now` (time since it was last made
+    /// fresh), without touching recency or stats. `None` if absent.
+    pub fn entry_age(&self, key: u64, now: SimTime) -> Option<SimDuration> {
+        self.map.get(&key).map(|s| s.entry.age(now))
     }
 
     /// Insert or overwrite `key` with a fresh entry, evicting as needed.
@@ -635,6 +735,87 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.bytes(), 30);
         assert_eq!(c.peek(1).unwrap().version, 2);
+    }
+
+    fn bound(s: u64) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(s))
+    }
+
+    #[test]
+    fn bounded_get_classifies_all_outcomes() {
+        let mut c = small_cache(4);
+        // Absent → miss.
+        assert_eq!(c.get_bounded(1, t(0), bound(10)), BoundedGet::Miss);
+        // Inserted at t=0 with TTL 10s.
+        c.insert(1, 1, 8, t(0), Some(t(10)));
+        // Within TTL, age 5 ≤ bound 10 → fresh.
+        assert!(matches!(c.get_bounded(1, t(5), bound(10)), BoundedGet::Fresh(_)));
+        // Within TTL but age 5 > bound 2 → refused: the reader's bound is
+        // tighter than the write's TTL.
+        assert!(matches!(c.get_bounded(1, t(5), bound(2)), BoundedGet::Refused(_)));
+        // Past TTL (age 12) but within bound 20 → served stale.
+        assert!(matches!(c.get_bounded(1, t(12), bound(20)), BoundedGet::ServedStale(_)));
+        // Past TTL and past bound → refused.
+        assert!(matches!(c.get_bounded(1, t(12), bound(3)), BoundedGet::Refused(_)));
+        let s = c.stats();
+        assert_eq!(s.fresh_hits, 1);
+        assert_eq!(s.stale_misses, 3);
+        assert_eq!(s.stale_served, 1);
+        assert_eq!(s.bound_refusals, 2);
+        assert_eq!(s.cold_misses, 1);
+        assert_eq!(s.reads(), 5, "every bounded read classified exactly once");
+    }
+
+    #[test]
+    fn bounded_get_unbounded_serves_any_age() {
+        let mut c = small_cache(4);
+        c.insert(1, 1, 8, t(0), Some(t(1)));
+        // No bound: a TTL-expired entry is still served (flagged stale).
+        assert!(matches!(c.get_bounded(1, t(1000), None), BoundedGet::ServedStale(_)));
+        assert!(c.get_bounded(1, t(1000), None).is_served());
+    }
+
+    #[test]
+    fn bounded_get_refuses_invalidated_at_any_bound() {
+        let mut c = small_cache(4);
+        c.insert(1, 1, 8, t(0), None);
+        c.apply_invalidate(1);
+        // Age 0 and no TTL, but invalidated means known-stale: refuse
+        // even with an unbounded tolerance.
+        let r = c.get_bounded(1, t(0), None);
+        assert!(matches!(r, BoundedGet::Refused(_)));
+        assert!(!r.is_served());
+        assert!(r.served_entry().is_none());
+        assert_eq!(c.stats().bound_refusals, 1);
+    }
+
+    #[test]
+    fn bounded_get_age_resets_on_refresh() {
+        let mut c = small_cache(4);
+        c.insert(1, 1, 8, t(0), None);
+        assert!(matches!(c.get_bounded(1, t(8), bound(5)), BoundedGet::Refused(_)));
+        c.apply_update(1, 2, 8, t(8), None);
+        assert!(matches!(c.get_bounded(1, t(9), bound(5)), BoundedGet::Fresh(_)));
+    }
+
+    #[test]
+    fn entry_age_peeks_without_stats() {
+        let mut c = small_cache(4);
+        assert_eq!(c.entry_age(1, t(5)), None);
+        c.insert(1, 1, 8, t(2), None);
+        assert_eq!(c.entry_age(1, t(5)), Some(SimDuration::from_secs(3)));
+        assert_eq!(c.stats().reads(), 0, "entry_age is not a read");
+    }
+
+    #[test]
+    fn bounded_get_touches_recency() {
+        let mut c = small_cache(2);
+        c.insert(1, 1, 1, t(0), None);
+        c.insert(2, 1, 1, t(1), None);
+        // A bounded read of 1 protects it under LRU, like a plain get.
+        c.get_bounded(1, t(2), bound(100));
+        let evicted = c.insert(3, 1, 1, t(3), None);
+        assert_eq!(evicted, vec![2]);
     }
 
     fn slru(entries: usize, pct: u8) -> Cache {

@@ -1,6 +1,6 @@
 //! Cache entry metadata and the freshness state machine.
 
-use fresca_sim::SimTime;
+use fresca_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Freshness state of a cached entry.
@@ -52,6 +52,15 @@ impl Entry {
         Entry { version, value_size, state: Freshness::Fresh, inserted_at: now, refreshed_at: now, expires_at }
     }
 
+    /// Age of the entry at `now`: time since it was last made fresh by an
+    /// insert, update, or refresh (saturating at zero if `now` predates
+    /// that). This is the quantity a staleness-bounded read compares
+    /// against its bound — an entry refreshed within the last `T` is
+    /// guaranteed no staler than `T`, whatever its TTL says.
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.refreshed_at)
+    }
+
     /// True if the entry is stale at `now`: invalidated, or past its TTL
     /// deadline. (An entry expiring exactly *at* `now` is stale: the TTL
     /// contract is "fresh strictly within the deadline".)
@@ -100,6 +109,15 @@ mod tests {
         let mut e = Entry::new(1, 100, SimTime::ZERO, Some(SimTime::from_secs(100)));
         e.state = Freshness::Invalidated;
         assert!(e.is_stale(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn age_tracks_last_refresh() {
+        let mut e = Entry::new(1, 100, SimTime::from_secs(10), None);
+        assert_eq!(e.age(SimTime::from_secs(13)), SimDuration::from_secs(3));
+        assert_eq!(e.age(SimTime::from_secs(5)), SimDuration::ZERO, "saturates, never negative");
+        e.refresh(2, 100, SimTime::from_secs(20), None);
+        assert_eq!(e.age(SimTime::from_secs(21)), SimDuration::from_secs(1));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod lru;
 pub mod sharded;
 pub mod wheel;
 
-pub use cache::{Cache, CacheConfig, CacheStats, Capacity, EvictionPolicy, GetResult};
+pub use cache::{BoundedGet, Cache, CacheConfig, CacheStats, Capacity, EvictionPolicy, GetResult};
 pub use entry::{Entry, Freshness};
 pub use sharded::ShardedCache;
 pub use wheel::TimerWheel;

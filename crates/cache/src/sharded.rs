@@ -8,14 +8,45 @@
 //! `parking_lot::Mutex` — the standard memcached-style recipe: contention
 //! drops ~linearly with shard count and no lock is held across I/O.
 
-use crate::cache::{Cache, CacheConfig, CacheStats, Capacity, GetResult};
-use fresca_sim::SimTime;
+use crate::cache::{BoundedGet, Cache, CacheConfig, CacheStats, Capacity, GetResult};
+use fresca_sim::{SimDuration, SimTime};
 use parking_lot::Mutex;
 
 /// Sharded concurrent cache.
+///
+/// Safe to share across threads behind an `Arc`; every operation locks
+/// only the one shard owning the key.
+///
+/// ```
+/// use fresca_cache::{CacheConfig, ShardedCache};
+/// use fresca_sim::{SimDuration, SimTime};
+/// use std::sync::Arc;
+///
+/// let cache = Arc::new(ShardedCache::new(CacheConfig::default(), 8));
+/// let t0 = SimTime::ZERO;
+///
+/// // Insert with a 10s TTL, then read with a 5s staleness bound.
+/// cache.insert(42, 1, 128, t0, Some(t0 + SimDuration::from_secs(10)));
+/// let read = cache.get_bounded(42, t0 + SimDuration::from_secs(3), Some(SimDuration::from_secs(5)));
+/// assert!(read.is_served());
+///
+/// // 7s after the write the same bound refuses the entry, even though
+/// // its TTL has not expired yet.
+/// let read = cache.get_bounded(42, t0 + SimDuration::from_secs(7), Some(SimDuration::from_secs(5)));
+/// assert!(!read.is_served());
+/// ```
 pub struct ShardedCache {
     shards: Vec<Mutex<Cache>>,
     mask: u64,
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
 }
 
 #[inline]
@@ -54,9 +85,33 @@ impl ShardedCache {
         &self.shards[(shard_hash(key) & self.mask) as usize]
     }
 
+    /// Run `f` with `key`'s shard locked, for multi-step operations that
+    /// must be atomic with respect to other accesses of the same key
+    /// (e.g. "allocate a version, then insert it"). `f` must not call
+    /// back into this cache — re-locking the same shard deadlocks.
+    pub fn locked<R>(&self, key: u64, f: impl FnOnce(&mut Cache) -> R) -> R {
+        f(&mut self.shard(key).lock())
+    }
+
     /// Read `key` at `now` (see [`Cache::get`]).
     pub fn get(&self, key: u64, now: SimTime) -> GetResult {
         self.shard(key).lock().get(key, now)
+    }
+
+    /// Staleness-bounded read (see [`Cache::get_bounded`]): serve only if
+    /// the entry is no older than `max_staleness`.
+    pub fn get_bounded(
+        &self,
+        key: u64,
+        now: SimTime,
+        max_staleness: Option<SimDuration>,
+    ) -> BoundedGet {
+        self.shard(key).lock().get_bounded(key, now, max_staleness)
+    }
+
+    /// Age of the entry for `key` at `now` (see [`Cache::entry_age`]).
+    pub fn entry_age(&self, key: u64, now: SimTime) -> Option<SimDuration> {
+        self.shard(key).lock().entry_age(key, now)
     }
 
     /// Insert a fresh entry (see [`Cache::insert`]).
@@ -133,6 +188,8 @@ impl ShardedCache {
             total.updates_applied += st.updates_applied;
             total.updates_missed += st.updates_missed;
             total.refreshes += st.refreshes;
+            total.stale_served += st.stale_served;
+            total.bound_refusals += st.bound_refusals;
         }
         total
     }
@@ -183,6 +240,56 @@ mod tests {
         assert!(c.get(5, t(1)).is_stale_miss());
         assert!(c.apply_update(5, 2, 8, t(2), None));
         assert!(c.get(5, t(3)).is_fresh_hit());
+    }
+
+    #[test]
+    fn locked_makes_read_modify_write_atomic() {
+        // 8 threads × 500 rounds of "read current version, insert
+        // version+1" on one key. Without the shard lock held across both
+        // steps, increments would be lost; with it, the final version is
+        // exactly the number of rounds.
+        let c = Arc::new(cache(64, 8));
+        c.insert(7, 0, 8, t(0), None);
+        let threads = 8u64;
+        let rounds = 500u64;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    c.locked(7, |shard| {
+                        let v = shard.peek(7).expect("present").version;
+                        shard.insert(7, v + 1, 8, t(0), None);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_version = c.locked(7, |shard| shard.peek(7).unwrap().version);
+        assert_eq!(final_version, threads * rounds);
+    }
+
+    #[test]
+    fn bounded_reads_cross_shards() {
+        let c = cache(256, 8);
+        for k in 0..64u64 {
+            c.insert(k, 1, 8, t(0), Some(t(10)));
+        }
+        let bound = Some(SimDuration::from_secs(5));
+        for k in 0..64u64 {
+            assert!(c.get_bounded(k, t(3), bound).is_served(), "key {k} within bound");
+        }
+        for k in 0..64u64 {
+            assert!(!c.get_bounded(k, t(7), bound).is_served(), "key {k} beyond bound");
+            assert_eq!(c.entry_age(k, t(7)), Some(SimDuration::from_secs(7)));
+        }
+        let s = c.stats();
+        assert_eq!(s.fresh_hits, 64);
+        assert_eq!(s.bound_refusals, 64);
+        assert_eq!(s.stale_served, 0);
+        assert_eq!(s.reads(), 128, "bounded-read counters aggregate across shards");
     }
 
     #[test]

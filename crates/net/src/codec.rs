@@ -11,7 +11,7 @@
 //! framing pattern, without the async machinery the simulation doesn't
 //! need).
 
-use crate::msg::{Message, UpdateItem};
+use crate::msg::{GetStatus, Message, UpdateItem};
 use bytes::{Buf, BufMut, BytesMut};
 use std::fmt;
 
@@ -26,11 +26,16 @@ const TAG_WRITE_ACK: u8 = 4;
 const TAG_INVALIDATE: u8 = 5;
 const TAG_UPDATE: u8 = 6;
 const TAG_ACK: u8 = 7;
+const TAG_GET_REQ: u8 = 8;
+const TAG_GET_RESP: u8 = 9;
+const TAG_PUT_REQ: u8 = 10;
+const TAG_PUT_RESP: u8 = 11;
 
 /// Decode errors. Encoding is infallible.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
-    /// Unknown message type byte.
+    /// Unknown message type byte (or an unknown enum byte inside a
+    /// frame, e.g. a [`GetStatus`] the decoder does not recognise).
     UnknownTag(u8),
     /// Declared frame length exceeds [`MAX_FRAME`] or is shorter than a
     /// header.
@@ -52,6 +57,23 @@ impl fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Streaming frame codec.
+///
+/// ```
+/// use bytes::BytesMut;
+/// use fresca_net::{FrameCodec, Message};
+///
+/// // Encode two messages back-to-back...
+/// let mut wire = BytesMut::new();
+/// FrameCodec::encode(&Message::GetReq { key: 1, max_staleness: u64::MAX }, &mut wire);
+/// FrameCodec::encode(&Message::Ack { seq: 2 }, &mut wire);
+///
+/// // ...and decode them from arbitrary chunks on the other side.
+/// let mut codec = FrameCodec::new();
+/// codec.feed(&wire);
+/// assert_eq!(codec.next().unwrap(), Some(Message::GetReq { key: 1, max_staleness: u64::MAX }));
+/// assert_eq!(codec.next().unwrap(), Some(Message::Ack { seq: 2 }));
+/// assert_eq!(codec.next().unwrap(), None); // need more bytes
+/// ```
 #[derive(Debug, Default)]
 pub struct FrameCodec {
     buf: BytesMut,
@@ -61,6 +83,13 @@ impl FrameCodec {
     /// New codec with an empty buffer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// True when no partial frame is buffered — i.e. the byte stream, if
+    /// it ended here, would end on a clean frame boundary. Used by
+    /// [`crate::FramedStream`] to tell a clean EOF from a truncated one.
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty()
     }
 
     /// Encode one message into `out`.
@@ -113,6 +142,32 @@ impl FrameCodec {
             Message::Ack { seq } => {
                 out.put_u8(TAG_ACK);
                 out.put_u64(*seq);
+            }
+            Message::GetReq { key, max_staleness } => {
+                out.put_u8(TAG_GET_REQ);
+                out.put_u64(*key);
+                out.put_u64(*max_staleness);
+            }
+            Message::GetResp { key, version, value_size, age, status } => {
+                out.put_u8(TAG_GET_RESP);
+                out.put_u64(*key);
+                out.put_u64(*version);
+                out.put_u32(*value_size);
+                out.put_u64(*age);
+                out.put_u8(status.as_u8());
+                out.put_bytes(0, *value_size as usize);
+            }
+            Message::PutReq { key, value_size, ttl } => {
+                out.put_u8(TAG_PUT_REQ);
+                out.put_u64(*key);
+                out.put_u32(*value_size);
+                out.put_u64(*ttl);
+                out.put_bytes(0, *value_size as usize);
+            }
+            Message::PutResp { key, version } => {
+                out.put_u8(TAG_PUT_RESP);
+                out.put_u64(*key);
+                out.put_u64(*version);
             }
         }
     }
@@ -207,6 +262,36 @@ impl FrameCodec {
                 Self::need(frame, 8, "ack")?;
                 Ok(Message::Ack { seq: frame.get_u64() })
             }
+            TAG_GET_REQ => {
+                Self::need(frame, 16, "get-req")?;
+                Ok(Message::GetReq { key: frame.get_u64(), max_staleness: frame.get_u64() })
+            }
+            TAG_GET_RESP => {
+                Self::need(frame, 29, "get-resp header")?;
+                let key = frame.get_u64();
+                let version = frame.get_u64();
+                let value_size = frame.get_u32();
+                let age = frame.get_u64();
+                let status_byte = frame.get_u8();
+                let status =
+                    GetStatus::from_u8(status_byte).ok_or(CodecError::UnknownTag(status_byte))?;
+                Self::need(frame, value_size as usize, "get-resp value")?;
+                frame.advance(value_size as usize);
+                Ok(Message::GetResp { key, version, value_size, age, status })
+            }
+            TAG_PUT_REQ => {
+                Self::need(frame, 20, "put-req header")?;
+                let key = frame.get_u64();
+                let value_size = frame.get_u32();
+                let ttl = frame.get_u64();
+                Self::need(frame, value_size as usize, "put-req value")?;
+                frame.advance(value_size as usize);
+                Ok(Message::PutReq { key, value_size, ttl })
+            }
+            TAG_PUT_RESP => {
+                Self::need(frame, 16, "put-resp")?;
+                Ok(Message::PutResp { key: frame.get_u64(), version: frame.get_u64() })
+            }
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -243,6 +328,17 @@ mod tests {
                 ],
             },
             Message::Ack { seq: 12 },
+            Message::GetReq { key: 3, max_staleness: u64::MAX },
+            Message::GetResp {
+                key: 3,
+                version: 8,
+                value_size: 77,
+                age: 1_000_000,
+                status: GetStatus::ServedStale,
+            },
+            Message::GetResp { key: 4, version: 0, value_size: 0, age: 0, status: GetStatus::Miss },
+            Message::PutReq { key: 5, value_size: 256, ttl: 2_000_000_000 },
+            Message::PutResp { key: 5, version: 1 },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m), m);
@@ -308,6 +404,89 @@ mod tests {
         let mut codec = FrameCodec::new();
         codec.feed(&[0, 0, 0, 9, TAG_READ_REQ, 1, 2, 3, 4]);
         assert_eq!(codec.next(), Err(CodecError::Malformed("read-req key")));
+    }
+
+    #[test]
+    fn rejects_frame_just_over_max() {
+        // A length one past MAX_FRAME is a protocol error before any
+        // payload arrives — a corrupted prefix must not make the decoder
+        // wait for 64 MiB that will never come.
+        let len = (MAX_FRAME as u32) + 1;
+        let mut codec = FrameCodec::new();
+        codec.feed(&len.to_be_bytes());
+        assert_eq!(codec.next(), Err(CodecError::BadLength(len)));
+    }
+
+    #[test]
+    fn rejects_truncated_value_payload() {
+        // A write-req whose declared value_size exceeds the bytes actually
+        // present in the frame must error, not read past the frame.
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 12 + 4); // header + fields + only 4 value bytes
+        frame.put_u8(TAG_WRITE_REQ);
+        frame.put_u64(1); // key
+        frame.put_u32(1000); // claims a 1000-byte value
+        frame.put_bytes(0, 4);
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("write-req value")));
+    }
+
+    #[test]
+    fn rejects_update_item_count_beyond_frame() {
+        // An update header claiming 1<<30 items inside a small frame must
+        // fail on the first missing item, not allocate or spin.
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 12);
+        frame.put_u8(TAG_UPDATE);
+        frame.put_u64(1); // seq
+        frame.put_u32(1 << 30); // item count
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("update item header")));
+    }
+
+    #[test]
+    fn rejects_unknown_get_status_byte() {
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 29);
+        frame.put_u8(TAG_GET_RESP);
+        frame.put_u64(1); // key
+        frame.put_u64(1); // version
+        frame.put_u32(0); // value_size
+        frame.put_u64(0); // age
+        frame.put_u8(200); // bogus status
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn recovers_after_skipping_bad_frame() {
+        // The frame is length-delimited, so after an in-frame decode error
+        // the stream stays aligned: the next frame still parses.
+        let mut wire = BytesMut::new();
+        wire.put_u32(6);
+        wire.put_u8(99); // unknown tag
+        wire.put_u8(0);
+        FrameCodec::encode(&Message::Ack { seq: 5 }, &mut wire);
+        let mut codec = FrameCodec::new();
+        codec.feed(&wire);
+        assert_eq!(codec.next(), Err(CodecError::UnknownTag(99)));
+        assert_eq!(codec.next().unwrap(), Some(Message::Ack { seq: 5 }));
+    }
+
+    #[test]
+    fn is_idle_tracks_frame_boundaries() {
+        let mut codec = FrameCodec::new();
+        assert!(codec.is_idle());
+        let mut wire = BytesMut::new();
+        FrameCodec::encode(&Message::ReadReq { key: 1 }, &mut wire);
+        codec.feed(&wire[..3]);
+        assert!(!codec.is_idle(), "partial frame buffered");
+        codec.feed(&wire[3..]);
+        codec.next().unwrap().expect("complete frame");
+        assert!(codec.is_idle(), "back on a frame boundary");
     }
 
     proptest! {

@@ -5,12 +5,19 @@
 //! can leave a cached object stale *forever*. This crate provides the
 //! machinery to study that:
 //!
-//! * [`msg`] — the cache⇄store protocol messages (read, write,
-//!   batched invalidate/update, acks) with exact wire sizes, which also
-//!   ground the byte-scaled cost model of Table 1.
+//! * [`msg`] — the protocol messages with exact wire sizes, which also
+//!   ground the byte-scaled cost model of Table 1. Two families: the
+//!   simulation-path cache⇄store messages (read, write, batched
+//!   invalidate/update, acks) and the serving-path client⇄server
+//!   messages (`GetReq`/`PutReq`/…) that carry the paper's freshness
+//!   semantics — a per-request staleness bound, a per-key TTL, and a
+//!   served/refused-stale response status.
 //! * [`codec`] — a length-prefixed binary framing codec on [`bytes`]
 //!   (`u32` length + type byte + fields), with a streaming decoder that
 //!   tolerates partial frames and rejects oversized or malformed ones.
+//! * [`frame_io`] — a blocking framed transport ([`FramedStream`]) that
+//!   runs the codec over any `Read + Write` stream; this is what the
+//!   `fresca-serve` server and load generator speak over real TCP.
 //! * [`simnet`] — a deterministic simulated network: configurable delay
 //!   distribution plus smoltcp-style fault injection (drop, duplicate,
 //!   reorder), driven entirely by the caller's scheduler.
@@ -21,11 +28,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod codec;
+pub mod frame_io;
 pub mod msg;
 pub mod reliable;
 pub mod simnet;
 
 pub use codec::{CodecError, FrameCodec};
-pub use msg::{Message, UpdateItem};
+pub use frame_io::FramedStream;
+pub use msg::{GetStatus, Message, UpdateItem};
 pub use reliable::{DedupReceiver, ReliableSender};
 pub use simnet::{FaultConfig, NetStats, SimNetwork};

@@ -18,7 +18,79 @@ pub struct UpdateItem {
     pub value_size: u32,
 }
 
+/// How a staleness-bounded read ([`Message::GetReq`]) was resolved by the
+/// serving cache. Carried on the wire as one byte in
+/// [`Message::GetResp`].
+///
+/// The four outcomes partition the paper's freshness semantics at the
+/// serving boundary: an entry can satisfy both the server's TTL contract
+/// and the client's bound (`Fresh`), only the client's bound
+/// (`ServedStale`), neither (`RefusedStale`), or be absent (`Miss`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GetStatus {
+    /// Entry served; within its TTL and within the request's bound.
+    Fresh,
+    /// Entry served *stale*: past its TTL (the server's default freshness
+    /// contract) but still within the staleness bound this request
+    /// explicitly accepted.
+    ServedStale,
+    /// Entry present but refused: older than the request's bound, or
+    /// known-stale via a backend invalidation. The client must fetch from
+    /// the backing store.
+    RefusedStale,
+    /// No entry for the key. A normal cold miss, not a freshness event.
+    Miss,
+}
+
+impl GetStatus {
+    /// Wire encoding (one byte).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            GetStatus::Fresh => 0,
+            GetStatus::ServedStale => 1,
+            GetStatus::RefusedStale => 2,
+            GetStatus::Miss => 3,
+        }
+    }
+
+    /// Decode from the wire byte; `None` for unknown values.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(GetStatus::Fresh),
+            1 => Some(GetStatus::ServedStale),
+            2 => Some(GetStatus::RefusedStale),
+            3 => Some(GetStatus::Miss),
+            _ => None,
+        }
+    }
+
+    /// True when the response carried a value (`Fresh` or `ServedStale`).
+    pub fn is_served(self) -> bool {
+        matches!(self, GetStatus::Fresh | GetStatus::ServedStale)
+    }
+}
+
 /// Protocol messages.
+///
+/// Two families share the frame format:
+///
+/// * **Simulation-path** messages (`ReadReq` … `Ack`) connect the cache
+///   and the data store inside the engines: backend fetches, batched
+///   invalidate/update pushes and their acks.
+/// * **Serving-path** messages (`GetReq` … `PutResp`) cross the real
+///   client ⇄ cache-server boundary and carry the paper's freshness
+///   semantics on the wire: a per-request max-staleness bound on reads, a
+///   per-key TTL on writes, and a served/refused-stale status on
+///   responses.
+///
+/// ```
+/// use fresca_net::Message;
+///
+/// // A read that tolerates at most 50ms of staleness...
+/// let req = Message::GetReq { key: 7, max_staleness: 50_000_000 };
+/// // ...occupies exactly its declared number of wire bytes.
+/// assert_eq!(req.wire_size(), 5 + 8 + 8);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Message {
     /// Cache → store: fetch a key (miss path or poll).
@@ -68,6 +140,49 @@ pub enum Message {
         /// Sequence number being acknowledged.
         seq: u64,
     },
+    /// Client → cache server: staleness-bounded read. The serving-path
+    /// analogue of [`Message::ReadReq`] with the paper's freshness
+    /// contract made explicit per request.
+    GetReq {
+        /// Key to read.
+        key: u64,
+        /// Maximum acceptable staleness in nanoseconds since the entry
+        /// was last made fresh; `u64::MAX` means "any age is fine".
+        max_staleness: u64,
+    },
+    /// Cache server → client: result of a [`Message::GetReq`].
+    GetResp {
+        /// Key read.
+        key: u64,
+        /// Version served (0 when nothing was served).
+        version: u64,
+        /// Size of the value carried (0 when nothing was served).
+        value_size: u32,
+        /// Age of the served entry in nanoseconds since it was last made
+        /// fresh (0 when nothing was served).
+        age: u64,
+        /// How the read was resolved against the freshness contract.
+        status: GetStatus,
+    },
+    /// Client → cache server: write-through with a per-key TTL. The
+    /// serving-path analogue of [`Message::WriteReq`].
+    PutReq {
+        /// Key written.
+        key: u64,
+        /// New value size (value carried on the wire).
+        value_size: u32,
+        /// Time-to-live in nanoseconds; 0 means "no TTL" (fresh until
+        /// invalidated or evicted).
+        ttl: u64,
+    },
+    /// Cache server → client: write acknowledged with the version the
+    /// server assigned (monotone per key).
+    PutResp {
+        /// Key written.
+        key: u64,
+        /// Version assigned by the server.
+        version: u64,
+    },
 }
 
 impl Message {
@@ -91,6 +206,12 @@ impl Message {
                         .sum::<usize>()
             }
             Message::Ack { .. } => HDR + 8,
+            Message::GetReq { .. } => HDR + 8 + 8,
+            Message::GetResp { value_size, .. } => {
+                HDR + 8 + 8 + 4 + 8 + 1 + *value_size as usize
+            }
+            Message::PutReq { value_size, .. } => HDR + 8 + 4 + 8 + *value_size as usize,
+            Message::PutResp { .. } => HDR + 8 + 8,
         }
     }
 
@@ -140,5 +261,39 @@ mod tests {
         assert_eq!(Message::ReadReq { key: 1 }.seq(), None);
         assert_eq!(Message::Ack { seq: 7 }.seq(), Some(7));
         assert_eq!(Message::Invalidate { seq: 9, keys: vec![] }.seq(), Some(9));
+        assert_eq!(Message::GetReq { key: 1, max_staleness: 0 }.seq(), None);
+        assert_eq!(Message::PutReq { key: 1, value_size: 0, ttl: 0 }.seq(), None);
+    }
+
+    #[test]
+    fn serving_path_wire_sizes() {
+        assert_eq!(Message::GetReq { key: 1, max_staleness: u64::MAX }.wire_size(), 21);
+        let served = Message::GetResp {
+            key: 1,
+            version: 2,
+            value_size: 100,
+            age: 5,
+            status: GetStatus::Fresh,
+        };
+        assert_eq!(served.wire_size(), 5 + 8 + 8 + 4 + 8 + 1 + 100);
+        assert_eq!(Message::PutReq { key: 1, value_size: 64, ttl: 7 }.wire_size(), 5 + 8 + 4 + 8 + 64);
+        assert_eq!(Message::PutResp { key: 1, version: 9 }.wire_size(), 21);
+    }
+
+    #[test]
+    fn get_status_byte_roundtrip() {
+        for s in [
+            GetStatus::Fresh,
+            GetStatus::ServedStale,
+            GetStatus::RefusedStale,
+            GetStatus::Miss,
+        ] {
+            assert_eq!(GetStatus::from_u8(s.as_u8()), Some(s));
+        }
+        assert_eq!(GetStatus::from_u8(4), None);
+        assert!(GetStatus::Fresh.is_served());
+        assert!(GetStatus::ServedStale.is_served());
+        assert!(!GetStatus::RefusedStale.is_served());
+        assert!(!GetStatus::Miss.is_served());
     }
 }

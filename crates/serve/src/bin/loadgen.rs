@@ -1,0 +1,96 @@
+//! `loadgen` — replay a fresca workload against a running `serve`.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7440] [--workload poisson|mix|meta|twitter]
+//!         [--seed 42] [--rate 10] [--horizon-secs 1000]
+//!         [--mode closed|open] [--conns 4] [--time-scale 0.001]
+//!         [--ttl-ms 500] [--bound-ms 0]
+//! ```
+//!
+//! Generates the chosen paper workload, maps it onto wire operations
+//! (`--ttl-ms` attaches a TTL to every put, `--bound-ms` a staleness
+//! bound to every get; 0 disables either), replays it closed- or
+//! open-loop, and prints the [`fresca_serve::LoadReport`].
+//!
+//! In open-loop mode the trace's virtual timestamps are multiplied by
+//! `--time-scale`: the paper's λ=10 req/s trace at `--time-scale 0.001`
+//! offers ~10k req/s.
+
+use fresca_serve::cli::arg;
+use fresca_serve::loadgen::{self, LoadGenConfig, Mode};
+use fresca_sim::SimDuration;
+use fresca_workload::{
+    MetaLikeConfig, PoissonMixConfig, PoissonZipfConfig, ReplayConfig, TwitterLikeConfig,
+    WorkloadGen,
+};
+use std::net::ToSocketAddrs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: loadgen [--addr 127.0.0.1:7440] [--workload poisson|mix|meta|twitter] \
+             [--seed 42] [--rate 10] [--horizon-secs 1000] [--mode closed|open] \
+             [--conns 4] [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0]"
+        );
+        return;
+    }
+    let addr_s = arg(&args, "--addr", "127.0.0.1:7440".to_string());
+    let workload = arg(&args, "--workload", "poisson".to_string());
+    let seed: u64 = arg(&args, "--seed", 42);
+    let rate: f64 = arg(&args, "--rate", 10.0);
+    let horizon = SimDuration::from_secs(arg(&args, "--horizon-secs", 1000));
+    let mode_s = arg(&args, "--mode", "closed".to_string());
+    let conns: usize = arg(&args, "--conns", 4);
+    let time_scale: f64 = arg(&args, "--time-scale", 0.001);
+    let ttl_ms: u64 = arg(&args, "--ttl-ms", 500);
+    let bound_ms: u64 = arg(&args, "--bound-ms", 0);
+
+    let trace = match workload.as_str() {
+        "poisson" => {
+            PoissonZipfConfig { rate, horizon, ..Default::default() }.generate(seed)
+        }
+        "mix" => PoissonMixConfig { rate, horizon, ..Default::default() }.generate(seed),
+        "meta" => MetaLikeConfig { rate, horizon, ..Default::default() }.generate(seed),
+        "twitter" => {
+            TwitterLikeConfig { rate, horizon, ..Default::default() }.generate(seed)
+        }
+        other => {
+            eprintln!("loadgen: unknown workload {other:?} (try poisson|mix|meta|twitter)");
+            std::process::exit(2);
+        }
+    };
+    let replay = ReplayConfig {
+        ttl: (ttl_ms > 0).then(|| SimDuration::from_millis(ttl_ms)),
+        max_staleness: (bound_ms > 0).then(|| SimDuration::from_millis(bound_ms)),
+        time_scale,
+    };
+    let ops = replay.map_trace(&trace);
+    let mode = match mode_s.as_str() {
+        "closed" => Mode::Closed { connections: conns.max(1) },
+        "open" => Mode::Open,
+        other => {
+            eprintln!("loadgen: unknown mode {other:?} (try closed|open)");
+            std::process::exit(2);
+        }
+    };
+    let addr = match addr_s.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("loadgen: cannot resolve {addr_s}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "replaying {} ops of {} (seed {seed}) against {addr} [{mode_s}]",
+        ops.len(),
+        trace.meta().generator,
+    );
+    match loadgen::run(addr, &ops, &LoadGenConfig { mode }) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    }
+}

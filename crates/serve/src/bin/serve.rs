@@ -1,0 +1,49 @@
+//! `serve` — run the fresca cache server from the command line.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7440] [--shards 16] [--capacity-entries 65536]
+//!       [--stats-every 5]
+//! ```
+//!
+//! Binds the address, then prints a serving-counter line every
+//! `--stats-every` seconds until killed. `--capacity-entries 0` means
+//! unbounded.
+
+use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
+use fresca_serve::cli::arg;
+use fresca_serve::server::{self, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: serve [--addr 127.0.0.1:7440] [--shards 16] \
+             [--capacity-entries 65536] [--stats-every 5]"
+        );
+        return;
+    }
+    let addr = arg(&args, "--addr", "127.0.0.1:7440".to_string());
+    let shards: usize = arg(&args, "--shards", 16);
+    let capacity: usize = arg(&args, "--capacity-entries", 65_536);
+    let stats_every: u64 = arg(&args, "--stats-every", 5);
+
+    let capacity =
+        if capacity == 0 { Capacity::Unbounded } else { Capacity::Entries(capacity) };
+    let config = ServerConfig {
+        cache: CacheConfig { capacity, eviction: EvictionPolicy::Lru },
+        shards,
+    };
+    let handle = match server::spawn(&addr, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("serving on {} ({} shards, {:?})", handle.addr(), shards, capacity);
+    loop {
+        std::thread::sleep(Duration::from_secs(stats_every.max(1)));
+        println!("{}", handle.stats());
+    }
+}

@@ -1,0 +1,89 @@
+//! Blocking request/response client for the serving-path protocol.
+
+use fresca_net::{FramedStream, GetStatus, Message};
+use fresca_sim::SimDuration;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Result of a staleness-bounded read as observed by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetOutcome {
+    /// How the server resolved the read.
+    pub status: GetStatus,
+    /// Version served (0 when nothing was served).
+    pub version: u64,
+    /// Size of the value served (0 when nothing was served).
+    pub value_size: u32,
+    /// Age of the entry on the server's clock at serving time. For a
+    /// refusal this is the age that exceeded the bound.
+    pub age: SimDuration,
+}
+
+impl GetOutcome {
+    /// True when a value was served (fresh or stale-within-bound).
+    pub fn is_served(&self) -> bool {
+        self.status.is_served()
+    }
+}
+
+/// A blocking cache client: one TCP connection, one request in flight.
+///
+/// The load generator opens one of these per worker thread; anything
+/// needing pipelining or multiplexing belongs in a future async
+/// transport (see ROADMAP).
+#[derive(Debug)]
+pub struct CacheClient {
+    framed: FramedStream<TcpStream>,
+}
+
+impl CacheClient {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(CacheClient { framed: FramedStream::new(stream) })
+    }
+
+    /// Write `key` with a `value_size`-byte value and an optional TTL.
+    /// Returns the version the server assigned.
+    pub fn put(
+        &mut self,
+        key: u64,
+        value_size: u32,
+        ttl: Option<SimDuration>,
+    ) -> io::Result<u64> {
+        let ttl = ttl.map_or(0, SimDuration::as_nanos);
+        self.framed.send(&Message::PutReq { key, value_size, ttl })?;
+        match self.must_recv()? {
+            Message::PutResp { key: k, version } if k == key => Ok(version),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read `key`, accepting data no staler than `max_staleness`
+    /// (`None` = any age).
+    pub fn get(
+        &mut self,
+        key: u64,
+        max_staleness: Option<SimDuration>,
+    ) -> io::Result<GetOutcome> {
+        let bound = max_staleness.map_or(u64::MAX, SimDuration::as_nanos);
+        self.framed.send(&Message::GetReq { key, max_staleness: bound })?;
+        match self.must_recv()? {
+            Message::GetResp { key: k, version, value_size, age, status } if k == key => {
+                Ok(GetOutcome { status, version, value_size, age: SimDuration::from_nanos(age) })
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn must_recv(&mut self) -> io::Result<Message> {
+        self.framed.recv()?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+}
+
+fn unexpected(msg: &Message) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("unexpected response: {msg:?}"))
+}

@@ -1,0 +1,326 @@
+//! Closed- and open-loop load generation against a running server.
+//!
+//! Both modes replay the same [`TimedOp`] schedule (a `fresca-workload`
+//! trace mapped through [`fresca_workload::replay::ReplayConfig`]):
+//!
+//! * **Closed loop** — `connections` worker threads, each with its own
+//!   TCP connection, issue their share of the schedule back-to-back:
+//!   offered load tracks service capacity, which is how you measure peak
+//!   throughput.
+//! * **Open loop** — one connection sends each operation at its
+//!   scheduled deadline, sleeping between sends: offered load is fixed
+//!   by the trace's (rescaled) arrival process, which is how you measure
+//!   behaviour at a given request rate. Operations that fall behind
+//!   schedule are counted and the worst lateness reported, so an
+//!   overloaded run is visible instead of silently degrading into a
+//!   closed loop.
+//!
+//! Every worker verifies what it reads: the server's versions are
+//! globally monotone, so a served read whose version is older than the
+//! last write this worker got acknowledged for that key is a consistency
+//! violation, counted in [`LoadReport::version_anomalies`].
+
+use crate::client::CacheClient;
+use fresca_net::GetStatus;
+use fresca_workload::{TimedOp, WireOp};
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Load-generation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `connections` workers issue ops back-to-back (throughput probe).
+    Closed {
+        /// Number of concurrent connections (worker threads).
+        connections: usize,
+    },
+    /// One connection paced by the schedule's timestamps (rate probe).
+    Open,
+}
+
+/// Load generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadGenConfig {
+    /// Closed or open loop.
+    pub mode: Mode,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig { mode: Mode::Closed { connections: 4 } }
+    }
+}
+
+/// What a load-generation run observed, end to end.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Wall-clock duration of the run in seconds.
+    pub wall_secs: f64,
+    /// Operations completed (gets + puts).
+    pub ops: u64,
+    /// Reads issued.
+    pub gets: u64,
+    /// Writes issued.
+    pub puts: u64,
+    /// Completed operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Reads served fresh.
+    pub fresh: u64,
+    /// Reads served stale-within-bound.
+    pub stale_served: u64,
+    /// Reads refused: the entry existed but could not satisfy the
+    /// staleness bound. These are the run's *staleness violations* — the
+    /// quantity the paper's freshness machinery exists to minimise.
+    pub staleness_violations: u64,
+    /// Reads that found no entry.
+    pub misses: u64,
+    /// Served reads ÷ issued reads.
+    pub hit_ratio: f64,
+    /// Served reads whose version regressed below a write this worker
+    /// had acknowledged — should be zero.
+    pub version_anomalies: u64,
+    /// Open loop only: ops sent after their deadline.
+    pub late_ops: u64,
+    /// Open loop only: worst lateness in milliseconds.
+    pub max_lateness_ms: f64,
+    /// Mean request latency in microseconds.
+    pub mean_latency_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_latency_us: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} ops in {:.3}s  ({:.0} ops/s; latency mean {:.1}us p99 {:.1}us)",
+            self.ops, self.wall_secs, self.ops_per_sec, self.mean_latency_us, self.p99_latency_us
+        )?;
+        writeln!(
+            f,
+            "reads: {} ({} fresh, {} stale-served, {} refused, {} miss; hit ratio {:.2}%)",
+            self.gets,
+            self.fresh,
+            self.stale_served,
+            self.staleness_violations,
+            self.misses,
+            100.0 * self.hit_ratio
+        )?;
+        writeln!(f, "writes: {}", self.puts)?;
+        writeln!(
+            f,
+            "staleness violations: {}   version anomalies: {}",
+            self.staleness_violations, self.version_anomalies
+        )?;
+        if self.late_ops > 0 {
+            writeln!(
+                f,
+                "behind schedule: {} ops, worst {:.3}ms",
+                self.late_ops, self.max_lateness_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker accumulator, merged into the final [`LoadReport`].
+#[derive(Debug, Default)]
+struct WorkerResult {
+    gets: u64,
+    puts: u64,
+    fresh: u64,
+    stale_served: u64,
+    refused: u64,
+    misses: u64,
+    version_anomalies: u64,
+    late_ops: u64,
+    max_lateness: Duration,
+    latencies_us: Vec<u64>,
+}
+
+impl WorkerResult {
+    fn merge(&mut self, other: WorkerResult) {
+        self.gets += other.gets;
+        self.puts += other.puts;
+        self.fresh += other.fresh;
+        self.stale_served += other.stale_served;
+        self.refused += other.refused;
+        self.misses += other.misses;
+        self.version_anomalies += other.version_anomalies;
+        self.late_ops += other.late_ops;
+        self.max_lateness = self.max_lateness.max(other.max_lateness);
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// Replay `ops` against the server at `addr` and report what happened.
+pub fn run(addr: SocketAddr, ops: &[TimedOp], config: &LoadGenConfig) -> io::Result<LoadReport> {
+    let started = Instant::now();
+    let merged = match config.mode {
+        Mode::Closed { connections } => {
+            assert!(connections >= 1, "need at least one connection");
+            let results: Vec<io::Result<WorkerResult>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..connections)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let mut client = CacheClient::connect(addr)?;
+                            // Strided partition: worker w takes ops w,
+                            // w+N, w+2N, … so key locality and the
+                            // read/write interleaving stay roughly
+                            // uniform across workers.
+                            run_ops(
+                                &mut client,
+                                ops.iter().skip(w).step_by(connections),
+                                None,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
+            });
+            let mut merged = WorkerResult::default();
+            for r in results {
+                merged.merge(r?);
+            }
+            merged
+        }
+        Mode::Open => {
+            let mut client = CacheClient::connect(addr)?;
+            run_ops(&mut client, ops.iter(), Some(started))?
+        }
+    };
+    let wall = started.elapsed();
+    Ok(build_report(merged, wall))
+}
+
+/// Issue a sequence of ops on one connection. With `pace`, sleep until
+/// each op's deadline (open loop); without, run back-to-back (closed
+/// loop).
+fn run_ops<'a>(
+    client: &mut CacheClient,
+    ops: impl Iterator<Item = &'a TimedOp>,
+    pace: Option<Instant>,
+) -> io::Result<WorkerResult> {
+    let mut res = WorkerResult::default();
+    // Last version the server acknowledged to *this* worker, per key.
+    let mut acked: HashMap<u64, u64> = HashMap::new();
+    for op in ops {
+        if let Some(start) = pace {
+            let deadline = start + Duration::from_nanos(op.at.as_nanos());
+            let now = Instant::now();
+            if let Some(wait) = deadline.checked_duration_since(now) {
+                std::thread::sleep(wait);
+            } else {
+                res.late_ops += 1;
+                res.max_lateness = res.max_lateness.max(now.duration_since(deadline));
+            }
+        }
+        let issued = Instant::now();
+        match op.op {
+            WireOp::Get { key, max_staleness } => {
+                res.gets += 1;
+                let outcome = client.get(key, max_staleness)?;
+                match outcome.status {
+                    GetStatus::Fresh => res.fresh += 1,
+                    GetStatus::ServedStale => res.stale_served += 1,
+                    GetStatus::RefusedStale => res.refused += 1,
+                    GetStatus::Miss => res.misses += 1,
+                }
+                if outcome.is_served() {
+                    if let Some(&expected) = acked.get(&key) {
+                        if outcome.version < expected {
+                            res.version_anomalies += 1;
+                        }
+                    }
+                }
+            }
+            WireOp::Put { key, value_size, ttl } => {
+                res.puts += 1;
+                let version = client.put(key, value_size, ttl)?;
+                acked.insert(key, version);
+            }
+        }
+        res.latencies_us.push(issued.elapsed().as_micros() as u64);
+    }
+    Ok(res)
+}
+
+fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
+    let ops = r.gets + r.puts;
+    let wall_secs = wall.as_secs_f64();
+    r.latencies_us.sort_unstable();
+    let mean = if r.latencies_us.is_empty() {
+        0.0
+    } else {
+        r.latencies_us.iter().sum::<u64>() as f64 / r.latencies_us.len() as f64
+    };
+    // Nearest-rank percentile: the smallest sample ≥ 99% of the others.
+    let p99_idx = (r.latencies_us.len() * 99).div_ceil(100).saturating_sub(1);
+    let p99 = r.latencies_us.get(p99_idx).copied().unwrap_or(0) as f64;
+    LoadReport {
+        wall_secs,
+        ops,
+        gets: r.gets,
+        puts: r.puts,
+        ops_per_sec: if wall_secs > 0.0 { ops as f64 / wall_secs } else { 0.0 },
+        fresh: r.fresh,
+        stale_served: r.stale_served,
+        staleness_violations: r.refused,
+        misses: r.misses,
+        hit_ratio: if r.gets > 0 { (r.fresh + r.stale_served) as f64 / r.gets as f64 } else { 0.0 },
+        version_anomalies: r.version_anomalies,
+        late_ops: r.late_ops,
+        max_lateness_ms: r.max_lateness.as_secs_f64() * 1e3,
+        mean_latency_us: mean,
+        p99_latency_us: p99,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_and_report_divides() {
+        let mut a = WorkerResult {
+            gets: 10,
+            puts: 5,
+            fresh: 6,
+            stale_served: 1,
+            refused: 2,
+            misses: 1,
+            latencies_us: vec![10, 20],
+            ..Default::default()
+        };
+        let b = WorkerResult {
+            gets: 10,
+            puts: 0,
+            fresh: 10,
+            latencies_us: vec![30, 40],
+            ..Default::default()
+        };
+        a.merge(b);
+        let report = build_report(a, Duration::from_secs(2));
+        assert_eq!(report.ops, 25);
+        assert_eq!(report.gets, 20);
+        assert_eq!(report.ops_per_sec, 12.5);
+        assert_eq!(report.staleness_violations, 2);
+        assert!((report.hit_ratio - 17.0 / 20.0).abs() < 1e-9);
+        assert_eq!(report.mean_latency_us, 25.0);
+        assert_eq!(report.p99_latency_us, 40.0);
+        // Display stays well-formed.
+        let shown = report.to_string();
+        assert!(shown.contains("25 ops"));
+        assert!(shown.contains("staleness violations: 2"));
+    }
+
+    #[test]
+    fn empty_run_reports_zeros() {
+        let report = build_report(WorkerResult::default(), Duration::from_millis(1));
+        assert_eq!(report.ops, 0);
+        assert_eq!(report.hit_ratio, 0.0);
+        assert_eq!(report.mean_latency_us, 0.0);
+    }
+}

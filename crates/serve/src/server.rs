@@ -1,0 +1,294 @@
+//! The threaded TCP cache server.
+//!
+//! One accept loop, one OS thread per connection — the classic blocking
+//! memcached shape. Each connection speaks length-prefixed
+//! [`Message`] frames over a [`FramedStream`]; requests dispatch against
+//! one shared [`ShardedCache`], so no lock is held across I/O and
+//! contention drops with shard count.
+//!
+//! Freshness is enforced *at the serving boundary*, per the paper's
+//! argument: a `PutReq` installs its per-key TTL, and a `GetReq`'s
+//! max-staleness bound decides between served-fresh, served-stale,
+//! refused, and miss — the decision travels back on the wire as a
+//! [`GetStatus`] so the client can count staleness violations end-to-end.
+
+use crate::ServeClock;
+use fresca_cache::{BoundedGet, CacheConfig, ShardedCache};
+use fresca_net::{FramedStream, GetStatus, Message};
+use fresca_sim::SimDuration;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Cache capacity and eviction policy.
+    pub cache: CacheConfig,
+    /// Number of cache shards (rounded up to a power of two).
+    pub shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { cache: CacheConfig::default(), shards: 16 }
+    }
+}
+
+/// Monotonically updated serving counters, shared across connection
+/// threads. Relaxed ordering everywhere: these are statistics, not
+/// synchronisation.
+#[derive(Debug, Default)]
+struct ServerStats {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    fresh: AtomicU64,
+    stale_served: AtomicU64,
+    refused: AtomicU64,
+    misses: AtomicU64,
+    connections: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// `GetReq`s handled.
+    pub gets: u64,
+    /// `PutReq`s handled.
+    pub puts: u64,
+    /// Reads served fresh (within TTL and bound).
+    pub fresh: u64,
+    /// Reads served stale (past TTL, within the request's bound).
+    pub stale_served: u64,
+    /// Reads refused (entry older than the bound, or invalidated).
+    pub refused: u64,
+    /// Reads that found no entry.
+    pub misses: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Connections dropped for sending non-serving-path or malformed
+    /// frames.
+    pub protocol_errors: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Display for ServerStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gets={} puts={} fresh={} stale_served={} refused={} misses={} conns={} proto_errs={}",
+            self.gets,
+            self.puts,
+            self.fresh,
+            self.stale_served,
+            self.refused,
+            self.misses,
+            self.connections,
+            self.protocol_errors
+        )
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] to stop accepting and join the accept loop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cache: Arc<ShardedCache>,
+    stats: Arc<ServerStats>,
+    clock: ServeClock,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+/// serving in background threads. Returns once the listener is bound, so
+/// clients may connect immediately.
+pub fn spawn<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let cache = Arc::new(ShardedCache::new(config.cache, config.shards));
+    let stats = Arc::new(ServerStats::default());
+    let clock = ServeClock::start();
+    let stop = Arc::new(AtomicBool::new(false));
+    // One global version counter: versions are monotone across all keys,
+    // which is stronger than the per-key monotonicity clients rely on.
+    let versions = Arc::new(AtomicU64::new(0));
+
+    let accept_loop = {
+        let (cache, stats, stop) = (Arc::clone(&cache), Arc::clone(&stats), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let cache = Arc::clone(&cache);
+                let stats = Arc::clone(&stats);
+                let versions = Arc::clone(&versions);
+                std::thread::spawn(move || serve_conn(conn, &cache, &stats, &versions, clock));
+            }
+        })
+    };
+
+    Ok(ServerHandle { addr, cache, stats, clock, stop, accept_loop: Some(accept_loop) })
+}
+
+impl ServerHandle {
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The shared cache — exposed so operators (and tests) can apply
+    /// backend-originated invalidations or inspect entry ages directly.
+    pub fn cache(&self) -> &Arc<ShardedCache> {
+        &self.cache
+    }
+
+    /// The server's clock, for callers that want to interpret entry ages
+    /// on the server's timeline.
+    pub fn clock(&self) -> ServeClock {
+        self.clock
+    }
+
+    /// Stop accepting connections and join the accept loop. Established
+    /// connections keep being served until their clients disconnect.
+    pub fn shutdown(mut self) -> ServerStatsSnapshot {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_loop.take() {
+            let _ = h.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+/// Per-connection request loop: decode a frame, dispatch, reply. Returns
+/// when the peer disconnects or violates the protocol.
+fn serve_conn(
+    conn: TcpStream,
+    cache: &ShardedCache,
+    stats: &ServerStats,
+    versions: &AtomicU64,
+    clock: ServeClock,
+) {
+    let _ = conn.set_nodelay(true);
+    let mut framed = FramedStream::new(conn);
+    loop {
+        let msg = match framed.recv() {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return, // clean disconnect
+            Err(e) => {
+                // Only codec violations are the peer's fault; a reset or
+                // an EOF mid-frame is transport weather, not protocol.
+                if e.kind() == io::ErrorKind::InvalidData {
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        };
+        let reply = match msg {
+            Message::GetReq { key, max_staleness } => {
+                stats.gets.fetch_add(1, Ordering::Relaxed);
+                handle_get(cache, stats, clock, key, max_staleness)
+            }
+            Message::PutReq { key, value_size, ttl } => {
+                stats.puts.fetch_add(1, Ordering::Relaxed);
+                let now = clock.now();
+                let expires_at = (ttl > 0).then(|| now + SimDuration::from_nanos(ttl));
+                // Version allocation and insert must be one atomic step:
+                // done separately, two racing puts to the same key could
+                // install the older version over the newer acked one.
+                let version = cache.locked(key, |shard| {
+                    let version = versions.fetch_add(1, Ordering::Relaxed) + 1;
+                    shard.insert(key, version, value_size, now, expires_at);
+                    version
+                });
+                Message::PutResp { key, version }
+            }
+            // Anything else does not belong on the serving path.
+            _ => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        if framed.send(&reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_get(
+    cache: &ShardedCache,
+    stats: &ServerStats,
+    clock: ServeClock,
+    key: u64,
+    max_staleness: u64,
+) -> Message {
+    let now = clock.now();
+    let bound =
+        (max_staleness != u64::MAX).then(|| SimDuration::from_nanos(max_staleness));
+    match cache.get_bounded(key, now, bound) {
+        BoundedGet::Fresh(e) => {
+            stats.fresh.fetch_add(1, Ordering::Relaxed);
+            Message::GetResp {
+                key,
+                version: e.version,
+                value_size: e.value_size,
+                age: e.age(now).as_nanos(),
+                status: GetStatus::Fresh,
+            }
+        }
+        BoundedGet::ServedStale(e) => {
+            stats.stale_served.fetch_add(1, Ordering::Relaxed);
+            Message::GetResp {
+                key,
+                version: e.version,
+                value_size: e.value_size,
+                age: e.age(now).as_nanos(),
+                status: GetStatus::ServedStale,
+            }
+        }
+        BoundedGet::Refused(e) => {
+            stats.refused.fetch_add(1, Ordering::Relaxed);
+            // No value travels back on a refusal — only the entry's age,
+            // so the client can see by how much the bound was missed.
+            Message::GetResp {
+                key,
+                version: 0,
+                value_size: 0,
+                age: e.age(now).as_nanos(),
+                status: GetStatus::RefusedStale,
+            }
+        }
+        BoundedGet::Miss => {
+            stats.misses.fetch_add(1, Ordering::Relaxed);
+            Message::GetResp { key, version: 0, value_size: 0, age: 0, status: GetStatus::Miss }
+        }
+    }
+}

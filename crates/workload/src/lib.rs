@@ -21,6 +21,10 @@
 //! * [`keyspace`] — key popularity models (rank permutation so key ids do
 //!   not encode popularity).
 //! * [`gen`] — the four paper workloads plus a builder for custom ones.
+//! * [`replay`] — the trace → serving-path adapter: maps requests onto
+//!   staleness-bounded `Get`s / TTL-carrying `Put`s and rescales
+//!   timestamps so the `fresca-serve` load generator can replay a trace
+//!   against a real server at wall-clock speed.
 //! * [`trace_io`] — binary and CSV trace serialisation.
 //! * [`analyze`] — measured statistics over a trace (observed read ratio,
 //!   per-key `E[W]`, skew), used by tests and by the figure harnesses.
@@ -33,10 +37,12 @@ pub mod arrival;
 pub mod dist;
 pub mod gen;
 pub mod keyspace;
+pub mod replay;
 pub mod request;
 pub mod trace_io;
 
 pub use analyze::TraceStats;
+pub use replay::{ReplayConfig, TimedOp, WireOp};
 pub use gen::{
     ClassSpec, MetaLikeConfig, MultiClassConfig, PoissonMixConfig, PoissonZipfConfig,
     TwitterLikeConfig, WorkloadGen,

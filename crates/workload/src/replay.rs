@@ -1,0 +1,176 @@
+//! Trace → serving-path replay adapter.
+//!
+//! The generators in this crate produce [`Trace`]s on a *virtual* clock
+//! for the deterministic engines. The `fresca-serve` load generator
+//! replays the same traces against a real cache server over TCP; this
+//! module is the bridge. It turns each [`Request`] into a [`WireOp`] —
+//! a staleness-bounded `Get` or a TTL-carrying `Put`, the paper's
+//! freshness semantics made explicit per operation — and rescales the
+//! virtual timestamps so a trace generated at the paper's λ=10 req/s can
+//! drive a server at hundreds of thousands of ops/s.
+//!
+//! The adapter knows nothing about sockets or message encodings: it maps
+//! workload-domain requests to serving-domain operations, and the serve
+//! crate maps those onto `fresca_net::Message` frames.
+
+use crate::request::{Op, Request, Trace};
+use fresca_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One serving-path operation, the protocol-agnostic form of a
+/// `GetReq`/`PutReq` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireOp {
+    /// Read `key`, accepting data no staler than `max_staleness`
+    /// (`None` = any age).
+    Get {
+        /// Key to read.
+        key: u64,
+        /// Maximum acceptable staleness; `None` accepts any age.
+        max_staleness: Option<SimDuration>,
+    },
+    /// Write `key` with a `value_size`-byte value and an optional TTL.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value size in bytes.
+        value_size: u32,
+        /// Time-to-live; `None` = fresh until invalidated or evicted.
+        ttl: Option<SimDuration>,
+    },
+}
+
+impl WireOp {
+    /// True for [`WireOp::Get`].
+    pub fn is_get(&self) -> bool {
+        matches!(self, WireOp::Get { .. })
+    }
+
+    /// The key this operation touches.
+    pub fn key(&self) -> u64 {
+        match self {
+            WireOp::Get { key, .. } | WireOp::Put { key, .. } => *key,
+        }
+    }
+}
+
+/// A [`WireOp`] with its (rescaled) send deadline, relative to the start
+/// of the replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedOp {
+    /// When to send, measured from replay start.
+    pub at: SimTime,
+    /// What to send.
+    pub op: WireOp,
+}
+
+/// How to map a [`Trace`] onto serving-path operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// TTL attached to every `Put` (`None` = no TTL).
+    pub ttl: Option<SimDuration>,
+    /// Staleness bound attached to every `Get` (`None` = unbounded).
+    pub max_staleness: Option<SimDuration>,
+    /// Multiply every trace timestamp by this factor. `1.0` replays in
+    /// trace time; `0.001` replays 1000× faster. Must be finite and
+    /// non-negative; `0.0` collapses the schedule so every op is due
+    /// immediately (maximum-pressure open loop).
+    pub time_scale: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { ttl: None, max_staleness: None, time_scale: 1.0 }
+    }
+}
+
+impl ReplayConfig {
+    /// Map one request. Reads become bounded `Get`s, writes become
+    /// TTL-carrying `Put`s.
+    pub fn map_request(&self, r: &Request) -> TimedOp {
+        assert!(
+            self.time_scale.is_finite() && self.time_scale >= 0.0,
+            "time_scale must be finite and non-negative, got {}",
+            self.time_scale
+        );
+        let at = SimTime::from_secs_f64(r.at.as_secs_f64() * self.time_scale);
+        let op = match r.op {
+            Op::Read => WireOp::Get { key: r.key.0, max_staleness: self.max_staleness },
+            Op::Write => {
+                WireOp::Put { key: r.key.0, value_size: r.value_size, ttl: self.ttl }
+            }
+        };
+        TimedOp { at, op }
+    }
+
+    /// Map a whole trace, preserving order. The result is sorted because
+    /// the input is sorted and the rescaling is monotone.
+    pub fn map_trace(&self, trace: &Trace) -> Vec<TimedOp> {
+        trace.iter().map(|r| self.map_request(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{PoissonZipfConfig, WorkloadGen};
+    use crate::request::Key;
+
+    #[test]
+    fn maps_ops_and_attaches_freshness_params() {
+        let cfg = ReplayConfig {
+            ttl: Some(SimDuration::from_millis(500)),
+            max_staleness: Some(SimDuration::from_millis(100)),
+            time_scale: 1.0,
+        };
+        let read = cfg.map_request(&Request::read(SimTime::from_secs(3), Key(7), 64));
+        assert_eq!(
+            read.op,
+            WireOp::Get { key: 7, max_staleness: Some(SimDuration::from_millis(100)) }
+        );
+        assert_eq!(read.at, SimTime::from_secs(3));
+        assert!(read.op.is_get());
+        assert_eq!(read.op.key(), 7);
+
+        let write = cfg.map_request(&Request::write(SimTime::from_secs(4), Key(8), 128));
+        assert_eq!(
+            write.op,
+            WireOp::Put { key: 8, value_size: 128, ttl: Some(SimDuration::from_millis(500)) }
+        );
+        assert!(!write.op.is_get());
+    }
+
+    #[test]
+    fn time_scale_compresses_the_schedule() {
+        let cfg = ReplayConfig { time_scale: 0.01, ..Default::default() };
+        let op = cfg.map_request(&Request::read(SimTime::from_secs(100), Key(1), 1));
+        assert_eq!(op.at, SimTime::from_secs(1));
+        // Zero collapses everything to "now".
+        let zero = ReplayConfig { time_scale: 0.0, ..Default::default() };
+        let op = zero.map_request(&Request::read(SimTime::from_secs(100), Key(1), 1));
+        assert_eq!(op.at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn mapped_trace_stays_sorted_and_complete() {
+        let trace = PoissonZipfConfig {
+            rate: 50.0,
+            horizon: SimDuration::from_secs(100),
+            ..Default::default()
+        }
+        .generate(11);
+        let cfg = ReplayConfig { time_scale: 0.001, ..Default::default() };
+        let ops = cfg.map_trace(&trace);
+        assert_eq!(ops.len(), trace.len());
+        assert!(ops.windows(2).all(|w| w[0].at <= w[1].at), "rescaling is monotone");
+        let gets = ops.iter().filter(|o| o.op.is_get()).count();
+        assert_eq!(gets, trace.num_reads());
+    }
+
+    #[test]
+    #[should_panic(expected = "time_scale")]
+    fn rejects_negative_scale() {
+        let cfg = ReplayConfig { time_scale: -1.0, ..Default::default() };
+        cfg.map_request(&Request::read(SimTime::ZERO, Key(1), 1));
+    }
+}

@@ -44,7 +44,8 @@
 //! | [`fresca_cache`] | cache-aside cache, eviction, TTL timer wheel |
 //! | [`fresca_store`] | versioned backend store, write buffer, trackers |
 //! | [`fresca_sketch`] | `E[W]` estimators: exact / Count-min / Top-K |
-//! | [`fresca_net`] | wire protocol, codec, lossy network, reliability |
+//! | [`fresca_net`] | wire protocol, codec, framed transport, lossy network, reliability |
+//! | [`fresca_serve`] | TCP cache server, blocking client, load generator |
 //! | [`fresca_sim`] | deterministic event kernel, RNG, stats |
 
 #![warn(missing_docs)]
@@ -52,6 +53,7 @@
 pub use fresca_cache;
 pub use fresca_core;
 pub use fresca_net;
+pub use fresca_serve;
 pub use fresca_sim;
 pub use fresca_sketch;
 pub use fresca_store;
@@ -68,11 +70,13 @@ pub mod prelude {
     pub use fresca_core::experiment::{staleness_sweep, theory, workloads};
     pub use fresca_core::model::WorkloadPoint;
     pub use fresca_core::policy::rules;
-    pub use fresca_net::{FaultConfig, Message, SimNetwork};
+    pub use fresca_net::{FaultConfig, FramedStream, GetStatus, Message, SimNetwork};
+    pub use fresca_serve::{CacheClient, LoadGenConfig, LoadReport, ServeClock, ServerConfig};
     pub use fresca_sim::{RngFactory, SimDuration, SimTime};
     pub use fresca_sketch::{CountMinEw, EwEstimator, ExactEw, TopKEw};
     pub use fresca_workload::{
         analyze::TraceStats, ClassSpec, Key, MetaLikeConfig, MultiClassConfig, Op,
-        PoissonMixConfig, PoissonZipfConfig, Request, Trace, TwitterLikeConfig, WorkloadGen,
+        PoissonMixConfig, PoissonZipfConfig, ReplayConfig, Request, TimedOp, Trace,
+        TwitterLikeConfig, WireOp, WorkloadGen,
     };
 }

@@ -1,0 +1,200 @@
+//! End-to-end serving-path test: real TCP over localhost.
+//!
+//! The rest of the test suite exercises freshness under a virtual clock;
+//! this file is where the paper's semantics must survive an actual
+//! network boundary: the client's TTLs and staleness bounds travel in
+//! `fresca-net` frames, the server enforces them against a
+//! `ShardedCache` on the wall clock, and the verdict travels back as a
+//! `GetStatus`.
+//!
+//! Wall-clock caveat: assertions only ever rely on *lower* bounds on
+//! elapsed time (sleeps guarantee an entry got older than X), never on
+//! operations completing quickly, so the tests stay robust on loaded CI
+//! machines.
+
+use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
+use fresca_net::GetStatus;
+use fresca_serve::loadgen::{self, LoadGenConfig, Mode};
+use fresca_serve::server::{self, ServerConfig};
+use fresca_serve::CacheClient;
+use fresca_sim::{SimDuration, SimTime};
+use fresca_workload::{PoissonZipfConfig, ReplayConfig, TimedOp, WireOp, WorkloadGen};
+use std::time::Duration;
+
+fn spawn_server() -> server::ServerHandle {
+    server::spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache: CacheConfig { capacity: Capacity::Unbounded, eviction: EvictionPolicy::Lru },
+            shards: 8,
+        },
+    )
+    .expect("bind ephemeral localhost port")
+}
+
+#[test]
+fn client_observes_values_ttl_expiry_and_bound_rejection() {
+    let handle = spawn_server();
+    let mut client = CacheClient::connect(handle.addr()).unwrap();
+
+    // Correct values: a get returns the exact version and size the put
+    // was acknowledged with.
+    let v1 = client.put(1, 64, None).unwrap();
+    let got = client.get(1, None).unwrap();
+    assert_eq!(got.status, GetStatus::Fresh);
+    assert_eq!(got.version, v1);
+    assert_eq!(got.value_size, 64);
+
+    // Versions are monotone: a second put supersedes the first.
+    let v2 = client.put(1, 128, None).unwrap();
+    assert!(v2 > v1);
+    let got = client.get(1, None).unwrap();
+    assert_eq!((got.version, got.value_size), (v2, 128));
+
+    // Unknown keys miss.
+    assert_eq!(client.get(999, None).unwrap().status, GetStatus::Miss);
+
+    // TTL expiry: fresh within the TTL, served-stale (flagged!) past it.
+    client.put(2, 32, Some(SimDuration::from_millis(40))).unwrap();
+    assert_eq!(client.get(2, None).unwrap().status, GetStatus::Fresh);
+    std::thread::sleep(Duration::from_millis(60));
+    let stale = client.get(2, None).unwrap();
+    assert_eq!(stale.status, GetStatus::ServedStale);
+    assert!(stale.age >= SimDuration::from_millis(40), "age {} too small", stale.age);
+
+    // Staleness-bound rejection: the entry has no TTL and is fresh by
+    // the server's contract, but it is older than this reader's bound.
+    client.put(3, 16, None).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let refused = client.get(3, Some(SimDuration::from_millis(5))).unwrap();
+    assert_eq!(refused.status, GetStatus::RefusedStale);
+    assert!(!refused.is_served());
+    assert!(refused.age >= SimDuration::from_millis(30));
+    // A looser bound admits the same entry.
+    assert!(client.get(3, Some(SimDuration::from_secs(10))).unwrap().is_served());
+
+    // A backend invalidation refuses at any bound: known-stale data
+    // never satisfies a freshness contract.
+    assert!(handle.cache().apply_invalidate(3));
+    assert_eq!(client.get(3, None).unwrap().status, GetStatus::RefusedStale);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.puts, 4);
+    assert_eq!(stats.gets, 8);
+    assert_eq!(stats.fresh, 4);
+    assert_eq!(stats.stale_served, 1);
+    assert_eq!(stats.refused, 2);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn open_loop_schedule_exposes_every_freshness_outcome() {
+    let handle = spawn_server();
+    let ms = SimDuration::from_millis;
+    let at = |m: u64| SimTime::from_millis(m);
+    // A hand-built schedule whose outcomes are forced by construction:
+    // sleeps guarantee entries age past the relevant deadlines, and no
+    // assertion depends on ops being fast.
+    let ops = vec![
+        TimedOp { at: at(0), op: WireOp::Put { key: 1, value_size: 64, ttl: None } },
+        TimedOp { at: at(0), op: WireOp::Put { key: 2, value_size: 32, ttl: Some(ms(100)) } },
+        TimedOp { at: at(0), op: WireOp::Put { key: 3, value_size: 16, ttl: None } },
+        // Early reads: a fresh hit and a miss.
+        TimedOp { at: at(10), op: WireOp::Get { key: 1, max_staleness: None } },
+        TimedOp { at: at(10), op: WireOp::Get { key: 4, max_staleness: None } },
+        // Late reads, 250ms in: key 2's TTL (100ms) has expired but the
+        // unbounded read accepts it; key 3 is within its (absent) TTL
+        // but older than this read's 50ms bound; key 1 satisfies a 10s
+        // bound comfortably.
+        TimedOp { at: at(250), op: WireOp::Get { key: 2, max_staleness: None } },
+        TimedOp { at: at(250), op: WireOp::Get { key: 3, max_staleness: Some(ms(50)) } },
+        TimedOp { at: at(250), op: WireOp::Get { key: 1, max_staleness: Some(SimDuration::from_secs(10)) } },
+    ];
+    let report =
+        loadgen::run(handle.addr(), &ops, &LoadGenConfig { mode: Mode::Open }).unwrap();
+    assert_eq!(report.ops, 8);
+    assert_eq!((report.gets, report.puts), (5, 3));
+    assert_eq!(report.fresh, 2);
+    assert_eq!(report.stale_served, 1, "TTL expiry observed over the wire");
+    assert_eq!(report.staleness_violations, 1, "staleness-bound rejection observed");
+    assert_eq!(report.misses, 1);
+    assert!((report.hit_ratio - 3.0 / 5.0).abs() < 1e-9);
+    assert_eq!(report.version_anomalies, 0);
+    assert!(report.wall_secs >= 0.25, "open loop paced the schedule");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.refused, 1);
+    assert_eq!(stats.stale_served, 1);
+}
+
+#[test]
+fn closed_loop_loadgen_replays_a_paper_workload() {
+    let handle = spawn_server();
+    // The paper's Poisson/Zipf workload, compressed 1000× so ~2k ops
+    // replay in well under a second of wall time.
+    let trace = PoissonZipfConfig {
+        rate: 20.0,
+        num_keys: 200,
+        read_ratio: 0.8,
+        horizon: SimDuration::from_secs(100),
+        ..Default::default()
+    }
+    .generate(42);
+    let replay = ReplayConfig {
+        ttl: Some(SimDuration::from_millis(200)),
+        max_staleness: None,
+        time_scale: 0.001,
+    };
+    let ops = replay.map_trace(&trace);
+    let report = loadgen::run(
+        handle.addr(),
+        &ops,
+        &LoadGenConfig { mode: Mode::Closed { connections: 4 } },
+    )
+    .unwrap();
+
+    // Every scheduled op completed, with reads/writes preserved.
+    assert_eq!(report.ops as usize, ops.len());
+    assert_eq!(report.gets as usize, trace.num_reads());
+    assert_eq!(report.puts as usize, trace.num_writes());
+    assert!(report.ops_per_sec > 0.0);
+    // Cache-aside over a Zipf keyspace: hot keys get written then read,
+    // so a meaningful share of reads must be served.
+    assert!(report.hit_ratio > 0.3, "hit ratio {}", report.hit_ratio);
+    // Versions never regress on any of the 4 connections.
+    assert_eq!(report.version_anomalies, 0);
+    // Read classifications partition the reads.
+    assert_eq!(
+        report.fresh + report.stale_served + report.staleness_violations + report.misses,
+        report.gets
+    );
+
+    // The server counted the same traffic the clients observed.
+    let stats = handle.shutdown();
+    assert_eq!(stats.gets, report.gets);
+    assert_eq!(stats.puts, report.puts);
+    assert_eq!(stats.connections, 4);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn server_drops_connections_that_leave_the_serving_path() {
+    use fresca_net::{FramedStream, Message};
+    use std::net::TcpStream;
+
+    let handle = spawn_server();
+    // A simulation-path message has no business on the serving socket.
+    let mut rogue = FramedStream::new(TcpStream::connect(handle.addr()).unwrap());
+    rogue.send(&Message::Invalidate { seq: 1, keys: vec![1, 2] }).unwrap();
+    // The server closes on us rather than answering.
+    assert!(matches!(rogue.recv(), Ok(None) | Err(_)));
+
+    // A well-behaved client on a fresh connection is unaffected.
+    let mut client = CacheClient::connect(handle.addr()).unwrap();
+    client.put(1, 8, None).unwrap();
+    assert!(client.get(1, None).unwrap().is_served());
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.protocol_errors, 1);
+}
