@@ -11,7 +11,7 @@
 //! framing pattern, without the async machinery the simulation doesn't
 //! need).
 
-use crate::msg::{GetStatus, Message, UpdateItem};
+use crate::msg::{GetStatus, Message, RequestId, UpdateItem};
 use bytes::{Buf, BufMut, BytesMut};
 use std::fmt;
 
@@ -26,10 +26,21 @@ const TAG_WRITE_ACK: u8 = 4;
 const TAG_INVALIDATE: u8 = 5;
 const TAG_UPDATE: u8 = 6;
 const TAG_ACK: u8 = 7;
+// Legacy id-less serving-path tags. The encoder emits them only for
+// messages whose id is `RequestId::NONE` — which is exactly what a
+// request decoded from a legacy frame carries, so a response to an old
+// peer is byte-compatible with that peer's decoder — and the decoder
+// accepts them forever.
 const TAG_GET_REQ: u8 = 8;
 const TAG_GET_RESP: u8 = 9;
 const TAG_PUT_REQ: u8 = 10;
 const TAG_PUT_RESP: u8 = 11;
+// Id-carrying serving-path tags: same body as their legacy counterpart
+// with a u64 request id prepended.
+const TAG_GET_REQ_ID: u8 = 12;
+const TAG_GET_RESP_ID: u8 = 13;
+const TAG_PUT_REQ_ID: u8 = 14;
+const TAG_PUT_RESP_ID: u8 = 15;
 
 /// Decode errors. Encoding is infallible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,17 +71,18 @@ impl std::error::Error for CodecError {}
 ///
 /// ```
 /// use bytes::BytesMut;
-/// use fresca_net::{FrameCodec, Message};
+/// use fresca_net::{FrameCodec, Message, RequestId};
 ///
 /// // Encode two messages back-to-back...
+/// let get = Message::GetReq { id: RequestId(1), key: 1, max_staleness: u64::MAX };
 /// let mut wire = BytesMut::new();
-/// FrameCodec::encode(&Message::GetReq { key: 1, max_staleness: u64::MAX }, &mut wire);
+/// FrameCodec::encode(&get, &mut wire);
 /// FrameCodec::encode(&Message::Ack { seq: 2 }, &mut wire);
 ///
 /// // ...and decode them from arbitrary chunks on the other side.
 /// let mut codec = FrameCodec::new();
 /// codec.feed(&wire);
-/// assert_eq!(codec.next().unwrap(), Some(Message::GetReq { key: 1, max_staleness: u64::MAX }));
+/// assert_eq!(codec.next().unwrap(), Some(get));
 /// assert_eq!(codec.next().unwrap(), Some(Message::Ack { seq: 2 }));
 /// assert_eq!(codec.next().unwrap(), None); // need more bytes
 /// ```
@@ -90,6 +102,36 @@ impl FrameCodec {
     /// [`crate::FramedStream`] to tell a clean EOF from a truncated one.
     pub fn is_idle(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// True when [`next`](FrameCodec::next) would make progress without
+    /// further input: a complete frame is buffered, or the buffered
+    /// length prefix is already detectably invalid. Event loops use this
+    /// to tell "frames pending in the decoder" apart from "waiting on
+    /// the socket" — a connection with buffered frames must be serviced
+    /// even if its descriptor never polls readable again.
+    pub fn has_frame(&self) -> bool {
+        match self.peek_len() {
+            None => false,
+            Some(Err(_)) => true,
+            Some(Ok(len)) => self.buf.len() >= len,
+        }
+    }
+
+    /// Parse the buffered length prefix, the one piece of header
+    /// validation shared by [`next`](FrameCodec::next) and
+    /// [`has_frame`](FrameCodec::has_frame) (so the two can never
+    /// diverge): `None` until 4 bytes are buffered, `Some(Err)` for a
+    /// length outside `5..=MAX_FRAME`.
+    fn peek_len(&self) -> Option<Result<usize, CodecError>> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if !(5..=MAX_FRAME as u32).contains(&len) {
+            return Some(Err(CodecError::BadLength(len)));
+        }
+        Some(Ok(len as usize))
     }
 
     /// Encode one message into `out`.
@@ -143,13 +185,13 @@ impl FrameCodec {
                 out.put_u8(TAG_ACK);
                 out.put_u64(*seq);
             }
-            Message::GetReq { key, max_staleness } => {
-                out.put_u8(TAG_GET_REQ);
+            Message::GetReq { id, key, max_staleness } => {
+                Self::put_serving_tag(out, *id, TAG_GET_REQ, TAG_GET_REQ_ID);
                 out.put_u64(*key);
                 out.put_u64(*max_staleness);
             }
-            Message::GetResp { key, version, value_size, age, status } => {
-                out.put_u8(TAG_GET_RESP);
+            Message::GetResp { id, key, version, value_size, age, status } => {
+                Self::put_serving_tag(out, *id, TAG_GET_RESP, TAG_GET_RESP_ID);
                 out.put_u64(*key);
                 out.put_u64(*version);
                 out.put_u32(*value_size);
@@ -157,18 +199,30 @@ impl FrameCodec {
                 out.put_u8(status.as_u8());
                 out.put_bytes(0, *value_size as usize);
             }
-            Message::PutReq { key, value_size, ttl } => {
-                out.put_u8(TAG_PUT_REQ);
+            Message::PutReq { id, key, value_size, ttl } => {
+                Self::put_serving_tag(out, *id, TAG_PUT_REQ, TAG_PUT_REQ_ID);
                 out.put_u64(*key);
                 out.put_u32(*value_size);
                 out.put_u64(*ttl);
                 out.put_bytes(0, *value_size as usize);
             }
-            Message::PutResp { key, version } => {
-                out.put_u8(TAG_PUT_RESP);
+            Message::PutResp { id, key, version } => {
+                Self::put_serving_tag(out, *id, TAG_PUT_RESP, TAG_PUT_RESP_ID);
                 out.put_u64(*key);
                 out.put_u64(*version);
             }
+        }
+    }
+
+    /// Write a serving-path tag: the legacy id-less form when `id` is
+    /// [`RequestId::NONE`] (so replies to legacy peers stay decodable by
+    /// them), the id-carrying form otherwise.
+    fn put_serving_tag(out: &mut BytesMut, id: RequestId, legacy: u8, with_id: u8) {
+        if id.is_none() {
+            out.put_u8(legacy);
+        } else {
+            out.put_u8(with_id);
+            out.put_u64(id.0);
         }
     }
 
@@ -182,17 +236,15 @@ impl FrameCodec {
     /// fallible tri-state return does not fit the trait.)
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Message>, CodecError> {
-        if self.buf.len() < 4 {
+        let len = match self.peek_len() {
+            None => return Ok(None),
+            Some(Err(e)) => return Err(e),
+            Some(Ok(len)) => len,
+        };
+        if self.buf.len() < len {
             return Ok(None);
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
-        if (len as usize) < 5 || len as usize > MAX_FRAME {
-            return Err(CodecError::BadLength(len));
-        }
-        if self.buf.len() < len as usize {
-            return Ok(None);
-        }
-        let mut frame = self.buf.split_to(len as usize);
+        let mut frame = self.buf.split_to(len);
         frame.advance(4); // length
         let tag = frame.get_u8();
         let msg = Self::decode_body(tag, &mut frame)?;
@@ -262,38 +314,69 @@ impl FrameCodec {
                 Self::need(frame, 8, "ack")?;
                 Ok(Message::Ack { seq: frame.get_u64() })
             }
-            TAG_GET_REQ => {
-                Self::need(frame, 16, "get-req")?;
-                Ok(Message::GetReq { key: frame.get_u64(), max_staleness: frame.get_u64() })
+            // Serving-path tags come in legacy (id-less) and id-carrying
+            // pairs; the bodies are identical past the optional id.
+            TAG_GET_REQ => Self::decode_get_req(RequestId::NONE, frame),
+            TAG_GET_REQ_ID => {
+                let id = Self::request_id(frame)?;
+                Self::decode_get_req(id, frame)
             }
-            TAG_GET_RESP => {
-                Self::need(frame, 29, "get-resp header")?;
-                let key = frame.get_u64();
-                let version = frame.get_u64();
-                let value_size = frame.get_u32();
-                let age = frame.get_u64();
-                let status_byte = frame.get_u8();
-                let status =
-                    GetStatus::from_u8(status_byte).ok_or(CodecError::UnknownTag(status_byte))?;
-                Self::need(frame, value_size as usize, "get-resp value")?;
-                frame.advance(value_size as usize);
-                Ok(Message::GetResp { key, version, value_size, age, status })
+            TAG_GET_RESP => Self::decode_get_resp(RequestId::NONE, frame),
+            TAG_GET_RESP_ID => {
+                let id = Self::request_id(frame)?;
+                Self::decode_get_resp(id, frame)
             }
-            TAG_PUT_REQ => {
-                Self::need(frame, 20, "put-req header")?;
-                let key = frame.get_u64();
-                let value_size = frame.get_u32();
-                let ttl = frame.get_u64();
-                Self::need(frame, value_size as usize, "put-req value")?;
-                frame.advance(value_size as usize);
-                Ok(Message::PutReq { key, value_size, ttl })
+            TAG_PUT_REQ => Self::decode_put_req(RequestId::NONE, frame),
+            TAG_PUT_REQ_ID => {
+                let id = Self::request_id(frame)?;
+                Self::decode_put_req(id, frame)
             }
-            TAG_PUT_RESP => {
-                Self::need(frame, 16, "put-resp")?;
-                Ok(Message::PutResp { key: frame.get_u64(), version: frame.get_u64() })
+            TAG_PUT_RESP => Self::decode_put_resp(RequestId::NONE, frame),
+            TAG_PUT_RESP_ID => {
+                let id = Self::request_id(frame)?;
+                Self::decode_put_resp(id, frame)
             }
             t => Err(CodecError::UnknownTag(t)),
         }
+    }
+
+    fn request_id(frame: &mut BytesMut) -> Result<RequestId, CodecError> {
+        Self::need(frame, 8, "request id")?;
+        Ok(RequestId(frame.get_u64()))
+    }
+
+    fn decode_get_req(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {
+        Self::need(frame, 16, "get-req")?;
+        Ok(Message::GetReq { id, key: frame.get_u64(), max_staleness: frame.get_u64() })
+    }
+
+    fn decode_get_resp(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {
+        Self::need(frame, 29, "get-resp header")?;
+        let key = frame.get_u64();
+        let version = frame.get_u64();
+        let value_size = frame.get_u32();
+        let age = frame.get_u64();
+        let status_byte = frame.get_u8();
+        let status =
+            GetStatus::from_u8(status_byte).ok_or(CodecError::UnknownTag(status_byte))?;
+        Self::need(frame, value_size as usize, "get-resp value")?;
+        frame.advance(value_size as usize);
+        Ok(Message::GetResp { id, key, version, value_size, age, status })
+    }
+
+    fn decode_put_req(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {
+        Self::need(frame, 20, "put-req header")?;
+        let key = frame.get_u64();
+        let value_size = frame.get_u32();
+        let ttl = frame.get_u64();
+        Self::need(frame, value_size as usize, "put-req value")?;
+        frame.advance(value_size as usize);
+        Ok(Message::PutReq { id, key, value_size, ttl })
+    }
+
+    fn decode_put_resp(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {
+        Self::need(frame, 16, "put-resp")?;
+        Ok(Message::PutResp { id, key: frame.get_u64(), version: frame.get_u64() })
     }
 }
 
@@ -328,17 +411,26 @@ mod tests {
                 ],
             },
             Message::Ack { seq: 12 },
-            Message::GetReq { key: 3, max_staleness: u64::MAX },
+            Message::GetReq { id: RequestId(1), key: 3, max_staleness: u64::MAX },
+            Message::GetReq { id: RequestId::NONE, key: 3, max_staleness: 5 },
             Message::GetResp {
+                id: RequestId(u64::MAX),
                 key: 3,
                 version: 8,
                 value_size: 77,
                 age: 1_000_000,
                 status: GetStatus::ServedStale,
             },
-            Message::GetResp { key: 4, version: 0, value_size: 0, age: 0, status: GetStatus::Miss },
-            Message::PutReq { key: 5, value_size: 256, ttl: 2_000_000_000 },
-            Message::PutResp { key: 5, version: 1 },
+            Message::GetResp {
+                id: RequestId(2),
+                key: 4,
+                version: 0,
+                value_size: 0,
+                age: 0,
+                status: GetStatus::Miss,
+            },
+            Message::PutReq { id: RequestId(3), key: 5, value_size: 256, ttl: 2_000_000_000 },
+            Message::PutResp { id: RequestId(3), key: 5, version: 1 },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m), m);
@@ -459,6 +551,114 @@ mod tests {
         let mut codec = FrameCodec::new();
         codec.feed(&frame);
         assert_eq!(codec.next(), Err(CodecError::UnknownTag(200)));
+    }
+
+    /// Hand-encode a legacy (id-less) serving-path frame: `u32` length,
+    /// tag, then `body`.
+    fn legacy_frame(tag: u8, body: &[u8]) -> BytesMut {
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + body.len() as u32);
+        frame.put_u8(tag);
+        frame.extend_from_slice(body);
+        frame
+    }
+
+    #[test]
+    fn decodes_legacy_idless_serving_tags() {
+        // A pre-pipelining peer encodes GetReq as tag 8 with no id; the
+        // decoder must still accept it and report RequestId::NONE.
+        let mut body = BytesMut::new();
+        body.put_u64(42); // key
+        body.put_u64(u64::MAX); // max_staleness
+        let mut codec = FrameCodec::new();
+        codec.feed(&legacy_frame(TAG_GET_REQ, &body));
+        assert_eq!(
+            codec.next().unwrap(),
+            Some(Message::GetReq { id: RequestId::NONE, key: 42, max_staleness: u64::MAX })
+        );
+
+        let mut body = BytesMut::new();
+        body.put_u64(42); // key
+        body.put_u64(7); // version
+        body.put_u32(3); // value_size
+        body.put_u64(99); // age
+        body.put_u8(GetStatus::Fresh.as_u8());
+        body.put_bytes(0, 3); // value
+        codec.feed(&legacy_frame(TAG_GET_RESP, &body));
+        assert_eq!(
+            codec.next().unwrap(),
+            Some(Message::GetResp {
+                id: RequestId::NONE,
+                key: 42,
+                version: 7,
+                value_size: 3,
+                age: 99,
+                status: GetStatus::Fresh,
+            })
+        );
+
+        let mut body = BytesMut::new();
+        body.put_u64(9); // key
+        body.put_u32(2); // value_size
+        body.put_u64(1_000); // ttl
+        body.put_bytes(0, 2); // value
+        codec.feed(&legacy_frame(TAG_PUT_REQ, &body));
+        assert_eq!(
+            codec.next().unwrap(),
+            Some(Message::PutReq { id: RequestId::NONE, key: 9, value_size: 2, ttl: 1_000 })
+        );
+
+        let mut body = BytesMut::new();
+        body.put_u64(9); // key
+        body.put_u64(4); // version
+        codec.feed(&legacy_frame(TAG_PUT_RESP, &body));
+        assert_eq!(
+            codec.next().unwrap(),
+            Some(Message::PutResp { id: RequestId::NONE, key: 9, version: 4 })
+        );
+    }
+
+    #[test]
+    fn encoder_emits_id_carrying_tags() {
+        let mut wire = BytesMut::new();
+        FrameCodec::encode(
+            &Message::GetReq { id: RequestId(5), key: 1, max_staleness: 0 },
+            &mut wire,
+        );
+        assert_eq!(wire[4], TAG_GET_REQ_ID, "byte after the length prefix is the new tag");
+        // The id travels big-endian immediately after the tag.
+        assert_eq!(&wire[5..13], &5u64.to_be_bytes());
+    }
+
+    #[test]
+    fn encoder_emits_legacy_tags_for_id_none() {
+        // A response to a legacy (id-less) request must be decodable by
+        // the legacy peer, so NONE encodes under the old tag with no id
+        // field — byte-identical to a pre-pipelining encoder's output.
+        let mut wire = BytesMut::new();
+        FrameCodec::encode(&Message::PutResp { id: RequestId::NONE, key: 2, version: 3 }, &mut wire);
+        assert_eq!(wire.len(), 21);
+        assert_eq!(wire[4], TAG_PUT_RESP);
+        assert_eq!(&wire[5..13], &2u64.to_be_bytes(), "key follows the tag directly");
+        // And re-encoding a decoded legacy frame reproduces it exactly.
+        let mut codec = FrameCodec::new();
+        codec.feed(&wire);
+        let msg = codec.next().unwrap().unwrap();
+        let mut reencoded = BytesMut::new();
+        FrameCodec::encode(&msg, &mut reencoded);
+        assert_eq!(reencoded, wire);
+    }
+
+    #[test]
+    fn rejects_truncated_request_id() {
+        // An id-carrying tag whose frame ends inside the id field.
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 4);
+        frame.put_u8(TAG_PUT_RESP_ID);
+        frame.put_u32(1); // only 4 of the id's 8 bytes
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("request id")));
     }
 
     #[test]

@@ -1,14 +1,18 @@
-//! Blocking framed transport over any `Read + Write` byte stream.
+//! Framed transports over any `Read + Write` byte stream.
 //!
-//! [`FramedStream`] turns the streaming [`FrameCodec`] into a synchronous
-//! message pipe: `send` encodes one [`Message`] and writes the complete
-//! frame; `recv` reads raw chunks until one complete frame decodes. This
-//! is the transport used by the `fresca-serve` server and load generator
-//! over real TCP sockets — the same frames the simulated network
-//! (`simnet`) accounts for byte-by-byte, now actually crossing a network
-//! boundary.
+//! Two flavours share the streaming [`FrameCodec`]:
 //!
-//! The type is generic over the stream so the protocol logic is testable
+//! * [`FramedStream`] — synchronous: `send` writes one complete frame,
+//!   `recv` blocks until one complete frame decodes. One request in
+//!   flight; the shape of the original thread-per-connection server.
+//! * [`NonBlockingFramedStream`] — for poll-driven event loops over
+//!   non-blocking sockets: `queue` buffers encoded frames, `flush`
+//!   writes as much as the socket accepts (keeping the rest for later),
+//!   and `poll_recv` accumulates partial reads until a frame completes,
+//!   returning [`PollRecv::WouldBlock`] instead of blocking. This is the
+//!   transport under the `fresca-serve` reactor and pipelined client.
+//!
+//! Both are generic over the stream so the protocol logic is testable
 //! against in-memory buffers; in production `S` is a
 //! [`std::net::TcpStream`].
 
@@ -28,11 +32,12 @@ const READ_CHUNK: usize = 64 * 1024;
 /// use std::io::{Cursor, Seek, SeekFrom};
 ///
 /// // In-memory stand-in for a socket: write frames, rewind, read back.
+/// use fresca_net::RequestId;
+/// let put = Message::PutReq { id: RequestId(1), key: 9, value_size: 16, ttl: 0 };
 /// let mut pipe = FramedStream::new(Cursor::new(Vec::new()));
-/// pipe.send(&Message::PutReq { key: 9, value_size: 16, ttl: 0 }).unwrap();
+/// pipe.send(&put).unwrap();
 /// pipe.get_mut().seek(SeekFrom::Start(0)).unwrap();
-/// let msg = pipe.recv().unwrap();
-/// assert_eq!(msg, Some(Message::PutReq { key: 9, value_size: 16, ttl: 0 }));
+/// assert_eq!(pipe.recv().unwrap(), Some(put));
 /// assert_eq!(pipe.recv().unwrap(), None); // clean EOF
 /// ```
 #[derive(Debug)]
@@ -100,9 +105,188 @@ fn codec_err(e: CodecError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
 }
 
+/// Outcome of a [`NonBlockingFramedStream::poll_recv`] attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PollRecv {
+    /// One complete message decoded.
+    Msg(Message),
+    /// No complete frame buffered and the stream has no bytes right now;
+    /// try again when the descriptor polls readable.
+    WouldBlock,
+    /// The peer closed cleanly on a frame boundary. (An EOF *mid-frame*
+    /// is an [`io::ErrorKind::UnexpectedEof`] error instead.)
+    Closed,
+}
+
+/// A non-blocking, framed [`Message`] pipe that accumulates partial reads
+/// and writes — the event-loop sibling of [`FramedStream`].
+///
+/// Reads: `poll_recv` drains the socket into the streaming codec and
+/// yields at most one message per call; a frame split across any number
+/// of reads reassembles transparently. Writes: `queue` encodes into an
+/// outbound buffer and `flush` pushes as much as the socket accepts,
+/// so a response to a slow reader never blocks the event loop — the
+/// unsent tail stays buffered and the caller keeps write interest until
+/// [`wants_write`](NonBlockingFramedStream::wants_write) clears.
+///
+/// ```
+/// use fresca_net::{Message, NonBlockingFramedStream, PollRecv, RequestId};
+/// use std::io::{Cursor, Seek, SeekFrom};
+///
+/// // In-memory stand-in for a socket: queue + flush, rewind, read back.
+/// let mut pipe = NonBlockingFramedStream::new(Cursor::new(Vec::new()));
+/// let msg = Message::PutResp { id: RequestId(1), key: 9, version: 1 };
+/// pipe.queue(&msg);
+/// assert!(pipe.wants_write());
+/// assert!(pipe.flush().unwrap(), "in-memory writes always drain");
+/// assert!(!pipe.wants_write());
+///
+/// pipe.get_mut().seek(SeekFrom::Start(0)).unwrap();
+/// assert_eq!(pipe.poll_recv().unwrap(), PollRecv::Msg(msg));
+/// assert_eq!(pipe.poll_recv().unwrap(), PollRecv::Closed);
+/// ```
+#[derive(Debug)]
+pub struct NonBlockingFramedStream<S> {
+    stream: S,
+    codec: FrameCodec,
+    chunk: Vec<u8>,
+    outbound: BytesMut,
+}
+
+impl<S: Read + Write> NonBlockingFramedStream<S> {
+    /// Wrap a byte stream. The caller is responsible for having put the
+    /// underlying descriptor into non-blocking mode (e.g.
+    /// `TcpStream::set_nonblocking(true)`).
+    pub fn new(stream: S) -> Self {
+        NonBlockingFramedStream {
+            stream,
+            codec: FrameCodec::new(),
+            // Allocated lazily on the first standalone poll_recv; event
+            // loops that serve thousands of streams pass a shared
+            // scratch buffer to poll_recv_with instead, so idle server
+            // connections cost no read-buffer memory at all.
+            chunk: Vec::new(),
+            outbound: BytesMut::new(),
+        }
+    }
+
+    /// Shared access to the underlying stream (e.g. to read the raw fd
+    /// for poll registration).
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Exclusive access to the underlying stream.
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Encode `msg` into the outbound buffer. Nothing touches the socket
+    /// until [`flush`](NonBlockingFramedStream::flush).
+    pub fn queue(&mut self, msg: &Message) {
+        FrameCodec::encode(msg, &mut self.outbound);
+    }
+
+    /// True while unsent bytes are buffered — the caller should keep
+    /// write interest registered and call
+    /// [`flush`](NonBlockingFramedStream::flush) when writable.
+    pub fn wants_write(&self) -> bool {
+        !self.outbound.is_empty()
+    }
+
+    /// Unsent outbound bytes currently buffered.
+    pub fn pending_out(&self) -> usize {
+        self.outbound.len()
+    }
+
+    /// True when at least one complete inbound frame (or a detectable
+    /// protocol error) is buffered, so the next
+    /// [`poll_recv`](NonBlockingFramedStream::poll_recv) will make
+    /// progress without touching the socket. Event loops that bound work
+    /// per tick must re-service such streams without waiting for
+    /// readiness.
+    pub fn has_buffered_frame(&self) -> bool {
+        self.codec.has_frame()
+    }
+
+    /// Write as much buffered output as the stream accepts. Returns
+    /// `Ok(true)` when the buffer fully drained, `Ok(false)` when the
+    /// stream would block with bytes still pending.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        use bytes::Buf;
+        while !self.outbound.is_empty() {
+            match self.stream.write(&self.outbound) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.outbound.advance(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Try to receive one message without blocking. Buffered frames are
+    /// served before the socket is read again, so call in a loop until
+    /// [`PollRecv::WouldBlock`]. Protocol violations surface as
+    /// [`io::ErrorKind::InvalidData`], an EOF mid-frame as
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn poll_recv(&mut self) -> io::Result<PollRecv> {
+        if self.chunk.is_empty() {
+            self.chunk = vec![0; READ_CHUNK];
+        }
+        // Loan the private buffer out so poll_recv_with can borrow both
+        // it and `self` without aliasing.
+        let mut chunk = std::mem::take(&mut self.chunk);
+        let result = self.poll_recv_with(&mut chunk);
+        self.chunk = chunk;
+        result
+    }
+
+    /// [`poll_recv`](NonBlockingFramedStream::poll_recv), reading
+    /// through a caller-provided scratch buffer instead of a private
+    /// one. An event loop multiplexing thousands of streams shares one
+    /// scratch across all of them — the buffer holds no state between
+    /// calls, it is only the landing zone for `read(2)`.
+    pub fn poll_recv_with(&mut self, scratch: &mut [u8]) -> io::Result<PollRecv> {
+        assert!(!scratch.is_empty(), "scratch buffer must be non-empty");
+        loop {
+            match self.codec.next() {
+                Ok(Some(msg)) => return Ok(PollRecv::Msg(msg)),
+                Ok(None) => {}
+                Err(e) => return Err(codec_err(e)),
+            }
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    return if self.codec.is_idle() {
+                        Ok(PollRecv::Closed)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.codec.feed(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(PollRecv::WouldBlock)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::msg::{GetStatus, RequestId};
     use std::io::{Cursor, Seek, SeekFrom};
 
     /// Write messages into an in-memory cursor, rewind, and hand back a
@@ -119,8 +303,8 @@ mod tests {
     #[test]
     fn send_recv_roundtrip() {
         let msgs = vec![
-            Message::GetReq { key: 1, max_staleness: 500 },
-            Message::PutReq { key: 2, value_size: 1000, ttl: 1_000_000 },
+            Message::GetReq { id: RequestId(1), key: 1, max_staleness: 500 },
+            Message::PutReq { id: RequestId(2), key: 2, value_size: 1000, ttl: 1_000_000 },
             Message::Ack { seq: 3 },
         ];
         let mut s = loopback(&msgs);
@@ -132,7 +316,8 @@ mod tests {
 
     #[test]
     fn eof_mid_frame_is_an_error() {
-        let mut s = loopback(&[Message::GetReq { key: 1, max_staleness: 0 }]);
+        let mut s =
+            loopback(&[Message::GetReq { id: RequestId(1), key: 1, max_staleness: 0 }]);
         // Truncate the underlying buffer mid-frame.
         let buf = s.get_mut().get_mut();
         buf.truncate(buf.len() - 3);
@@ -144,6 +329,137 @@ mod tests {
     fn garbage_is_invalid_data() {
         let mut s = FramedStream::new(Cursor::new(vec![0xFF; 32]));
         let err = s.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// A stream that yields one byte per read and accepts one byte per
+    /// write, interleaving `WouldBlock` between every byte — the worst
+    /// case a non-blocking socket can legally present.
+    struct Trickle {
+        input: Vec<u8>,
+        read_pos: usize,
+        read_ready: bool,
+        output: Vec<u8>,
+        write_ready: bool,
+    }
+
+    impl Trickle {
+        fn new(input: Vec<u8>) -> Self {
+            Trickle { input, read_pos: 0, read_ready: false, output: Vec::new(), write_ready: false }
+        }
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.read_ready = !self.read_ready;
+            if !self.read_ready {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            if self.read_pos >= self.input.len() {
+                return Ok(0); // EOF
+            }
+            buf[0] = self.input[self.read_pos];
+            self.read_pos += 1;
+            Ok(1)
+        }
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_ready = !self.write_ready;
+            if !self.write_ready {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.output.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn nonblocking_reassembles_frames_fed_one_byte_at_a_time() {
+        let msgs = [
+            Message::GetReq { id: RequestId(1), key: 7, max_staleness: u64::MAX },
+            Message::GetResp {
+                id: RequestId(1),
+                key: 7,
+                version: 3,
+                value_size: 50,
+                age: 12,
+                status: GetStatus::Fresh,
+            },
+            Message::PutResp { id: RequestId(2), key: 8, version: 4 },
+        ];
+        let mut wire = BytesMut::new();
+        for m in &msgs {
+            FrameCodec::encode(m, &mut wire);
+        }
+        let mut s = NonBlockingFramedStream::new(Trickle::new(wire.to_vec()));
+        // Drive poll_recv the way an event loop would: each WouldBlock is
+        // a poll wakeup away from more bytes. Every frame must reassemble
+        // exactly once, in order, despite arriving one byte per read.
+        let mut got = Vec::new();
+        loop {
+            match s.poll_recv().unwrap() {
+                PollRecv::Msg(m) => got.push(m),
+                PollRecv::WouldBlock => continue,
+                PollRecv::Closed => break,
+            }
+        }
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn nonblocking_flush_retains_unsent_tail() {
+        let msg = Message::PutReq { id: RequestId(9), key: 1, value_size: 32, ttl: 0 };
+        let mut s = NonBlockingFramedStream::new(Trickle::new(Vec::new()));
+        s.queue(&msg);
+        let total = msg.wire_size();
+        assert_eq!(s.pending_out(), total);
+        // One byte leaves per flush call (the trickle accepts 1 then
+        // blocks); the buffer must shrink monotonically to zero.
+        let mut flushes = 0;
+        while s.wants_write() {
+            s.flush().unwrap();
+            flushes += 1;
+            assert!(flushes <= 2 * total + 2, "flush failed to make progress");
+        }
+        assert!(s.flush().unwrap(), "drained stream reports complete");
+        // The bytes that arrived are exactly the encoded frame.
+        let mut codec = FrameCodec::new();
+        codec.feed(&s.get_ref().output);
+        assert_eq!(codec.next().unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn nonblocking_eof_mid_frame_is_an_error() {
+        let msg = Message::Ack { seq: 1 };
+        let mut wire = BytesMut::new();
+        FrameCodec::encode(&msg, &mut wire);
+        let truncated = wire[..wire.len() - 2].to_vec();
+        let mut s = NonBlockingFramedStream::new(Trickle::new(truncated));
+        let err = loop {
+            match s.poll_recv() {
+                Ok(PollRecv::WouldBlock) => continue,
+                Ok(other) => panic!("expected mid-frame EOF, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn nonblocking_garbage_is_invalid_data() {
+        let mut s = NonBlockingFramedStream::new(Trickle::new(vec![0xFF; 8]));
+        let err = loop {
+            match s.poll_recv() {
+                Ok(PollRecv::WouldBlock) => continue,
+                Ok(other) => panic!("expected protocol error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

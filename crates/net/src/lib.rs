@@ -15,9 +15,12 @@
 //! * [`codec`] — a length-prefixed binary framing codec on [`bytes`]
 //!   (`u32` length + type byte + fields), with a streaming decoder that
 //!   tolerates partial frames and rejects oversized or malformed ones.
-//! * [`frame_io`] — a blocking framed transport ([`FramedStream`]) that
-//!   runs the codec over any `Read + Write` stream; this is what the
-//!   `fresca-serve` server and load generator speak over real TCP.
+//! * [`frame_io`] — framed transports that run the codec over any
+//!   `Read + Write` stream: the blocking [`FramedStream`] and the
+//!   non-blocking [`NonBlockingFramedStream`], which accumulates partial
+//!   reads and writes so a poll-driven event loop can multiplex thousands
+//!   of connections. These are what the `fresca-serve` server and load
+//!   generator speak over real TCP.
 //! * [`simnet`] — a deterministic simulated network: configurable delay
 //!   distribution plus smoltcp-style fault injection (drop, duplicate,
 //!   reorder), driven entirely by the caller's scheduler.
@@ -34,7 +37,7 @@ pub mod reliable;
 pub mod simnet;
 
 pub use codec::{CodecError, FrameCodec};
-pub use frame_io::FramedStream;
-pub use msg::{GetStatus, Message, UpdateItem};
+pub use frame_io::{FramedStream, NonBlockingFramedStream, PollRecv};
+pub use msg::{GetStatus, Message, RequestId, UpdateItem};
 pub use reliable::{DedupReceiver, ReliableSender};
 pub use simnet::{FaultConfig, NetStats, SimNetwork};

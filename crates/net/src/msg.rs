@@ -7,6 +7,55 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Identifies one in-flight request on a connection, so responses can be
+/// matched to requests when several are pipelined on the same stream.
+///
+/// Ids are allocated by the client (any scheme that never repeats while a
+/// request is outstanding works; a per-connection counter is typical) and
+/// echoed verbatim by the server. The value `0` is reserved as
+/// [`RequestId::NONE`]: it is what decoding a legacy, id-less frame (wire
+/// tags 8–11) yields, so id-aware peers can interoperate with old ones.
+///
+/// ```
+/// use fresca_net::RequestId;
+///
+/// let first = RequestId(1);
+/// assert!(first > RequestId::NONE);
+/// assert!(RequestId::NONE.is_none());
+/// assert_eq!(format!("{first}"), "req#1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// The reserved "no id" value carried by legacy (tag 8–11) frames.
+    pub const NONE: RequestId = RequestId(0);
+
+    /// True for [`RequestId::NONE`].
+    pub fn is_none(self) -> bool {
+        self == RequestId::NONE
+    }
+
+    /// Bytes this id occupies on the wire: 0 for [`RequestId::NONE`]
+    /// (encoded as a legacy id-less tag), 8 otherwise.
+    pub fn wire_size(self) -> usize {
+        if self.is_none() {
+            0
+        } else {
+            8
+        }
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
 /// One item of a batched update message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UpdateItem {
@@ -83,13 +132,17 @@ impl GetStatus {
 ///   per-key TTL on writes, and a served/refused-stale status on
 ///   responses.
 ///
+/// Serving-path messages carry a [`RequestId`] so several requests can be
+/// pipelined on one connection and responses matched by id; the server
+/// echoes the request's id on the response.
+///
 /// ```
-/// use fresca_net::Message;
+/// use fresca_net::{Message, RequestId};
 ///
 /// // A read that tolerates at most 50ms of staleness...
-/// let req = Message::GetReq { key: 7, max_staleness: 50_000_000 };
+/// let req = Message::GetReq { id: RequestId(1), key: 7, max_staleness: 50_000_000 };
 /// // ...occupies exactly its declared number of wire bytes.
-/// assert_eq!(req.wire_size(), 5 + 8 + 8);
+/// assert_eq!(req.wire_size(), 5 + 8 + 8 + 8);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Message {
@@ -144,6 +197,8 @@ pub enum Message {
     /// analogue of [`Message::ReadReq`] with the paper's freshness
     /// contract made explicit per request.
     GetReq {
+        /// Client-chosen id echoed on the matching [`Message::GetResp`].
+        id: RequestId,
         /// Key to read.
         key: u64,
         /// Maximum acceptable staleness in nanoseconds since the entry
@@ -152,6 +207,9 @@ pub enum Message {
     },
     /// Cache server → client: result of a [`Message::GetReq`].
     GetResp {
+        /// Echo of the request's id ([`RequestId::NONE`] for legacy
+        /// requests).
+        id: RequestId,
         /// Key read.
         key: u64,
         /// Version served (0 when nothing was served).
@@ -167,6 +225,8 @@ pub enum Message {
     /// Client → cache server: write-through with a per-key TTL. The
     /// serving-path analogue of [`Message::WriteReq`].
     PutReq {
+        /// Client-chosen id echoed on the matching [`Message::PutResp`].
+        id: RequestId,
         /// Key written.
         key: u64,
         /// New value size (value carried on the wire).
@@ -178,6 +238,9 @@ pub enum Message {
     /// Cache server → client: write acknowledged with the version the
     /// server assigned (monotone per key).
     PutResp {
+        /// Echo of the request's id ([`RequestId::NONE`] for legacy
+        /// requests).
+        id: RequestId,
         /// Key written.
         key: u64,
         /// Version assigned by the server.
@@ -206,12 +269,17 @@ impl Message {
                         .sum::<usize>()
             }
             Message::Ack { .. } => HDR + 8,
-            Message::GetReq { .. } => HDR + 8 + 8,
-            Message::GetResp { value_size, .. } => {
-                HDR + 8 + 8 + 4 + 8 + 1 + *value_size as usize
+            // Serving-path messages: the request id occupies 8 wire bytes
+            // unless it is RequestId::NONE, which encodes as the legacy
+            // id-less tag (see the codec's backward-compat rules).
+            Message::GetReq { id, .. } => HDR + id.wire_size() + 8 + 8,
+            Message::GetResp { id, value_size, .. } => {
+                HDR + id.wire_size() + 8 + 8 + 4 + 8 + 1 + *value_size as usize
             }
-            Message::PutReq { value_size, .. } => HDR + 8 + 4 + 8 + *value_size as usize,
-            Message::PutResp { .. } => HDR + 8 + 8,
+            Message::PutReq { id, value_size, .. } => {
+                HDR + id.wire_size() + 8 + 4 + 8 + *value_size as usize
+            }
+            Message::PutResp { id, .. } => HDR + id.wire_size() + 8 + 8,
         }
     }
 
@@ -261,23 +329,54 @@ mod tests {
         assert_eq!(Message::ReadReq { key: 1 }.seq(), None);
         assert_eq!(Message::Ack { seq: 7 }.seq(), Some(7));
         assert_eq!(Message::Invalidate { seq: 9, keys: vec![] }.seq(), Some(9));
-        assert_eq!(Message::GetReq { key: 1, max_staleness: 0 }.seq(), None);
-        assert_eq!(Message::PutReq { key: 1, value_size: 0, ttl: 0 }.seq(), None);
+        assert_eq!(
+            Message::GetReq { id: RequestId(1), key: 1, max_staleness: 0 }.seq(),
+            None
+        );
+        assert_eq!(
+            Message::PutReq { id: RequestId(2), key: 1, value_size: 0, ttl: 0 }.seq(),
+            None
+        );
     }
 
     #[test]
     fn serving_path_wire_sizes() {
-        assert_eq!(Message::GetReq { key: 1, max_staleness: u64::MAX }.wire_size(), 21);
+        assert_eq!(
+            Message::GetReq { id: RequestId(7), key: 1, max_staleness: u64::MAX }.wire_size(),
+            29
+        );
+        // RequestId::NONE encodes as the legacy id-less tag: 8 bytes less.
+        assert_eq!(
+            Message::GetReq { id: RequestId::NONE, key: 1, max_staleness: u64::MAX }.wire_size(),
+            21
+        );
+        assert_eq!(
+            Message::PutResp { id: RequestId::NONE, key: 1, version: 9 }.wire_size(),
+            21
+        );
         let served = Message::GetResp {
+            id: RequestId(7),
             key: 1,
             version: 2,
             value_size: 100,
             age: 5,
             status: GetStatus::Fresh,
         };
-        assert_eq!(served.wire_size(), 5 + 8 + 8 + 4 + 8 + 1 + 100);
-        assert_eq!(Message::PutReq { key: 1, value_size: 64, ttl: 7 }.wire_size(), 5 + 8 + 4 + 8 + 64);
-        assert_eq!(Message::PutResp { key: 1, version: 9 }.wire_size(), 21);
+        assert_eq!(served.wire_size(), 5 + 8 + 8 + 8 + 4 + 8 + 1 + 100);
+        assert_eq!(
+            Message::PutReq { id: RequestId(8), key: 1, value_size: 64, ttl: 7 }.wire_size(),
+            5 + 8 + 8 + 4 + 8 + 64
+        );
+        assert_eq!(Message::PutResp { id: RequestId(8), key: 1, version: 9 }.wire_size(), 29);
+    }
+
+    #[test]
+    fn request_id_ordering_and_none() {
+        assert!(RequestId::NONE.is_none());
+        assert!(!RequestId(1).is_none());
+        assert!(RequestId(2) > RequestId(1));
+        assert_eq!(RequestId::default(), RequestId::NONE);
+        assert_eq!(RequestId(42).to_string(), "req#42");
     }
 
     #[test]

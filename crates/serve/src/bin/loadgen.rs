@@ -3,18 +3,27 @@
 //! ```text
 //! loadgen [--addr 127.0.0.1:7440] [--workload poisson|mix|meta|twitter]
 //!         [--seed 42] [--rate 10] [--horizon-secs 1000]
-//!         [--mode closed|open] [--conns 4] [--time-scale 0.001]
-//!         [--ttl-ms 500] [--bound-ms 0]
+//!         [--mode closed|open] [--conns 4] [--pipeline 16]
+//!         [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0]
+//!         [--json BENCH_serve.json] [--fail-on-violations]
 //! ```
 //!
 //! Generates the chosen paper workload, maps it onto wire operations
 //! (`--ttl-ms` attaches a TTL to every put, `--bound-ms` a staleness
 //! bound to every get; 0 disables either), replays it closed- or
-//! open-loop, and prints the [`fresca_serve::LoadReport`].
+//! open-loop with up to `--pipeline` requests in flight per connection,
+//! and prints the [`fresca_serve::LoadReport`] with p50/p99/p999 request
+//! latency.
 //!
 //! In open-loop mode the trace's virtual timestamps are multiplied by
 //! `--time-scale`: the paper's λ=10 req/s trace at `--time-scale 0.001`
 //! offers ~10k req/s.
+//!
+//! `--json <path>` additionally writes the report as a machine-readable
+//! JSON summary (ops/s, hit ratio, latency percentiles, violation
+//! counts) for tracking the perf trajectory across commits.
+//! `--fail-on-violations` exits non-zero when the run observed staleness
+//! violations or version anomalies — the CI smoke-test contract.
 
 use fresca_serve::cli::arg;
 use fresca_serve::loadgen::{self, LoadGenConfig, Mode};
@@ -31,7 +40,8 @@ fn main() {
         eprintln!(
             "usage: loadgen [--addr 127.0.0.1:7440] [--workload poisson|mix|meta|twitter] \
              [--seed 42] [--rate 10] [--horizon-secs 1000] [--mode closed|open] \
-             [--conns 4] [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0]"
+             [--conns 4] [--pipeline 16] [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0] \
+             [--json BENCH_serve.json] [--fail-on-violations]"
         );
         return;
     }
@@ -42,9 +52,12 @@ fn main() {
     let horizon = SimDuration::from_secs(arg(&args, "--horizon-secs", 1000));
     let mode_s = arg(&args, "--mode", "closed".to_string());
     let conns: usize = arg(&args, "--conns", 4);
+    let pipeline: usize = arg(&args, "--pipeline", 16);
     let time_scale: f64 = arg(&args, "--time-scale", 0.001);
     let ttl_ms: u64 = arg(&args, "--ttl-ms", 500);
     let bound_ms: u64 = arg(&args, "--bound-ms", 0);
+    let json_path = arg(&args, "--json", String::new());
+    let fail_on_violations = args.iter().any(|a| a == "--fail-on-violations");
 
     let trace = match workload.as_str() {
         "poisson" => {
@@ -82,15 +95,31 @@ fn main() {
         }
     };
     println!(
-        "replaying {} ops of {} (seed {seed}) against {addr} [{mode_s}]",
+        "replaying {} ops of {} (seed {seed}) against {addr} [{mode_s}, pipeline {pipeline}]",
         ops.len(),
         trace.meta().generator,
     );
-    match loadgen::run(addr, &ops, &LoadGenConfig { mode }) {
-        Ok(report) => print!("{report}"),
+    let report = match loadgen::run(addr, &ops, &LoadGenConfig { mode, pipeline }) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("loadgen: {e}");
             std::process::exit(1);
         }
+    };
+    print!("{report}");
+    if !json_path.is_empty() {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(&json_path, json + "\n") {
+            eprintln!("loadgen: cannot write {json_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {json_path}");
+    }
+    if fail_on_violations && !report.is_clean() {
+        eprintln!(
+            "loadgen: FAILED — {} staleness violations, {} version anomalies",
+            report.staleness_violations, report.version_anomalies
+        );
+        std::process::exit(3);
     }
 }

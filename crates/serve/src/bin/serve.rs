@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7440] [--shards 16] [--capacity-entries 65536]
-//!       [--stats-every 5]
+//!       [--event-loops 2] [--stats-every 5]
 //! ```
 //!
 //! Binds the address, then prints a serving-counter line every
 //! `--stats-every` seconds until killed. `--capacity-entries 0` means
-//! unbounded.
+//! unbounded. `--event-loops` sets how many reactor threads connections
+//! are multiplexed onto (each one comfortably serves thousands of
+//! connections; raise it to use more cores).
 
 use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
 use fresca_serve::cli::arg;
@@ -19,13 +21,14 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: serve [--addr 127.0.0.1:7440] [--shards 16] \
-             [--capacity-entries 65536] [--stats-every 5]"
+             [--capacity-entries 65536] [--event-loops 2] [--stats-every 5]"
         );
         return;
     }
     let addr = arg(&args, "--addr", "127.0.0.1:7440".to_string());
     let shards: usize = arg(&args, "--shards", 16);
     let capacity: usize = arg(&args, "--capacity-entries", 65_536);
+    let event_loops: usize = arg(&args, "--event-loops", 2);
     let stats_every: u64 = arg(&args, "--stats-every", 5);
 
     let capacity =
@@ -33,6 +36,7 @@ fn main() {
     let config = ServerConfig {
         cache: CacheConfig { capacity, eviction: EvictionPolicy::Lru },
         shards,
+        event_loops,
     };
     let handle = match server::spawn(&addr, config) {
         Ok(h) => h,
@@ -41,7 +45,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("serving on {} ({} shards, {:?})", handle.addr(), shards, capacity);
+    println!(
+        "serving on {} ({} shards, {:?}, {} event loops)",
+        handle.addr(),
+        shards,
+        capacity,
+        handle.event_loops()
+    );
     loop {
         std::thread::sleep(Duration::from_secs(stats_every.max(1)));
         println!("{}", handle.stats());

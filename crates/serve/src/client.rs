@@ -1,9 +1,20 @@
-//! Blocking request/response client for the serving-path protocol.
+//! Clients for the serving-path protocol: blocking one-request-at-a-time
+//! ([`CacheClient`]) and pipelined ([`PipelinedClient`]).
+//!
+//! Both speak the same id-carrying frames: every request allocates a
+//! fresh [`RequestId`] from a per-connection counter and the server
+//! echoes it on the response. The blocking client just checks the echo;
+//! the pipelined client is *built* on it — with N requests in flight on
+//! one connection, the id is what maps each response back to the request
+//! (and its submit timestamp) it answers.
 
-use fresca_net::{FramedStream, GetStatus, Message};
+use fresca_net::{FramedStream, GetStatus, Message, NonBlockingFramedStream, PollRecv, RequestId};
 use fresca_sim::SimDuration;
+use minipoll::{Interest, PollSet};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::{Duration, Instant};
 
 /// Result of a staleness-bounded read as observed by the client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,14 +37,35 @@ impl GetOutcome {
     }
 }
 
+/// A completed pipelined request, as handed back by
+/// [`PipelinedClient::complete`] together with its [`RequestId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// A `GetReq` resolved.
+    Get {
+        /// Key the read was for.
+        key: u64,
+        /// How the server resolved it.
+        outcome: GetOutcome,
+    },
+    /// A `PutReq` acknowledged.
+    Put {
+        /// Key the write was for.
+        key: u64,
+        /// Version the server assigned (monotone per key).
+        version: u64,
+    },
+}
+
 /// A blocking cache client: one TCP connection, one request in flight.
 ///
-/// The load generator opens one of these per worker thread; anything
-/// needing pipelining or multiplexing belongs in a future async
-/// transport (see ROADMAP).
+/// Simple and good enough for scripts and tests; load generation and
+/// anything latency-sensitive under concurrency wants
+/// [`PipelinedClient`].
 #[derive(Debug)]
 pub struct CacheClient {
     framed: FramedStream<TcpStream>,
+    next_id: u64,
 }
 
 impl CacheClient {
@@ -41,7 +73,12 @@ impl CacheClient {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(CacheClient { framed: FramedStream::new(stream) })
+        Ok(CacheClient { framed: FramedStream::new(stream), next_id: 0 })
+    }
+
+    fn alloc_id(&mut self) -> RequestId {
+        self.next_id += 1;
+        RequestId(self.next_id)
     }
 
     /// Write `key` with a `value_size`-byte value and an optional TTL.
@@ -53,9 +90,10 @@ impl CacheClient {
         ttl: Option<SimDuration>,
     ) -> io::Result<u64> {
         let ttl = ttl.map_or(0, SimDuration::as_nanos);
-        self.framed.send(&Message::PutReq { key, value_size, ttl })?;
+        let id = self.alloc_id();
+        self.framed.send(&Message::PutReq { id, key, value_size, ttl })?;
         match self.must_recv()? {
-            Message::PutResp { key: k, version } if k == key => Ok(version),
+            Message::PutResp { id: rid, key: k, version } if rid == id && k == key => Ok(version),
             other => Err(unexpected(&other)),
         }
     }
@@ -68,9 +106,12 @@ impl CacheClient {
         max_staleness: Option<SimDuration>,
     ) -> io::Result<GetOutcome> {
         let bound = max_staleness.map_or(u64::MAX, SimDuration::as_nanos);
-        self.framed.send(&Message::GetReq { key, max_staleness: bound })?;
+        let id = self.alloc_id();
+        self.framed.send(&Message::GetReq { id, key, max_staleness: bound })?;
         match self.must_recv()? {
-            Message::GetResp { key: k, version, value_size, age, status } if k == key => {
+            Message::GetResp { id: rid, key: k, version, value_size, age, status }
+                if rid == id && k == key =>
+            {
                 Ok(GetOutcome { status, version, value_size, age: SimDuration::from_nanos(age) })
             }
             other => Err(unexpected(&other)),
@@ -81,6 +122,202 @@ impl CacheClient {
         self.framed.recv()?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })
+    }
+}
+
+/// A pipelined cache client: one TCP connection, many requests in flight.
+///
+/// `submit_*` queues a request (flushing opportunistically, never
+/// blocking) and returns its [`RequestId`]; completions are collected
+/// with [`try_complete`](PipelinedClient::try_complete) (non-blocking),
+/// [`complete`](PipelinedClient::complete) (blocking), or
+/// [`complete_timeout`](PipelinedClient::complete_timeout). The server
+/// answers in submission order on a given connection, but callers should
+/// rely only on the echoed id — that is the wire contract.
+///
+/// ```
+/// use fresca_serve::server::{self, ServerConfig};
+/// use fresca_serve::{PipelinedClient, Response};
+///
+/// let handle = server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+/// let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+///
+/// // Three requests in flight on one connection...
+/// let put = client.submit_put(7, 64, None).unwrap();
+/// let hit = client.submit_get(7, None).unwrap();
+/// let miss = client.submit_get(999, None).unwrap();
+///
+/// // ...completions come back matched by id.
+/// let (id, resp) = client.complete().unwrap();
+/// assert_eq!(id, put);
+/// assert!(matches!(resp, Response::Put { key: 7, .. }));
+/// let (id, resp) = client.complete().unwrap();
+/// assert_eq!(id, hit);
+/// assert!(matches!(resp, Response::Get { key: 7, outcome } if outcome.is_served()));
+/// let (id, _) = client.complete().unwrap();
+/// assert_eq!(id, miss);
+/// assert_eq!(client.in_flight(), 0);
+/// # handle.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct PipelinedClient {
+    io: NonBlockingFramedStream<TcpStream>,
+    fd: RawFd,
+    poll: PollSet,
+    next_id: u64,
+    in_flight: usize,
+}
+
+impl PipelinedClient {
+    /// Connect to a server; the socket is put into non-blocking mode.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let fd = stream.as_raw_fd();
+        Ok(PipelinedClient {
+            io: NonBlockingFramedStream::new(stream),
+            fd,
+            poll: PollSet::new(),
+            next_id: 0,
+            in_flight: 0,
+        })
+    }
+
+    fn alloc_id(&mut self) -> RequestId {
+        self.next_id += 1;
+        RequestId(self.next_id)
+    }
+
+    /// Requests submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Queue a staleness-bounded read (`None` = any age) and return the
+    /// id its response will carry. Never blocks: bytes the socket does
+    /// not accept now are flushed by later submit/complete calls.
+    pub fn submit_get(
+        &mut self,
+        key: u64,
+        max_staleness: Option<SimDuration>,
+    ) -> io::Result<RequestId> {
+        let bound = max_staleness.map_or(u64::MAX, SimDuration::as_nanos);
+        let id = self.alloc_id();
+        self.io.queue(&Message::GetReq { id, key, max_staleness: bound });
+        self.in_flight += 1;
+        self.io.flush()?;
+        Ok(id)
+    }
+
+    /// Queue a write with a `value_size`-byte value and an optional TTL;
+    /// returns the id its acknowledgement will carry. Never blocks.
+    pub fn submit_put(
+        &mut self,
+        key: u64,
+        value_size: u32,
+        ttl: Option<SimDuration>,
+    ) -> io::Result<RequestId> {
+        let ttl = ttl.map_or(0, SimDuration::as_nanos);
+        let id = self.alloc_id();
+        self.io.queue(&Message::PutReq { id, key, value_size, ttl });
+        self.in_flight += 1;
+        self.io.flush()?;
+        Ok(id)
+    }
+
+    /// Collect one completion if a response is already available, without
+    /// blocking. `Ok(None)` means nothing is ready right now (or nothing
+    /// is in flight).
+    pub fn try_complete(&mut self) -> io::Result<Option<(RequestId, Response)>> {
+        if self.in_flight == 0 {
+            return Ok(None);
+        }
+        self.io.flush()?;
+        match self.io.poll_recv()? {
+            PollRecv::Msg(msg) => {
+                let done = decode_response(msg)?;
+                self.in_flight -= 1;
+                Ok(Some(done))
+            }
+            PollRecv::WouldBlock => Ok(None),
+            PollRecv::Closed => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed with requests in flight",
+            )),
+        }
+    }
+
+    /// Block until one in-flight request completes. Errors with
+    /// [`io::ErrorKind::InvalidInput`] when nothing is in flight.
+    pub fn complete(&mut self) -> io::Result<(RequestId, Response)> {
+        if self.in_flight == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no requests in flight"));
+        }
+        loop {
+            if let Some(done) = self.try_complete()? {
+                return Ok(done);
+            }
+            self.wait(None)?;
+        }
+    }
+
+    /// Like [`complete`](PipelinedClient::complete), but give up after
+    /// `timeout` and return `Ok(None)`. Also returns `Ok(None)`
+    /// immediately when nothing is in flight.
+    pub fn complete_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> io::Result<Option<(RequestId, Response)>> {
+        if self.in_flight == 0 {
+            return Ok(None);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(done) = self.try_complete()? {
+                return Ok(Some(done));
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now) else {
+                return Ok(None);
+            };
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.wait(Some(remaining))?;
+        }
+    }
+
+    /// Park on `poll(2)` until the socket is readable (or writable, when
+    /// unsent request bytes are pending).
+    fn wait(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let mut interest = Interest::READABLE;
+        if self.io.wants_write() {
+            interest = interest.and(Interest::WRITABLE);
+        }
+        self.poll.clear();
+        self.poll.push(self.fd, interest);
+        self.poll.poll(timeout)?;
+        Ok(())
+    }
+}
+
+fn decode_response(msg: Message) -> io::Result<(RequestId, Response)> {
+    match msg {
+        Message::GetResp { id, key, version, value_size, age, status } => Ok((
+            id,
+            Response::Get {
+                key,
+                outcome: GetOutcome {
+                    status,
+                    version,
+                    value_size,
+                    age: SimDuration::from_nanos(age),
+                },
+            },
+        )),
+        Message::PutResp { id, key, version } => Ok((id, Response::Put { key, version })),
+        other => Err(unexpected(&other)),
     }
 }
 

@@ -5,18 +5,24 @@
 //! cares about: freshness guarantees only mean something end-to-end, once
 //! requests actually cross a network boundary. It provides:
 //!
-//! * [`server`] — a threaded TCP cache server fronting a
-//!   [`fresca_cache::ShardedCache`], speaking the `fresca-net` framed
-//!   protocol. Writes carry a per-key TTL; reads carry a per-request
-//!   max-staleness bound; responses say whether the entry was served
-//!   fresh, served stale, refused, or missed.
+//! * [`server`] — an event-driven TCP cache server fronting a
+//!   [`fresca_cache::ShardedCache`]: a poll-based reactor (vendored
+//!   `minipoll`, no external runtime) multiplexes all connections onto a
+//!   configurable number of event-loop threads, speaking the
+//!   `fresca-net` framed protocol. Writes carry a per-key TTL; reads
+//!   carry a per-request max-staleness bound; responses say whether the
+//!   entry was served fresh, served stale, refused, or missed — and echo
+//!   each request's id, so responses to pipelined requests stay
+//!   matchable.
 //! * [`client`] — a blocking request/response client
-//!   ([`client::CacheClient`]) over the same frames.
-//! * [`loadgen`] — a closed-loop (N connections, back-to-back) and
-//!   open-loop (deadline-paced) load generator that replays
-//!   `fresca-workload` traces via the [`fresca_workload::replay`]
-//!   adapter and reports throughput, hit ratio, and staleness-violation
-//!   counts.
+//!   ([`client::CacheClient`]) and a pipelined one
+//!   ([`client::PipelinedClient`]) that keeps many requests in flight on
+//!   one connection, matching completions by [`fresca_net::RequestId`].
+//! * [`loadgen`] — a closed-loop (N connections × a pipeline-depth
+//!   window each) and open-loop (deadline-paced, never stalls on
+//!   responses) load generator that replays `fresca-workload` traces via
+//!   the [`fresca_workload::replay`] adapter and reports throughput, hit
+//!   ratio, staleness violations, and p50/p99/p999 request latency.
 //!
 //! The `serve` and `loadgen` binaries wrap the last two for the command
 //! line; `examples/remote_cache.rs` and `tests/wire_roundtrip.rs` at the
@@ -71,7 +77,7 @@ pub mod cli {
     }
 }
 
-pub use client::{CacheClient, GetOutcome};
+pub use client::{CacheClient, GetOutcome, PipelinedClient, Response};
 pub use loadgen::{LoadGenConfig, LoadReport, Mode};
 pub use server::{ServerConfig, ServerHandle, ServerStatsSnapshot};
 

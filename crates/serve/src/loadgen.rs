@@ -1,28 +1,34 @@
-//! Closed- and open-loop load generation against a running server.
+//! Closed- and open-loop load generation against a running server, with
+//! request pipelining and per-request latency percentiles.
 //!
 //! Both modes replay the same [`TimedOp`] schedule (a `fresca-workload`
-//! trace mapped through [`fresca_workload::replay::ReplayConfig`]):
+//! trace mapped through [`fresca_workload::replay::ReplayConfig`]) over
+//! [`PipelinedClient`] connections, so many requests ride each
+//! connection concurrently and responses are matched back to requests by
+//! [`RequestId`]:
 //!
-//! * **Closed loop** — `connections` worker threads, each with its own
-//!   TCP connection, issue their share of the schedule back-to-back:
-//!   offered load tracks service capacity, which is how you measure peak
-//!   throughput.
+//! * **Closed loop** — `connections` worker threads each keep up to
+//!   `pipeline` requests in flight back-to-back: offered load tracks
+//!   service capacity, which is how you measure peak throughput.
 //! * **Open loop** — one connection sends each operation at its
-//!   scheduled deadline, sleeping between sends: offered load is fixed
-//!   by the trace's (rescaled) arrival process, which is how you measure
-//!   behaviour at a given request rate. Operations that fall behind
-//!   schedule are counted and the worst lateness reported, so an
-//!   overloaded run is visible instead of silently degrading into a
-//!   closed loop.
+//!   scheduled deadline *without waiting for earlier responses*: offered
+//!   load is fixed by the trace's (rescaled) arrival process. Latency is
+//!   measured from the operation's **scheduled** send time to its
+//!   completion, so queueing delay under overload is charged to the
+//!   server instead of being silently absorbed by a stalled sender (the
+//!   coordinated-omission trap the old one-in-flight client fell into).
 //!
 //! Every worker verifies what it reads: the server's versions are
 //! globally monotone, so a served read whose version is older than the
-//! last write this worker got acknowledged for that key is a consistency
-//! violation, counted in [`LoadReport::version_anomalies`].
+//! last write this worker saw acknowledged for that key is a consistency
+//! violation, counted in [`LoadReport::version_anomalies`]. Completions
+//! are processed in arrival order, which on an in-order connection means
+//! server-processing order, so the check stays exact under pipelining.
 
-use crate::client::CacheClient;
-use fresca_net::GetStatus;
+use crate::client::{PipelinedClient, Response};
+use fresca_net::{GetStatus, RequestId};
 use fresca_workload::{TimedOp, WireOp};
+use serde::Serialize;
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
@@ -45,16 +51,23 @@ pub enum Mode {
 pub struct LoadGenConfig {
     /// Closed or open loop.
     pub mode: Mode,
+    /// Closed loop: maximum requests in flight per connection. `1`
+    /// reproduces the old request/response lockstep; the open loop
+    /// ignores this (its pipeline depth is set by the schedule).
+    pub pipeline: usize,
 }
 
 impl Default for LoadGenConfig {
     fn default() -> Self {
-        LoadGenConfig { mode: Mode::Closed { connections: 4 } }
+        LoadGenConfig { mode: Mode::Closed { connections: 4 }, pipeline: 16 }
     }
 }
 
 /// What a load-generation run observed, end to end.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Serializes to JSON (see the `loadgen` binary's `--json` flag) so perf
+/// trajectories can be tracked across commits.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct LoadReport {
     /// Wall-clock duration of the run in seconds.
     pub wall_secs: f64,
@@ -79,24 +92,37 @@ pub struct LoadReport {
     /// Served reads ÷ issued reads.
     pub hit_ratio: f64,
     /// Served reads whose version regressed below a write this worker
-    /// had acknowledged — should be zero.
+    /// had seen acknowledged — should be zero.
     pub version_anomalies: u64,
-    /// Open loop only: ops sent after their deadline.
-    pub late_ops: u64,
-    /// Open loop only: worst lateness in milliseconds.
-    pub max_lateness_ms: f64,
     /// Mean request latency in microseconds.
     pub mean_latency_us: f64,
+    /// Median request latency in microseconds.
+    pub p50_latency_us: f64,
     /// 99th-percentile request latency in microseconds.
     pub p99_latency_us: f64,
+    /// 99.9th-percentile request latency in microseconds.
+    pub p999_latency_us: f64,
+}
+
+impl LoadReport {
+    /// True when the run saw neither staleness violations nor version
+    /// anomalies — the pass condition for smoke tests and CI.
+    pub fn is_clean(&self) -> bool {
+        self.staleness_violations == 0 && self.version_anomalies == 0
+    }
 }
 
 impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} ops in {:.3}s  ({:.0} ops/s; latency mean {:.1}us p99 {:.1}us)",
-            self.ops, self.wall_secs, self.ops_per_sec, self.mean_latency_us, self.p99_latency_us
+            "{} ops in {:.3}s  ({:.0} ops/s)",
+            self.ops, self.wall_secs, self.ops_per_sec
+        )?;
+        writeln!(
+            f,
+            "latency: mean {:.1}us  p50 {:.1}us  p99 {:.1}us  p999 {:.1}us",
+            self.mean_latency_us, self.p50_latency_us, self.p99_latency_us, self.p999_latency_us
         )?;
         writeln!(
             f,
@@ -114,13 +140,6 @@ impl std::fmt::Display for LoadReport {
             "staleness violations: {}   version anomalies: {}",
             self.staleness_violations, self.version_anomalies
         )?;
-        if self.late_ops > 0 {
-            writeln!(
-                f,
-                "behind schedule: {} ops, worst {:.3}ms",
-                self.late_ops, self.max_lateness_ms
-            )?;
-        }
         Ok(())
     }
 }
@@ -135,8 +154,6 @@ struct WorkerResult {
     refused: u64,
     misses: u64,
     version_anomalies: u64,
-    late_ops: u64,
-    max_lateness: Duration,
     latencies_us: Vec<u64>,
 }
 
@@ -149,9 +166,66 @@ impl WorkerResult {
         self.refused += other.refused;
         self.misses += other.misses;
         self.version_anomalies += other.version_anomalies;
-        self.late_ops += other.late_ops;
-        self.max_lateness = self.max_lateness.max(other.max_lateness);
         self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// One worker's bookkeeping for requests in flight: when each id was
+/// (scheduled to be) sent, and the last acknowledged version per key.
+#[derive(Debug, Default)]
+struct Tracker {
+    issued_at: HashMap<RequestId, Instant>,
+    acked: HashMap<u64, u64>,
+}
+
+impl Tracker {
+    fn issued(&mut self, id: RequestId, at: Instant) {
+        self.issued_at.insert(id, at);
+    }
+
+    /// Fold one completion into the worker's counters.
+    fn completed(
+        &mut self,
+        res: &mut WorkerResult,
+        id: RequestId,
+        resp: Response,
+        now: Instant,
+    ) -> io::Result<()> {
+        let issued = self.issued_at.remove(&id).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response for unknown request {id}"),
+            )
+        })?;
+        res.latencies_us.push(now.saturating_duration_since(issued).as_micros() as u64);
+        match resp {
+            Response::Get { key, outcome } => {
+                match outcome.status {
+                    GetStatus::Fresh => res.fresh += 1,
+                    GetStatus::ServedStale => res.stale_served += 1,
+                    GetStatus::RefusedStale => res.refused += 1,
+                    GetStatus::Miss => res.misses += 1,
+                }
+                if outcome.is_served() {
+                    if let Some(&expected) = self.acked.get(&key) {
+                        if outcome.version < expected {
+                            res.version_anomalies += 1;
+                        }
+                    }
+                }
+            }
+            Response::Put { key, version } => {
+                self.acked.insert(key, version);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn submit(client: &mut PipelinedClient, op: &WireOp) -> io::Result<RequestId> {
+    match *op {
+        WireOp::Get { key, max_staleness } => client.submit_get(key, max_staleness),
+        WireOp::Put { key, value_size, ttl } => client.submit_put(key, value_size, ttl),
     }
 }
 
@@ -161,20 +235,16 @@ pub fn run(addr: SocketAddr, ops: &[TimedOp], config: &LoadGenConfig) -> io::Res
     let merged = match config.mode {
         Mode::Closed { connections } => {
             assert!(connections >= 1, "need at least one connection");
+            let depth = config.pipeline.max(1);
             let results: Vec<io::Result<WorkerResult>> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..connections)
                     .map(|w| {
                         s.spawn(move || {
-                            let mut client = CacheClient::connect(addr)?;
                             // Strided partition: worker w takes ops w,
                             // w+N, w+2N, … so key locality and the
                             // read/write interleaving stay roughly
                             // uniform across workers.
-                            run_ops(
-                                &mut client,
-                                ops.iter().skip(w).step_by(connections),
-                                None,
-                            )
+                            run_closed(addr, ops.iter().skip(w).step_by(connections), depth)
                         })
                     })
                     .collect();
@@ -186,65 +256,87 @@ pub fn run(addr: SocketAddr, ops: &[TimedOp], config: &LoadGenConfig) -> io::Res
             }
             merged
         }
-        Mode::Open => {
-            let mut client = CacheClient::connect(addr)?;
-            run_ops(&mut client, ops.iter(), Some(started))?
-        }
+        Mode::Open => run_open(addr, ops, started)?,
     };
     let wall = started.elapsed();
     Ok(build_report(merged, wall))
 }
 
-/// Issue a sequence of ops on one connection. With `pace`, sleep until
-/// each op's deadline (open loop); without, run back-to-back (closed
-/// loop).
-fn run_ops<'a>(
-    client: &mut CacheClient,
+/// Closed loop on one connection: keep up to `depth` requests in flight,
+/// collecting a completion whenever the window is full.
+fn run_closed<'a>(
+    addr: SocketAddr,
     ops: impl Iterator<Item = &'a TimedOp>,
-    pace: Option<Instant>,
+    depth: usize,
 ) -> io::Result<WorkerResult> {
+    let mut client = PipelinedClient::connect(addr)?;
     let mut res = WorkerResult::default();
-    // Last version the server acknowledged to *this* worker, per key.
-    let mut acked: HashMap<u64, u64> = HashMap::new();
+    let mut track = Tracker::default();
     for op in ops {
-        if let Some(start) = pace {
-            let deadline = start + Duration::from_nanos(op.at.as_nanos());
-            let now = Instant::now();
-            if let Some(wait) = deadline.checked_duration_since(now) {
-                std::thread::sleep(wait);
-            } else {
-                res.late_ops += 1;
-                res.max_lateness = res.max_lateness.max(now.duration_since(deadline));
-            }
+        while client.in_flight() >= depth {
+            let (id, resp) = client.complete()?;
+            track.completed(&mut res, id, resp, Instant::now())?;
         }
-        let issued = Instant::now();
         match op.op {
-            WireOp::Get { key, max_staleness } => {
-                res.gets += 1;
-                let outcome = client.get(key, max_staleness)?;
-                match outcome.status {
-                    GetStatus::Fresh => res.fresh += 1,
-                    GetStatus::ServedStale => res.stale_served += 1,
-                    GetStatus::RefusedStale => res.refused += 1,
-                    GetStatus::Miss => res.misses += 1,
-                }
-                if outcome.is_served() {
-                    if let Some(&expected) = acked.get(&key) {
-                        if outcome.version < expected {
-                            res.version_anomalies += 1;
-                        }
-                    }
-                }
-            }
-            WireOp::Put { key, value_size, ttl } => {
-                res.puts += 1;
-                let version = client.put(key, value_size, ttl)?;
-                acked.insert(key, version);
-            }
+            WireOp::Get { .. } => res.gets += 1,
+            WireOp::Put { .. } => res.puts += 1,
         }
-        res.latencies_us.push(issued.elapsed().as_micros() as u64);
+        let id = submit(&mut client, &op.op)?;
+        track.issued(id, Instant::now());
+    }
+    while client.in_flight() > 0 {
+        let (id, resp) = client.complete()?;
+        track.completed(&mut res, id, resp, Instant::now())?;
     }
     Ok(res)
+}
+
+/// Open loop on one connection: submit each op at its scheduled deadline
+/// regardless of what is still in flight, draining completions while
+/// waiting for the next deadline. Latency is measured from the
+/// *scheduled* send time, so falling behind shows up as tail latency
+/// rather than disappearing.
+fn run_open(addr: SocketAddr, ops: &[TimedOp], start: Instant) -> io::Result<WorkerResult> {
+    let mut client = PipelinedClient::connect(addr)?;
+    let mut res = WorkerResult::default();
+    let mut track = Tracker::default();
+    for op in ops {
+        let deadline = start + Duration::from_nanos(op.at.as_nanos());
+        // Until the deadline, collect whatever completions arrive.
+        loop {
+            let now = Instant::now();
+            let Some(wait) = deadline.checked_duration_since(now) else { break };
+            if wait.is_zero() {
+                break;
+            }
+            match client.complete_timeout(wait)? {
+                Some((id, resp)) => track.completed(&mut res, id, resp, Instant::now())?,
+                // Nothing in flight: sleep out the rest of the wait.
+                None if client.in_flight() == 0 => std::thread::sleep(wait),
+                None => {}
+            }
+        }
+        match op.op {
+            WireOp::Get { .. } => res.gets += 1,
+            WireOp::Put { .. } => res.puts += 1,
+        }
+        let id = submit(&mut client, &op.op)?;
+        track.issued(id, deadline);
+    }
+    while client.in_flight() > 0 {
+        let (id, resp) = client.complete()?;
+        track.completed(&mut res, id, resp, Instant::now())?;
+    }
+    Ok(res)
+}
+
+/// Nearest-rank percentile over a sorted sample vector.
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64
 }
 
 fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
@@ -256,9 +348,6 @@ fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
     } else {
         r.latencies_us.iter().sum::<u64>() as f64 / r.latencies_us.len() as f64
     };
-    // Nearest-rank percentile: the smallest sample ≥ 99% of the others.
-    let p99_idx = (r.latencies_us.len() * 99).div_ceil(100).saturating_sub(1);
-    let p99 = r.latencies_us.get(p99_idx).copied().unwrap_or(0) as f64;
     LoadReport {
         wall_secs,
         ops,
@@ -271,10 +360,10 @@ fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
         misses: r.misses,
         hit_ratio: if r.gets > 0 { (r.fresh + r.stale_served) as f64 / r.gets as f64 } else { 0.0 },
         version_anomalies: r.version_anomalies,
-        late_ops: r.late_ops,
-        max_lateness_ms: r.max_lateness.as_secs_f64() * 1e3,
         mean_latency_us: mean,
-        p99_latency_us: p99,
+        p50_latency_us: percentile(&r.latencies_us, 0.50),
+        p99_latency_us: percentile(&r.latencies_us, 0.99),
+        p999_latency_us: percentile(&r.latencies_us, 0.999),
     }
 }
 
@@ -307,12 +396,16 @@ mod tests {
         assert_eq!(report.gets, 20);
         assert_eq!(report.ops_per_sec, 12.5);
         assert_eq!(report.staleness_violations, 2);
+        assert!(!report.is_clean());
         assert!((report.hit_ratio - 17.0 / 20.0).abs() < 1e-9);
         assert_eq!(report.mean_latency_us, 25.0);
+        assert_eq!(report.p50_latency_us, 20.0);
         assert_eq!(report.p99_latency_us, 40.0);
+        assert_eq!(report.p999_latency_us, 40.0);
         // Display stays well-formed.
         let shown = report.to_string();
         assert!(shown.contains("25 ops"));
+        assert!(shown.contains("p999"));
         assert!(shown.contains("staleness violations: 2"));
     }
 
@@ -322,5 +415,29 @@ mod tests {
         assert_eq!(report.ops, 0);
         assert_eq!(report.hit_ratio, 0.0);
         assert_eq!(report.mean_latency_us, 0.0);
+        assert_eq!(report.p999_latency_us, 0.0);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&sorted, 0.50), 500.0);
+        assert_eq!(percentile(&sorted, 0.99), 990.0);
+        assert_eq!(percentile(&sorted, 0.999), 999.0);
+        assert_eq!(percentile(&sorted, 1.0), 1000.0);
+        assert_eq!(percentile(&[42], 0.999), 42.0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = build_report(
+            WorkerResult { gets: 2, puts: 1, fresh: 2, latencies_us: vec![5, 7, 9], ..Default::default() },
+            Duration::from_secs(1),
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        for field in ["ops_per_sec", "hit_ratio", "p50_latency_us", "p99_latency_us", "p999_latency_us", "version_anomalies"] {
+            assert!(json.contains(field), "JSON missing {field}: {json}");
+        }
     }
 }

@@ -1,10 +1,21 @@
-//! The threaded TCP cache server.
+//! The event-driven TCP cache server.
 //!
-//! One accept loop, one OS thread per connection — the classic blocking
-//! memcached shape. Each connection speaks length-prefixed
-//! [`Message`] frames over a [`FramedStream`]; requests dispatch against
-//! one shared [`ShardedCache`], so no lock is held across I/O and
-//! contention drops with shard count.
+//! A small poll-based reactor replaces the original thread-per-connection
+//! design: one blocking accept thread hands sockets to a configurable
+//! number of **event-loop threads**, each of which multiplexes all of its
+//! connections over non-blocking I/O with a [`minipoll::PollSet`] (a
+//! vendored `poll(2)` wrapper — no external runtime). One event-loop
+//! thread comfortably sustains thousands of concurrent connections; the
+//! thread count scales service capacity across cores, not connection
+//! count.
+//!
+//! Per connection the reactor keeps a [`NonBlockingFramedStream`]: reads
+//! accumulate into the streaming codec until frames complete, responses
+//! queue into an outbound buffer and drain as the socket accepts them, so
+//! a slow reader never blocks the loop. Requests are processed in arrival
+//! order per connection and each response echoes its request's
+//! [`fresca_net::RequestId`], which is what lets clients pipeline many
+//! requests on one connection and match responses by id.
 //!
 //! Freshness is enforced *at the serving boundary*, per the paper's
 //! argument: a `PutReq` installs its per-key TTL, and a `GetReq`'s
@@ -14,12 +25,15 @@
 
 use crate::ServeClock;
 use fresca_cache::{BoundedGet, CacheConfig, ShardedCache};
-use fresca_net::{FramedStream, GetStatus, Message};
+use fresca_net::{GetStatus, Message, NonBlockingFramedStream, PollRecv};
 use fresca_sim::SimDuration;
-use std::io;
+use minipoll::{Interest, PollSet, Readiness};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Server configuration.
@@ -29,15 +43,20 @@ pub struct ServerConfig {
     pub cache: CacheConfig,
     /// Number of cache shards (rounded up to a power of two).
     pub shards: usize,
+    /// Number of event-loop threads connections are multiplexed onto
+    /// (round-robin at accept time). Each loop serves all of its
+    /// connections from one thread; raise this to spread request
+    /// processing across cores, not to admit more connections.
+    pub event_loops: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { cache: CacheConfig::default(), shards: 16 }
+        ServerConfig { cache: CacheConfig::default(), shards: 16, event_loops: 2 }
     }
 }
 
-/// Monotonically updated serving counters, shared across connection
+/// Monotonically updated serving counters, shared across event-loop
 /// threads. Relaxed ordering everywhere: these are statistics, not
 /// synchronisation.
 #[derive(Debug, Default)]
@@ -49,6 +68,7 @@ struct ServerStats {
     refused: AtomicU64,
     misses: AtomicU64,
     connections: AtomicU64,
+    open_connections: AtomicU64,
     protocol_errors: AtomicU64,
 }
 
@@ -69,6 +89,8 @@ pub struct ServerStatsSnapshot {
     pub misses: u64,
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
+    /// Connections currently registered with an event loop.
+    pub open_connections: u64,
     /// Connections dropped for sending non-serving-path or malformed
     /// frames.
     pub protocol_errors: u64,
@@ -84,6 +106,7 @@ impl ServerStats {
             refused: self.refused.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
         }
     }
@@ -93,7 +116,8 @@ impl std::fmt::Display for ServerStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "gets={} puts={} fresh={} stale_served={} refused={} misses={} conns={} proto_errs={}",
+            "gets={} puts={} fresh={} stale_served={} refused={} misses={} \
+             conns={} open={} proto_errs={}",
             self.gets,
             self.puts,
             self.fresh,
@@ -101,21 +125,59 @@ impl std::fmt::Display for ServerStatsSnapshot {
             self.refused,
             self.misses,
             self.connections,
+            self.open_connections,
             self.protocol_errors
         )
     }
 }
 
+/// Everything an event loop needs to dispatch requests.
+struct Shared {
+    cache: Arc<ShardedCache>,
+    stats: Arc<ServerStats>,
+    // One global version counter: versions are monotone across all keys,
+    // which is stronger than the per-key monotonicity clients rely on.
+    versions: AtomicU64,
+    clock: ServeClock,
+    stop: AtomicBool,
+}
+
+/// Accept-side handle to one event loop: where to park new sockets and
+/// how to wake the loop to collect them.
+struct LoopHandle {
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    // Writing one byte wakes the loop's poll; non-blocking, so a full
+    // pipe (wake already pending) is fine to ignore.
+    wake_tx: UnixStream,
+    join: JoinHandle<()>,
+}
+
+impl LoopHandle {
+    fn wake(&self) {
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
 /// A running server. Dropping the handle does *not* stop the server; call
-/// [`ServerHandle::shutdown`] to stop accepting and join the accept loop.
+/// [`ServerHandle::shutdown`] to stop the accept and event-loop threads.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    cache: Arc<ShardedCache>,
-    stats: Arc<ServerStats>,
-    clock: ServeClock,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept_loop: Option<JoinHandle<()>>,
+    loops: Vec<LoopHandle>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for LoopHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopHandle").finish_non_exhaustive()
+    }
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
@@ -124,32 +186,52 @@ pub struct ServerHandle {
 pub fn spawn<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let cache = Arc::new(ShardedCache::new(config.cache, config.shards));
-    let stats = Arc::new(ServerStats::default());
-    let clock = ServeClock::start();
-    let stop = Arc::new(AtomicBool::new(false));
-    // One global version counter: versions are monotone across all keys,
-    // which is stronger than the per-key monotonicity clients rely on.
-    let versions = Arc::new(AtomicU64::new(0));
+    let shared = Arc::new(Shared {
+        cache: Arc::new(ShardedCache::new(config.cache, config.shards)),
+        stats: Arc::new(ServerStats::default()),
+        versions: AtomicU64::new(0),
+        clock: ServeClock::start(),
+        stop: AtomicBool::new(false),
+    });
+
+    let mut loops = Vec::new();
+    for _ in 0..config.event_loops.max(1) {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let inbox = Arc::new(Mutex::new(Vec::new()));
+        let join = {
+            let (inbox, shared) = (Arc::clone(&inbox), Arc::clone(&shared));
+            std::thread::spawn(move || event_loop(wake_rx, &inbox, &shared))
+        };
+        loops.push(LoopHandle { inbox, wake_tx, join });
+    }
 
     let accept_loop = {
-        let (cache, stats, stop) = (Arc::clone(&cache), Arc::clone(&stats), Arc::clone(&stop));
+        let shared = Arc::clone(&shared);
+        let mut targets: Vec<(Arc<Mutex<Vec<TcpStream>>>, UnixStream)> = loops
+            .iter()
+            .map(|l| (Arc::clone(&l.inbox), l.wake_tx.try_clone().expect("clone wake pipe")))
+            .collect();
         std::thread::spawn(move || {
+            let mut next = 0usize;
             for conn in listener.incoming() {
-                if stop.load(Ordering::Acquire) {
+                if shared.stop.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(conn) = conn else { continue };
-                stats.connections.fetch_add(1, Ordering::Relaxed);
-                let cache = Arc::clone(&cache);
-                let stats = Arc::clone(&stats);
-                let versions = Arc::clone(&versions);
-                std::thread::spawn(move || serve_conn(conn, &cache, &stats, &versions, clock));
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                shared.stats.open_connections.fetch_add(1, Ordering::Relaxed);
+                let n = targets.len();
+                let (inbox, wake) = &mut targets[next % n];
+                next += 1;
+                inbox.lock().unwrap().push(conn);
+                let _ = wake.write(&[1]);
             }
         })
     };
 
-    Ok(ServerHandle { addr, cache, stats, clock, stop, accept_loop: Some(accept_loop) })
+    Ok(ServerHandle { addr, shared, accept_loop: Some(accept_loop), loops })
 }
 
 impl ServerHandle {
@@ -160,135 +242,310 @@ impl ServerHandle {
 
     /// Current serving counters.
     pub fn stats(&self) -> ServerStatsSnapshot {
-        self.stats.snapshot()
+        self.shared.stats.snapshot()
     }
 
     /// The shared cache — exposed so operators (and tests) can apply
     /// backend-originated invalidations or inspect entry ages directly.
     pub fn cache(&self) -> &Arc<ShardedCache> {
-        &self.cache
+        &self.shared.cache
     }
 
     /// The server's clock, for callers that want to interpret entry ages
     /// on the server's timeline.
     pub fn clock(&self) -> ServeClock {
-        self.clock
+        self.shared.clock
     }
 
-    /// Stop accepting connections and join the accept loop. Established
-    /// connections keep being served until their clients disconnect.
+    /// Number of event-loop threads serving connections.
+    pub fn event_loops(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Stop the server: the accept thread and every event-loop thread are
+    /// joined, closing all established connections. Requests already
+    /// received are answered before their connection closes only if their
+    /// responses were already written; clients with requests in flight
+    /// observe EOF.
     pub fn shutdown(mut self) -> ServerStatsSnapshot {
-        self.stop.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_loop.take() {
             let _ = h.join();
         }
-        self.stats.snapshot()
+        for l in &self.loops {
+            l.wake();
+        }
+        for l in self.loops.drain(..) {
+            let _ = l.join.join();
+        }
+        self.shared.stats.snapshot()
     }
 }
 
-/// Per-connection request loop: decode a frame, dispatch, reply. Returns
-/// when the peer disconnects or violates the protocol.
-fn serve_conn(
-    conn: TcpStream,
-    cache: &ShardedCache,
-    stats: &ServerStats,
-    versions: &AtomicU64,
-    clock: ServeClock,
-) {
-    let _ = conn.set_nodelay(true);
-    let mut framed = FramedStream::new(conn);
+/// One registered connection: the framed transport plus the raw fd it
+/// polls under.
+struct Conn {
+    io: NonBlockingFramedStream<TcpStream>,
+    fd: RawFd,
+    /// No more requests will be read (clean EOF — possibly a half-close
+    /// — or a protocol violation), but replies already queued still
+    /// drain before the connection is dropped. The blocking server
+    /// answered every request it had read; the reactor keeps that
+    /// property.
+    closing: bool,
+}
+
+/// Read-side backpressure: while a connection has more than this many
+/// unsent response bytes buffered, the reactor stops reading (and thus
+/// accepting) further requests from it until the client drains its side.
+/// Bounds per-connection server memory at roughly this plus one maximal
+/// response.
+const OUTBOUND_HIGH_WATER: usize = 1 << 20;
+
+/// Fairness: at most this many requests are processed per connection per
+/// poll tick, so one firehose connection cannot starve its event-loop
+/// neighbours.
+const MAX_FRAMES_PER_TICK: usize = 128;
+
+/// The reactor: multiplex every connection assigned to this loop over one
+/// `poll(2)` set. Index 0 of the set is always the wake pipe; connection
+/// slots follow. The loop exits when the shared stop flag is set.
+fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &Shared) {
+    let wake_fd = wake_rx.as_raw_fd();
+    // Slot-indexed connection table; `None` slots are free and reused.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut poll = PollSet::new();
+    // poll index -> conn slot for this tick (index 0 is the wake pipe).
+    let mut slot_of: Vec<usize> = Vec::new();
+    // One read-scratch buffer shared by every connection on this loop:
+    // it holds no per-stream state, so idle connections cost no
+    // read-buffer memory.
+    let mut scratch = vec![0u8; 64 * 1024];
+
     loop {
-        let msg = match framed.recv() {
-            Ok(Some(msg)) => msg,
-            Ok(None) => return, // clean disconnect
-            Err(e) => {
-                // Only codec violations are the peer's fault; a reset or
-                // an EOF mid-frame is transport weather, not protocol.
-                if e.kind() == io::ErrorKind::InvalidData {
-                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                }
-                return;
+        poll.clear();
+        slot_of.clear();
+        poll.push(wake_fd, Interest::READABLE);
+        // A connection has *backlog* when complete frames already sit in
+        // its decoder (the per-tick budget cut servicing short) and it is
+        // under the outbound high-water mark. Such connections must be
+        // serviced this tick even if their descriptor never becomes
+        // readable again, so backlog forces a zero-timeout poll.
+        let mut backlog = false;
+        for (slot, conn) in conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            let reading = !conn.closing && conn.io.pending_out() <= OUTBOUND_HIGH_WATER;
+            backlog |= reading && conn.io.has_buffered_frame();
+            // Read interest only while under the outbound high-water
+            // mark (a client that won't drain its responses doesn't get
+            // to submit more requests) and not closing.
+            let mut interest = if reading { Interest::READABLE } else { Interest::WRITABLE };
+            if conn.io.wants_write() {
+                interest = interest.and(Interest::WRITABLE);
             }
-        };
-        let reply = match msg {
-            Message::GetReq { key, max_staleness } => {
-                stats.gets.fetch_add(1, Ordering::Relaxed);
-                handle_get(cache, stats, clock, key, max_staleness)
-            }
-            Message::PutReq { key, value_size, ttl } => {
-                stats.puts.fetch_add(1, Ordering::Relaxed);
-                let now = clock.now();
-                let expires_at = (ttl > 0).then(|| now + SimDuration::from_nanos(ttl));
-                // Version allocation and insert must be one atomic step:
-                // done separately, two racing puts to the same key could
-                // install the older version over the newer acked one.
-                let version = cache.locked(key, |shard| {
-                    let version = versions.fetch_add(1, Ordering::Relaxed) + 1;
-                    shard.insert(key, version, value_size, now, expires_at);
-                    version
-                });
-                Message::PutResp { key, version }
-            }
-            // Anything else does not belong on the serving path.
-            _ => {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        };
-        if framed.send(&reply).is_err() {
+            poll.push(conn.fd, interest);
+            slot_of.push(slot);
+        }
+        let timeout = if backlog { Some(std::time::Duration::ZERO) } else { None };
+        if poll.poll(timeout).is_err() {
+            // poll(2) only fails for ENOMEM/EFAULT/EINVAL; none are
+            // recoverable from here.
+            close_all(&conns, inbox, shared);
             return;
         }
+
+        if poll.readiness(0).readable() {
+            // Drain the wake pipe (many wakes coalesce into one drain).
+            let mut buf = [0u8; 64];
+            while matches!(wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+            if shared.stop.load(Ordering::Acquire) {
+                close_all(&conns, inbox, shared);
+                return;
+            }
+            // Take the batch out under the lock, register after releasing
+            // it: register() does two syscalls per socket, and the accept
+            // thread must not stall on the mutex during bursts.
+            let pending = std::mem::take(&mut *inbox.lock().unwrap());
+            for stream in pending {
+                match register(stream) {
+                    Ok(conn) => match free.pop() {
+                        Some(slot) => conns[slot] = Some(conn),
+                        None => conns.push(Some(conn)),
+                    },
+                    Err(_) => {
+                        shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        for (i, &slot) in slot_of.iter().enumerate() {
+            let readiness = poll.readiness(i + 1);
+            let conn = conns[slot].as_mut().expect("registered slot");
+            if !readiness.any() && (conn.closing || !conn.io.has_buffered_frame()) {
+                continue;
+            }
+            if !service(conn, readiness, shared, &mut scratch) {
+                conns[slot] = None;
+                free.push(slot);
+                shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
-fn handle_get(
-    cache: &ShardedCache,
-    stats: &ServerStats,
-    clock: ServeClock,
-    key: u64,
-    max_staleness: u64,
-) -> Message {
-    let now = clock.now();
-    let bound =
-        (max_staleness != u64::MAX).then(|| SimDuration::from_nanos(max_staleness));
-    match cache.get_bounded(key, now, bound) {
-        BoundedGet::Fresh(e) => {
-            stats.fresh.fetch_add(1, Ordering::Relaxed);
-            Message::GetResp {
-                key,
-                version: e.version,
-                value_size: e.value_size,
-                age: e.age(now).as_nanos(),
-                status: GetStatus::Fresh,
+/// Account for every connection this exiting loop force-closes: live
+/// slots plus sockets accepted but still waiting in the inbox (both were
+/// counted into `open_connections` at accept time).
+fn close_all(conns: &[Option<Conn>], inbox: &Mutex<Vec<TcpStream>>, shared: &Shared) {
+    let live = conns.iter().filter(|c| c.is_some()).count() + inbox.lock().unwrap().len();
+    shared.stats.open_connections.fetch_sub(live as u64, Ordering::Relaxed);
+}
+
+/// Put an accepted socket into non-blocking mode and wrap it for the
+/// reactor.
+fn register(stream: TcpStream) -> io::Result<Conn> {
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(true)?;
+    let fd = stream.as_raw_fd();
+    Ok(Conn { io: NonBlockingFramedStream::new(stream), fd, closing: false })
+}
+
+/// Service one ready connection: decode complete frames (bounded per
+/// tick for fairness, and only while under the outbound high-water
+/// mark), dispatch, queue replies, then write as much as the socket
+/// accepts. Returns `false` when the connection should be dropped —
+/// which, for a clean EOF or a protocol violation, only happens after
+/// every already-queued reply has drained (a half-closing client still
+/// receives its responses).
+fn service(conn: &mut Conn, readiness: Readiness, shared: &Shared, scratch: &mut [u8]) -> bool {
+    if !conn.closing && (readiness.readable() || readiness.error() || conn.io.has_buffered_frame())
+    {
+        let mut budget = MAX_FRAMES_PER_TICK;
+        while budget > 0 && conn.io.pending_out() <= OUTBOUND_HIGH_WATER {
+            budget -= 1;
+            match conn.io.poll_recv_with(scratch) {
+                Ok(PollRecv::Msg(msg)) => match dispatch(msg, shared) {
+                    Some(reply) => conn.io.queue(&reply),
+                    None => {
+                        // Not a serving-path request: the peer is confused
+                        // or hostile either way; answer what preceded it,
+                        // then close.
+                        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.closing = true;
+                        break;
+                    }
+                },
+                Ok(PollRecv::WouldBlock) => break,
+                Ok(PollRecv::Closed) => {
+                    // Clean EOF, possibly a half-close with responses
+                    // still owed: stop reading, drain, then drop.
+                    conn.closing = true;
+                    break;
+                }
+                Err(e) => {
+                    if e.kind() == io::ErrorKind::InvalidData {
+                        // Codec violation: frames are length-delimited so
+                        // the stream is still aligned; deliver the
+                        // replies already queued before closing.
+                        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.closing = true;
+                        break;
+                    }
+                    // Reset or EOF mid-frame: transport weather, the
+                    // peer is gone — nothing left to deliver to.
+                    return false;
+                }
             }
         }
-        BoundedGet::ServedStale(e) => {
-            stats.stale_served.fetch_add(1, Ordering::Relaxed);
-            Message::GetResp {
-                key,
-                version: e.version,
-                value_size: e.value_size,
-                age: e.age(now).as_nanos(),
-                status: GetStatus::ServedStale,
-            }
+    }
+    // Push queued replies; leftover bytes keep write interest registered
+    // for the next tick. A closing connection lives exactly until its
+    // last reply byte leaves.
+    match conn.io.flush() {
+        Ok(_) => !conn.closing || conn.io.wants_write(),
+        Err(_) => false,
+    }
+}
+
+/// Map one serving-path request onto the cache; `None` for messages that
+/// do not belong on the serving path.
+fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
+    let stats = &shared.stats;
+    match msg {
+        Message::GetReq { id, key, max_staleness } => {
+            stats.gets.fetch_add(1, Ordering::Relaxed);
+            let now = shared.clock.now();
+            let bound = (max_staleness != u64::MAX).then(|| SimDuration::from_nanos(max_staleness));
+            let reply = match shared.cache.get_bounded(key, now, bound) {
+                BoundedGet::Fresh(e) => {
+                    stats.fresh.fetch_add(1, Ordering::Relaxed);
+                    Message::GetResp {
+                        id,
+                        key,
+                        version: e.version,
+                        value_size: e.value_size,
+                        age: e.age(now).as_nanos(),
+                        status: GetStatus::Fresh,
+                    }
+                }
+                BoundedGet::ServedStale(e) => {
+                    stats.stale_served.fetch_add(1, Ordering::Relaxed);
+                    Message::GetResp {
+                        id,
+                        key,
+                        version: e.version,
+                        value_size: e.value_size,
+                        age: e.age(now).as_nanos(),
+                        status: GetStatus::ServedStale,
+                    }
+                }
+                BoundedGet::Refused(e) => {
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    // No value travels back on a refusal — only the
+                    // entry's age, so the client can see by how much the
+                    // bound was missed.
+                    Message::GetResp {
+                        id,
+                        key,
+                        version: 0,
+                        value_size: 0,
+                        age: e.age(now).as_nanos(),
+                        status: GetStatus::RefusedStale,
+                    }
+                }
+                BoundedGet::Miss => {
+                    stats.misses.fetch_add(1, Ordering::Relaxed);
+                    Message::GetResp {
+                        id,
+                        key,
+                        version: 0,
+                        value_size: 0,
+                        age: 0,
+                        status: GetStatus::Miss,
+                    }
+                }
+            };
+            Some(reply)
         }
-        BoundedGet::Refused(e) => {
-            stats.refused.fetch_add(1, Ordering::Relaxed);
-            // No value travels back on a refusal — only the entry's age,
-            // so the client can see by how much the bound was missed.
-            Message::GetResp {
-                key,
-                version: 0,
-                value_size: 0,
-                age: e.age(now).as_nanos(),
-                status: GetStatus::RefusedStale,
-            }
+        Message::PutReq { id, key, value_size, ttl } => {
+            stats.puts.fetch_add(1, Ordering::Relaxed);
+            let now = shared.clock.now();
+            let expires_at = (ttl > 0).then(|| now + SimDuration::from_nanos(ttl));
+            // Version allocation and insert must be one atomic step: done
+            // separately, two racing puts to the same key (from different
+            // event loops) could install the older version over the newer
+            // acked one.
+            let version = shared.cache.locked(key, |shard| {
+                let version = shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
+                shard.insert(key, version, value_size, now, expires_at);
+                version
+            });
+            Some(Message::PutResp { id, key, version })
         }
-        BoundedGet::Miss => {
-            stats.misses.fetch_add(1, Ordering::Relaxed);
-            Message::GetResp { key, version: 0, value_size: 0, age: 0, status: GetStatus::Miss }
-        }
+        _ => None,
     }
 }

@@ -44,8 +44,8 @@
 //! | [`fresca_cache`] | cache-aside cache, eviction, TTL timer wheel |
 //! | [`fresca_store`] | versioned backend store, write buffer, trackers |
 //! | [`fresca_sketch`] | `E[W]` estimators: exact / Count-min / Top-K |
-//! | [`fresca_net`] | wire protocol, codec, framed transport, lossy network, reliability |
-//! | [`fresca_serve`] | TCP cache server, blocking client, load generator |
+//! | [`fresca_net`] | wire protocol, codec, framed transports, lossy network, reliability |
+//! | [`fresca_serve`] | event-driven TCP cache server, blocking + pipelined clients, load generator |
 //! | [`fresca_sim`] | deterministic event kernel, RNG, stats |
 
 #![warn(missing_docs)]
@@ -70,8 +70,14 @@ pub mod prelude {
     pub use fresca_core::experiment::{staleness_sweep, theory, workloads};
     pub use fresca_core::model::WorkloadPoint;
     pub use fresca_core::policy::rules;
-    pub use fresca_net::{FaultConfig, FramedStream, GetStatus, Message, SimNetwork};
-    pub use fresca_serve::{CacheClient, LoadGenConfig, LoadReport, ServeClock, ServerConfig};
+    pub use fresca_net::{
+        FaultConfig, FramedStream, GetStatus, Message, NonBlockingFramedStream, RequestId,
+        SimNetwork,
+    };
+    pub use fresca_serve::{
+        CacheClient, LoadGenConfig, LoadReport, PipelinedClient, Response, ServeClock,
+        ServerConfig,
+    };
     pub use fresca_sim::{RngFactory, SimDuration, SimTime};
     pub use fresca_sketch::{CountMinEw, EwEstimator, ExactEw, TopKEw};
     pub use fresca_workload::{

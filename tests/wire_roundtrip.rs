@@ -22,11 +22,16 @@ use fresca_workload::{PoissonZipfConfig, ReplayConfig, TimedOp, WireOp, Workload
 use std::time::Duration;
 
 fn spawn_server() -> server::ServerHandle {
+    spawn_server_with_loops(2)
+}
+
+fn spawn_server_with_loops(event_loops: usize) -> server::ServerHandle {
     server::spawn(
         "127.0.0.1:0",
         ServerConfig {
             cache: CacheConfig { capacity: Capacity::Unbounded, eviction: EvictionPolicy::Lru },
             shards: 8,
+            event_loops,
         },
     )
     .expect("bind ephemeral localhost port")
@@ -111,8 +116,12 @@ fn open_loop_schedule_exposes_every_freshness_outcome() {
         TimedOp { at: at(250), op: WireOp::Get { key: 3, max_staleness: Some(ms(50)) } },
         TimedOp { at: at(250), op: WireOp::Get { key: 1, max_staleness: Some(SimDuration::from_secs(10)) } },
     ];
-    let report =
-        loadgen::run(handle.addr(), &ops, &LoadGenConfig { mode: Mode::Open }).unwrap();
+    let report = loadgen::run(
+        handle.addr(),
+        &ops,
+        &LoadGenConfig { mode: Mode::Open, pipeline: 16 },
+    )
+    .unwrap();
     assert_eq!(report.ops, 8);
     assert_eq!((report.gets, report.puts), (5, 3));
     assert_eq!(report.fresh, 2);
@@ -150,7 +159,7 @@ fn closed_loop_loadgen_replays_a_paper_workload() {
     let report = loadgen::run(
         handle.addr(),
         &ops,
-        &LoadGenConfig { mode: Mode::Closed { connections: 4 } },
+        &LoadGenConfig { mode: Mode::Closed { connections: 4 }, pipeline: 16 },
     )
     .unwrap();
 
@@ -175,6 +184,221 @@ fn closed_loop_loadgen_replays_a_paper_workload() {
     assert_eq!(stats.gets, report.gets);
     assert_eq!(stats.puts, report.puts);
     assert_eq!(stats.connections, 4);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn pipelined_requests_match_responses_by_id_in_and_out_of_order() {
+    use fresca_net::RequestId;
+    use fresca_serve::{PipelinedClient, Response};
+    use std::collections::HashMap;
+
+    let handle = spawn_server();
+    let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+
+    // 100 requests pipelined on ONE connection: a put for every even key,
+    // a get for every key (hits for even, misses for odd). Record what
+    // each id was issued for.
+    #[derive(Debug, PartialEq)]
+    enum Expected {
+        Put { key: u64 },
+        Get { key: u64 },
+    }
+    let mut expected: HashMap<RequestId, Expected> = HashMap::new();
+    let mut completions: Vec<(RequestId, Response)> = Vec::new();
+    for i in 0..50u64 {
+        let key = i * 2;
+        let id = client.submit_put(key, 16, None).unwrap();
+        expected.insert(id, Expected::Put { key });
+        let id = client.submit_get(i * 2 + i % 2, None).unwrap();
+        expected.insert(id, Expected::Get { key: i * 2 + i % 2 });
+        // Consume completions *as they become available* mid-stream, so
+        // collection interleaves with submission instead of running
+        // strictly after it.
+        while let Some(done) = client.try_complete().unwrap() {
+            completions.push(done);
+        }
+    }
+    while client.in_flight() > 0 {
+        completions.push(client.complete().unwrap());
+    }
+
+    // Every id completed exactly once...
+    assert_eq!(completions.len(), 100);
+    let mut seen = std::collections::HashSet::new();
+    assert!(completions.iter().all(|(id, _)| seen.insert(*id)), "duplicate response id");
+
+    // ...and each response matches what its id was issued for, checked
+    // out of submission order (sorted by key, then reverse) to make the
+    // point that the id — not arrival position — is the join key.
+    completions.sort_by_key(|(_, r)| match r {
+        Response::Get { key, .. } | Response::Put { key, .. } => *key,
+    });
+    completions.reverse();
+    for (id, resp) in &completions {
+        match (expected.remove(id).expect("unknown id"), resp) {
+            (Expected::Put { key }, Response::Put { key: k, version }) => {
+                assert_eq!(key, *k, "{id} acked the wrong key");
+                assert!(*version > 0);
+            }
+            (Expected::Get { key }, Response::Get { key: k, outcome }) => {
+                assert_eq!(key, *k, "{id} answered the wrong key");
+                // Even keys were written first on the same connection, so
+                // in-order processing guarantees a served read; odd keys
+                // were never written.
+                assert_eq!(outcome.is_served(), key % 2 == 0, "key {key}");
+            }
+            (exp, got) => panic!("{id}: expected {exp:?}, got {got:?}"),
+        }
+    }
+    assert!(expected.is_empty(), "requests never answered: {expected:?}");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.gets, 50);
+    assert_eq!(stats.puts, 50);
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn deep_pipeline_burst_drains_completely() {
+    use fresca_serve::{PipelinedClient, Response};
+
+    // 1,000 requests submitted back-to-back on one connection arrive at
+    // the server as a handful of large reads — far more frames per read
+    // than the reactor's per-tick fairness budget. Every one must still
+    // be answered (the budget defers work to the next tick, it must not
+    // strand frames in the decoder).
+    let handle = spawn_server_with_loops(1);
+    let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+    let put_id = client.submit_put(1, 64, None).unwrap();
+    for _ in 0..1000 {
+        client.submit_get(1, None).unwrap();
+    }
+    let mut served = 0;
+    while client.in_flight() > 0 {
+        let (id, resp) = client.complete().unwrap();
+        match resp {
+            Response::Put { key: 1, .. } => assert_eq!(id, put_id),
+            Response::Get { key: 1, outcome } => {
+                // The put was first on the same connection, so in-order
+                // processing makes every read a served hit.
+                assert!(outcome.is_served());
+                served += 1;
+            }
+            other => panic!("unexpected completion {id}: {other:?}"),
+        }
+    }
+    assert_eq!(served, 1000);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.gets, 1000);
+    assert_eq!(stats.puts, 1);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn single_event_loop_sustains_1000_concurrent_connections() {
+    // The acceptance bar for the reactor: ONE event-loop thread serving
+    // ≥ 1,000 simultaneously-open connections, each of which completes
+    // real requests while all the others stay open.
+    const CONNS: usize = 1000;
+    let handle = spawn_server_with_loops(1);
+    assert_eq!(handle.event_loops(), 1);
+
+    let mut clients: Vec<CacheClient> = (0..CONNS)
+        .map(|_| CacheClient::connect(handle.addr()).expect("connect"))
+        .collect();
+
+    // All 1000 sockets are open at once; now do a write and a read on
+    // every one of them, interleaved across the whole set.
+    for (i, c) in clients.iter_mut().enumerate() {
+        let v = c.put(i as u64, 8, None).expect("put");
+        assert!(v > 0);
+    }
+    for (i, c) in clients.iter_mut().enumerate() {
+        let got = c.get(i as u64, None).expect("get");
+        assert_eq!(got.status, GetStatus::Fresh, "key {i}");
+    }
+
+    let mid = handle.stats();
+    assert_eq!(mid.open_connections as usize, CONNS, "all connections concurrently open");
+    assert_eq!(mid.connections as usize, CONNS);
+    assert_eq!(mid.gets as usize, CONNS);
+    assert_eq!(mid.puts as usize, CONNS);
+    assert_eq!(mid.protocol_errors, 0);
+
+    // Shut down while every client is still connected: the force-closed
+    // connections must all be accounted back out of the gauge.
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.open_connections, 0, "gauge drains on forced shutdown");
+    drop(clients);
+}
+
+#[test]
+fn half_closing_client_still_receives_queued_responses() {
+    use fresca_net::{FramedStream, Message, RequestId};
+    use std::net::{Shutdown, TcpStream};
+
+    // Pipeline a burst, close the write side, then read: the server must
+    // answer everything it read before the EOF — the reactor's draining
+    // close, matching what the blocking thread-per-connection server did.
+    let handle = spawn_server();
+    let mut framed = FramedStream::new(TcpStream::connect(handle.addr()).unwrap());
+    for i in 1..=20u64 {
+        framed
+            .send(&Message::PutReq { id: RequestId(i), key: i, value_size: 8, ttl: 0 })
+            .unwrap();
+    }
+    framed.get_ref().shutdown(Shutdown::Write).unwrap();
+    for i in 1..=20u64 {
+        match framed.recv().unwrap() {
+            Some(Message::PutResp { id, key, .. }) => {
+                assert_eq!(id, RequestId(i));
+                assert_eq!(key, i);
+            }
+            other => panic!("expected PutResp {i}, got {other:?}"),
+        }
+    }
+    assert_eq!(framed.recv().unwrap(), None, "server closes after the last reply");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.puts, 20);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.open_connections, 0, "drained connection was dropped");
+}
+
+#[test]
+fn legacy_idless_frames_are_served_and_answered_in_kind() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let handle = spawn_server();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+    // Hand-encode a pre-pipelining GetReq: tag 8, no id field.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&21u32.to_be_bytes()); // length: 5 hdr + 8 key + 8 bound
+    frame.push(8); // legacy TAG_GET_REQ
+    frame.extend_from_slice(&123u64.to_be_bytes()); // key
+    frame.extend_from_slice(&u64::MAX.to_be_bytes()); // max_staleness
+    stream.write_all(&frame).unwrap();
+
+    // The response must be decodable by a legacy peer, i.e. come back
+    // under the legacy id-less tag. Read the raw bytes to pin that.
+    let mut header = [0u8; 5];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+    assert_eq!(len, 34, "legacy GetResp: 5 hdr + 8 key + 8 version + 4 size + 8 age + 1 status");
+    assert_eq!(header[4], 9, "legacy TAG_GET_RESP, not the id-carrying tag");
+    let mut body = vec![0u8; len as usize - 5];
+    stream.read_exact(&mut body).unwrap();
+    assert_eq!(&body[0..8], &123u64.to_be_bytes(), "key echoed");
+    assert_eq!(body[28], 3, "status byte: Miss");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.gets, 1);
+    assert_eq!(stats.misses, 1);
     assert_eq!(stats.protocol_errors, 0);
 }
 

@@ -1,0 +1,290 @@
+//! Offline mio-style readiness polling built directly on `poll(2)`.
+//!
+//! The build container has no crates.io access, so instead of `mio` this
+//! tiny vendored crate wraps the one syscall an event loop actually
+//! needs: wait on a set of file descriptors until at least one is ready
+//! to read or write. No epoll, no tokens, no reactor — callers rebuild
+//! the interest set every tick (O(n) per tick, which is the documented
+//! `poll(2)` trade-off and perfectly adequate for thousands of
+//! descriptors) and read back per-descriptor readiness by push index.
+//!
+//! The FFI surface is a single `extern "C"` declaration against the
+//! platform libc that every Rust binary already links; there is no
+//! dependency on the `libc` crate. Unix only.
+//!
+//! ```
+//! use minipoll::{Interest, PollSet};
+//! use std::io::Write;
+//! use std::os::unix::io::AsRawFd;
+//! use std::os::unix::net::UnixStream;
+//!
+//! let (mut tx, rx) = UnixStream::pair().unwrap();
+//! tx.write_all(b"x").unwrap();
+//!
+//! let mut set = PollSet::new();
+//! set.push(rx.as_raw_fd(), Interest::READABLE);
+//! let ready = set.poll(Some(std::time::Duration::from_secs(5))).unwrap();
+//! assert_eq!(ready, 1);
+//! assert!(set.readiness(0).readable());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+// poll(2) event bits (identical on Linux and the BSDs for this subset).
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    // nfds_t is `unsigned long` on every supported unix — which is what
+    // Rust's `usize` matches on both 32- and 64-bit targets (u64 would
+    // corrupt the argument on armv7/i686).
+    fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+}
+
+/// What a descriptor is waiting for.
+///
+/// Combine with [`Interest::and`]:
+///
+/// ```
+/// use minipoll::Interest;
+/// let both = Interest::READABLE.and(Interest::WRITABLE);
+/// assert!(both.is_readable() && both.is_writable());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(i16);
+
+impl Interest {
+    /// Wake when the descriptor has bytes to read (or EOF/error).
+    pub const READABLE: Interest = Interest(POLLIN);
+    /// Wake when the descriptor can accept writes.
+    pub const WRITABLE: Interest = Interest(POLLOUT);
+
+    /// Union of two interests.
+    pub fn and(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True when read-readiness is requested.
+    pub fn is_readable(self) -> bool {
+        self.0 & POLLIN != 0
+    }
+
+    /// True when write-readiness is requested.
+    pub fn is_writable(self) -> bool {
+        self.0 & POLLOUT != 0
+    }
+}
+
+/// What `poll(2)` reported for one descriptor after a [`PollSet::poll`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Readiness {
+    bits: i16,
+}
+
+impl Readiness {
+    /// Bytes (or EOF) are available to read.
+    pub fn readable(self) -> bool {
+        self.bits & POLLIN != 0
+    }
+
+    /// The descriptor can accept writes.
+    pub fn writable(self) -> bool {
+        self.bits & POLLOUT != 0
+    }
+
+    /// The peer hung up, the descriptor errored, or the fd was invalid.
+    /// A stream in this state should be read (to observe the EOF/error)
+    /// and then dropped.
+    pub fn error(self) -> bool {
+        self.bits & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Anything at all happened — the caller should service this entry.
+    pub fn any(self) -> bool {
+        self.bits != 0
+    }
+}
+
+/// A reusable set of descriptors to wait on — the mio `Poll` + `Events`
+/// pair collapsed into one allocation-free object.
+///
+/// Usage per event-loop tick: [`clear`](PollSet::clear), then
+/// [`push`](PollSet::push) every descriptor with its current interest
+/// (the returned index is the handle back to the caller's own state),
+/// then [`poll`](PollSet::poll), then ask [`readiness`](PollSet::readiness)
+/// for each pushed index.
+#[derive(Debug, Default)]
+pub struct PollSet {
+    fds: Vec<PollFd>,
+}
+
+impl PollSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        PollSet::default()
+    }
+
+    /// Remove all descriptors, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    /// Number of descriptors currently registered.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True when no descriptors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Register `fd` with `interest`; returns the index to pass to
+    /// [`readiness`](PollSet::readiness) after the next poll.
+    pub fn push(&mut self, fd: RawFd, interest: Interest) -> usize {
+        self.fds.push(PollFd { fd, events: interest.0, revents: 0 });
+        self.fds.len() - 1
+    }
+
+    /// Block until at least one registered descriptor is ready, the
+    /// timeout elapses (`Ok(0)`), or a signal interrupts — EINTR is
+    /// retried internally. `None` blocks indefinitely. Returns the
+    /// number of ready descriptors.
+    pub fn poll(&mut self, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            Some(t) => {
+                // Round up so a 100µs timeout waits 1ms instead of
+                // busy-spinning at timeout 0.
+                let mut ms = t.as_millis();
+                if Duration::from_millis(ms as u64) < t {
+                    ms += 1;
+                }
+                ms.min(i32::MAX as u128) as i32
+            }
+            None => -1,
+        };
+        loop {
+            for f in &mut self.fds {
+                f.revents = 0;
+            }
+            let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len(), timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    /// Readiness of the descriptor pushed at `idx` (its
+    /// [`push`](PollSet::push) return value), as of the last poll.
+    pub fn readiness(&self, idx: usize) -> Readiness {
+        Readiness { bits: self.fds[idx].revents }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_after_write_and_timeout_when_idle() {
+        let (mut tx, rx) = UnixStream::pair().unwrap();
+        let mut set = PollSet::new();
+        let idx = set.push(rx.as_raw_fd(), Interest::READABLE);
+        // Nothing written yet: times out with zero ready.
+        assert_eq!(set.poll(Some(Duration::from_millis(10))).unwrap(), 0);
+        assert!(!set.readiness(idx).any());
+
+        tx.write_all(b"hello").unwrap();
+        assert_eq!(set.poll(Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(set.readiness(idx).readable());
+        assert!(!set.readiness(idx).error());
+    }
+
+    #[test]
+    fn writable_immediately_on_fresh_socket() {
+        let (tx, _rx) = UnixStream::pair().unwrap();
+        let mut set = PollSet::new();
+        let idx = set.push(tx.as_raw_fd(), Interest::WRITABLE);
+        assert_eq!(set.poll(Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(set.readiness(idx).writable());
+    }
+
+    #[test]
+    fn hangup_is_reported_as_error_or_readable() {
+        let (tx, rx) = UnixStream::pair().unwrap();
+        drop(tx);
+        let mut set = PollSet::new();
+        let idx = set.push(rx.as_raw_fd(), Interest::READABLE);
+        assert_eq!(set.poll(Some(Duration::from_secs(5))).unwrap(), 1);
+        let r = set.readiness(idx);
+        // Linux reports POLLIN|POLLHUP on a half-closed socketpair; the
+        // caller reads 0 bytes and treats it as EOF either way.
+        assert!(r.readable() || r.error());
+        let mut buf = [0u8; 8];
+        let mut rx = rx;
+        assert_eq!(rx.read(&mut buf).unwrap(), 0, "EOF observable after hangup");
+    }
+
+    #[test]
+    fn multiple_descriptors_report_independently() {
+        let (mut tx1, rx1) = UnixStream::pair().unwrap();
+        let (_tx2, rx2) = UnixStream::pair().unwrap();
+        tx1.write_all(b"x").unwrap();
+        let mut set = PollSet::new();
+        let a = set.push(rx1.as_raw_fd(), Interest::READABLE);
+        let b = set.push(rx2.as_raw_fd(), Interest::READABLE);
+        assert_eq!(set.poll(Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(set.readiness(a).readable());
+        assert!(!set.readiness(b).any());
+    }
+
+    #[test]
+    fn clear_reuses_the_set() {
+        let (mut tx, rx) = UnixStream::pair().unwrap();
+        let mut set = PollSet::new();
+        set.push(rx.as_raw_fd(), Interest::READABLE);
+        assert!(!set.is_empty());
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        // Re-push after clear still works.
+        tx.write_all(b"y").unwrap();
+        let idx = set.push(rx.as_raw_fd(), Interest::READABLE);
+        assert_eq!(set.poll(Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(set.readiness(idx).readable());
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE.and(Interest::WRITABLE);
+        assert!(both.is_readable());
+        assert!(both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+}
