@@ -1,7 +1,9 @@
-//! `loadgen` — replay a fresca workload against a running `serve`.
+//! `loadgen` — replay a fresca workload against a running `serve`
+//! node, or fan it out across a consistent-hash cluster of them.
 //!
 //! ```text
-//! loadgen [--addr 127.0.0.1:7440] [--workload poisson|mix|meta|twitter]
+//! loadgen [--addr 127.0.0.1:7440 | --addrs a,b,c] [--vnodes 128]
+//!         [--workload poisson|mix|meta|twitter]
 //!         [--seed 42] [--rate 10] [--horizon-secs 1000]
 //!         [--mode closed|open] [--conns 4] [--pipeline 16]
 //!         [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0]
@@ -12,8 +14,15 @@
 //! (`--ttl-ms` attaches a TTL to every put, `--bound-ms` a staleness
 //! bound to every get; 0 disables either), replays it closed- or
 //! open-loop with up to `--pipeline` requests in flight per connection,
-//! and prints the [`fresca_serve::LoadReport`] with p50/p99/p999 request
-//! latency.
+//! and prints the [`fresca_serve::LoadReport`] with per-status read
+//! counts and p50/p99/p999 request latency.
+//!
+//! With `--addrs a,b,c` the schedule is partitioned by the cluster's
+//! consistent-hash ring (every op goes to the node owning its key —
+//! the placement a `ClusterClient` and `store-push` also compute) and
+//! replayed against all nodes concurrently; the report then carries a
+//! per-node breakdown plus the merged aggregate, in closed-loop mode
+//! with `--conns` connections *per node*.
 //!
 //! In open-loop mode the trace's virtual timestamps are multiplied by
 //! `--time-scale`: the paper's λ=10 req/s trace at `--time-scale 0.001`
@@ -32,13 +41,14 @@ use fresca_workload::{
     MetaLikeConfig, PoissonMixConfig, PoissonZipfConfig, ReplayConfig, TwitterLikeConfig,
     WorkloadGen,
 };
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: loadgen [--addr 127.0.0.1:7440] [--workload poisson|mix|meta|twitter] \
+            "usage: loadgen [--addr 127.0.0.1:7440 | --addrs a,b,c] [--vnodes 128] \
+             [--workload poisson|mix|meta|twitter] \
              [--seed 42] [--rate 10] [--horizon-secs 1000] [--mode closed|open] \
              [--conns 4] [--pipeline 16] [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0] \
              [--json BENCH_serve.json] [--fail-on-violations]"
@@ -46,6 +56,8 @@ fn main() {
         return;
     }
     let addr_s = arg(&args, "--addr", "127.0.0.1:7440".to_string());
+    let addrs_s = arg(&args, "--addrs", String::new());
+    let vnodes: usize = arg(&args, "--vnodes", fresca_serve::ring::DEFAULT_VNODES);
     let workload = arg(&args, "--workload", "poisson".to_string());
     let seed: u64 = arg(&args, "--seed", 42);
     let rate: f64 = arg(&args, "--rate", 10.0);
@@ -87,28 +99,67 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let addr = match addr_s.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+    let resolve = |s: &str| match s.to_socket_addrs().ok().and_then(|mut it| it.next()) {
         Some(a) => a,
         None => {
-            eprintln!("loadgen: cannot resolve {addr_s}");
+            eprintln!("loadgen: cannot resolve {s}");
             std::process::exit(2);
         }
     };
-    println!(
-        "replaying {} ops of {} (seed {seed}) against {addr} [{mode_s}, pipeline {pipeline}]",
-        ops.len(),
-        trace.meta().generator,
-    );
-    let report = match loadgen::run(addr, &ops, &LoadGenConfig { mode, pipeline }) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("loadgen: {e}");
-            std::process::exit(1);
+    let config = LoadGenConfig { mode, pipeline };
+
+    // Cluster fan-out (`--addrs`) or single node (`--addr`). Both paths
+    // converge on (aggregate report, optional per-node breakdown).
+    let (report, cluster) = if !addrs_s.is_empty() {
+        let nodes: Vec<(String, SocketAddr)> = addrs_s
+            .split(',')
+            .map(|s| {
+                let name = s.trim().to_string();
+                let addr = resolve(&name);
+                (name, addr)
+            })
+            .collect();
+        println!(
+            "replaying {} ops of {} (seed {seed}) across {} nodes [{mode_s}, pipeline \
+             {pipeline}, {vnodes} vnodes]",
+            ops.len(),
+            trace.meta().generator,
+            nodes.len(),
+        );
+        match loadgen::run_cluster(&nodes, &ops, &config, vnodes) {
+            Ok(cluster) => (cluster.aggregate.clone(), Some(cluster)),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let addr = resolve(&addr_s);
+        println!(
+            "replaying {} ops of {} (seed {seed}) against {addr} [{mode_s}, pipeline {pipeline}]",
+            ops.len(),
+            trace.meta().generator,
+        );
+        match loadgen::run(addr, &ops, &config) {
+            Ok(report) => (report, None),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
         }
     };
-    print!("{report}");
+    match &cluster {
+        Some(cluster) => print!("{cluster}"),
+        None => print!("{report}"),
+    }
     if !json_path.is_empty() {
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        // Cluster runs serialize the full per-node breakdown; single-node
+        // runs keep the flat report shape downstream tooling expects.
+        let json = match &cluster {
+            Some(cluster) => serde_json::to_string_pretty(cluster),
+            None => serde_json::to_string_pretty(&report),
+        }
+        .expect("report serializes");
         if let Err(e) = std::fs::write(&json_path, json + "\n") {
             eprintln!("loadgen: cannot write {json_path}: {e}");
             std::process::exit(1);

@@ -1,0 +1,183 @@
+//! A cluster-aware cache client: one [`PipelinedClient`] per node,
+//! requests routed by consistent hashing.
+//!
+//! [`ClusterClient`] is the multi-node sibling of
+//! [`CacheClient`](crate::CacheClient): it holds a connection to every
+//! member of a [`HashRing`] and routes each `get`/`put` to the node that
+//! owns the key. Routing is a pure function of the member list (see
+//! [`crate::ring`]), so a cluster client, the load generator, and a
+//! store-push node all agree on placement without exchanging any state.
+//!
+//! The per-call interface is blocking (submit on the owning node's
+//! pipelined connection, then wait for that one completion); callers
+//! that want deep pipelining against many nodes drive per-node
+//! [`PipelinedClient`]s directly — that is exactly what the load
+//! generator's `--addrs` fan-out does.
+
+use crate::client::{GetOutcome, PipelinedClient, Response};
+use crate::ring::HashRing;
+use fresca_sim::SimDuration;
+use std::io;
+
+/// A client for a consistent-hash cluster of cache nodes.
+///
+/// Connect with [`ClusterClient::connect`], passing every member's
+/// address; the ring is built from the addresses *as given* (they are
+/// the node names), so all participants must use the same spelling of
+/// each address.
+#[derive(Debug)]
+pub struct ClusterClient {
+    ring: HashRing,
+    /// One pipelined connection per ring member, indexed like
+    /// `ring.nodes()`.
+    conns: Vec<PipelinedClient>,
+}
+
+impl ClusterClient {
+    /// Connect to every node of the cluster. `vnodes` is the ring's
+    /// virtual-node count and must match the other participants'
+    /// (use [`crate::ring::DEFAULT_VNODES`] unless you have a reason).
+    pub fn connect<S: AsRef<str>>(addrs: &[S], vnodes: usize) -> io::Result<Self> {
+        let ring = HashRing::try_from_members(vnodes, addrs)?;
+        let conns = ring
+            .nodes()
+            .iter()
+            .map(|addr| PipelinedClient::connect(addr.as_str()))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(ClusterClient { ring, conns })
+    }
+
+    /// The ring this client routes by.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Number of member nodes.
+    pub fn node_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Address of the node that owns `key`. Deterministic: every
+    /// `ClusterClient` over the same member list gives the same answer.
+    pub fn addr_for(&self, key: u64) -> &str {
+        self.ring.node_for(key).expect("non-empty ring")
+    }
+
+    /// Index (into the member list) of the node that owns `key`.
+    pub fn node_index_for(&self, key: u64) -> usize {
+        self.ring.node_index_for(key).expect("non-empty ring")
+    }
+
+    /// The pipelined connection to member `index`, for callers that
+    /// want to drive a node directly (tests, fan-out loops).
+    pub fn node_client(&mut self, index: usize) -> &mut PipelinedClient {
+        &mut self.conns[index]
+    }
+
+    /// Write `key` on its owning node; returns the version that node
+    /// assigned (monotone per node, hence per key — a key never changes
+    /// node while membership is stable).
+    pub fn put(
+        &mut self,
+        key: u64,
+        value_size: u32,
+        ttl: Option<SimDuration>,
+    ) -> io::Result<u64> {
+        let node = self.node_index_for(key);
+        let conn = &mut self.conns[node];
+        let id = conn.submit_put(key, value_size, ttl)?;
+        let (rid, resp) = conn.complete()?;
+        match resp {
+            Response::Put { key: k, version } if rid == id && k == key => Ok(version),
+            other => Err(route_error(key, &other)),
+        }
+    }
+
+    /// Staleness-bounded read of `key` from its owning node (`None` =
+    /// any age).
+    pub fn get(
+        &mut self,
+        key: u64,
+        max_staleness: Option<SimDuration>,
+    ) -> io::Result<GetOutcome> {
+        let node = self.node_index_for(key);
+        let conn = &mut self.conns[node];
+        let id = conn.submit_get(key, max_staleness)?;
+        let (rid, resp) = conn.complete()?;
+        match resp {
+            Response::Get { key: k, outcome } if rid == id && k == key => Ok(outcome),
+            other => Err(route_error(key, &other)),
+        }
+    }
+}
+
+fn route_error(key: u64, resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected completion for key {key}: {resp:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{self, ServerConfig};
+
+    fn spawn_cluster(n: usize) -> (Vec<server::ServerHandle>, Vec<String>) {
+        let handles: Vec<_> = (0..n)
+            .map(|_| server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind"))
+            .collect();
+        let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+        (handles, addrs)
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_member_lists() {
+        let err = ClusterClient::connect::<&str>(&[], 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let (handles, addrs) = spawn_cluster(1);
+        let dup = [addrs[0].clone(), addrs[0].clone()];
+        let err = ClusterClient::connect(&dup, 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_clients() {
+        let (handles, addrs) = spawn_cluster(3);
+        let a = ClusterClient::connect(&addrs, 64).unwrap();
+        let b = ClusterClient::connect(&addrs, 64).unwrap();
+        for key in 0..2_000u64 {
+            assert_eq!(a.addr_for(key), b.addr_for(key), "key {key}");
+            assert_eq!(a.node_index_for(key), b.node_index_for(key));
+            // The client's routing is exactly the ring's.
+            assert_eq!(a.addr_for(key), a.ring().node_for(key).unwrap());
+        }
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn puts_and_gets_land_on_the_owning_node() {
+        let (handles, addrs) = spawn_cluster(2);
+        let mut client = ClusterClient::connect(&addrs, 64).unwrap();
+        for key in 0..64u64 {
+            let v = client.put(key, 16, None).unwrap();
+            assert!(v > 0);
+            let got = client.get(key, None).unwrap();
+            assert!(got.is_served(), "key {key}");
+            assert_eq!(got.version, v);
+        }
+        // Each node served exactly the keys the ring assigns it.
+        let ring = client.ring().clone();
+        let per_node = ring.partition(0..64u64);
+        for (i, h) in handles.into_iter().enumerate() {
+            let stats = h.shutdown();
+            assert_eq!(stats.puts, per_node[i].len() as u64, "node {i} put count");
+            assert_eq!(stats.gets, per_node[i].len() as u64, "node {i} get count");
+        }
+    }
+}

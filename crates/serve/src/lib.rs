@@ -22,11 +22,25 @@
 //!   window each) and open-loop (deadline-paced, never stalls on
 //!   responses) load generator that replays `fresca-workload` traces via
 //!   the [`fresca_workload::replay`] adapter and reports throughput, hit
-//!   ratio, staleness violations, and p50/p99/p999 request latency.
+//!   ratio, per-status read counts, staleness violations, and
+//!   p50/p99/p999 request latency — against one node or fanned out
+//!   across a cluster.
+//! * [`ring`] — a consistent-hash ring (virtual nodes, deterministic
+//!   placement, minimal remapping) partitioning the key space across
+//!   several cache nodes.
+//! * [`cluster`] — [`cluster::ClusterClient`], which owns one
+//!   [`client::PipelinedClient`] per ring member and routes every
+//!   `get`/`put` to the node owning the key.
+//! * [`push`] — the store side of the paper's freshness pipeline on the
+//!   wire: [`push::StorePusher`] buffers writes in a real
+//!   `fresca-store` backend and pushes per-node `Invalidate`/`Update`
+//!   batches (policy-selectable) to the ring members owning each key,
+//!   collecting per-node acks by sequence number.
 //!
-//! The `serve` and `loadgen` binaries wrap the last two for the command
-//! line; `examples/remote_cache.rs` and `tests/wire_roundtrip.rs` at the
-//! workspace root drive them in-process over localhost.
+//! The `serve`, `loadgen` and `store-push` binaries wrap these for the
+//! command line; `examples/remote_cache.rs`, `tests/wire_roundtrip.rs`
+//! and `tests/cluster.rs` at the workspace root drive them in-process
+//! over localhost.
 //!
 //! ## Clocks
 //!
@@ -40,45 +54,85 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod cluster;
 pub mod loadgen;
+pub mod push;
+pub mod ring;
 pub mod server;
 
-/// Flag parsing shared by the `serve` and `loadgen` binaries.
+/// Flag parsing shared by the `serve`, `loadgen` and `store-push`
+/// binaries.
 pub mod cli {
-    /// Value of `--name <value>` in `args`, parsed, or `default` when the
-    /// flag is absent or unparsable.
+    /// Value of `--name <value>` in `args`: the default when the flag is
+    /// absent, the parsed value when present, and an error naming the
+    /// offending flag when its value is missing or unparsable. Binaries
+    /// use [`arg`], which turns the error into a nonzero exit — running
+    /// with a silently-defaulted config after a typo is how a benchmark
+    /// measures the wrong thing.
+    pub fn try_arg<T: std::str::FromStr>(
+        args: &[String],
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
+        let Some(i) = args.iter().position(|a| a == name) else {
+            return Ok(default);
+        };
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag {name} is missing its value"));
+        };
+        value
+            .parse()
+            .map_err(|_| format!("flag {name}: cannot parse {value:?}"))
+    }
+
+    /// [`try_arg`], exiting with status 2 (and the offending flag named
+    /// on stderr) when the flag's value is missing or unparsable.
     pub fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        match try_arg(args, name, default) {
+            Ok(v) => v,
+            Err(e) => {
+                let bin = args.first().map(String::as_str).unwrap_or("fresca");
+                eprintln!("{bin}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     #[cfg(test)]
     mod tests {
-        use super::arg;
+        use super::try_arg;
 
         fn args(s: &[&str]) -> Vec<String> {
             s.iter().map(|s| s.to_string()).collect()
         }
 
         #[test]
-        fn parses_present_flags_and_falls_back() {
+        fn parses_present_flags_and_defaults_absent_ones() {
             let a = args(&["bin", "--shards", "8", "--addr", "1.2.3.4:1"]);
-            assert_eq!(arg(&a, "--shards", 16usize), 8);
-            assert_eq!(arg(&a, "--addr", "x".to_string()), "1.2.3.4:1");
-            assert_eq!(arg(&a, "--missing", 5u64), 5);
-            // Unparsable value falls back to the default.
-            assert_eq!(arg(&args(&["bin", "--shards", "abc"]), "--shards", 16usize), 16);
-            // Flag at the end with no value falls back too.
-            assert_eq!(arg(&args(&["bin", "--shards"]), "--shards", 16usize), 16);
+            assert_eq!(try_arg(&a, "--shards", 16usize), Ok(8));
+            assert_eq!(try_arg(&a, "--addr", "x".to_string()), Ok("1.2.3.4:1".to_string()));
+            assert_eq!(try_arg(&a, "--missing", 5u64), Ok(5));
+        }
+
+        #[test]
+        fn unparsable_or_missing_values_name_the_flag() {
+            // An unparsable value is an error naming the flag and the
+            // value — not a silent fall-back to the default.
+            let err = try_arg(&args(&["bin", "--shards", "abc"]), "--shards", 16usize)
+                .unwrap_err();
+            assert!(err.contains("--shards") && err.contains("abc"), "{err}");
+            // A flag at the end with no value is an error too.
+            let err = try_arg(&args(&["bin", "--shards"]), "--shards", 16usize).unwrap_err();
+            assert!(err.contains("--shards") && err.contains("missing"), "{err}");
         }
     }
 }
 
 pub use client::{CacheClient, GetOutcome, PipelinedClient, Response};
-pub use loadgen::{LoadGenConfig, LoadReport, Mode};
+pub use cluster::ClusterClient;
+pub use loadgen::{ClusterReport, LoadGenConfig, LoadReport, Mode, NodeReport};
+pub use push::{BatchReceipt, PushConfig, PushPolicy, PushStats, StorePusher};
+pub use ring::HashRing;
 pub use server::{ServerConfig, ServerHandle, ServerStatsSnapshot};
 
 use fresca_sim::SimTime;

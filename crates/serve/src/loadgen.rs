@@ -24,8 +24,18 @@
 //! violation, counted in [`LoadReport::version_anomalies`]. Completions
 //! are processed in arrival order, which on an in-order connection means
 //! server-processing order, so the check stays exact under pipelining.
+//!
+//! **Cluster fan-out** ([`run_cluster`]): given several node addresses,
+//! the schedule is partitioned by the same consistent-hash ring every
+//! other cluster participant uses ([`crate::ring`]) and each node's
+//! share is replayed against it concurrently — closed loop with
+//! `connections` workers *per node*, open loop with one deadline-paced
+//! connection per node. The result is a [`ClusterReport`]: one
+//! [`LoadReport`] per node plus the merged aggregate (aggregate
+//! percentiles are computed over the pooled samples, not averaged).
 
 use crate::client::{PipelinedClient, Response};
+use crate::ring::HashRing;
 use fresca_net::{GetStatus, RequestId};
 use fresca_workload::{TimedOp, WireOp};
 use serde::Serialize;
@@ -83,6 +93,12 @@ pub struct LoadReport {
     pub fresh: u64,
     /// Reads served stale-within-bound.
     pub stale_served: u64,
+    /// Reads refused as `RefusedStale`: the entry existed but could not
+    /// satisfy the staleness bound (or was invalidated). The per-status
+    /// sibling of [`LoadReport::staleness_violations`] — same count,
+    /// kept under both names so the status breakdown
+    /// (fresh/stale_served/refused_stale/misses) reads uniformly.
+    pub refused_stale: u64,
     /// Reads refused: the entry existed but could not satisfy the
     /// staleness bound. These are the run's *staleness violations* — the
     /// quantity the paper's freshness machinery exists to minimise.
@@ -124,15 +140,11 @@ impl std::fmt::Display for LoadReport {
             "latency: mean {:.1}us  p50 {:.1}us  p99 {:.1}us  p999 {:.1}us",
             self.mean_latency_us, self.p50_latency_us, self.p99_latency_us, self.p999_latency_us
         )?;
+        writeln!(f, "reads: {} (hit ratio {:.2}%)", self.gets, 100.0 * self.hit_ratio)?;
         writeln!(
             f,
-            "reads: {} ({} fresh, {} stale-served, {} refused, {} miss; hit ratio {:.2}%)",
-            self.gets,
-            self.fresh,
-            self.stale_served,
-            self.staleness_violations,
-            self.misses,
-            100.0 * self.hit_ratio
+            "  status: {} Fresh / {} ServedStale / {} RefusedStale / {} Miss",
+            self.fresh, self.stale_served, self.refused_stale, self.misses
         )?;
         writeln!(f, "writes: {}", self.puts)?;
         writeln!(
@@ -145,7 +157,7 @@ impl std::fmt::Display for LoadReport {
 }
 
 /// Per-worker accumulator, merged into the final [`LoadReport`].
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct WorkerResult {
     gets: u64,
     puts: u64,
@@ -232,7 +244,21 @@ fn submit(client: &mut PipelinedClient, op: &WireOp) -> io::Result<RequestId> {
 /// Replay `ops` against the server at `addr` and report what happened.
 pub fn run(addr: SocketAddr, ops: &[TimedOp], config: &LoadGenConfig) -> io::Result<LoadReport> {
     let started = Instant::now();
-    let merged = match config.mode {
+    let merged = run_node(addr, ops, config, started)?;
+    let wall = started.elapsed();
+    Ok(build_report(merged, wall))
+}
+
+/// Replay `ops` against one node in the configured mode — the shared
+/// engine under both the single-node [`run`] and the per-node workers
+/// of [`run_cluster`].
+fn run_node(
+    addr: SocketAddr,
+    ops: &[TimedOp],
+    config: &LoadGenConfig,
+    started: Instant,
+) -> io::Result<WorkerResult> {
+    match config.mode {
         Mode::Closed { connections } => {
             assert!(connections >= 1, "need at least one connection");
             let depth = config.pipeline.max(1);
@@ -254,12 +280,109 @@ pub fn run(addr: SocketAddr, ops: &[TimedOp], config: &LoadGenConfig) -> io::Res
             for r in results {
                 merged.merge(r?);
             }
-            merged
+            Ok(merged)
         }
-        Mode::Open => run_open(addr, ops, started)?,
-    };
+        Mode::Open => run_open(addr, ops, started),
+    }
+}
+
+/// One node's slice of a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NodeReport {
+    /// The node's address as given on the command line — also its ring
+    /// name, so this is the spelling placement was computed from.
+    pub addr: String,
+    /// What this node's share of the schedule observed.
+    pub report: LoadReport,
+}
+
+/// What a cluster fan-out run observed: per-node reports plus the
+/// merged aggregate. Serializes to JSON for the `loadgen --json` flag.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClusterReport {
+    /// Everything merged: counters summed, percentiles over the pooled
+    /// latency samples of all nodes.
+    pub aggregate: LoadReport,
+    /// Per-node breakdown, in member-list order.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl ClusterReport {
+    /// True when no node saw staleness violations or version anomalies.
+    pub fn is_clean(&self) -> bool {
+        self.aggregate.is_clean()
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.aggregate)?;
+        writeln!(f, "per node:")?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "  {}: {} ops ({:.0}/s)  status {}/{}/{}/{} F/SS/RS/M  p99 {:.1}us  anomalies {}",
+                n.addr,
+                n.report.ops,
+                n.report.ops_per_sec,
+                n.report.fresh,
+                n.report.stale_served,
+                n.report.refused_stale,
+                n.report.misses,
+                n.report.p99_latency_us,
+                n.report.version_anomalies
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Fan a schedule out across a consistent-hash cluster: each op goes to
+/// the node owning its key (the same ring placement every other cluster
+/// participant computes), all nodes are driven concurrently, and the
+/// result carries both per-node and merged aggregate reports.
+///
+/// `nodes` pairs each member's ring name (the address string as typed —
+/// all participants must spell it identically) with its resolved socket
+/// address; `vnodes` must match the cluster's ring configuration. In
+/// closed-loop mode each node gets its own `connections` workers; in
+/// open-loop mode each node gets one connection paced by the shared
+/// schedule clock, so cross-node ordering follows the trace.
+pub fn run_cluster(
+    nodes: &[(String, SocketAddr)],
+    ops: &[TimedOp],
+    config: &LoadGenConfig,
+    vnodes: usize,
+) -> io::Result<ClusterReport> {
+    let names: Vec<&str> = nodes.iter().map(|(name, _)| name.as_str()).collect();
+    let ring = HashRing::try_from_members(vnodes, &names)?;
+    // Partition the schedule by ring owner, preserving each node's
+    // schedule order (open-loop pacing depends on it).
+    let mut per_node: Vec<Vec<TimedOp>> = vec![Vec::new(); nodes.len()];
+    for op in ops {
+        let owner = ring.node_index_for(op.op.key()).expect("non-empty ring");
+        per_node[owner].push(*op);
+    }
+    let started = Instant::now();
+    let results: Vec<io::Result<WorkerResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = nodes
+            .iter()
+            .zip(&per_node)
+            .map(|(&(_, addr), node_ops)| {
+                s.spawn(move || run_node(addr, node_ops, config, started))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("cluster node worker panicked")).collect()
+    });
     let wall = started.elapsed();
-    Ok(build_report(merged, wall))
+    let mut aggregate = WorkerResult::default();
+    let mut node_reports = Vec::with_capacity(nodes.len());
+    for ((name, _), result) in nodes.iter().zip(results) {
+        let r = result?;
+        node_reports.push(NodeReport { addr: name.clone(), report: build_report(r.clone(), wall) });
+        aggregate.merge(r);
+    }
+    Ok(ClusterReport { aggregate: build_report(aggregate, wall), nodes: node_reports })
 }
 
 /// Closed loop on one connection: keep up to `depth` requests in flight,
@@ -356,6 +479,7 @@ fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
         ops_per_sec: if wall_secs > 0.0 { ops as f64 / wall_secs } else { 0.0 },
         fresh: r.fresh,
         stale_served: r.stale_served,
+        refused_stale: r.refused,
         staleness_violations: r.refused,
         misses: r.misses,
         hit_ratio: if r.gets > 0 { (r.fresh + r.stale_served) as f64 / r.gets as f64 } else { 0.0 },
@@ -396,17 +520,53 @@ mod tests {
         assert_eq!(report.gets, 20);
         assert_eq!(report.ops_per_sec, 12.5);
         assert_eq!(report.staleness_violations, 2);
+        assert_eq!(report.refused_stale, 2, "per-status twin of the violation count");
         assert!(!report.is_clean());
         assert!((report.hit_ratio - 17.0 / 20.0).abs() < 1e-9);
         assert_eq!(report.mean_latency_us, 25.0);
         assert_eq!(report.p50_latency_us, 20.0);
         assert_eq!(report.p99_latency_us, 40.0);
         assert_eq!(report.p999_latency_us, 40.0);
-        // Display stays well-formed.
+        // Display stays well-formed and breaks reads down by status.
         let shown = report.to_string();
         assert!(shown.contains("25 ops"));
         assert!(shown.contains("p999"));
         assert!(shown.contains("staleness violations: 2"));
+        assert!(
+            shown.contains("status: 16 Fresh / 1 ServedStale / 2 RefusedStale / 1 Miss"),
+            "status breakdown missing: {shown}"
+        );
+    }
+
+    #[test]
+    fn cluster_report_aggregates_and_displays_per_node() {
+        let node = |fresh: u64, refused: u64| WorkerResult {
+            gets: fresh + refused,
+            fresh,
+            refused,
+            latencies_us: vec![10, 30],
+            ..Default::default()
+        };
+        let wall = Duration::from_secs(1);
+        let mut merged = node(8, 0);
+        merged.merge(node(4, 2));
+        let report = ClusterReport {
+            aggregate: build_report(merged, wall),
+            nodes: vec![
+                NodeReport { addr: "a:1".into(), report: build_report(node(8, 0), wall) },
+                NodeReport { addr: "b:2".into(), report: build_report(node(4, 2), wall) },
+            ],
+        };
+        assert_eq!(report.aggregate.gets, 14);
+        assert_eq!(report.aggregate.refused_stale, 2);
+        assert!(!report.is_clean(), "aggregate carries the violating node's refusals");
+        let shown = report.to_string();
+        assert!(shown.contains("per node:"), "{shown}");
+        assert!(shown.contains("a:1") && shown.contains("b:2"), "{shown}");
+        let json = serde_json::to_string(&report).unwrap();
+        for field in ["aggregate", "nodes", "addr", "refused_stale"] {
+            assert!(json.contains(field), "cluster JSON missing {field}: {json}");
+        }
     }
 
     #[test]

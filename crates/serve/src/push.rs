@@ -1,0 +1,477 @@
+//! The store-push node: a real `fresca-store` backend that batches
+//! writes and pushes `Invalidate`/`Update` batches to the cache nodes
+//! owning each key.
+//!
+//! This is the paper's Figure-4 pipeline lifted off the simulator and
+//! onto the wire. A [`StorePusher`] owns the store-side freshness
+//! machinery — a versioned [`DataStore`], the per-interval dirty-key
+//! [`WriteBuffer`], and the [`InvalidationTracker`] that suppresses
+//! repeat invalidates (§3.1) — plus one framed TCP connection per cache
+//! node and the same [`HashRing`] every other cluster participant
+//! routes by. Writes mark keys dirty; [`StorePusher::flush`] drains the
+//! buffer, partitions the dirty keys by ring owner, and sends each node
+//! one `Invalidate { seq, keys }` or `Update { seq, items }` frame
+//! (policy-selectable, mirroring the `SystemEngine`'s always-invalidate
+//! and always-update policies), then blocks for the `Ack { seq }` each
+//! node owes.
+//!
+//! Sequence numbers are **per node** (each connection is its own
+//! reliable channel, exactly like the simulation's per-link
+//! `ReliableSender`), monotone from 1.
+//!
+//! ## Version domains
+//!
+//! The store's per-key versions and a cache node's serving versions are
+//! *different counters*: the node allocates serving versions from its
+//! own global monotone counter so the per-connection anomaly check
+//! clients run (served version never regresses below an acked write)
+//! stays sound even while a store pushes refreshes. A pushed
+//! `UpdateItem` therefore carries the store's version as provenance,
+//! but the node re-versions the refreshed entry from its own counter —
+//! see `docs/PROTOCOL.md`, *Invalidate/Update on the serving path*.
+
+use crate::ring::HashRing;
+use crate::ServeClock;
+use fresca_net::{FramedStream, Message, UpdateItem};
+use fresca_store::{DataStore, InvalidationTracker, Record, WriteBuffer};
+use serde::Serialize;
+use std::io;
+use std::net::TcpStream;
+
+/// What the store sends for a dirty key at flush time — the wire-level
+/// mirror of `fresca_core::policy::FlushDecision`, minus `Nothing`
+/// (cache-state-aware policies need a backchannel the serving path does
+/// not have yet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushPolicy {
+    /// Send key-only `Invalidate` batches: cheap, but a pushed key is
+    /// refused on its owning node until something re-populates it.
+    Invalidate,
+    /// Send full `Update` batches: each item re-freshens the cached
+    /// entry in place (absent keys are untouched, per the paper).
+    Update,
+}
+
+impl PushPolicy {
+    /// Parse a CLI spelling. `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "invalidate" => Some(PushPolicy::Invalidate),
+            "update" => Some(PushPolicy::Update),
+            _ => None,
+        }
+    }
+
+    /// CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            PushPolicy::Invalidate => "invalidate",
+            PushPolicy::Update => "update",
+        }
+    }
+}
+
+/// Store-push configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushConfig {
+    /// Invalidate or update batches.
+    pub policy: PushPolicy,
+    /// Virtual nodes per ring member — must match the cluster's other
+    /// participants.
+    pub vnodes: usize,
+}
+
+impl Default for PushConfig {
+    fn default() -> Self {
+        PushConfig { policy: PushPolicy::Invalidate, vnodes: crate::ring::DEFAULT_VNODES }
+    }
+}
+
+/// One acknowledged per-node batch, as returned by
+/// [`StorePusher::flush`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReceipt {
+    /// Address of the cache node the batch went to.
+    pub node: String,
+    /// Sequence number the batch carried — and the `Ack` echoed.
+    pub seq: u64,
+    /// Keys in the batch.
+    pub keys: usize,
+    /// Exact wire bytes of the batch frame (the paper's `c_i`/`c_u`
+    /// cost, measured rather than modelled).
+    pub wire_bytes: usize,
+}
+
+/// Cumulative counters for a pusher's lifetime. Serializes to JSON for
+/// the `store-push` binary's `--json` flag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PushStats {
+    /// Writes applied to the backing store.
+    pub writes: u64,
+    /// Interval flushes executed (including empty ones).
+    pub flushes: u64,
+    /// Per-node batches sent.
+    pub batches: u64,
+    /// Keys carried across all batches.
+    pub keys_pushed: u64,
+    /// Acks received (equals `batches` unless a node failed).
+    pub acks: u64,
+    /// Invalidate sends suppressed by the tracker (§3.1 dedup).
+    pub suppressed: u64,
+    /// Writes coalesced into an existing dirty mark within an interval.
+    pub coalesced: u64,
+    /// Total wire bytes of pushed batches.
+    pub push_bytes: u64,
+}
+
+/// A live store node pushing freshness traffic into a cache cluster.
+pub struct StorePusher {
+    ring: HashRing,
+    /// One blocking framed connection per ring member, aligned with
+    /// `ring.nodes()`. Push traffic is strictly send-batch/await-ack, so
+    /// the simple blocking transport is the right tool.
+    conns: Vec<FramedStream<TcpStream>>,
+    /// Next sequence number per node, starting at 1.
+    next_seq: Vec<u64>,
+    store: DataStore,
+    buffer: WriteBuffer,
+    tracker: InvalidationTracker,
+    clock: ServeClock,
+    config: PushConfig,
+    stats: PushStats,
+}
+
+impl std::fmt::Debug for StorePusher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorePusher")
+            .field("nodes", &self.ring.nodes())
+            .field("policy", &self.config.policy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl StorePusher {
+    /// Connect to every cache node in `addrs` (the ring is built from
+    /// the addresses as given — all cluster participants must spell
+    /// them identically).
+    pub fn connect<S: AsRef<str>>(addrs: &[S], config: PushConfig) -> io::Result<Self> {
+        let ring = HashRing::try_from_members(config.vnodes, addrs)?;
+        let conns = ring
+            .nodes()
+            .iter()
+            .map(|addr| {
+                let stream = TcpStream::connect(addr.as_str())?;
+                stream.set_nodelay(true)?;
+                Ok(FramedStream::new(stream))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let next_seq = vec![1; conns.len()];
+        Ok(StorePusher {
+            ring,
+            conns,
+            next_seq,
+            store: DataStore::new(),
+            buffer: WriteBuffer::new(),
+            tracker: InvalidationTracker::new(),
+            clock: ServeClock::start(),
+            config,
+            stats: PushStats::default(),
+        })
+    }
+
+    /// The ring this pusher partitions batches by.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The backing store (read-only view).
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PushStats {
+        let mut s = self.stats;
+        s.suppressed = self.tracker.suppressed();
+        s.coalesced = self.buffer.coalesced();
+        s
+    }
+
+    /// Apply a client write to the backing store and mark the key dirty
+    /// for the next flush. Returns the store's new record.
+    pub fn write(&mut self, key: u64, value_size: u32) -> Record {
+        let rec = self.store.write(key, value_size, self.clock.now());
+        self.buffer.mark_dirty(key);
+        self.stats.writes += 1;
+        rec
+    }
+
+    /// The store served a miss-path read of `key` (the cache-aside
+    /// refetch after an invalidation): the backend no longer considers
+    /// the key invalidated, so the *next* write triggers a fresh
+    /// invalidate instead of being suppressed. Returns the store's
+    /// record for the read.
+    ///
+    /// This is the §3.1 backchannel the tracking assumption rests on —
+    /// the paper's backend can track invalidations precisely *because*
+    /// refetches flow through it. Embedders whose refetch traffic
+    /// bypasses this store (today's `store-push` binary generates
+    /// writes only) must either call this on every refetch they do see
+    /// or accept that under the invalidate policy a key's later writes
+    /// stay suppressed once it has been invalidated; server-side
+    /// refetch (ROADMAP) closes the loop for real.
+    pub fn refetched(&mut self, key: u64, default_size: u32) -> Record {
+        self.tracker.clear(key);
+        self.store.read(key, default_size)
+    }
+
+    /// Distinct keys dirty in the current interval.
+    pub fn dirty(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// End-of-interval flush: drain the dirty set, partition it by ring
+    /// owner, send each owning node one batch, and block for each
+    /// node's `Ack`. Returns one receipt per batch actually sent (nodes
+    /// owning no dirty key this interval get nothing; under the
+    /// invalidate policy, keys the tracker knows are already
+    /// invalidated are suppressed and may empty a batch out entirely).
+    ///
+    /// On a transport or ack error the flush stops and the error
+    /// propagates — but no freshness signal is lost: the failed batch's
+    /// keys and every not-yet-sent batch's keys are re-marked dirty
+    /// (and their tracker entries rolled back), so the next flush
+    /// resends them, reusing the failed batch's sequence number. Cache
+    /// nodes apply batches idempotently, so a batch that was received
+    /// but whose ack was lost is harmless to resend.
+    pub fn flush(&mut self) -> io::Result<Vec<BatchReceipt>> {
+        self.stats.flushes += 1;
+        let dirty = self.buffer.drain();
+        let mut receipts = Vec::new();
+        if dirty.is_empty() {
+            return Ok(receipts);
+        }
+        // Build every batch before sending any, so a mid-flush failure
+        // knows exactly which keys still need pushing.
+        let mut batches: Vec<(usize, Message)> = Vec::new();
+        for (node, keys) in self.ring.partition(dirty).into_iter().enumerate() {
+            if keys.is_empty() {
+                continue;
+            }
+            match self.config.policy {
+                PushPolicy::Invalidate => {
+                    // §3.1 tracking: a key the backend already believes
+                    // invalidated needs no second invalidate until a
+                    // refetch clears it (see `refetched`).
+                    let keys: Vec<u64> =
+                        keys.into_iter().filter(|&k| self.tracker.should_send(k)).collect();
+                    if !keys.is_empty() {
+                        batches.push((node, Message::Invalidate { seq: self.next_seq[node], keys }));
+                    }
+                }
+                PushPolicy::Update => {
+                    let items: Vec<UpdateItem> = keys
+                        .into_iter()
+                        .map(|k| {
+                            let rec = self.store.peek(k).expect("dirty keys were written");
+                            // An update re-freshens the cached entry, so
+                            // the backend no longer considers the key
+                            // invalidated.
+                            self.tracker.clear(k);
+                            UpdateItem { key: k, version: rec.version, value_size: rec.value_size }
+                        })
+                        .collect();
+                    batches.push((node, Message::Update { seq: self.next_seq[node], items }));
+                }
+            }
+        }
+        for i in 0..batches.len() {
+            let (node, ref msg) = batches[i];
+            match self.send_batch(node, msg) {
+                Ok(receipt) => receipts.push(receipt),
+                Err(e) => {
+                    self.restore_unsent(&batches[i..]);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(receipts)
+    }
+
+    /// A flush failed at some batch: put the failed and never-sent
+    /// batches' keys back into the dirty buffer (and roll back their
+    /// invalidation-tracker marks) so the next flush carries them.
+    fn restore_unsent(&mut self, unsent: &[(usize, Message)]) {
+        for (_, msg) in unsent {
+            match msg {
+                Message::Invalidate { keys, .. } => {
+                    for &k in keys {
+                        self.tracker.clear(k);
+                        self.buffer.mark_dirty(k);
+                    }
+                }
+                Message::Update { items, .. } => {
+                    for it in items {
+                        self.buffer.mark_dirty(it.key);
+                    }
+                }
+                _ => unreachable!("push batches are Invalidate or Update"),
+            }
+        }
+    }
+
+    /// Send one batch and block for its ack.
+    fn send_batch(&mut self, node: usize, msg: &Message) -> io::Result<BatchReceipt> {
+        let seq = self.next_seq[node];
+        let (keys, wire_bytes) = match msg {
+            Message::Invalidate { keys, .. } => (keys.len(), msg.wire_size()),
+            Message::Update { items, .. } => (items.len(), msg.wire_size()),
+            _ => unreachable!("push batches are Invalidate or Update"),
+        };
+        let addr = self.ring.nodes()[node].clone();
+        self.conns[node].send(msg)?;
+        self.stats.batches += 1;
+        self.stats.keys_pushed += keys as u64;
+        self.stats.push_bytes += wire_bytes as u64;
+        match self.conns[node].recv()? {
+            Some(Message::Ack { seq: acked }) if acked == seq => {
+                self.stats.acks += 1;
+                self.next_seq[node] += 1;
+                Ok(BatchReceipt { node: addr, seq, keys, wire_bytes })
+            }
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("node {addr}: expected Ack {{ seq: {seq} }}, got {other:?}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("node {addr} closed before acking seq {seq}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{self, ServerConfig};
+
+    fn spawn_cluster(n: usize) -> (Vec<server::ServerHandle>, Vec<String>) {
+        let handles: Vec<_> = (0..n)
+            .map(|_| server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind"))
+            .collect();
+        let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+        (handles, addrs)
+    }
+
+    #[test]
+    fn policy_parse_roundtrip() {
+        assert_eq!(PushPolicy::parse("invalidate"), Some(PushPolicy::Invalidate));
+        assert_eq!(PushPolicy::parse("update"), Some(PushPolicy::Update));
+        assert_eq!(PushPolicy::parse("adaptive"), None);
+        assert_eq!(PushPolicy::parse(PushPolicy::Update.name()), Some(PushPolicy::Update));
+    }
+
+    #[test]
+    fn empty_flush_sends_nothing() {
+        let (handles, addrs) = spawn_cluster(2);
+        let mut pusher = StorePusher::connect(&addrs, PushConfig::default()).unwrap();
+        assert!(pusher.flush().unwrap().is_empty());
+        let stats = pusher.stats();
+        assert_eq!((stats.flushes, stats.batches, stats.acks), (1, 0, 0));
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn invalidate_batches_are_acked_per_node_and_deduped() {
+        let (handles, addrs) = spawn_cluster(2);
+        let mut pusher = StorePusher::connect(&addrs, PushConfig::default()).unwrap();
+        for key in 0..32u64 {
+            pusher.write(key, 16);
+            pusher.write(key, 16); // coalesces within the interval
+        }
+        let receipts = pusher.flush().unwrap();
+        let pushed: usize = receipts.iter().map(|r| r.keys).sum();
+        assert_eq!(pushed, 32, "every dirty key pushed exactly once");
+        for r in &receipts {
+            assert_eq!(r.seq, 1, "first batch on each connection");
+            assert!(addrs.contains(&r.node));
+        }
+        // A second write burst to the same keys is fully suppressed:
+        // the backend knows they are already invalidated.
+        for key in 0..32u64 {
+            pusher.write(key, 16);
+        }
+        assert!(pusher.flush().unwrap().is_empty());
+        let stats = pusher.stats();
+        assert_eq!(stats.acks, stats.batches);
+        assert_eq!(stats.suppressed, 32);
+        assert_eq!(stats.coalesced, 32);
+        // The refetch backchannel clears suppression: a write after a
+        // refetch triggers a fresh invalidate batch again.
+        pusher.refetched(0, 16);
+        pusher.write(0, 16);
+        let receipts = pusher.flush().unwrap();
+        assert_eq!(receipts.iter().map(|r| r.keys).sum::<usize>(), 1);
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn failed_flush_restores_dirty_keys_for_the_next_one() {
+        let (handles, addrs) = spawn_cluster(2);
+        let mut pusher = StorePusher::connect(&addrs, PushConfig::default()).unwrap();
+        // Kill both nodes, then dirty keys spread across both: the flush
+        // must fail — and must not lose any freshness signal doing so.
+        for h in handles {
+            h.shutdown();
+        }
+        for key in 0..32u64 {
+            pusher.write(key, 16);
+        }
+        assert!(pusher.flush().is_err(), "flush against dead nodes fails");
+        assert_eq!(pusher.dirty(), 32, "failed flush re-marks every unsent key dirty");
+        // The tracker marks were rolled back too: a retry attempts a
+        // real send again (and fails on the dead connection) instead of
+        // suppressing everything into a silent empty Ok.
+        assert!(pusher.flush().is_err(), "retry still pushes, not an empty success");
+        assert_eq!(pusher.stats().suppressed, 0);
+    }
+
+    #[test]
+    fn update_batches_carry_store_state_and_reach_the_cache() {
+        let (handles, addrs) = spawn_cluster(2);
+        let config = PushConfig { policy: PushPolicy::Update, ..Default::default() };
+        let mut pusher = StorePusher::connect(&addrs, config).unwrap();
+        // Updates only refresh entries the cache holds; populate first.
+        let mut client = crate::ClusterClient::connect(&addrs, config.vnodes).unwrap();
+        for key in 0..16u64 {
+            client.put(key, 8, None).unwrap();
+        }
+        for key in 0..16u64 {
+            pusher.write(key, 24);
+        }
+        let receipts = pusher.flush().unwrap();
+        assert_eq!(receipts.iter().map(|r| r.keys).sum::<usize>(), 16);
+        // The refreshed size travels end to end: a read now sees 24.
+        for key in 0..16u64 {
+            let got = client.get(key, None).unwrap();
+            assert!(got.is_served());
+            assert_eq!(got.value_size, 24, "key {key} refreshed by the pushed update");
+        }
+        // Sequence numbers advance per node.
+        for key in 0..16u64 {
+            pusher.write(key, 8);
+        }
+        for r in pusher.flush().unwrap() {
+            assert_eq!(r.seq, 2);
+        }
+        for h in handles {
+            h.shutdown();
+        }
+    }
+}

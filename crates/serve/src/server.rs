@@ -22,6 +22,13 @@
 //! max-staleness bound decides between served-fresh, served-stale,
 //! refused, and miss — the decision travels back on the wire as a
 //! [`GetStatus`] so the client can count staleness violations end-to-end.
+//!
+//! The same socket also accepts the **store path**: a store-push node
+//! (see [`crate::push`]) sends batched `Invalidate { seq, keys }` /
+//! `Update { seq, items }` frames; the node applies each batch to its
+//! `ShardedCache` under the per-key shard locks and answers
+//! `Ack { seq }` — the paper's write-triggered freshness pipeline
+//! running against a real cache node instead of the simulator.
 
 use crate::ServeClock;
 use fresca_cache::{BoundedGet, CacheConfig, ShardedCache};
@@ -67,6 +74,9 @@ struct ServerStats {
     stale_served: AtomicU64,
     refused: AtomicU64,
     misses: AtomicU64,
+    push_batches: AtomicU64,
+    keys_invalidated: AtomicU64,
+    keys_updated: AtomicU64,
     connections: AtomicU64,
     open_connections: AtomicU64,
     protocol_errors: AtomicU64,
@@ -87,6 +97,13 @@ pub struct ServerStatsSnapshot {
     pub refused: u64,
     /// Reads that found no entry.
     pub misses: u64,
+    /// Store-pushed `Invalidate`/`Update` batches acknowledged.
+    pub push_batches: u64,
+    /// Keys marked stale by store-pushed `Invalidate` batches (present
+    /// keys only; invalidations of uncached keys are not counted here).
+    pub keys_invalidated: u64,
+    /// Cached entries re-freshened by store-pushed `Update` batches.
+    pub keys_updated: u64,
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
     /// Connections currently registered with an event loop.
@@ -105,6 +122,9 @@ impl ServerStats {
             stale_served: self.stale_served.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            push_batches: self.push_batches.load(Ordering::Relaxed),
+            keys_invalidated: self.keys_invalidated.load(Ordering::Relaxed),
+            keys_updated: self.keys_updated.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             open_connections: self.open_connections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
@@ -117,6 +137,7 @@ impl std::fmt::Display for ServerStatsSnapshot {
         write!(
             f,
             "gets={} puts={} fresh={} stale_served={} refused={} misses={} \
+             push_batches={} keys_invalidated={} keys_updated={} \
              conns={} open={} proto_errs={}",
             self.gets,
             self.puts,
@@ -124,6 +145,9 @@ impl std::fmt::Display for ServerStatsSnapshot {
             self.stale_served,
             self.refused,
             self.misses,
+            self.push_batches,
+            self.keys_invalidated,
+            self.keys_updated,
             self.connections,
             self.open_connections,
             self.protocol_errors
@@ -431,9 +455,10 @@ fn service(conn: &mut Conn, readiness: Readiness, shared: &Shared, scratch: &mut
                 Ok(PollRecv::Msg(msg)) => match dispatch(msg, shared) {
                     Some(reply) => conn.io.queue(&reply),
                     None => {
-                        // Not a serving-path request: the peer is confused
-                        // or hostile either way; answer what preceded it,
-                        // then close.
+                        // Not a request this node answers (neither
+                        // serving-path nor store-path): the peer is
+                        // confused or hostile either way; answer what
+                        // preceded it, then close.
                         shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                         conn.closing = true;
                         break;
@@ -471,8 +496,10 @@ fn service(conn: &mut Conn, readiness: Readiness, shared: &Shared, scratch: &mut
     }
 }
 
-/// Map one serving-path request onto the cache; `None` for messages that
-/// do not belong on the serving path.
+/// Map one request onto the cache; `None` for messages that do not
+/// belong on a cache node's socket. Serving-path requests (`GetReq`,
+/// `PutReq`) come from clients; store-path batches (`Invalidate`,
+/// `Update`) come from a store-push node and are acknowledged by `seq`.
 fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
     let stats = &shared.stats;
     match msg {
@@ -545,6 +572,54 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
                 version
             });
             Some(Message::PutResp { id, key, version })
+        }
+        Message::Invalidate { seq, keys } => {
+            // A store-pushed batch: mark every cached entry in it stale
+            // under its shard lock, then ack the whole batch by seq.
+            // Keys the cache does not hold are no-ops (counted by the
+            // cache as missed invalidations), exactly like the
+            // simulation path.
+            let mut applied = 0u64;
+            for key in keys {
+                if shared.cache.apply_invalidate(key) {
+                    applied += 1;
+                }
+            }
+            stats.keys_invalidated.fetch_add(applied, Ordering::Relaxed);
+            stats.push_batches.fetch_add(1, Ordering::Relaxed);
+            Some(Message::Ack { seq })
+        }
+        Message::Update { seq, items } => {
+            // A store-pushed refresh batch: re-freshen every cached
+            // entry in it. The pushed item carries the *store's*
+            // version, which lives in a different counter domain than
+            // this node's serving versions — so the node allocates a
+            // fresh serving version (under the shard lock, like a put)
+            // for each entry it refreshes, keeping the global
+            // monotonicity clients' anomaly checks rely on. Absent keys
+            // do nothing, per the paper's update semantics; pushed
+            // updates carry no TTL, so refreshed entries are fresh
+            // until invalidated or evicted.
+            let now = shared.clock.now();
+            let mut applied = 0u64;
+            for item in items {
+                let refreshed = shared.cache.locked(item.key, |shard| {
+                    if shard.contains(item.key) {
+                        let version = shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
+                        shard.apply_update(item.key, version, item.value_size, now, None)
+                    } else {
+                        // Counts the missed update without burning a
+                        // serving version on a key that is not here.
+                        shard.apply_update(item.key, 0, item.value_size, now, None)
+                    }
+                });
+                if refreshed {
+                    applied += 1;
+                }
+            }
+            stats.keys_updated.fetch_add(applied, Ordering::Relaxed);
+            stats.push_batches.fetch_add(1, Ordering::Relaxed);
+            Some(Message::Ack { seq })
         }
         _ => None,
     }

@@ -45,7 +45,7 @@
 //! | [`fresca_store`] | versioned backend store, write buffer, trackers |
 //! | [`fresca_sketch`] | `E[W]` estimators: exact / Count-min / Top-K |
 //! | [`fresca_net`] | wire protocol, codec, framed transports, lossy network, reliability |
-//! | [`fresca_serve`] | event-driven TCP cache server, blocking + pipelined clients, load generator |
+//! | [`fresca_serve`] | event-driven TCP cache cluster: consistent-hash ring, servers, cluster-aware clients, store-push node, load generator |
 //! | [`fresca_sim`] | deterministic event kernel, RNG, stats |
 
 #![warn(missing_docs)]
@@ -75,8 +75,8 @@ pub mod prelude {
         SimNetwork,
     };
     pub use fresca_serve::{
-        CacheClient, LoadGenConfig, LoadReport, PipelinedClient, Response, ServeClock,
-        ServerConfig,
+        CacheClient, ClusterClient, ClusterReport, HashRing, LoadGenConfig, LoadReport,
+        PipelinedClient, PushConfig, PushPolicy, Response, ServeClock, ServerConfig, StorePusher,
     };
     pub use fresca_sim::{RngFactory, SimDuration, SimTime};
     pub use fresca_sketch::{CountMinEw, EwEstimator, ExactEw, TopKEw};

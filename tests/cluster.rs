@@ -1,0 +1,245 @@
+//! End-to-end cluster test: several in-process `serve` nodes, a
+//! consistent-hash [`ClusterClient`], and a real [`StorePusher`] driving
+//! wire-level invalidation — the paper's write-triggered freshness
+//! pipeline (Figure 4) running between a real store node and real cache
+//! nodes instead of inside the simulator.
+//!
+//! Wall-clock caveat (same rule as `tests/wire_roundtrip.rs`): nothing
+//! here asserts that an operation completed *quickly*. Every outcome is
+//! forced by construction — an invalidated entry is refused at any
+//! bound, a pushed update rewrites a size — so the assertions hold on
+//! arbitrarily loaded CI machines.
+
+use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
+use fresca_net::GetStatus;
+use fresca_serve::loadgen::{self, LoadGenConfig, Mode};
+use fresca_serve::push::{PushConfig, PushPolicy};
+use fresca_serve::server::{self, ServerConfig, ServerHandle};
+use fresca_serve::{ClusterClient, StorePusher};
+use fresca_sim::SimDuration;
+use fresca_workload::{PoissonZipfConfig, ReplayConfig, WorkloadGen};
+
+const VNODES: usize = 64;
+
+fn spawn_cluster(n: usize) -> (Vec<ServerHandle>, Vec<String>) {
+    let handles: Vec<ServerHandle> = (0..n)
+        .map(|_| {
+            server::spawn(
+                "127.0.0.1:0",
+                ServerConfig {
+                    cache: CacheConfig {
+                        capacity: Capacity::Unbounded,
+                        eviction: EvictionPolicy::Lru,
+                    },
+                    shards: 8,
+                    event_loops: 1,
+                },
+            )
+            .expect("bind ephemeral localhost port")
+        })
+        .collect();
+    let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+    (handles, addrs)
+}
+
+/// Keys route consistently: every participant — two independent cluster
+/// clients and the server-side counters — agrees on which node owns
+/// which key, and a key written through the cluster is readable through
+/// it (and only lives on its owning node).
+#[test]
+fn cluster_routes_keys_consistently() {
+    let (handles, addrs) = spawn_cluster(3);
+    let mut a = ClusterClient::connect(&addrs, VNODES).unwrap();
+    let mut b = ClusterClient::connect(&addrs, VNODES).unwrap();
+
+    let keys: Vec<u64> = (0..96).collect();
+    for &key in &keys {
+        assert_eq!(a.addr_for(key), b.addr_for(key), "clients disagree on key {key}");
+        let v = a.put(key, 32, None).unwrap();
+        // The *other* client reads what this one wrote: same owner node.
+        let got = b.get(key, None).unwrap();
+        assert_eq!(got.status, GetStatus::Fresh, "key {key}");
+        assert_eq!(got.version, v);
+    }
+
+    // Ownership is exclusive: each node's put/get counters match exactly
+    // the keys the ring assigns it, and nothing else.
+    let per_node = a.ring().partition(keys.iter().copied());
+    assert!(per_node.iter().all(|bucket| !bucket.is_empty()), "3 nodes all own keys");
+    for (i, handle) in handles.into_iter().enumerate() {
+        let stats = handle.shutdown();
+        assert_eq!(stats.puts, per_node[i].len() as u64, "node {i} puts");
+        assert_eq!(stats.gets, per_node[i].len() as u64, "node {i} gets");
+    }
+}
+
+/// The acceptance path: a store-push `Invalidate` batch makes a
+/// subsequent bounded read on the owning node refuse (forcing a
+/// refetch) rather than serve the stale value, and every pushed batch
+/// is acknowledged per node by sequence number.
+#[test]
+fn store_push_invalidation_refuses_stale_reads_and_acks_by_seq() {
+    let (handles, addrs) = spawn_cluster(2);
+    let mut client = ClusterClient::connect(&addrs, VNODES).unwrap();
+    let mut pusher = StorePusher::connect(
+        &addrs,
+        PushConfig { policy: PushPolicy::Invalidate, vnodes: VNODES },
+    )
+    .unwrap();
+    assert_eq!(
+        pusher.ring().nodes(),
+        client.ring().nodes(),
+        "pusher and client build identical rings from the member list"
+    );
+
+    // Populate every node through the cluster client; all reads serve.
+    let keys: Vec<u64> = (0..48).collect();
+    for &key in &keys {
+        client.put(key, 16, None).unwrap();
+        assert!(client.get(key, None).unwrap().is_served());
+    }
+
+    // The store sees a write burst over the same keys and flushes one
+    // invalidate batch per owning node.
+    for &key in &keys {
+        pusher.write(key, 16);
+    }
+    let receipts = pusher.flush().unwrap();
+    assert_eq!(receipts.len(), 2, "both nodes own dirty keys");
+    let mut acked_nodes: Vec<&str> = receipts.iter().map(|r| r.node.as_str()).collect();
+    acked_nodes.sort_unstable();
+    let mut expect: Vec<&str> = addrs.iter().map(String::as_str).collect();
+    expect.sort_unstable();
+    assert_eq!(acked_nodes, expect, "a per-node Ack was observed for every pushed batch");
+    for r in &receipts {
+        assert_eq!(r.seq, 1, "first batch on each node's connection");
+    }
+    assert_eq!(receipts.iter().map(|r| r.keys).sum::<usize>(), keys.len());
+
+    // Every key is now known-stale on its owning node: a bounded read —
+    // even a very permissive one — must refuse rather than serve the
+    // stale value. The client's next stop is the backing store.
+    for &key in &keys {
+        let got = client.get(key, Some(SimDuration::from_secs(3600))).unwrap();
+        assert_eq!(got.status, GetStatus::RefusedStale, "key {key} served despite invalidation");
+        assert!(!got.is_served());
+    }
+
+    // A refetch (modelled as a fresh put, cache-aside style) heals the
+    // entry and reads serve again.
+    for &key in &keys {
+        client.put(key, 16, None).unwrap();
+        assert!(client.get(key, None).unwrap().is_served(), "key {key} after refetch");
+    }
+
+    // A second identical write burst is entirely suppressed by the
+    // backend's invalidation tracker (§3.1): no batches, no acks owed.
+    for &key in &keys {
+        pusher.write(key, 16);
+    }
+    assert!(pusher.flush().unwrap().is_empty(), "already-invalidated keys need no resend");
+    let stats = pusher.stats();
+    assert_eq!(stats.acks, stats.batches, "every batch sent was acknowledged");
+    assert_eq!(stats.suppressed, keys.len() as u64);
+
+    // Server-side accounting agrees: each node acked one batch and
+    // invalidated exactly the keys it owns.
+    let per_node = client.ring().partition(keys.iter().copied());
+    for (i, handle) in handles.into_iter().enumerate() {
+        let s = handle.shutdown();
+        assert_eq!(s.push_batches, 1, "node {i} batches");
+        assert_eq!(s.keys_invalidated, per_node[i].len() as u64, "node {i} invalidations");
+    }
+}
+
+/// Store-pushed `Update` batches refresh entries in place: reads keep
+/// serving (no refusal window) and observe the pushed size, with
+/// versions still monotone on every node.
+#[test]
+fn store_push_updates_refresh_in_place() {
+    let (handles, addrs) = spawn_cluster(2);
+    let mut client = ClusterClient::connect(&addrs, VNODES).unwrap();
+    let mut pusher = StorePusher::connect(
+        &addrs,
+        PushConfig { policy: PushPolicy::Update, vnodes: VNODES },
+    )
+    .unwrap();
+
+    let mut last_version = std::collections::HashMap::new();
+    for key in 0..32u64 {
+        let v = client.put(key, 8, None).unwrap();
+        last_version.insert(key, v);
+    }
+    for key in 0..32u64 {
+        pusher.write(key, 40);
+    }
+    let receipts = pusher.flush().unwrap();
+    assert_eq!(receipts.iter().map(|r| r.keys).sum::<usize>(), 32);
+    for key in 0..32u64 {
+        let got = client.get(key, None).unwrap();
+        assert!(got.is_served(), "update must not open a refusal window for key {key}");
+        assert_eq!(got.value_size, 40, "key {key} carries the pushed size");
+        assert!(
+            got.version > last_version[&key],
+            "key {key}: refreshed version regressed ({} <= {})",
+            got.version,
+            last_version[&key]
+        );
+    }
+    for h in handles {
+        let s = h.shutdown();
+        assert_eq!(s.push_batches, 1);
+    }
+}
+
+/// The loadgen cluster fan-out drives all nodes at once and produces a
+/// clean merged report whose per-node rows account for every operation.
+#[test]
+fn loadgen_fans_out_across_the_cluster() {
+    let (handles, addrs) = spawn_cluster(3);
+    let nodes: Vec<(String, std::net::SocketAddr)> =
+        handles.iter().zip(&addrs).map(|(h, a)| (a.clone(), h.addr())).collect();
+
+    let trace = PoissonZipfConfig {
+        rate: 50.0,
+        num_keys: 100,
+        read_ratio: 0.8,
+        horizon: SimDuration::from_secs(100),
+        ..Default::default()
+    }
+    .generate(11);
+    let ops = ReplayConfig {
+        ttl: Some(SimDuration::from_millis(500)),
+        max_staleness: None,
+        time_scale: 0.0,
+    }
+    .map_trace(&trace);
+
+    let report = loadgen::run_cluster(
+        &nodes,
+        &ops,
+        &LoadGenConfig { mode: Mode::Closed { connections: 2 }, pipeline: 8 },
+        VNODES,
+    )
+    .unwrap();
+
+    assert_eq!(report.aggregate.ops, ops.len() as u64);
+    assert_eq!(report.nodes.len(), 3);
+    let per_node_ops: u64 = report.nodes.iter().map(|n| n.report.ops).sum();
+    assert_eq!(per_node_ops, report.aggregate.ops, "per-node rows cover the whole schedule");
+    assert!(report.nodes.iter().all(|n| n.report.ops > 0), "every node served a share");
+    assert!(report.is_clean(), "no violations expected: {report}");
+    // The status breakdown is internally consistent.
+    let agg = &report.aggregate;
+    assert_eq!(agg.fresh + agg.stale_served + agg.refused_stale + agg.misses, agg.gets);
+
+    // Server-side: every request went to the node the ring owns it on.
+    let total_served: u64 = handles
+        .into_iter()
+        .map(|h| {
+            let s = h.shutdown();
+            s.gets + s.puts
+        })
+        .sum();
+    assert_eq!(total_served, ops.len() as u64);
+}

@@ -280,3 +280,113 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Consistent-hash ring (fresca-serve)
+// ---------------------------------------------------------------------
+
+/// Deterministic member names: the ring is a cluster-wide contract, so
+/// the properties are checked over the name shapes real deployments use.
+fn ring_members(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.1.0.{i}:7440")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Keys spread across nodes within tolerance: with 128 virtual nodes
+    /// per member, every member owns between a third and three times its
+    /// fair share of an arbitrary contiguous key range.
+    #[test]
+    fn ring_distributes_keys_within_tolerance(
+        n in 2usize..=8,
+        key_base in any::<u64>(),
+    ) {
+        let ring = HashRing::from_nodes(128, &ring_members(n));
+        let keys = 8_192u64;
+        let mut counts = vec![0u64; n];
+        for i in 0..keys {
+            let k = key_base.wrapping_add(i);
+            counts[ring.node_index_for(k).expect("non-empty ring")] += 1;
+        }
+        let fair = keys as f64 / n as f64;
+        for (node, &c) in counts.iter().enumerate() {
+            let share = c as f64 / fair;
+            prop_assert!(
+                (1.0 / 3.0..=3.0).contains(&share),
+                "node {} owns {} of {} keys ({:.2}x fair share)",
+                node, c, keys, share
+            );
+        }
+    }
+
+    /// Membership changes remap minimally. Adding one node to n moves
+    /// only keys that land *on the new node* — an exact structural
+    /// property — and about K/(n+1) of them, bounded here by 3·K/(n+1).
+    /// Removing a node moves only the keys that node owned.
+    #[test]
+    fn ring_membership_changes_remap_minimally(
+        n in 2usize..=8,
+        key_base in any::<u64>(),
+        removed_pick in 0usize..8,
+    ) {
+        let members = ring_members(n);
+        let base = HashRing::from_nodes(128, &members);
+        let keys = 4_096u64;
+
+        // Adding a node: every moved key moves TO the newcomer.
+        let mut grown = base.clone();
+        grown.add_node("10.1.0.99:7440");
+        let mut moved = 0u64;
+        for i in 0..keys {
+            let k = key_base.wrapping_add(i);
+            let old = base.node_for(k).unwrap();
+            let new = grown.node_for(k).unwrap();
+            if old != new {
+                moved += 1;
+                prop_assert_eq!(new, "10.1.0.99:7440", "key {} moved between old nodes", k);
+            }
+        }
+        let fair = keys as f64 / (n + 1) as f64;
+        prop_assert!(
+            (moved as f64) <= 3.0 * fair,
+            "adding 1 node to {} moved {} of {} keys (fair share {:.0})",
+            n, moved, keys, fair
+        );
+
+        // Removing a node: only its keys move, and they move off it.
+        let removed = &members[removed_pick % n];
+        let mut shrunk = base.clone();
+        prop_assert!(shrunk.remove_node(removed));
+        for i in 0..keys {
+            let k = key_base.wrapping_add(i);
+            let old = base.node_for(k).unwrap();
+            let new = shrunk.node_for(k).unwrap();
+            if old == removed {
+                prop_assert_ne!(new, removed);
+            } else {
+                prop_assert_eq!(old, new, "key {} moved although its owner stayed", k);
+            }
+        }
+    }
+
+    /// Placement is a pure function of the member *set*: permuting the
+    /// insertion order never changes any key's owner (what lets every
+    /// cluster participant derive routing independently).
+    #[test]
+    fn ring_placement_ignores_insertion_order(
+        n in 2usize..=8,
+        rotate in 0usize..8,
+        key_base in any::<u64>(),
+    ) {
+        let members = ring_members(n);
+        let mut rotated = members.clone();
+        rotated.rotate_left(rotate % n);
+        let a = HashRing::from_nodes(128, &members);
+        let b = HashRing::from_nodes(128, &rotated);
+        for i in 0..2_048u64 {
+            let k = key_base.wrapping_add(i);
+            prop_assert_eq!(a.node_for(k), b.node_for(k), "key {} owner depends on order", k);
+        }
+    }
+}

@@ -403,16 +403,23 @@ fn legacy_idless_frames_are_served_and_answered_in_kind() {
 }
 
 #[test]
-fn server_drops_connections_that_leave_the_serving_path() {
+fn server_drops_connections_that_leave_the_accepted_paths() {
     use fresca_net::{FramedStream, Message};
     use std::net::TcpStream;
 
     let handle = spawn_server();
-    // A simulation-path message has no business on the serving socket.
+    // A cache→store fetch has no business arriving *at* a cache node.
     let mut rogue = FramedStream::new(TcpStream::connect(handle.addr()).unwrap());
-    rogue.send(&Message::Invalidate { seq: 1, keys: vec![1, 2] }).unwrap();
+    rogue.send(&Message::ReadReq { key: 1 }).unwrap();
     // The server closes on us rather than answering.
     assert!(matches!(rogue.recv(), Ok(None) | Err(_)));
+
+    // A store-path Invalidate, by contrast, is legitimate since the
+    // cluster PR: the node applies it and acks by seq on the same
+    // connection.
+    let mut store = FramedStream::new(TcpStream::connect(handle.addr()).unwrap());
+    store.send(&Message::Invalidate { seq: 7, keys: vec![1, 2] }).unwrap();
+    assert_eq!(store.recv().unwrap(), Some(Message::Ack { seq: 7 }));
 
     // A well-behaved client on a fresh connection is unaffected.
     let mut client = CacheClient::connect(handle.addr()).unwrap();
@@ -421,4 +428,5 @@ fn server_drops_connections_that_leave_the_serving_path() {
 
     let stats = handle.shutdown();
     assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.push_batches, 1);
 }
