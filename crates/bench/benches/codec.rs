@@ -15,7 +15,11 @@ fn bench_codec(c: &mut Criterion) {
             Message::Update {
                 seq: 1,
                 items: (0..32)
-                    .map(|i| UpdateItem { key: i, version: 1, value_size: 512 })
+                    .map(|i| UpdateItem {
+                        key: i,
+                        version: 1,
+                        value: fresca_net::payload::pattern(i, 512),
+                    })
                     .collect(),
             },
         ),

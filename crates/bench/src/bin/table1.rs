@@ -30,7 +30,7 @@ fn measure_codec_ns_per_byte() -> (f64, f64) {
     let big = Message::Update {
         seq: 1,
         items: (0..64)
-            .map(|i| UpdateItem { key: i, version: 1, value_size: 4096 })
+            .map(|i| UpdateItem { key: i, version: 1, value: fresca_net::payload::pattern(i, 4096) })
             .collect(),
     };
     let small = Message::Ack { seq: 1 };

@@ -2,6 +2,7 @@
 
 use crate::entry::{Entry, Freshness};
 use crate::lru::LinkedSlab;
+use bytes::Bytes;
 use fresca_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -57,8 +58,10 @@ impl Default for CacheConfig {
     }
 }
 
-/// Result of a cache read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Result of a cache read. Carries a clone of the entry — with payload
+/// values that is a refcount bump on the shared [`Bytes`] handle, never
+/// a byte copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GetResult {
     /// Present and fresh: served from cache.
     FreshHit(Entry),
@@ -84,7 +87,9 @@ impl GetResult {
 /// Result of a staleness-bounded read ([`Cache::get_bounded`]): the
 /// serving-path classification, where a read carries its own maximum
 /// acceptable staleness and the cache decides whether to serve or refuse.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Served variants carry the entry — and with it the refcounted value
+/// handle a server puts on the wire without copying.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BoundedGet {
     /// Served: within its TTL and no older than the request's bound.
     Fresh(Entry),
@@ -307,7 +312,7 @@ impl Cache {
                 GetResult::ColdMiss
             }
             Some(slot) => {
-                let entry = slot.entry;
+                let entry = slot.entry.clone();
                 self.touch_key(key);
                 if entry.is_stale(now) {
                     self.stats.stale_misses += 1;
@@ -351,7 +356,7 @@ impl Cache {
             self.stats.cold_misses += 1;
             return BoundedGet::Miss;
         };
-        let entry = slot.entry;
+        let entry = slot.entry.clone();
         self.touch_key(key);
         let within_bound = entry.state != Freshness::Invalidated
             && max_staleness.is_none_or(|bound| entry.age(now) <= bound);
@@ -379,8 +384,37 @@ impl Cache {
         self.map.get(&key).map(|s| s.entry.age(now))
     }
 
-    /// Insert or overwrite `key` with a fresh entry, evicting as needed.
-    /// Returns the keys evicted (so engines can cancel their timers).
+    /// Shared insert-or-refresh shape: byte accounting around the
+    /// rewrite, recency touch on refresh, probationary placement and
+    /// capacity enforcement on first insert. `write` is called exactly
+    /// once — with `Some(existing)` to refresh in place (returning
+    /// `None`), or with `None` to produce the new entry.
+    fn insert_with(
+        &mut self,
+        key: u64,
+        value_size: u32,
+        now: SimTime,
+        write: impl FnOnce(Option<&mut Entry>) -> Option<Entry>,
+    ) -> Vec<u64> {
+        if let Some(slot) = self.map.get_mut(&key) {
+            self.bytes -= slot.entry.value_size as u64;
+            write(Some(&mut slot.entry));
+            self.bytes += value_size as u64;
+            self.touch_key(key);
+            return Vec::new();
+        }
+        let entry = write(None).expect("write produces an entry for an absent key");
+        // New entries always start on the main (probationary) list.
+        let node = self.order.push_front(key);
+        self.map.insert(key, Slot { entry, node, protected: false });
+        self.bytes += value_size as u64;
+        self.enforce_capacity(key, now)
+    }
+
+    /// Insert or overwrite `key` with a fresh metadata-only entry
+    /// (declared size, no payload — the simulation path), evicting as
+    /// needed. Returns the keys evicted (so engines can cancel their
+    /// timers).
     pub fn insert(
         &mut self,
         key: u64,
@@ -389,21 +423,35 @@ impl Cache {
         now: SimTime,
         expires_at: Option<SimTime>,
     ) -> Vec<u64> {
-        if let Some(slot) = self.map.get_mut(&key) {
-            self.bytes -= slot.entry.value_size as u64;
-            slot.entry.refresh(version, value_size, now, expires_at);
-            self.bytes += value_size as u64;
-            self.touch_key(key);
-            return Vec::new();
-        }
-        // New entries always start on the main (probationary) list.
-        let node = self.order.push_front(key);
-        self.map.insert(
-            key,
-            Slot { entry: Entry::new(version, value_size, now, expires_at), node, protected: false },
-        );
-        self.bytes += value_size as u64;
-        self.enforce_capacity(key, now)
+        self.insert_with(key, value_size, now, |slot| match slot {
+            Some(e) => {
+                e.refresh(version, value_size, now, expires_at);
+                None
+            }
+            None => Some(Entry::new(version, value_size, now, expires_at)),
+        })
+    }
+
+    /// Insert or overwrite `key` with a fresh entry carrying real value
+    /// bytes — the serving path. Byte accounting uses the payload's
+    /// actual length; the stored handle is the caller's refcounted
+    /// [`Bytes`], so nothing is copied. Returns the keys evicted.
+    pub fn insert_value(
+        &mut self,
+        key: u64,
+        version: u64,
+        value: Bytes,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> Vec<u64> {
+        let value_size = value.len() as u32;
+        self.insert_with(key, value_size, now, |slot| match slot {
+            Some(e) => {
+                e.refresh_value(version, value, now, expires_at);
+                None
+            }
+            None => Some(Entry::with_value(version, value, now, expires_at)),
+        })
     }
 
     fn over_capacity(&self) -> bool {
@@ -533,9 +581,36 @@ impl Cache {
         }
     }
 
+    /// Apply a backend update carrying real value bytes — the wire-level
+    /// store-push path. Same present-only semantics and accounting as
+    /// [`Cache::apply_update`], but the entry is refreshed with the
+    /// pushed payload (refcounted, not copied) and its actual length.
+    pub fn apply_update_value(
+        &mut self,
+        key: u64,
+        version: u64,
+        value: Bytes,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> bool {
+        match self.map.get_mut(&key) {
+            Some(slot) => {
+                self.bytes -= slot.entry.value_size as u64;
+                self.bytes += value.len() as u64;
+                slot.entry.refresh_value(version, value, now, expires_at);
+                self.stats.updates_applied += 1;
+                true
+            }
+            None => {
+                self.stats.updates_missed += 1;
+                false
+            }
+        }
+    }
+
     /// Apply a TTL-polling refresh: re-arm the deadline and version of a
-    /// cached entry. Returns false if the entry is gone (poll raced an
-    /// eviction).
+    /// cached entry (its size — and payload, if any — are unchanged).
+    /// Returns false if the entry is gone (poll raced an eviction).
     pub fn apply_refresh(
         &mut self,
         key: u64,
@@ -545,8 +620,7 @@ impl Cache {
     ) -> bool {
         match self.map.get_mut(&key) {
             Some(slot) => {
-                let size = slot.entry.value_size;
-                slot.entry.refresh(version, size, now, expires_at);
+                slot.entry.rearm(version, now, expires_at);
                 self.stats.refreshes += 1;
                 true
             }
@@ -665,6 +739,50 @@ mod tests {
         assert!(!c.contains(2));
         let s = c.stats();
         assert_eq!((s.updates_applied, s.updates_missed), (1, 1));
+    }
+
+    #[test]
+    fn value_inserts_account_actual_bytes_and_serve_refcounted() {
+        let mut c = Cache::new(CacheConfig {
+            capacity: Capacity::Bytes(100),
+            eviction: EvictionPolicy::Lru,
+        });
+        let payload = Bytes::from(vec![0xAB; 60]);
+        c.insert_value(1, 1, payload.clone(), t(0), None);
+        assert_eq!(c.bytes(), 60, "accounting uses the payload's actual length");
+        // A bounded read hands back the same allocation, refcounted.
+        match c.get_bounded(1, t(1), None) {
+            BoundedGet::Fresh(e) => {
+                assert!(e.value.shares_allocation_with(&payload), "hit must not copy");
+                assert_eq!(e.value_size, 60);
+            }
+            other => panic!("expected fresh, got {other:?}"),
+        }
+        // Value re-insert swaps accounting to the new length...
+        c.insert_value(1, 2, Bytes::from(vec![1u8; 30]), t(2), None);
+        assert_eq!(c.bytes(), 30);
+        // ...and byte-capacity eviction fires on real lengths.
+        c.insert_value(2, 1, Bytes::from(vec![2u8; 90]), t(3), None);
+        assert!(c.bytes() <= 100, "bytes {} over budget", c.bytes());
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn value_update_refreshes_payload_in_place() {
+        let mut c = small_cache(4);
+        c.insert_value(1, 1, Bytes::from(vec![1u8; 10]), t(0), None);
+        assert!(c.apply_update_value(1, 2, Bytes::from(vec![2u8; 25]), t(1), None));
+        assert_eq!(c.bytes(), 25);
+        let e = c.peek(1).unwrap();
+        assert_eq!((e.version, e.value_size), (2, 25));
+        assert_eq!(&e.value[..], &[2u8; 25]);
+        assert!(
+            !c.apply_update_value(9, 1, Bytes::from(vec![0u8; 5]), t(1), None),
+            "update of uncached key does nothing"
+        );
+        // A TTL-poll refresh keeps the payload.
+        assert!(c.apply_refresh(1, 3, t(2), Some(t(10))));
+        assert_eq!(&c.peek(1).unwrap().value[..], &[2u8; 25]);
     }
 
     #[test]

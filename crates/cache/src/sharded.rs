@@ -9,6 +9,7 @@
 //! drops ~linearly with shard count and no lock is held across I/O.
 
 use crate::cache::{BoundedGet, Cache, CacheConfig, CacheStats, Capacity, GetResult};
+use bytes::Bytes;
 use fresca_sim::{SimDuration, SimTime};
 use parking_lot::Mutex;
 
@@ -126,6 +127,20 @@ impl ShardedCache {
         self.shard(key).lock().insert(key, version, value_size, now, expires_at)
     }
 
+    /// Insert a fresh entry carrying real value bytes (see
+    /// [`Cache::insert_value`]). The payload handle is stored refcounted
+    /// — the only work under the shard lock is a refcount bump.
+    pub fn insert_value(
+        &self,
+        key: u64,
+        version: u64,
+        value: Bytes,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> Vec<u64> {
+        self.shard(key).lock().insert_value(key, version, value, now, expires_at)
+    }
+
     /// Apply a backend invalidation (see [`Cache::apply_invalidate`]).
     pub fn apply_invalidate(&self, key: u64) -> bool {
         self.shard(key).lock().apply_invalidate(key)
@@ -141,6 +156,19 @@ impl ShardedCache {
         expires_at: Option<SimTime>,
     ) -> bool {
         self.shard(key).lock().apply_update(key, version, value_size, now, expires_at)
+    }
+
+    /// Apply a backend update carrying real value bytes (see
+    /// [`Cache::apply_update_value`]).
+    pub fn apply_update_value(
+        &self,
+        key: u64,
+        version: u64,
+        value: Bytes,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> bool {
+        self.shard(key).lock().apply_update_value(key, version, value, now, expires_at)
     }
 
     /// Apply a TTL-polling refresh (see [`Cache::apply_refresh`]).
@@ -290,6 +318,24 @@ mod tests {
         assert_eq!(s.bound_refusals, 64);
         assert_eq!(s.stale_served, 0);
         assert_eq!(s.reads(), 128, "bounded-read counters aggregate across shards");
+    }
+
+    #[test]
+    fn value_round_trips_across_shards_without_copying() {
+        let c = cache(64, 8);
+        let payload = Bytes::from(vec![9u8; 2048]);
+        c.insert_value(5, 1, payload.clone(), t(0), None);
+        match c.get_bounded(5, t(1), None) {
+            BoundedGet::Fresh(e) => {
+                assert!(e.value.shares_allocation_with(&payload), "hit returned a copy");
+                assert_eq!(e.value_size, 2048);
+            }
+            other => panic!("expected fresh, got {other:?}"),
+        }
+        // A pushed value update lands under the same shard lock.
+        assert!(c.apply_update_value(5, 2, Bytes::from(vec![1u8; 16]), t(2), None));
+        let e = c.locked(5, |shard| shard.peek(5).unwrap().clone());
+        assert_eq!((e.version, e.value_size, e.value.len()), (2, 16, 16));
     }
 
     #[test]

@@ -231,7 +231,7 @@ impl SystemEngine {
                         // Version guard: a delayed update must not
                         // overwrite newer data installed by a re-fetch.
                         let newer = cache.peek(it.key).is_some_and(|e| e.version > it.version);
-                        if !newer && cache.apply_update(it.key, it.version, it.value_size, now, None)
+                        if !newer && cache.apply_update(it.key, it.version, it.value_size(), now, None)
                         {
                             tracker.clear(it.key);
                         }
@@ -277,7 +277,10 @@ impl SystemEngine {
                             FlushDecision::Update => upd_items.push(UpdateItem {
                                 key,
                                 version: rec.version,
-                                value_size: rec.value_size,
+                                // The simulator never reads value bytes;
+                                // zeroes() slices a shared buffer so the
+                                // declared size costs no allocation.
+                                value: fresca_net::payload::zeroes(rec.value_size as usize),
                             }),
                             FlushDecision::Nothing => {}
                         }

@@ -1,23 +1,45 @@
 //! Length-prefixed binary framing.
 //!
 //! Frame layout: `u32` total-length (including the 5-byte header), `u8`
-//! message type, then type-specific fields in big-endian. Values are
-//! carried as opaque zero bytes of the declared size — the simulation
-//! never reads them, but they occupy wire bytes so that measured message
-//! sizes match [`crate::Message::wire_size`] exactly.
+//! message type, then type-specific fields in big-endian. Serving-path
+//! values (`GetResp`/`PutReq`/`Update` items) are carried as **real
+//! bytes**, length-prefixed by a `u32`; the decoder slices them straight
+//! out of its accumulation buffer as refcounted [`Bytes`] views
+//! (`split_to().freeze()`), so decoding a value allocates no
+//! payload-sized buffer. Simulation-path values (`ReadResp`/`WriteReq`)
+//! are opaque zero bytes of the declared size — the simulator never
+//! reads them, but they occupy wire bytes so that measured message sizes
+//! match [`crate::Message::wire_size`] exactly.
 //!
 //! The decoder is *streaming*: feed it arbitrary byte chunks, it yields
 //! complete messages and buffers partial frames (the Tokio-tutorial
 //! framing pattern, without the async machinery the simulation doesn't
 //! need).
+//!
+//! Encoding has two shapes: [`FrameCodec::encode`] renders a frame
+//! contiguously into one buffer (payload copied — right for the blocking
+//! transport), and [`FrameCodec::encode_into`] hands every payload to a
+//! caller-supplied sink instead of copying it, which is how
+//! [`crate::NonBlockingFramedStream`] builds its zero-copy segment queue.
 
 use crate::msg::{GetStatus, Message, RequestId, UpdateItem};
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Maximum accepted frame size; larger frames are a protocol error (guards
 /// against a corrupted length prefix swallowing the stream).
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Maximum accepted size of one value payload (16 MiB). A declared
+/// `value_size` beyond this is rejected with
+/// [`CodecError::ValueTooLarge`]; for single-value messages the check
+/// runs as soon as the field's fixed-offset bytes are buffered — a
+/// corrupted or hostile length field is refused after a few dozen
+/// bytes, not after payload-sized accumulation. (`Update` batches hold
+/// values at variable offsets; their buffering, like any frame's, is
+/// bounded by [`MAX_FRAME`].) Encoding a message that violates the
+/// limit is a programming error (debug-asserted).
+pub const MAX_VALUE: usize = 16 << 20;
 
 const TAG_READ_REQ: u8 = 1;
 const TAG_READ_RESP: u8 = 2;
@@ -51,6 +73,8 @@ pub enum CodecError {
     /// Declared frame length exceeds [`MAX_FRAME`] or is shorter than a
     /// header.
     BadLength(u32),
+    /// Declared value size exceeds [`MAX_VALUE`].
+    ValueTooLarge(u32),
     /// Frame contents shorter than its fields require.
     Malformed(&'static str),
 }
@@ -60,12 +84,27 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             CodecError::BadLength(l) => write!(f, "bad frame length {l}"),
+            CodecError::ValueTooLarge(n) => {
+                write!(f, "declared value size {n} exceeds the {MAX_VALUE}-byte limit")
+            }
             CodecError::Malformed(what) => write!(f, "malformed frame: {what}"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// Bytes of a message that travel as value payloads a zero-copy sink
+/// may divert (everything else is headers/fields that always land in
+/// the staging buffer). Simulation-path zero-fill values are *not*
+/// counted: they are synthesized into the buffer, not diverted.
+fn payload_bytes(msg: &Message) -> usize {
+    match msg {
+        Message::GetResp { value, .. } | Message::PutReq { value, .. } => value.len(),
+        Message::Update { items, .. } => items.iter().map(|it| it.value.len()).sum(),
+        _ => 0,
+    }
+}
 
 /// Streaming frame codec.
 ///
@@ -114,7 +153,7 @@ impl FrameCodec {
         match self.peek_len() {
             None => false,
             Some(Err(_)) => true,
-            Some(Ok(len)) => self.buf.len() >= len,
+            Some(Ok(len)) => self.buf.len() >= len || self.early_value_check().is_err(),
         }
     }
 
@@ -124,20 +163,55 @@ impl FrameCodec {
     /// diverge): `None` until 4 bytes are buffered, `Some(Err)` for a
     /// length outside `5..=MAX_FRAME`.
     fn peek_len(&self) -> Option<Result<usize, CodecError>> {
-        if self.buf.len() < 4 {
+        let buf: &[u8] = &self.buf;
+        if buf.len() < 4 {
             return None;
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
         if !(5..=MAX_FRAME as u32).contains(&len) {
             return Some(Err(CodecError::BadLength(len)));
         }
         Some(Ok(len as usize))
     }
 
-    /// Encode one message into `out`.
+    /// Encode one message contiguously into `out` (payload bytes are
+    /// copied). This is the right shape for the blocking transport and
+    /// tests; the event-loop write path uses
+    /// [`encode_into`](FrameCodec::encode_into) to keep large payloads
+    /// out of its staging buffer entirely.
     pub fn encode(msg: &Message, out: &mut BytesMut) {
+        // The sink below copies payloads into `out`, so the full frame
+        // lands here — reserve for all of it up front.
+        out.reserve(msg.wire_size().min(MAX_FRAME));
+        Self::encode_into(msg, out, |out, payload| out.extend_from_slice(payload));
+    }
+
+    /// Encode one message, routing every non-empty value payload through
+    /// `emit_payload` instead of unconditionally copying it. The sink is
+    /// called exactly where the payload's bytes belong in the frame; it
+    /// may copy them into `out` (then the result is byte-identical to
+    /// [`encode`](FrameCodec::encode)) or divert the refcounted
+    /// [`Bytes`] handle into a scatter-gather segment queue, leaving
+    /// `out` holding only the bytes *around* it. Empty payloads occupy
+    /// no frame bytes, so the sink never sees them.
+    pub fn encode_into(
+        msg: &Message,
+        out: &mut BytesMut,
+        mut emit_payload: impl FnMut(&mut BytesMut, &Bytes),
+    ) {
+        let mut emit_payload = move |out: &mut BytesMut, payload: &Bytes| {
+            if !payload.is_empty() {
+                emit_payload(out, payload);
+            }
+        };
         let total = msg.wire_size();
-        out.reserve(total);
+        debug_assert!(total <= MAX_FRAME, "frame exceeds MAX_FRAME");
+        // Reserve only the bytes guaranteed to land in `out`: the sink
+        // may divert every payload to a segment queue, and a 16 MiB
+        // value must not force a 16 MiB staging allocation for ~34
+        // header bytes. (A sink that copies payloads inline just grows
+        // `out` as it goes; `encode` pre-reserves the full frame.)
+        out.reserve((total - payload_bytes(msg)).min(MAX_FRAME));
         out.put_u32(total as u32);
         match msg {
             Message::ReadReq { key } => {
@@ -145,6 +219,7 @@ impl FrameCodec {
                 out.put_u64(*key);
             }
             Message::ReadResp { key, version, value_size } => {
+                debug_assert!(*value_size as usize <= MAX_VALUE, "value exceeds MAX_VALUE");
                 out.put_u8(TAG_READ_RESP);
                 out.put_u64(*key);
                 out.put_u64(*version);
@@ -152,6 +227,7 @@ impl FrameCodec {
                 out.put_bytes(0, *value_size as usize);
             }
             Message::WriteReq { key, value_size } => {
+                debug_assert!(*value_size as usize <= MAX_VALUE, "value exceeds MAX_VALUE");
                 out.put_u8(TAG_WRITE_REQ);
                 out.put_u64(*key);
                 out.put_u32(*value_size);
@@ -175,10 +251,11 @@ impl FrameCodec {
                 out.put_u64(*seq);
                 out.put_u32(items.len() as u32);
                 for it in items {
+                    debug_assert!(it.value.len() <= MAX_VALUE, "value exceeds MAX_VALUE");
                     out.put_u64(it.key);
                     out.put_u64(it.version);
-                    out.put_u32(it.value_size);
-                    out.put_bytes(0, it.value_size as usize);
+                    out.put_u32(it.value.len() as u32);
+                    emit_payload(out, &it.value);
                 }
             }
             Message::Ack { seq } => {
@@ -190,21 +267,23 @@ impl FrameCodec {
                 out.put_u64(*key);
                 out.put_u64(*max_staleness);
             }
-            Message::GetResp { id, key, version, value_size, age, status } => {
+            Message::GetResp { id, key, version, value, age, status } => {
+                debug_assert!(value.len() <= MAX_VALUE, "value exceeds MAX_VALUE");
                 Self::put_serving_tag(out, *id, TAG_GET_RESP, TAG_GET_RESP_ID);
                 out.put_u64(*key);
                 out.put_u64(*version);
-                out.put_u32(*value_size);
+                out.put_u32(value.len() as u32);
                 out.put_u64(*age);
                 out.put_u8(status.as_u8());
-                out.put_bytes(0, *value_size as usize);
+                emit_payload(out, value);
             }
-            Message::PutReq { id, key, value_size, ttl } => {
+            Message::PutReq { id, key, value, ttl } => {
+                debug_assert!(value.len() <= MAX_VALUE, "value exceeds MAX_VALUE");
                 Self::put_serving_tag(out, *id, TAG_PUT_REQ, TAG_PUT_REQ_ID);
                 out.put_u64(*key);
-                out.put_u32(*value_size);
+                out.put_u32(value.len() as u32);
                 out.put_u64(*ttl);
-                out.put_bytes(0, *value_size as usize);
+                emit_payload(out, value);
             }
             Message::PutResp { id, key, version } => {
                 Self::put_serving_tag(out, *id, TAG_PUT_RESP, TAG_PUT_RESP_ID);
@@ -242,6 +321,11 @@ impl FrameCodec {
             Some(Ok(len)) => len,
         };
         if self.buf.len() < len {
+            // The frame is incomplete, but for single-value messages the
+            // declared value size sits at a fixed offset — reject an
+            // over-limit declaration now rather than buffering up to
+            // MAX_FRAME of a payload that can never decode.
+            self.early_value_check()?;
             return Ok(None);
         }
         let mut frame = self.buf.split_to(len);
@@ -251,12 +335,72 @@ impl FrameCodec {
         Ok(Some(msg))
     }
 
+    /// Early rejection for partial frames: if the buffered prefix of a
+    /// payload-carrying message already shows a `value_size` beyond
+    /// [`MAX_VALUE`], fail now. Covers every fixed-offset value field
+    /// (`ReadResp`, `WriteReq`, `GetResp`/`PutReq` in both tag forms,
+    /// and an `Update` batch's first item); later `Update` items sit at
+    /// variable offsets and are caught at decode, where buffering is
+    /// bounded by [`MAX_FRAME`] like any other batch.
+    fn early_value_check(&self) -> Result<(), CodecError> {
+        let buf: &[u8] = &self.buf;
+        if buf.len() < 5 {
+            return Ok(());
+        }
+        // Offset of the u32 value_size field from the frame start.
+        let at = match buf[4] {
+            TAG_WRITE_REQ | TAG_PUT_REQ => 13,
+            TAG_READ_RESP | TAG_GET_RESP | TAG_PUT_REQ_ID => 21,
+            TAG_GET_RESP_ID => 29,
+            TAG_UPDATE => 33, // first item's value_size
+            _ => return Ok(()),
+        };
+        if buf.len() < at + 4 {
+            return Ok(());
+        }
+        let declared = u32::from_be_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]);
+        if declared as usize > MAX_VALUE {
+            return Err(CodecError::ValueTooLarge(declared));
+        }
+        Ok(())
+    }
+
     fn need(frame: &BytesMut, n: usize, what: &'static str) -> Result<(), CodecError> {
         if frame.remaining() < n {
             Err(CodecError::Malformed(what))
         } else {
             Ok(())
         }
+    }
+
+    /// Validate a declared payload size and slice that many bytes out of
+    /// the frame as a refcounted view — the zero-copy heart of the
+    /// decoder: no payload-sized buffer is allocated, the returned
+    /// [`Bytes`] shares the accumulation buffer's allocation.
+    fn take_value(
+        frame: &mut BytesMut,
+        declared: u32,
+        what: &'static str,
+    ) -> Result<Bytes, CodecError> {
+        if declared as usize > MAX_VALUE {
+            return Err(CodecError::ValueTooLarge(declared));
+        }
+        Self::need(frame, declared as usize, what)?;
+        Ok(frame.split_to(declared as usize).freeze())
+    }
+
+    /// Validate and skip a simulation-path payload (declared size only).
+    fn skip_value(
+        frame: &mut BytesMut,
+        declared: u32,
+        what: &'static str,
+    ) -> Result<(), CodecError> {
+        if declared as usize > MAX_VALUE {
+            return Err(CodecError::ValueTooLarge(declared));
+        }
+        Self::need(frame, declared as usize, what)?;
+        frame.advance(declared as usize);
+        Ok(())
     }
 
     fn decode_body(tag: u8, frame: &mut BytesMut) -> Result<Message, CodecError> {
@@ -270,16 +414,14 @@ impl FrameCodec {
                 let key = frame.get_u64();
                 let version = frame.get_u64();
                 let value_size = frame.get_u32();
-                Self::need(frame, value_size as usize, "read-resp value")?;
-                frame.advance(value_size as usize);
+                Self::skip_value(frame, value_size, "read-resp value")?;
                 Ok(Message::ReadResp { key, version, value_size })
             }
             TAG_WRITE_REQ => {
                 Self::need(frame, 12, "write-req header")?;
                 let key = frame.get_u64();
                 let value_size = frame.get_u32();
-                Self::need(frame, value_size as usize, "write-req value")?;
-                frame.advance(value_size as usize);
+                Self::skip_value(frame, value_size, "write-req value")?;
                 Ok(Message::WriteReq { key, value_size })
             }
             TAG_WRITE_ACK => {
@@ -304,9 +446,8 @@ impl FrameCodec {
                     let key = frame.get_u64();
                     let version = frame.get_u64();
                     let value_size = frame.get_u32();
-                    Self::need(frame, value_size as usize, "update item value")?;
-                    frame.advance(value_size as usize);
-                    items.push(UpdateItem { key, version, value_size });
+                    let value = Self::take_value(frame, value_size, "update item value")?;
+                    items.push(UpdateItem { key, version, value });
                 }
                 Ok(Message::Update { seq, items })
             }
@@ -345,38 +486,62 @@ impl FrameCodec {
         Ok(RequestId(frame.get_u64()))
     }
 
+    /// Read a big-endian `u64` at `at` in an already-length-checked
+    /// header slice. Compiles to one load — the serving-path decoders
+    /// read their fixed headers through one slice borrow instead of a
+    /// cursor advance per field.
+    #[inline]
+    fn be_u64(hdr: &[u8], at: usize) -> u64 {
+        u64::from_be_bytes(hdr[at..at + 8].try_into().expect("8 bytes"))
+    }
+
+    #[inline]
+    fn be_u32(hdr: &[u8], at: usize) -> u32 {
+        u32::from_be_bytes(hdr[at..at + 4].try_into().expect("4 bytes"))
+    }
+
     fn decode_get_req(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {
         Self::need(frame, 16, "get-req")?;
-        Ok(Message::GetReq { id, key: frame.get_u64(), max_staleness: frame.get_u64() })
+        let hdr: &[u8] = frame;
+        let key = Self::be_u64(hdr, 0);
+        let max_staleness = Self::be_u64(hdr, 8);
+        frame.advance(16);
+        Ok(Message::GetReq { id, key, max_staleness })
     }
 
     fn decode_get_resp(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {
         Self::need(frame, 29, "get-resp header")?;
-        let key = frame.get_u64();
-        let version = frame.get_u64();
-        let value_size = frame.get_u32();
-        let age = frame.get_u64();
-        let status_byte = frame.get_u8();
+        let hdr: &[u8] = frame;
+        let key = Self::be_u64(hdr, 0);
+        let version = Self::be_u64(hdr, 8);
+        let value_size = Self::be_u32(hdr, 16);
+        let age = Self::be_u64(hdr, 20);
+        let status_byte = hdr[28];
         let status =
             GetStatus::from_u8(status_byte).ok_or(CodecError::UnknownTag(status_byte))?;
-        Self::need(frame, value_size as usize, "get-resp value")?;
-        frame.advance(value_size as usize);
-        Ok(Message::GetResp { id, key, version, value_size, age, status })
+        frame.advance(29);
+        let value = Self::take_value(frame, value_size, "get-resp value")?;
+        Ok(Message::GetResp { id, key, version, value, age, status })
     }
 
     fn decode_put_req(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {
         Self::need(frame, 20, "put-req header")?;
-        let key = frame.get_u64();
-        let value_size = frame.get_u32();
-        let ttl = frame.get_u64();
-        Self::need(frame, value_size as usize, "put-req value")?;
-        frame.advance(value_size as usize);
-        Ok(Message::PutReq { id, key, value_size, ttl })
+        let hdr: &[u8] = frame;
+        let key = Self::be_u64(hdr, 0);
+        let value_size = Self::be_u32(hdr, 8);
+        let ttl = Self::be_u64(hdr, 12);
+        frame.advance(20);
+        let value = Self::take_value(frame, value_size, "put-req value")?;
+        Ok(Message::PutReq { id, key, value, ttl })
     }
 
     fn decode_put_resp(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {
         Self::need(frame, 16, "put-resp")?;
-        Ok(Message::PutResp { id, key: frame.get_u64(), version: frame.get_u64() })
+        let hdr: &[u8] = frame;
+        let key = Self::be_u64(hdr, 0);
+        let version = Self::be_u64(hdr, 8);
+        frame.advance(16);
+        Ok(Message::PutResp { id, key, version })
     }
 }
 
@@ -406,8 +571,8 @@ mod tests {
             Message::Update {
                 seq: 11,
                 items: vec![
-                    UpdateItem { key: 1, version: 2, value_size: 10 },
-                    UpdateItem { key: 2, version: 9, value_size: 0 },
+                    UpdateItem { key: 1, version: 2, value: crate::payload::pattern(1, 10) },
+                    UpdateItem { key: 2, version: 9, value: Bytes::new() },
                 ],
             },
             Message::Ack { seq: 12 },
@@ -417,7 +582,7 @@ mod tests {
                 id: RequestId(u64::MAX),
                 key: 3,
                 version: 8,
-                value_size: 77,
+                value: crate::payload::pattern(3, 77),
                 age: 1_000_000,
                 status: GetStatus::ServedStale,
             },
@@ -425,11 +590,16 @@ mod tests {
                 id: RequestId(2),
                 key: 4,
                 version: 0,
-                value_size: 0,
+                value: Bytes::new(),
                 age: 0,
                 status: GetStatus::Miss,
             },
-            Message::PutReq { id: RequestId(3), key: 5, value_size: 256, ttl: 2_000_000_000 },
+            Message::PutReq {
+                id: RequestId(3),
+                key: 5,
+                value: crate::payload::pattern(5, 256),
+                ttl: 2_000_000_000,
+            },
             Message::PutResp { id: RequestId(3), key: 5, version: 1 },
         ];
         for m in msgs {
@@ -441,7 +611,7 @@ mod tests {
     fn streaming_partial_feeds() {
         let msg = Message::Update {
             seq: 5,
-            items: vec![UpdateItem { key: 8, version: 1, value_size: 64 }],
+            items: vec![UpdateItem { key: 8, version: 1, value: crate::payload::pattern(8, 64) }],
         };
         let mut encoded = BytesMut::new();
         FrameCodec::encode(&msg, &mut encoded);
@@ -583,7 +753,7 @@ mod tests {
         body.put_u32(3); // value_size
         body.put_u64(99); // age
         body.put_u8(GetStatus::Fresh.as_u8());
-        body.put_bytes(0, 3); // value
+        body.put_slice(&[0xA, 0xB, 0xC]); // value
         codec.feed(&legacy_frame(TAG_GET_RESP, &body));
         assert_eq!(
             codec.next().unwrap(),
@@ -591,7 +761,7 @@ mod tests {
                 id: RequestId::NONE,
                 key: 42,
                 version: 7,
-                value_size: 3,
+                value: Bytes::from(&[0xAu8, 0xB, 0xC]),
                 age: 99,
                 status: GetStatus::Fresh,
             })
@@ -601,11 +771,16 @@ mod tests {
         body.put_u64(9); // key
         body.put_u32(2); // value_size
         body.put_u64(1_000); // ttl
-        body.put_bytes(0, 2); // value
+        body.put_slice(&[1, 2]); // value
         codec.feed(&legacy_frame(TAG_PUT_REQ, &body));
         assert_eq!(
             codec.next().unwrap(),
-            Some(Message::PutReq { id: RequestId::NONE, key: 9, value_size: 2, ttl: 1_000 })
+            Some(Message::PutReq {
+                id: RequestId::NONE,
+                key: 9,
+                value: Bytes::from(&[1u8, 2]),
+                ttl: 1_000
+            })
         );
 
         let mut body = BytesMut::new();
@@ -677,6 +852,182 @@ mod tests {
     }
 
     #[test]
+    fn decoded_payloads_share_the_accumulation_buffer() {
+        // Two payload-carrying frames fed in ONE chunk: both decoded
+        // values must be views of the same backing allocation (the
+        // codec's accumulation buffer) — the zero-copy contract. A
+        // copying decoder would hand each payload its own allocation.
+        let a = Message::GetResp {
+            id: RequestId(1),
+            key: 7,
+            version: 1,
+            value: crate::payload::pattern(7, 4096),
+            age: 0,
+            status: GetStatus::Fresh,
+        };
+        let b = Message::PutReq {
+            id: RequestId(2),
+            key: 8,
+            value: crate::payload::pattern(8, 1024),
+            ttl: 0,
+        };
+        let mut wire = BytesMut::new();
+        FrameCodec::encode(&a, &mut wire);
+        FrameCodec::encode(&b, &mut wire);
+        let mut codec = FrameCodec::new();
+        codec.feed(&wire);
+        let (Some(Message::GetResp { value: va, .. }), Some(Message::PutReq { value: vb, .. })) =
+            (codec.next().unwrap(), codec.next().unwrap())
+        else {
+            panic!("expected the two payload frames back");
+        };
+        assert!(va.shares_allocation_with(&vb), "payloads were copied, not sliced");
+        assert_eq!(va, crate::payload::pattern(7, 4096), "contents survive the slice");
+        assert_eq!(vb, crate::payload::pattern(8, 1024));
+    }
+
+    #[test]
+    fn roundtrips_zero_byte_and_max_size_values() {
+        let empty = Message::PutReq { id: RequestId(1), key: 1, value: Bytes::new(), ttl: 0 };
+        assert_eq!(roundtrip(&empty), empty);
+        // Exactly MAX_VALUE is legal; the frame stays under MAX_FRAME.
+        let max = Message::PutReq {
+            id: RequestId(2),
+            key: 2,
+            value: Bytes::from(vec![0x5A; MAX_VALUE]),
+            ttl: 0,
+        };
+        assert!(max.wire_size() <= MAX_FRAME);
+        let back = roundtrip(&max);
+        let Message::PutReq { value, .. } = &back else { panic!("wrong variant") };
+        assert_eq!(value.len(), MAX_VALUE);
+        assert_eq!(back, max);
+    }
+
+    #[test]
+    fn rejects_value_size_beyond_limit() {
+        // A frame whose declared value_size exceeds MAX_VALUE is a
+        // protocol error even when the frame length itself looks small —
+        // the length prefix must not be trusted on the decoder's behalf.
+        let declared = (MAX_VALUE as u32) + 1;
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 20 + 4);
+        frame.put_u8(TAG_PUT_REQ);
+        frame.put_u64(1); // key
+        frame.put_u32(declared); // value_size over the limit
+        frame.put_u64(0); // ttl
+        frame.put_bytes(0, 4);
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::ValueTooLarge(declared)));
+
+        // Same rule on the simulation path's declared-size values.
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 12);
+        frame.put_u8(TAG_WRITE_REQ);
+        frame.put_u64(1);
+        frame.put_u32(declared);
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::ValueTooLarge(declared)));
+
+        // The error formats with the limit for operator logs.
+        assert!(CodecError::ValueTooLarge(declared).to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn rejects_oversized_value_before_buffering_the_payload() {
+        // A PutReq declaring a >MAX_VALUE value is refused as soon as
+        // the value_size field is readable — after ~17 header bytes,
+        // not after accumulating the declared payload.
+        let declared = (MAX_VALUE as u32) + 1;
+        let mut prefix = BytesMut::new();
+        prefix.put_u32(5 + 20 + declared); // a "legal"-looking length
+        prefix.put_u8(TAG_PUT_REQ);
+        prefix.put_u64(1); // key
+        prefix.put_u32(declared); // value_size, over the limit
+        let mut codec = FrameCodec::new();
+        codec.feed(&prefix);
+        assert!(codec.has_frame(), "poisoned prefix must be serviced without more input");
+        assert_eq!(codec.next(), Err(CodecError::ValueTooLarge(declared)));
+
+        // Same for the id-carrying GetResp offset.
+        let mut prefix = BytesMut::new();
+        prefix.put_u32(5 + 8 + 29 + declared);
+        prefix.put_u8(TAG_GET_RESP_ID);
+        prefix.put_u64(9); // request id
+        prefix.put_u64(1); // key
+        prefix.put_u64(1); // version
+        prefix.put_u32(declared);
+        let mut codec = FrameCodec::new();
+        codec.feed(&prefix);
+        assert_eq!(codec.next(), Err(CodecError::ValueTooLarge(declared)));
+    }
+
+    #[test]
+    fn encode_into_reserves_headers_not_payloads() {
+        // Queuing a large response must not allocate payload-scale
+        // staging: the staging buffer ends up holding only the ~34
+        // header bytes, with capacity in the same ballpark.
+        let value = crate::payload::pattern(1, 1 << 20);
+        let msg = Message::GetResp {
+            id: RequestId(1),
+            key: 1,
+            version: 1,
+            value,
+            age: 0,
+            status: GetStatus::Fresh,
+        };
+        let mut staging = BytesMut::new();
+        let mut diverted = 0usize;
+        FrameCodec::encode_into(&msg, &mut staging, |_, p| diverted += p.len());
+        assert_eq!(diverted, 1 << 20);
+        assert_eq!(staging.len(), msg.wire_size() - (1 << 20));
+        assert!(
+            staging.capacity() < 4096,
+            "staging reserved payload-scale capacity: {}",
+            staging.capacity()
+        );
+    }
+
+    #[test]
+    fn encode_into_diverts_payloads_without_copying() {
+        // The segmented encoder hands payloads to the sink and keeps
+        // only the surrounding header bytes in the staging buffer;
+        // re-assembling staging + segments reproduces the contiguous
+        // encoding byte-for-byte.
+        let value = crate::payload::pattern(3, 2048);
+        let msg = Message::GetResp {
+            id: RequestId(9),
+            key: 3,
+            version: 2,
+            value: value.clone(),
+            age: 11,
+            status: GetStatus::Fresh,
+        };
+        let mut staging = BytesMut::new();
+        let mut segments: Vec<(usize, Bytes)> = Vec::new();
+        FrameCodec::encode_into(&msg, &mut staging, |staging, payload| {
+            segments.push((staging.len(), payload.clone()));
+        });
+        assert_eq!(segments.len(), 1);
+        let (at, payload) = &segments[0];
+        assert!(
+            payload.shares_allocation_with(&value),
+            "sink received the refcounted handle, not a copy"
+        );
+        assert_eq!(staging.len() + payload.len(), msg.wire_size());
+        // Reassemble and decode.
+        let mut wire = BytesMut::new();
+        wire.extend_from_slice(&staging[..*at]);
+        wire.extend_from_slice(payload);
+        wire.extend_from_slice(&staging[*at..]);
+        let mut contiguous = BytesMut::new();
+        FrameCodec::encode(&msg, &mut contiguous);
+        assert_eq!(&wire[..], &contiguous[..]);
+    }
+
+    #[test]
     fn is_idle_tracks_frame_boundaries() {
         let mut codec = FrameCodec::new();
         assert!(codec.is_idle());
@@ -703,7 +1054,7 @@ mod tests {
         fn roundtrip_arbitrary_update(
             seq in any::<u64>(),
             items in proptest::collection::vec(
-                (any::<u64>(), any::<u64>(), 0u32..2048),
+                (any::<u64>(), any::<u64>(), 0usize..2048),
                 0..50,
             ),
         ) {
@@ -711,10 +1062,40 @@ mod tests {
                 seq,
                 items: items
                     .into_iter()
-                    .map(|(key, version, value_size)| UpdateItem { key, version, value_size })
+                    .map(|(key, version, len)| UpdateItem {
+                        key,
+                        version,
+                        value: crate::payload::pattern(key, len),
+                    })
                     .collect(),
             };
             prop_assert_eq!(roundtrip(&m), m);
+        }
+
+        #[test]
+        fn roundtrip_arbitrary_payload_bytes(
+            key in any::<u64>(),
+            ttl in any::<u64>(),
+            value in proptest::collection::vec(any::<u8>(), 0..4096),
+        ) {
+            // Arbitrary payload contents — including 0-byte values — must
+            // survive the frame boundary bit-exact in both directions.
+            let put = Message::PutReq {
+                id: RequestId(1),
+                key,
+                value: Bytes::from(value.clone()),
+                ttl,
+            };
+            prop_assert_eq!(roundtrip(&put), put);
+            let resp = Message::GetResp {
+                id: RequestId(2),
+                key,
+                version: 3,
+                value: Bytes::from(value),
+                age: 9,
+                status: GetStatus::Fresh,
+            };
+            prop_assert_eq!(roundtrip(&resp), resp);
         }
 
         #[test]

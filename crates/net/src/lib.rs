@@ -15,12 +15,19 @@
 //! * [`codec`] — a length-prefixed binary framing codec on [`bytes`]
 //!   (`u32` length + type byte + fields), with a streaming decoder that
 //!   tolerates partial frames and rejects oversized or malformed ones.
+//!   Serving-path value payloads are real bytes, decoded as refcounted
+//!   zero-copy slices of the receive buffer.
 //! * [`frame_io`] — framed transports that run the codec over any
 //!   `Read + Write` stream: the blocking [`FramedStream`] and the
 //!   non-blocking [`NonBlockingFramedStream`], which accumulates partial
 //!   reads and writes so a poll-driven event loop can multiplex thousands
-//!   of connections. These are what the `fresca-serve` server and load
-//!   generator speak over real TCP.
+//!   of connections, and drains its outbound segment queue with vectored
+//!   writes so large payloads are never copied into a send buffer. These
+//!   are what the `fresca-serve` server and load generator speak over
+//!   real TCP.
+//! * [`payload`] — deterministic, checksummable value payloads: every
+//!   writer fills values with the same seeded pattern, so any reader can
+//!   verify integrity end-to-end from the key and bytes alone.
 //! * [`simnet`] — a deterministic simulated network: configurable delay
 //!   distribution plus smoltcp-style fault injection (drop, duplicate,
 //!   reorder), driven entirely by the caller's scheduler.
@@ -33,10 +40,11 @@
 pub mod codec;
 pub mod frame_io;
 pub mod msg;
+pub mod payload;
 pub mod reliable;
 pub mod simnet;
 
-pub use codec::{CodecError, FrameCodec};
+pub use codec::{CodecError, FrameCodec, MAX_FRAME, MAX_VALUE};
 pub use frame_io::{FramedStream, NonBlockingFramedStream, PollRecv};
 pub use msg::{GetStatus, Message, RequestId, UpdateItem};
 pub use reliable::{DedupReceiver, ReliableSender};

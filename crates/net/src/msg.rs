@@ -1,10 +1,16 @@
 //! Protocol messages between the application, cache and data store.
 //!
-//! Payload values are represented by their size: the simulation never
-//! inspects value bytes, but wire sizes must be exact because the cost
-//! model scales `c_u`/`c_i`/`c_m` by message size when the network is the
-//! bottleneck (§3.3).
+//! Serving-path messages ([`Message::GetResp`], [`Message::PutReq`]) and
+//! store-pushed [`UpdateItem`]s carry **real value bytes** as refcounted
+//! [`Bytes`] handles: the codec slices them out of its receive buffer
+//! without copying, and handing a payload to the cache or a response is
+//! a refcount bump. Simulation-path messages (`ReadResp`/`WriteReq`)
+//! still describe values by size alone — the simulator never inspects
+//! bytes, but sizes stay exact because the cost model scales
+//! `c_u`/`c_i`/`c_m` by message size when the network is the bottleneck
+//! (§3.3).
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// Identifies one in-flight request on a connection, so responses can be
@@ -57,14 +63,21 @@ impl std::fmt::Display for RequestId {
 }
 
 /// One item of a batched update message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UpdateItem {
     /// Key being refreshed.
     pub key: u64,
     /// Backend version after the write burst.
     pub version: u64,
-    /// Value size in bytes (the wire carries the value itself).
-    pub value_size: u32,
+    /// The refreshed value, carried verbatim on the wire.
+    pub value: Bytes,
+}
+
+impl UpdateItem {
+    /// Value size in bytes, as accounted on the wire.
+    pub fn value_size(&self) -> u32 {
+        self.value.len() as u32
+    }
 }
 
 /// How a staleness-bounded read ([`Message::GetReq`]) was resolved by the
@@ -214,8 +227,9 @@ pub enum Message {
         key: u64,
         /// Version served (0 when nothing was served).
         version: u64,
-        /// Size of the value carried (0 when nothing was served).
-        value_size: u32,
+        /// The value served, carried verbatim on the wire (empty when
+        /// nothing was served — a refusal or miss carries no bytes).
+        value: Bytes,
         /// Age of the served entry in nanoseconds since it was last made
         /// fresh (0 when nothing was served).
         age: u64,
@@ -229,8 +243,8 @@ pub enum Message {
         id: RequestId,
         /// Key written.
         key: u64,
-        /// New value size (value carried on the wire).
-        value_size: u32,
+        /// The value written, carried verbatim on the wire.
+        value: Bytes,
         /// Time-to-live in nanoseconds; 0 means "no TTL" (fresh until
         /// invalidated or evicted).
         ttl: u64,
@@ -265,7 +279,7 @@ impl Message {
                     + 4
                     + items
                         .iter()
-                        .map(|it| 8 + 8 + 4 + it.value_size as usize)
+                        .map(|it| 8 + 8 + 4 + it.value.len())
                         .sum::<usize>()
             }
             Message::Ack { .. } => HDR + 8,
@@ -273,11 +287,11 @@ impl Message {
             // unless it is RequestId::NONE, which encodes as the legacy
             // id-less tag (see the codec's backward-compat rules).
             Message::GetReq { id, .. } => HDR + id.wire_size() + 8 + 8,
-            Message::GetResp { id, value_size, .. } => {
-                HDR + id.wire_size() + 8 + 8 + 4 + 8 + 1 + *value_size as usize
+            Message::GetResp { id, value, .. } => {
+                HDR + id.wire_size() + 8 + 8 + 4 + 8 + 1 + value.len()
             }
-            Message::PutReq { id, value_size, .. } => {
-                HDR + id.wire_size() + 8 + 4 + 8 + *value_size as usize
+            Message::PutReq { id, value, .. } => {
+                HDR + id.wire_size() + 8 + 4 + 8 + value.len()
             }
             Message::PutResp { id, .. } => HDR + id.wire_size() + 8 + 8,
         }
@@ -318,7 +332,7 @@ mod tests {
             seq: 0,
             items: keys
                 .iter()
-                .map(|&k| UpdateItem { key: k, version: 1, value_size: 500 })
+                .map(|&k| UpdateItem { key: k, version: 1, value: crate::payload::zeroes(500) })
                 .collect(),
         };
         assert!(inv.wire_size() < upd.wire_size());
@@ -334,7 +348,7 @@ mod tests {
             None
         );
         assert_eq!(
-            Message::PutReq { id: RequestId(2), key: 1, value_size: 0, ttl: 0 }.seq(),
+            Message::PutReq { id: RequestId(2), key: 1, value: Bytes::new(), ttl: 0 }.seq(),
             None
         );
     }
@@ -358,13 +372,19 @@ mod tests {
             id: RequestId(7),
             key: 1,
             version: 2,
-            value_size: 100,
+            value: crate::payload::pattern(1, 100),
             age: 5,
             status: GetStatus::Fresh,
         };
         assert_eq!(served.wire_size(), 5 + 8 + 8 + 8 + 4 + 8 + 1 + 100);
         assert_eq!(
-            Message::PutReq { id: RequestId(8), key: 1, value_size: 64, ttl: 7 }.wire_size(),
+            Message::PutReq {
+                id: RequestId(8),
+                key: 1,
+                value: crate::payload::pattern(1, 64),
+                ttl: 7
+            }
+            .wire_size(),
             5 + 8 + 8 + 4 + 8 + 64
         );
         assert_eq!(Message::PutResp { id: RequestId(8), key: 1, version: 9 }.wire_size(), 29);

@@ -7,6 +7,7 @@
 //!         [--seed 42] [--rate 10] [--horizon-secs 1000]
 //!         [--mode closed|open] [--conns 4] [--pipeline 16]
 //!         [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0]
+//!         [--value-bytes fixed:N|uniform:MIN:MAX|zipf:MAX]
 //!         [--json BENCH_serve.json] [--fail-on-violations]
 //! ```
 //!
@@ -16,6 +17,12 @@
 //! open-loop with up to `--pipeline` requests in flight per connection,
 //! and prints the [`fresca_serve::LoadReport`] with per-status read
 //! counts and p50/p99/p999 request latency.
+//!
+//! Every put carries the deterministic pattern payload for its key, and
+//! every served read is FNV-checksummed against it; the report's
+//! `checksum_mismatches` must stay zero. `--value-bytes` overrides the
+//! trace's value sizes with a fixed, uniform, or heavy-tailed
+//! ("zipf-sized") distribution.
 //!
 //! With `--addrs a,b,c` the schedule is partitioned by the cluster's
 //! consistent-hash ring (every op goes to the node owning its key —
@@ -35,7 +42,7 @@
 //! violations or version anomalies — the CI smoke-test contract.
 
 use fresca_serve::cli::arg;
-use fresca_serve::loadgen::{self, LoadGenConfig, Mode};
+use fresca_serve::loadgen::{self, LoadGenConfig, Mode, ValueDist};
 use fresca_sim::SimDuration;
 use fresca_workload::{
     MetaLikeConfig, PoissonMixConfig, PoissonZipfConfig, ReplayConfig, TwitterLikeConfig,
@@ -51,6 +58,7 @@ fn main() {
              [--workload poisson|mix|meta|twitter] \
              [--seed 42] [--rate 10] [--horizon-secs 1000] [--mode closed|open] \
              [--conns 4] [--pipeline 16] [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0] \
+             [--value-bytes fixed:N|uniform:MIN:MAX|zipf:MAX] \
              [--json BENCH_serve.json] [--fail-on-violations]"
         );
         return;
@@ -68,8 +76,24 @@ fn main() {
     let time_scale: f64 = arg(&args, "--time-scale", 0.001);
     let ttl_ms: u64 = arg(&args, "--ttl-ms", 500);
     let bound_ms: u64 = arg(&args, "--bound-ms", 0);
+    let value_bytes_s = arg(&args, "--value-bytes", String::new());
     let json_path = arg(&args, "--json", String::new());
     let fail_on_violations = args.iter().any(|a| a == "--fail-on-violations");
+
+    let value_bytes = if value_bytes_s.is_empty() {
+        None
+    } else {
+        match ValueDist::parse(&value_bytes_s) {
+            Some(d) => Some(d),
+            None => {
+                eprintln!(
+                    "loadgen: bad --value-bytes {value_bytes_s:?} \
+                     (try fixed:N, uniform:MIN:MAX, or zipf:MAX)"
+                );
+                std::process::exit(2);
+            }
+        }
+    };
 
     let trace = match workload.as_str() {
         "poisson" => {
@@ -106,7 +130,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let config = LoadGenConfig { mode, pipeline };
+    let config = LoadGenConfig { mode, pipeline, value_bytes };
 
     // Cluster fan-out (`--addrs`) or single node (`--addr`). Both paths
     // converge on (aggregate report, optional per-node breakdown).
@@ -168,8 +192,9 @@ fn main() {
     }
     if fail_on_violations && !report.is_clean() {
         eprintln!(
-            "loadgen: FAILED — {} staleness violations, {} version anomalies",
-            report.staleness_violations, report.version_anomalies
+            "loadgen: FAILED — {} staleness violations, {} version anomalies, \
+             {} checksum mismatches",
+            report.staleness_violations, report.version_anomalies, report.checksum_mismatches
         );
         std::process::exit(3);
     }

@@ -8,6 +8,7 @@
 //! one connection, the id is what maps each response back to the request
 //! (and its submit timestamp) it answers.
 
+use bytes::Bytes;
 use fresca_net::{FramedStream, GetStatus, Message, NonBlockingFramedStream, PollRecv, RequestId};
 use fresca_sim::SimDuration;
 use minipoll::{Interest, PollSet};
@@ -17,14 +18,15 @@ use std::os::unix::io::{AsRawFd, RawFd};
 use std::time::{Duration, Instant};
 
 /// Result of a staleness-bounded read as observed by the client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GetOutcome {
     /// How the server resolved the read.
     pub status: GetStatus,
     /// Version served (0 when nothing was served).
     pub version: u64,
-    /// Size of the value served (0 when nothing was served).
-    pub value_size: u32,
+    /// The value served — a refcounted slice of the connection's receive
+    /// buffer, decoded without copying (empty when nothing was served).
+    pub value: Bytes,
     /// Age of the entry on the server's clock at serving time. For a
     /// refusal this is the age that exceeded the bound.
     pub age: SimDuration,
@@ -35,11 +37,16 @@ impl GetOutcome {
     pub fn is_served(&self) -> bool {
         self.status.is_served()
     }
+
+    /// Size of the value served, in bytes (0 when nothing was served).
+    pub fn value_size(&self) -> u32 {
+        self.value.len() as u32
+    }
 }
 
 /// A completed pipelined request, as handed back by
 /// [`PipelinedClient::complete`] together with its [`RequestId`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// A `GetReq` resolved.
     Get {
@@ -81,21 +88,33 @@ impl CacheClient {
         RequestId(self.next_id)
     }
 
-    /// Write `key` with a `value_size`-byte value and an optional TTL.
+    /// Write `key` with the given value bytes and an optional TTL.
     /// Returns the version the server assigned.
     pub fn put(
         &mut self,
         key: u64,
-        value_size: u32,
+        value: impl Into<Bytes>,
         ttl: Option<SimDuration>,
     ) -> io::Result<u64> {
         let ttl = ttl.map_or(0, SimDuration::as_nanos);
         let id = self.alloc_id();
-        self.framed.send(&Message::PutReq { id, key, value_size, ttl })?;
+        self.framed.send(&Message::PutReq { id, key, value: value.into(), ttl })?;
         match self.must_recv()? {
             Message::PutResp { id: rid, key: k, version } if rid == id && k == key => Ok(version),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Write `key` with the deterministic `len`-byte pattern payload
+    /// (see [`fresca_net::payload`]) — what checksum-verifying readers
+    /// expect. Returns the version the server assigned.
+    pub fn put_pattern(
+        &mut self,
+        key: u64,
+        len: u32,
+        ttl: Option<SimDuration>,
+    ) -> io::Result<u64> {
+        self.put(key, fresca_net::payload::pattern(key, len as usize), ttl)
     }
 
     /// Read `key`, accepting data no staler than `max_staleness`
@@ -109,10 +128,10 @@ impl CacheClient {
         let id = self.alloc_id();
         self.framed.send(&Message::GetReq { id, key, max_staleness: bound })?;
         match self.must_recv()? {
-            Message::GetResp { id: rid, key: k, version, value_size, age, status }
+            Message::GetResp { id: rid, key: k, version, value, age, status }
                 if rid == id && k == key =>
             {
-                Ok(GetOutcome { status, version, value_size, age: SimDuration::from_nanos(age) })
+                Ok(GetOutcome { status, version, value, age: SimDuration::from_nanos(age) })
             }
             other => Err(unexpected(&other)),
         }
@@ -143,7 +162,7 @@ impl CacheClient {
 /// let mut client = PipelinedClient::connect(handle.addr()).unwrap();
 ///
 /// // Three requests in flight on one connection...
-/// let put = client.submit_put(7, 64, None).unwrap();
+/// let put = client.submit_put(7, fresca_net::payload::pattern(7, 64), None).unwrap();
 /// let hit = client.submit_get(7, None).unwrap();
 /// let miss = client.submit_get(999, None).unwrap();
 ///
@@ -210,17 +229,19 @@ impl PipelinedClient {
         Ok(id)
     }
 
-    /// Queue a write with a `value_size`-byte value and an optional TTL;
-    /// returns the id its acknowledgement will carry. Never blocks.
+    /// Queue a write carrying the given value bytes and an optional
+    /// TTL; returns the id its acknowledgement will carry. Never blocks.
+    /// Large payloads enter the connection's outbound segment queue as
+    /// refcounted handles — queuing is O(header), not O(value).
     pub fn submit_put(
         &mut self,
         key: u64,
-        value_size: u32,
+        value: impl Into<Bytes>,
         ttl: Option<SimDuration>,
     ) -> io::Result<RequestId> {
         let ttl = ttl.map_or(0, SimDuration::as_nanos);
         let id = self.alloc_id();
-        self.io.queue(&Message::PutReq { id, key, value_size, ttl });
+        self.io.queue(&Message::PutReq { id, key, value: value.into(), ttl });
         self.in_flight += 1;
         self.io.flush()?;
         Ok(id)
@@ -304,14 +325,14 @@ impl PipelinedClient {
 
 fn decode_response(msg: Message) -> io::Result<(RequestId, Response)> {
     match msg {
-        Message::GetResp { id, key, version, value_size, age, status } => Ok((
+        Message::GetResp { id, key, version, value, age, status } => Ok((
             id,
             Response::Get {
                 key,
                 outcome: GetOutcome {
                     status,
                     version,
-                    value_size,
+                    value,
                     age: SimDuration::from_nanos(age),
                 },
             },

@@ -16,6 +16,7 @@
 
 use crate::client::{GetOutcome, PipelinedClient, Response};
 use crate::ring::HashRing;
+use bytes::Bytes;
 use fresca_sim::SimDuration;
 use std::io;
 
@@ -80,12 +81,12 @@ impl ClusterClient {
     pub fn put(
         &mut self,
         key: u64,
-        value_size: u32,
+        value: impl Into<Bytes>,
         ttl: Option<SimDuration>,
     ) -> io::Result<u64> {
         let node = self.node_index_for(key);
         let conn = &mut self.conns[node];
-        let id = conn.submit_put(key, value_size, ttl)?;
+        let id = conn.submit_put(key, value, ttl)?;
         let (rid, resp) = conn.complete()?;
         match resp {
             Response::Put { key: k, version } if rid == id && k == key => Ok(version),
@@ -165,11 +166,12 @@ mod tests {
         let (handles, addrs) = spawn_cluster(2);
         let mut client = ClusterClient::connect(&addrs, 64).unwrap();
         for key in 0..64u64 {
-            let v = client.put(key, 16, None).unwrap();
+            let v = client.put(key, fresca_net::payload::pattern(key, 16), None).unwrap();
             assert!(v > 0);
             let got = client.get(key, None).unwrap();
             assert!(got.is_served(), "key {key}");
             assert_eq!(got.version, v);
+            assert!(fresca_net::payload::verify(key, &got.value), "key {key} payload intact");
         }
         // Each node served exactly the keys the ring assigns it.
         let ring = client.ring().clone();

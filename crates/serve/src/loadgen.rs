@@ -36,7 +36,7 @@
 
 use crate::client::{PipelinedClient, Response};
 use crate::ring::HashRing;
-use fresca_net::{GetStatus, RequestId};
+use fresca_net::{payload, GetStatus, RequestId};
 use fresca_workload::{TimedOp, WireOp};
 use serde::Serialize;
 use std::collections::HashMap;
@@ -56,6 +56,90 @@ pub enum Mode {
     Open,
 }
 
+/// How the load generator sizes the value of each put. Whatever the
+/// size, the *content* is always the deterministic pattern of
+/// [`fresca_net::payload`], so readers can checksum every served value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDist {
+    /// Every put carries exactly this many bytes.
+    Fixed(u32),
+    /// Sizes drawn uniformly from `min..=max`.
+    Uniform {
+        /// Smallest value size.
+        min: u32,
+        /// Largest value size.
+        max: u32,
+    },
+    /// Heavy-tailed ("zipf-sized") draw over `1..=max`: log-uniform, so
+    /// small values dominate but large ones keep appearing — the shape
+    /// of real object-size distributions.
+    Zipf {
+        /// Largest value size.
+        max: u32,
+    },
+}
+
+impl ValueDist {
+    /// Parse a CLI spelling: `fixed:N`, `uniform:MIN:MAX`, `zipf:MAX`.
+    /// Sizes above the codec's [`fresca_net::MAX_VALUE`] are rejected
+    /// here, with the clear flag error, instead of surfacing later as
+    /// an opaque connection drop when the server refuses the frame.
+    pub fn parse(s: &str) -> Option<ValueDist> {
+        let mut parts = s.split(':');
+        let dist = match (parts.next()?, parts.next(), parts.next(), parts.next()) {
+            ("fixed", Some(n), None, None) => ValueDist::Fixed(n.parse().ok()?),
+            ("uniform", Some(min), Some(max), None) => {
+                let (min, max) = (min.parse().ok()?, max.parse().ok()?);
+                if min > max {
+                    return None;
+                }
+                ValueDist::Uniform { min, max }
+            }
+            ("zipf", Some(max), None, None) => {
+                let max: u32 = max.parse().ok()?;
+                if max == 0 {
+                    return None;
+                }
+                ValueDist::Zipf { max }
+            }
+            _ => return None,
+        };
+        (dist.max_size() as usize <= fresca_net::MAX_VALUE).then_some(dist)
+    }
+
+    /// Smallest size this distribution can draw.
+    pub fn min_size(&self) -> u32 {
+        match *self {
+            ValueDist::Fixed(n) => n,
+            ValueDist::Uniform { min, .. } => min,
+            ValueDist::Zipf { .. } => 1,
+        }
+    }
+
+    /// Largest size this distribution can draw.
+    pub fn max_size(&self) -> u32 {
+        match *self {
+            ValueDist::Fixed(n) => n,
+            ValueDist::Uniform { max, .. } => max,
+            ValueDist::Zipf { max } => max,
+        }
+    }
+
+    /// Deterministic size for one operation, from a per-op hash: the
+    /// same schedule and dist always produce the same payload sizes.
+    pub fn sample(&self, h: u64) -> u32 {
+        match *self {
+            ValueDist::Fixed(n) => n,
+            ValueDist::Uniform { min, max } => min + (h % (max as u64 - min as u64 + 1)) as u32,
+            ValueDist::Zipf { max } => {
+                // Log-uniform over 1..=max: P(size ≤ s) = ln(s)/ln(max).
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                ((max as f64 + 1.0).powf(u) as u32).clamp(1, max)
+            }
+        }
+    }
+}
+
 /// Load generator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadGenConfig {
@@ -65,11 +149,15 @@ pub struct LoadGenConfig {
     /// reproduces the old request/response lockstep; the open loop
     /// ignores this (its pipeline depth is set by the schedule).
     pub pipeline: usize,
+    /// When set, overrides the schedule's per-op value sizes with draws
+    /// from this distribution. Payload *content* is the deterministic
+    /// checksummable pattern either way.
+    pub value_bytes: Option<ValueDist>,
 }
 
 impl Default for LoadGenConfig {
     fn default() -> Self {
-        LoadGenConfig { mode: Mode::Closed { connections: 4 }, pipeline: 16 }
+        LoadGenConfig { mode: Mode::Closed { connections: 4 }, pipeline: 16, value_bytes: None }
     }
 }
 
@@ -110,6 +198,15 @@ pub struct LoadReport {
     /// Served reads whose version regressed below a write this worker
     /// had seen acknowledged — should be zero.
     pub version_anomalies: u64,
+    /// Served reads whose value bytes failed the FNV checksum against
+    /// the deterministic pattern for their key and length — should be
+    /// zero. Catches the payload-corruption and framing-bug class that
+    /// wire-size accounting cannot.
+    pub checksum_mismatches: u64,
+    /// Payload bytes verified across all served reads.
+    pub value_bytes_read: u64,
+    /// Payload bytes written across all puts.
+    pub value_bytes_written: u64,
     /// Mean request latency in microseconds.
     pub mean_latency_us: f64,
     /// Median request latency in microseconds.
@@ -121,10 +218,13 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// True when the run saw neither staleness violations nor version
-    /// anomalies — the pass condition for smoke tests and CI.
+    /// True when the run saw no staleness violations, no version
+    /// anomalies, and no payload checksum mismatches — the pass
+    /// condition for smoke tests and CI.
     pub fn is_clean(&self) -> bool {
-        self.staleness_violations == 0 && self.version_anomalies == 0
+        self.staleness_violations == 0
+            && self.version_anomalies == 0
+            && self.checksum_mismatches == 0
     }
 }
 
@@ -149,6 +249,11 @@ impl std::fmt::Display for LoadReport {
         writeln!(f, "writes: {}", self.puts)?;
         writeln!(
             f,
+            "payload bytes: {} written, {} read back ({} checksum mismatches)",
+            self.value_bytes_written, self.value_bytes_read, self.checksum_mismatches
+        )?;
+        writeln!(
+            f,
             "staleness violations: {}   version anomalies: {}",
             self.staleness_violations, self.version_anomalies
         )?;
@@ -166,6 +271,9 @@ struct WorkerResult {
     refused: u64,
     misses: u64,
     version_anomalies: u64,
+    checksum_mismatches: u64,
+    value_bytes_read: u64,
+    value_bytes_written: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -178,6 +286,9 @@ impl WorkerResult {
         self.refused += other.refused;
         self.misses += other.misses;
         self.version_anomalies += other.version_anomalies;
+        self.checksum_mismatches += other.checksum_mismatches;
+        self.value_bytes_read += other.value_bytes_read;
+        self.value_bytes_written += other.value_bytes_written;
         self.latencies_us.extend(other.latencies_us);
     }
 }
@@ -188,9 +299,21 @@ impl WorkerResult {
 struct Tracker {
     issued_at: HashMap<RequestId, Instant>,
     acked: HashMap<u64, u64>,
+    /// True when every put this run issues carries a non-empty value —
+    /// then a *served* empty value is itself a checksum mismatch
+    /// (an empty slice trivially matches its own empty pattern, so
+    /// without this a payload-dropping bug would read as clean).
+    expect_nonempty: bool,
 }
 
 impl Tracker {
+    fn new(dist: Option<ValueDist>) -> Self {
+        Tracker {
+            expect_nonempty: dist.is_some_and(|d| d.min_size() > 0),
+            ..Tracker::default()
+        }
+    }
+
     fn issued(&mut self, id: RequestId, at: Instant) {
         self.issued_at.insert(id, at);
     }
@@ -219,6 +342,17 @@ impl Tracker {
                     GetStatus::Miss => res.misses += 1,
                 }
                 if outcome.is_served() {
+                    // Every served value is checksummed against the
+                    // deterministic pattern for its key and length — a
+                    // framing bug that shifts, truncates, or corrupts
+                    // payload bytes fails here even when sizes add up.
+                    // A served *empty* value is also a mismatch when no
+                    // writer in this run produces empty values.
+                    res.value_bytes_read += outcome.value.len() as u64;
+                    let dropped = self.expect_nonempty && outcome.value.is_empty();
+                    if dropped || !payload::verify(key, &outcome.value) {
+                        res.checksum_mismatches += 1;
+                    }
                     if let Some(&expected) = self.acked.get(&key) {
                         if outcome.version < expected {
                             res.version_anomalies += 1;
@@ -234,10 +368,26 @@ impl Tracker {
     }
 }
 
-fn submit(client: &mut PipelinedClient, op: &WireOp) -> io::Result<RequestId> {
+/// Deterministic per-op randomness for value-size draws: the shared
+/// SplitMix64 finalizer over the op's key and schedule position.
+fn op_hash(key: u64, index: u64) -> u64 {
+    payload::mix(key ^ index.rotate_left(32))
+}
+
+fn submit(
+    client: &mut PipelinedClient,
+    op: &WireOp,
+    dist: Option<ValueDist>,
+    index: u64,
+    res: &mut WorkerResult,
+) -> io::Result<RequestId> {
     match *op {
         WireOp::Get { key, max_staleness } => client.submit_get(key, max_staleness),
-        WireOp::Put { key, value_size, ttl } => client.submit_put(key, value_size, ttl),
+        WireOp::Put { key, value_size, ttl } => {
+            let len = dist.map_or(value_size, |d| d.sample(op_hash(key, index)));
+            res.value_bytes_written += len as u64;
+            client.submit_put(key, payload::pattern(key, len as usize), ttl)
+        }
     }
 }
 
@@ -270,7 +420,12 @@ fn run_node(
                             // w+N, w+2N, … so key locality and the
                             // read/write interleaving stay roughly
                             // uniform across workers.
-                            run_closed(addr, ops.iter().skip(w).step_by(connections), depth)
+                            run_closed(
+                                addr,
+                                ops.iter().enumerate().skip(w).step_by(connections),
+                                depth,
+                                config.value_bytes,
+                            )
                         })
                     })
                     .collect();
@@ -282,7 +437,7 @@ fn run_node(
             }
             Ok(merged)
         }
-        Mode::Open => run_open(addr, ops, started),
+        Mode::Open => run_open(addr, ops, started, config.value_bytes),
     }
 }
 
@@ -389,13 +544,14 @@ pub fn run_cluster(
 /// collecting a completion whenever the window is full.
 fn run_closed<'a>(
     addr: SocketAddr,
-    ops: impl Iterator<Item = &'a TimedOp>,
+    ops: impl Iterator<Item = (usize, &'a TimedOp)>,
     depth: usize,
+    dist: Option<ValueDist>,
 ) -> io::Result<WorkerResult> {
     let mut client = PipelinedClient::connect(addr)?;
     let mut res = WorkerResult::default();
-    let mut track = Tracker::default();
-    for op in ops {
+    let mut track = Tracker::new(dist);
+    for (index, op) in ops {
         while client.in_flight() >= depth {
             let (id, resp) = client.complete()?;
             track.completed(&mut res, id, resp, Instant::now())?;
@@ -404,7 +560,7 @@ fn run_closed<'a>(
             WireOp::Get { .. } => res.gets += 1,
             WireOp::Put { .. } => res.puts += 1,
         }
-        let id = submit(&mut client, &op.op)?;
+        let id = submit(&mut client, &op.op, dist, index as u64, &mut res)?;
         track.issued(id, Instant::now());
     }
     while client.in_flight() > 0 {
@@ -419,11 +575,16 @@ fn run_closed<'a>(
 /// waiting for the next deadline. Latency is measured from the
 /// *scheduled* send time, so falling behind shows up as tail latency
 /// rather than disappearing.
-fn run_open(addr: SocketAddr, ops: &[TimedOp], start: Instant) -> io::Result<WorkerResult> {
+fn run_open(
+    addr: SocketAddr,
+    ops: &[TimedOp],
+    start: Instant,
+    dist: Option<ValueDist>,
+) -> io::Result<WorkerResult> {
     let mut client = PipelinedClient::connect(addr)?;
     let mut res = WorkerResult::default();
-    let mut track = Tracker::default();
-    for op in ops {
+    let mut track = Tracker::new(dist);
+    for (index, op) in ops.iter().enumerate() {
         let deadline = start + Duration::from_nanos(op.at.as_nanos());
         // Until the deadline, collect whatever completions arrive.
         loop {
@@ -443,7 +604,7 @@ fn run_open(addr: SocketAddr, ops: &[TimedOp], start: Instant) -> io::Result<Wor
             WireOp::Get { .. } => res.gets += 1,
             WireOp::Put { .. } => res.puts += 1,
         }
-        let id = submit(&mut client, &op.op)?;
+        let id = submit(&mut client, &op.op, dist, index as u64, &mut res)?;
         track.issued(id, deadline);
     }
     while client.in_flight() > 0 {
@@ -484,6 +645,9 @@ fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
         misses: r.misses,
         hit_ratio: if r.gets > 0 { (r.fresh + r.stale_served) as f64 / r.gets as f64 } else { 0.0 },
         version_anomalies: r.version_anomalies,
+        checksum_mismatches: r.checksum_mismatches,
+        value_bytes_read: r.value_bytes_read,
+        value_bytes_written: r.value_bytes_written,
         mean_latency_us: mean,
         p50_latency_us: percentile(&r.latencies_us, 0.50),
         p99_latency_us: percentile(&r.latencies_us, 0.99),
@@ -567,6 +731,79 @@ mod tests {
         for field in ["aggregate", "nodes", "addr", "refused_stale"] {
             assert!(json.contains(field), "cluster JSON missing {field}: {json}");
         }
+    }
+
+    #[test]
+    fn value_dist_parses_samples_and_bounds() {
+        assert_eq!(ValueDist::parse("fixed:128"), Some(ValueDist::Fixed(128)));
+        assert_eq!(
+            ValueDist::parse("uniform:16:4096"),
+            Some(ValueDist::Uniform { min: 16, max: 4096 })
+        );
+        assert_eq!(ValueDist::parse("zipf:1024"), Some(ValueDist::Zipf { max: 1024 }));
+        for bad in ["", "fixed", "fixed:x", "uniform:9:3", "zipf:0", "pareto:4", "fixed:1:2"] {
+            assert_eq!(ValueDist::parse(bad), None, "{bad:?} should not parse");
+        }
+        // Sizes beyond the codec's MAX_VALUE are rejected at the flag,
+        // not discovered as a mid-run protocol error.
+        let over = (fresca_net::MAX_VALUE as u64 + 1).to_string();
+        assert_eq!(ValueDist::parse(&format!("fixed:{over}")), None);
+        assert_eq!(ValueDist::parse(&format!("uniform:1:{over}")), None);
+        // Samples are deterministic and within bounds.
+        let d = ValueDist::Uniform { min: 16, max: 4096 };
+        for i in 0..1000u64 {
+            let n = d.sample(op_hash(i, i));
+            assert!((16..=4096).contains(&n), "{n}");
+            assert_eq!(n, d.sample(op_hash(i, i)), "deterministic");
+        }
+        let z = ValueDist::Zipf { max: 4096 };
+        let mut small = 0;
+        for i in 0..1000u64 {
+            let n = z.sample(op_hash(i, 7));
+            assert!((1..=4096).contains(&n), "{n}");
+            if n <= 64 {
+                small += 1;
+            }
+        }
+        assert!(small > 400, "zipf-sized draws skew small, got {small}/1000 ≤ 64B");
+    }
+
+    #[test]
+    fn served_empty_value_counts_as_mismatch_when_writers_never_write_empty() {
+        use crate::client::GetOutcome;
+        use fresca_net::GetStatus;
+
+        let served_empty = |track: &mut Tracker, res: &mut WorkerResult| {
+            let id = RequestId(1);
+            track.issued(id, Instant::now());
+            track
+                .completed(
+                    res,
+                    id,
+                    Response::Get {
+                        key: 7,
+                        outcome: GetOutcome {
+                            status: GetStatus::Fresh,
+                            version: 1,
+                            value: bytes::Bytes::new(),
+                            age: fresca_sim::SimDuration::ZERO,
+                        },
+                    },
+                    Instant::now(),
+                )
+                .unwrap();
+        };
+        // All writers send ≥16 bytes: a served empty value is a payload
+        // drop, even though an empty slice matches its own pattern.
+        let mut track = Tracker::new(Some(ValueDist::Uniform { min: 16, max: 64 }));
+        let mut res = WorkerResult::default();
+        served_empty(&mut track, &mut res);
+        assert_eq!(res.checksum_mismatches, 1);
+        // Trace-driven sizes may legitimately be zero: not flagged.
+        let mut track = Tracker::new(None);
+        let mut res = WorkerResult::default();
+        served_empty(&mut track, &mut res);
+        assert_eq!(res.checksum_mismatches, 0);
     }
 
     #[test]

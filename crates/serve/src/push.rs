@@ -32,7 +32,7 @@
 
 use crate::ring::HashRing;
 use crate::ServeClock;
-use fresca_net::{FramedStream, Message, UpdateItem};
+use fresca_net::{payload, FramedStream, Message, UpdateItem};
 use fresca_store::{DataStore, InvalidationTracker, Record, WriteBuffer};
 use serde::Serialize;
 use std::io;
@@ -279,7 +279,15 @@ impl StorePusher {
                             // the backend no longer considers the key
                             // invalidated.
                             self.tracker.clear(k);
-                            UpdateItem { key: k, version: rec.version, value_size: rec.value_size }
+                            // The pushed batch carries the store's real
+                            // bytes: the deterministic pattern every
+                            // writer uses, so checksum-verifying readers
+                            // accept refreshed entries.
+                            UpdateItem {
+                                key: k,
+                                version: rec.version,
+                                value: payload::pattern(k, rec.value_size as usize),
+                            }
                         })
                         .collect();
                     batches.push((node, Message::Update { seq: self.next_seq[node], items }));
@@ -450,18 +458,20 @@ mod tests {
         // Updates only refresh entries the cache holds; populate first.
         let mut client = crate::ClusterClient::connect(&addrs, config.vnodes).unwrap();
         for key in 0..16u64 {
-            client.put(key, 8, None).unwrap();
+            client.put(key, payload::pattern(key, 8), None).unwrap();
         }
         for key in 0..16u64 {
             pusher.write(key, 24);
         }
         let receipts = pusher.flush().unwrap();
         assert_eq!(receipts.iter().map(|r| r.keys).sum::<usize>(), 16);
-        // The refreshed size travels end to end: a read now sees 24.
+        // The refreshed bytes travel end to end: a read now sees the
+        // store's 24-byte pattern payload, checksum-intact.
         for key in 0..16u64 {
             let got = client.get(key, None).unwrap();
             assert!(got.is_served());
-            assert_eq!(got.value_size, 24, "key {key} refreshed by the pushed update");
+            assert_eq!(got.value_size(), 24, "key {key} refreshed by the pushed update");
+            assert!(payload::verify(key, &got.value), "key {key} pushed payload intact");
         }
         // Sequence numbers advance per node.
         for key in 0..16u64 {

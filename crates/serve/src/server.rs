@@ -31,6 +31,7 @@
 //! running against a real cache node instead of the simulator.
 
 use crate::ServeClock;
+use bytes::Bytes;
 use fresca_cache::{BoundedGet, CacheConfig, ShardedCache};
 use fresca_net::{GetStatus, Message, NonBlockingFramedStream, PollRecv};
 use fresca_sim::SimDuration;
@@ -507,6 +508,11 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
             stats.gets.fetch_add(1, Ordering::Relaxed);
             let now = shared.clock.now();
             let bound = (max_staleness != u64::MAX).then(|| SimDuration::from_nanos(max_staleness));
+            // The bounded read clones the entry under its shard lock —
+            // for the value that is a refcount bump on the cached Bytes
+            // handle — and the lock is released before the reply is
+            // serialized or queued. The same handle then rides the
+            // outbound segment queue, so a hit never copies the payload.
             let reply = match shared.cache.get_bounded(key, now, bound) {
                 BoundedGet::Fresh(e) => {
                     stats.fresh.fetch_add(1, Ordering::Relaxed);
@@ -514,8 +520,8 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
                         id,
                         key,
                         version: e.version,
-                        value_size: e.value_size,
                         age: e.age(now).as_nanos(),
+                        value: e.value,
                         status: GetStatus::Fresh,
                     }
                 }
@@ -525,8 +531,8 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
                         id,
                         key,
                         version: e.version,
-                        value_size: e.value_size,
                         age: e.age(now).as_nanos(),
+                        value: e.value,
                         status: GetStatus::ServedStale,
                     }
                 }
@@ -539,7 +545,7 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
                         id,
                         key,
                         version: 0,
-                        value_size: 0,
+                        value: Bytes::new(),
                         age: e.age(now).as_nanos(),
                         status: GetStatus::RefusedStale,
                     }
@@ -550,7 +556,7 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
                         id,
                         key,
                         version: 0,
-                        value_size: 0,
+                        value: Bytes::new(),
                         age: 0,
                         status: GetStatus::Miss,
                     }
@@ -558,17 +564,19 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
             };
             Some(reply)
         }
-        Message::PutReq { id, key, value_size, ttl } => {
+        Message::PutReq { id, key, value, ttl } => {
             stats.puts.fetch_add(1, Ordering::Relaxed);
             let now = shared.clock.now();
             let expires_at = (ttl > 0).then(|| now + SimDuration::from_nanos(ttl));
             // Version allocation and insert must be one atomic step: done
             // separately, two racing puts to the same key (from different
             // event loops) could install the older version over the newer
-            // acked one.
+            // acked one. The value handle moves into the cache as-is —
+            // it is the refcounted slice the codec cut from the receive
+            // buffer, so the entire put path performs no payload copy.
             let version = shared.cache.locked(key, |shard| {
                 let version = shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
-                shard.insert(key, version, value_size, now, expires_at);
+                shard.insert_value(key, version, value, now, expires_at);
                 version
             });
             Some(Message::PutResp { id, key, version })
@@ -606,11 +614,11 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
                 let refreshed = shared.cache.locked(item.key, |shard| {
                     if shard.contains(item.key) {
                         let version = shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
-                        shard.apply_update(item.key, version, item.value_size, now, None)
+                        shard.apply_update_value(item.key, version, item.value, now, None)
                     } else {
                         // Counts the missed update without burning a
                         // serving version on a key that is not here.
-                        shard.apply_update(item.key, 0, item.value_size, now, None)
+                        shard.apply_update_value(item.key, 0, item.value, now, None)
                     }
                 });
                 if refreshed {

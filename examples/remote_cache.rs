@@ -10,6 +10,7 @@
 //! cargo run --release --example remote_cache
 //! ```
 
+use fresca_net::payload;
 use fresca_serve::server::{self, ServerConfig};
 use fresca_serve::CacheClient;
 use fresca_sim::SimDuration;
@@ -20,13 +21,21 @@ fn main() -> std::io::Result<()> {
     println!("cache server listening on {}\n", handle.addr());
     let mut client = CacheClient::connect(handle.addr())?;
 
-    // A write carries its TTL; the ack carries the assigned version.
-    let version = client.put(7, 512, Some(SimDuration::from_millis(80)))?;
+    // A write carries its TTL and real value bytes; the ack carries the
+    // assigned version.
+    let version = client.put(7, payload::pattern(7, 512), Some(SimDuration::from_millis(80)))?;
     println!("put key 7 (512 B, ttl 80ms)      -> version {version}");
 
-    // Within the TTL the read is a fresh hit.
+    // Within the TTL the read is a fresh hit, and the bytes come back
+    // checksum-intact.
     let got = client.get(7, None)?;
-    println!("get key 7 (no bound)             -> {:?}, age {}", got.status, got.age);
+    assert!(payload::verify(7, &got.value), "payload corrupted in flight");
+    println!(
+        "get key 7 (no bound)             -> {:?}, age {}, {} B verified",
+        got.status,
+        got.age,
+        got.value_size()
+    );
 
     // Past the TTL an unbounded read is still served, but flagged stale:
     // the client knows it is consuming data past the server's contract.
@@ -41,7 +50,7 @@ fn main() -> std::io::Result<()> {
     println!("get key 7 (bound 10ms)           -> {:?}, age {}", got.status, got.age);
 
     // Re-writing makes it fresh again for any bound.
-    client.put(7, 512, Some(SimDuration::from_secs(60)))?;
+    client.put(7, payload::pattern(7, 512), Some(SimDuration::from_secs(60)))?;
     let got = client.get(7, Some(SimDuration::from_millis(10)))?;
     println!("put, then get (bound 10ms)       -> {:?}, age {}", got.status, got.age);
 

@@ -11,7 +11,7 @@
 //! arbitrarily loaded CI machines.
 
 use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
-use fresca_net::GetStatus;
+use fresca_net::{payload, GetStatus};
 use fresca_serve::loadgen::{self, LoadGenConfig, Mode};
 use fresca_serve::push::{PushConfig, PushPolicy};
 use fresca_serve::server::{self, ServerConfig, ServerHandle};
@@ -55,11 +55,14 @@ fn cluster_routes_keys_consistently() {
     let keys: Vec<u64> = (0..96).collect();
     for &key in &keys {
         assert_eq!(a.addr_for(key), b.addr_for(key), "clients disagree on key {key}");
-        let v = a.put(key, 32, None).unwrap();
-        // The *other* client reads what this one wrote: same owner node.
+        let v = a.put(key, payload::pattern(key, 32), None).unwrap();
+        // The *other* client reads what this one wrote: same owner node —
+        // and the exact bytes, checksum-intact across the wire.
         let got = b.get(key, None).unwrap();
         assert_eq!(got.status, GetStatus::Fresh, "key {key}");
         assert_eq!(got.version, v);
+        assert_eq!(got.value_size(), 32);
+        assert!(payload::verify(key, &got.value), "key {key} payload corrupted in flight");
     }
 
     // Ownership is exclusive: each node's put/get counters match exactly
@@ -95,7 +98,7 @@ fn store_push_invalidation_refuses_stale_reads_and_acks_by_seq() {
     // Populate every node through the cluster client; all reads serve.
     let keys: Vec<u64> = (0..48).collect();
     for &key in &keys {
-        client.put(key, 16, None).unwrap();
+        client.put(key, payload::pattern(key, 16), None).unwrap();
         assert!(client.get(key, None).unwrap().is_served());
     }
 
@@ -128,7 +131,7 @@ fn store_push_invalidation_refuses_stale_reads_and_acks_by_seq() {
     // A refetch (modelled as a fresh put, cache-aside style) heals the
     // entry and reads serve again.
     for &key in &keys {
-        client.put(key, 16, None).unwrap();
+        client.put(key, payload::pattern(key, 16), None).unwrap();
         assert!(client.get(key, None).unwrap().is_served(), "key {key} after refetch");
     }
 
@@ -167,7 +170,7 @@ fn store_push_updates_refresh_in_place() {
 
     let mut last_version = std::collections::HashMap::new();
     for key in 0..32u64 {
-        let v = client.put(key, 8, None).unwrap();
+        let v = client.put(key, payload::pattern(key, 8), None).unwrap();
         last_version.insert(key, v);
     }
     for key in 0..32u64 {
@@ -178,7 +181,8 @@ fn store_push_updates_refresh_in_place() {
     for key in 0..32u64 {
         let got = client.get(key, None).unwrap();
         assert!(got.is_served(), "update must not open a refusal window for key {key}");
-        assert_eq!(got.value_size, 40, "key {key} carries the pushed size");
+        assert_eq!(got.value_size(), 40, "key {key} carries the pushed size");
+        assert!(payload::verify(key, &got.value), "key {key} pushed bytes corrupted");
         assert!(
             got.version > last_version[&key],
             "key {key}: refreshed version regressed ({} <= {})",
@@ -218,7 +222,11 @@ fn loadgen_fans_out_across_the_cluster() {
     let report = loadgen::run_cluster(
         &nodes,
         &ops,
-        &LoadGenConfig { mode: Mode::Closed { connections: 2 }, pipeline: 8 },
+        &LoadGenConfig {
+            mode: Mode::Closed { connections: 2 },
+            pipeline: 8,
+            value_bytes: Some(loadgen::ValueDist::Uniform { min: 1, max: 2048 }),
+        },
         VNODES,
     )
     .unwrap();
@@ -229,6 +237,8 @@ fn loadgen_fans_out_across_the_cluster() {
     assert_eq!(per_node_ops, report.aggregate.ops, "per-node rows cover the whole schedule");
     assert!(report.nodes.iter().all(|n| n.report.ops > 0), "every node served a share");
     assert!(report.is_clean(), "no violations expected: {report}");
+    assert!(report.aggregate.value_bytes_written > 0, "real payload bytes flowed");
+    assert_eq!(report.aggregate.checksum_mismatches, 0);
     // The status breakdown is internally consistent.
     let agg = &report.aggregate;
     assert_eq!(agg.fresh + agg.stale_served + agg.refused_stale + agg.misses, agg.gets);

@@ -13,7 +13,7 @@
 //! machines.
 
 use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
-use fresca_net::GetStatus;
+use fresca_net::{payload, GetStatus};
 use fresca_serve::loadgen::{self, LoadGenConfig, Mode};
 use fresca_serve::server::{self, ServerConfig};
 use fresca_serve::CacheClient;
@@ -42,25 +42,28 @@ fn client_observes_values_ttl_expiry_and_bound_rejection() {
     let handle = spawn_server();
     let mut client = CacheClient::connect(handle.addr()).unwrap();
 
-    // Correct values: a get returns the exact version and size the put
-    // was acknowledged with.
-    let v1 = client.put(1, 64, None).unwrap();
+    // Correct values: a get returns the exact version and bytes the put
+    // was acknowledged with — checksummed, not just size-matched.
+    let v1 = client.put(1, payload::pattern(1, 64), None).unwrap();
     let got = client.get(1, None).unwrap();
     assert_eq!(got.status, GetStatus::Fresh);
     assert_eq!(got.version, v1);
-    assert_eq!(got.value_size, 64);
+    assert_eq!(got.value_size(), 64);
+    assert!(payload::verify(1, &got.value), "served bytes differ from the written pattern");
 
-    // Versions are monotone: a second put supersedes the first.
-    let v2 = client.put(1, 128, None).unwrap();
+    // Versions are monotone: a second put supersedes the first, bytes
+    // and all.
+    let v2 = client.put(1, payload::pattern(1, 128), None).unwrap();
     assert!(v2 > v1);
     let got = client.get(1, None).unwrap();
-    assert_eq!((got.version, got.value_size), (v2, 128));
+    assert_eq!((got.version, got.value_size()), (v2, 128));
+    assert!(payload::verify(1, &got.value));
 
     // Unknown keys miss.
     assert_eq!(client.get(999, None).unwrap().status, GetStatus::Miss);
 
     // TTL expiry: fresh within the TTL, served-stale (flagged!) past it.
-    client.put(2, 32, Some(SimDuration::from_millis(40))).unwrap();
+    client.put(2, payload::pattern(2, 32), Some(SimDuration::from_millis(40))).unwrap();
     assert_eq!(client.get(2, None).unwrap().status, GetStatus::Fresh);
     std::thread::sleep(Duration::from_millis(60));
     let stale = client.get(2, None).unwrap();
@@ -69,7 +72,7 @@ fn client_observes_values_ttl_expiry_and_bound_rejection() {
 
     // Staleness-bound rejection: the entry has no TTL and is fresh by
     // the server's contract, but it is older than this reader's bound.
-    client.put(3, 16, None).unwrap();
+    client.put(3, payload::pattern(3, 16), None).unwrap();
     std::thread::sleep(Duration::from_millis(30));
     let refused = client.get(3, Some(SimDuration::from_millis(5))).unwrap();
     assert_eq!(refused.status, GetStatus::RefusedStale);
@@ -119,7 +122,7 @@ fn open_loop_schedule_exposes_every_freshness_outcome() {
     let report = loadgen::run(
         handle.addr(),
         &ops,
-        &LoadGenConfig { mode: Mode::Open, pipeline: 16 },
+        &LoadGenConfig { mode: Mode::Open, pipeline: 16, value_bytes: None },
     )
     .unwrap();
     assert_eq!(report.ops, 8);
@@ -159,7 +162,11 @@ fn closed_loop_loadgen_replays_a_paper_workload() {
     let report = loadgen::run(
         handle.addr(),
         &ops,
-        &LoadGenConfig { mode: Mode::Closed { connections: 4 }, pipeline: 16 },
+        &LoadGenConfig {
+            mode: Mode::Closed { connections: 4 },
+            pipeline: 16,
+            value_bytes: Some(loadgen::ValueDist::Fixed(128)),
+        },
     )
     .unwrap();
 
@@ -208,7 +215,7 @@ fn pipelined_requests_match_responses_by_id_in_and_out_of_order() {
     let mut completions: Vec<(RequestId, Response)> = Vec::new();
     for i in 0..50u64 {
         let key = i * 2;
-        let id = client.submit_put(key, 16, None).unwrap();
+        let id = client.submit_put(key, payload::pattern(key, 16), None).unwrap();
         expected.insert(id, Expected::Put { key });
         let id = client.submit_get(i * 2 + i % 2, None).unwrap();
         expected.insert(id, Expected::Get { key: i * 2 + i % 2 });
@@ -271,7 +278,7 @@ fn deep_pipeline_burst_drains_completely() {
     // strand frames in the decoder).
     let handle = spawn_server_with_loops(1);
     let mut client = PipelinedClient::connect(handle.addr()).unwrap();
-    let put_id = client.submit_put(1, 64, None).unwrap();
+    let put_id = client.submit_put(1, payload::pattern(1, 64), None).unwrap();
     for _ in 0..1000 {
         client.submit_get(1, None).unwrap();
     }
@@ -313,7 +320,7 @@ fn single_event_loop_sustains_1000_concurrent_connections() {
     // All 1000 sockets are open at once; now do a write and a read on
     // every one of them, interleaved across the whole set.
     for (i, c) in clients.iter_mut().enumerate() {
-        let v = c.put(i as u64, 8, None).expect("put");
+        let v = c.put(i as u64, payload::pattern(i as u64, 8), None).expect("put");
         assert!(v > 0);
     }
     for (i, c) in clients.iter_mut().enumerate() {
@@ -347,7 +354,7 @@ fn half_closing_client_still_receives_queued_responses() {
     let mut framed = FramedStream::new(TcpStream::connect(handle.addr()).unwrap());
     for i in 1..=20u64 {
         framed
-            .send(&Message::PutReq { id: RequestId(i), key: i, value_size: 8, ttl: 0 })
+            .send(&Message::PutReq { id: RequestId(i), key: i, value: payload::pattern(i, 8), ttl: 0 })
             .unwrap();
     }
     framed.get_ref().shutdown(Shutdown::Write).unwrap();
@@ -423,7 +430,7 @@ fn server_drops_connections_that_leave_the_accepted_paths() {
 
     // A well-behaved client on a fresh connection is unaffected.
     let mut client = CacheClient::connect(handle.addr()).unwrap();
-    client.put(1, 8, None).unwrap();
+    client.put(1, payload::pattern(1, 8), None).unwrap();
     assert!(client.get(1, None).unwrap().is_served());
 
     let stats = handle.shutdown();

@@ -1,61 +1,154 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Implements the subset of `Bytes`/`BytesMut`/`Buf`/`BufMut` that the
-//! fresca codecs use, backed by plain `Vec<u8>`. Big-endian accessors
-//! match the real crate's defaults. No shared-ownership tricks: `freeze`
-//! and `split_to` copy, which is fine at simulation scale.
+//! fresca codecs use, with the real crate's *sharing* semantics: a
+//! [`Bytes`] is a refcounted view (`Arc` + offsets) into a backing
+//! allocation, so `clone` is a refcount bump, [`BytesMut::split_to`]
+//! hands out a view of the same allocation without copying, and
+//! [`BytesMut::freeze`] is O(1). This is what lets the frame codec slice
+//! value payloads straight out of its accumulation buffer and the cache
+//! hand the same payload to many readers with zero per-hit copies.
+//!
+//! Like the real crate, a retained slice keeps its whole backing
+//! allocation alive: a 64-byte payload sliced from a 64 KiB read chunk
+//! pins the chunk until every slice of it drops. Appending to a
+//! `BytesMut` whose allocation is shared with outstanding views copies
+//! only the *unconsumed tail* into a fresh allocation (the views keep
+//! the old one), which is the same amortized contract as upstream
+//! `reserve`.
+//!
+//! Big-endian accessors match the real crate's defaults.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::{Arc, OnceLock};
 
-/// Immutable byte buffer.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// The shared empty allocation: `Bytes::new()`/`BytesMut::new()` are
+/// allocation-free after the first call process-wide.
+fn empty_arc() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+/// Immutable, refcounted byte view. Cloning and slicing never copy the
+/// underlying bytes.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
-    /// Empty buffer.
-    pub const fn new() -> Self {
-        Bytes { data: Vec::new() }
+    /// Empty buffer (no allocation; all empties share one static Arc).
+    pub fn new() -> Self {
+        Bytes { data: empty_arc(), start: 0, end: 0 }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec() }
+        Bytes::from(data.to_vec())
     }
 
     /// Number of bytes.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True when empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copy out to a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.clone()
+        self[..].to_vec()
+    }
+
+    /// A zero-copy sub-view of `self` (refcount bump, no byte copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice {begin}..{end} out of bounds of {len}");
+        Bytes { data: Arc::clone(&self.data), start: self.start + begin, end: self.start + end }
+    }
+
+    /// True when `self` and `other` are views into the same backing
+    /// allocation — the observable witness of zero-copy sharing (the
+    /// real crate offers no such probe; tests and benches here use it to
+    /// prove no payload-sized buffer was allocated).
+    pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter().take(32) {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        if self.len() > 32 {
+            write!(f, "…(+{})", self.len() - 32)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data }
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
     }
 }
 
@@ -65,95 +158,271 @@ impl From<&[u8]> for Bytes {
     }
 }
 
-/// Growable byte buffer with a read cursor at the front.
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(data: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl serde::Serialize for Bytes {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.iter().map(|&b| serde::Value::U64(b as u64)).collect())
+    }
+}
+
+impl serde::Deserialize for Bytes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| serde::DeError::custom("expected byte sequence"))?;
+        let mut out = Vec::with_capacity(seq.len());
+        for item in seq {
+            out.push(u8::from_value(item)?);
+        }
+        Ok(Bytes::from(out))
+    }
+}
+
+/// Growable byte buffer with a read cursor at the front, sharing its
+/// backing allocation with the [`Bytes`] split off of it.
 ///
 /// Reads (`Buf`) consume from the front; writes (`BufMut`) append at the
 /// back — the same observable behaviour as the real `BytesMut`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// [`split_to`](BytesMut::split_to) and [`freeze`](BytesMut::freeze) are
+/// zero-copy; an append whose allocation is shared with live views
+/// copies only the unconsumed tail into a fresh allocation.
+///
+/// Internally the buffer is `Unique(Vec<u8>)` until the first split or
+/// freeze — so the append-heavy encode/accumulate paths are plain `Vec`
+/// operations with **zero atomic traffic** — and `Shared(Arc<Vec<u8>>)`
+/// afterwards, reverting to `Unique` (reclaiming the allocation in
+/// place when no views remain) on the next append.
+#[derive(Debug)]
+enum MutRepr {
+    /// Sole owner; appendable in place. Invariant: `end == vec.len()`.
+    Unique(Vec<u8>),
+    /// Allocation possibly shared with `Bytes`/`BytesMut` views.
+    Shared(Arc<Vec<u8>>),
+}
+
+/// See the type-level docs: a growable buffer whose split-off views
+/// share its allocation.
+#[derive(Debug)]
 pub struct BytesMut {
-    data: Vec<u8>,
+    repr: MutRepr,
     /// Read cursor: everything before this offset has been consumed.
     head: usize,
+    /// End of this buffer's view.
+    end: usize,
 }
 
 impl BytesMut {
-    /// Empty buffer.
-    pub const fn new() -> Self {
-        BytesMut { data: Vec::new(), head: 0 }
+    /// Empty buffer (no allocation).
+    pub fn new() -> Self {
+        BytesMut { repr: MutRepr::Unique(Vec::new()), head: 0, end: 0 }
     }
 
     /// Empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap), head: 0 }
+        BytesMut { repr: MutRepr::Unique(Vec::with_capacity(cap)), head: 0, end: 0 }
     }
 
     /// Unconsumed length.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.data.len() - self.head
+        self.end - self.head
     }
 
     /// True when no unconsumed bytes remain.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.head == self.end
+    }
+
+    /// Bytes this buffer can hold without reallocating: the backing
+    /// vector's spare room when unique, just the view length when the
+    /// allocation is shared (a view cannot grow in place).
+    pub fn capacity(&self) -> usize {
+        match &self.repr {
+            MutRepr::Unique(v) => v.capacity() - self.head,
+            MutRepr::Shared(_) => self.len(),
+        }
+    }
+
+    /// Reclaim the consumed prefix once it dominates the allocation.
+    /// Only sound on a unique vector.
+    fn compact(head: &mut usize, end: &mut usize, data: &mut Vec<u8>) {
+        if *head > 4096 && *head * 2 >= data.len() {
+            data.drain(..*head);
+            *end -= *head;
+            *head = 0;
+        }
+    }
+
+    /// Transition to `Unique` with room for `additional` more bytes:
+    /// reclaim the allocation in place when no views remain (refcount
+    /// 1), otherwise move the unconsumed tail to a fresh allocation
+    /// (live views keep the old one).
+    fn make_unique(&mut self, additional: usize) {
+        let repr = std::mem::replace(&mut self.repr, MutRepr::Unique(Vec::new()));
+        let arc = match repr {
+            MutRepr::Unique(mut v) => {
+                Self::compact(&mut self.head, &mut self.end, &mut v);
+                v.reserve(additional);
+                self.repr = MutRepr::Unique(v);
+                return;
+            }
+            MutRepr::Shared(arc) => arc,
+        };
+        match Arc::try_unwrap(arc) {
+            Ok(mut v) => {
+                // Last reference: take the allocation back, dropping any
+                // bytes past our view (a dead parent's tail). Fully
+                // consumed — the steady state of a codec buffer between
+                // frames — resets in O(1).
+                if self.head == self.end {
+                    v.clear();
+                    self.head = 0;
+                    self.end = 0;
+                } else {
+                    v.truncate(self.end);
+                    Self::compact(&mut self.head, &mut self.end, &mut v);
+                }
+                v.reserve(additional);
+                self.repr = MutRepr::Unique(v);
+            }
+            Err(arc) => {
+                let mut fresh = Vec::with_capacity(self.len() + additional);
+                fresh.extend_from_slice(&arc[self.head..self.end]);
+                self.head = 0;
+                self.end = fresh.len();
+                self.repr = MutRepr::Unique(fresh);
+            }
+        }
     }
 
     /// Reserve space for at least `additional` more bytes.
+    #[inline]
     pub fn reserve(&mut self, additional: usize) {
-        self.data.reserve(additional);
+        match &mut self.repr {
+            MutRepr::Unique(v) => v.reserve(additional),
+            MutRepr::Shared(_) => self.make_unique(additional),
+        }
     }
 
     /// Append a slice.
+    #[inline]
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
-        self.data.extend_from_slice(extend);
+        if let MutRepr::Shared(_) = self.repr {
+            self.make_unique(extend.len());
+        }
+        let MutRepr::Unique(v) = &mut self.repr else { unreachable!("make_unique above") };
+        Self::compact(&mut self.head, &mut self.end, v);
+        v.extend_from_slice(extend);
+        self.end = v.len();
+    }
+
+    /// The backing allocation as an `Arc`, transitioning this buffer to
+    /// the shared representation (no byte copy — a `Unique` vector is
+    /// moved into the `Arc`).
+    fn share(&mut self) -> Arc<Vec<u8>> {
+        if let MutRepr::Unique(v) = &mut self.repr {
+            self.repr = MutRepr::Shared(Arc::new(std::mem::take(v)));
+        }
+        match &self.repr {
+            MutRepr::Shared(arc) => Arc::clone(arc),
+            MutRepr::Unique(_) => unreachable!("just shared"),
+        }
     }
 
     /// Remove the first `at` unconsumed bytes and return them as a new
-    /// `BytesMut`, leaving the remainder in `self`.
+    /// `BytesMut` *sharing this allocation* (no copy), leaving the
+    /// remainder in `self`.
+    #[inline]
     pub fn split_to(&mut self, at: usize) -> BytesMut {
         assert!(at <= self.len(), "split_to out of bounds");
-        let front = self.data[self.head..self.head + at].to_vec();
+        let arc = self.share();
+        let front = BytesMut { repr: MutRepr::Shared(arc), head: self.head, end: self.head + at };
         self.head += at;
-        self.compact();
-        BytesMut { data: front, head: 0 }
+        front
     }
 
-    /// Freeze into an immutable [`Bytes`].
-    pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data[self.head..].to_vec() }
+    /// Freeze into an immutable [`Bytes`] viewing the same allocation
+    /// (O(1), no copy).
+    #[inline]
+    pub fn freeze(mut self) -> Bytes {
+        Bytes { data: self.share(), start: self.head, end: self.end }
     }
 
     /// Copy out the unconsumed bytes.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data[self.head..].to_vec()
+        self[..].to_vec()
     }
 
-    /// Clear all content.
+    /// Clear all content (keeps the allocation when unshared).
     pub fn clear(&mut self) {
-        self.data.clear();
-        self.head = 0;
-    }
-
-    fn compact(&mut self) {
-        // Reclaim consumed prefix once it dominates the buffer, keeping
-        // the amortized cost of `advance`/`split_to` linear.
-        if self.head > 4096 && self.head * 2 >= self.data.len() {
-            self.data.drain(..self.head);
-            self.head = 0;
+        match &mut self.repr {
+            MutRepr::Unique(v) => v.clear(),
+            MutRepr::Shared(_) => self.repr = MutRepr::Unique(Vec::new()),
         }
+        self.head = 0;
+        self.end = 0;
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        // A clone only needs the visible bytes; give it its own unique
+        // allocation (cloning a BytesMut is not a hot path anywhere).
+        BytesMut {
+            repr: MutRepr::Unique(self[..].to_vec()),
+            head: 0,
+            end: self.len(),
+        }
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl std::hash::Hash for BytesMut {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data[self.head..]
+        match &self.repr {
+            MutRepr::Unique(v) => &v[self.head..self.end],
+            MutRepr::Shared(arc) => &arc[self.head..self.end],
+        }
     }
 }
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        let head = self.head;
-        &mut self.data[head..]
+        // Copy-on-write: in-place mutation must not be visible through
+        // views sharing the allocation.
+        if let MutRepr::Shared(_) = self.repr {
+            self.make_unique(0);
+        }
+        let (head, end) = (self.head, self.end);
+        let MutRepr::Unique(v) = &mut self.repr else { unreachable!("made unique above") };
+        &mut v[head..end]
     }
 }
 
@@ -226,28 +495,34 @@ impl Buf for &[u8] {
 }
 
 impl Buf for BytesMut {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
+    #[inline]
     fn chunk(&self) -> &[u8] {
         self
     }
+    #[inline]
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance out of bounds");
         self.head += cnt;
-        self.compact();
     }
 }
 
 impl Buf for Bytes {
+    #[inline]
     fn remaining(&self) -> usize {
-        self.data.len()
+        self.len()
     }
+    #[inline]
     fn chunk(&self) -> &[u8] {
-        &self.data
+        self
     }
+    #[inline]
     fn advance(&mut self, cnt: usize) {
-        self.data.drain(..cnt);
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
     }
 }
 
@@ -283,6 +558,7 @@ pub trait BufMut {
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
     }
@@ -332,5 +608,142 @@ mod tests {
         assert_eq!(s.get_u32(), 7);
         assert_eq!(s.get_u8(), 9);
         assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_freeze_is_zero_copy() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"0123456789");
+        let backing = b[..].as_ptr();
+        let front = b.split_to(4).freeze();
+        // The frozen slice points into the original allocation: no
+        // payload-sized buffer was allocated.
+        assert_eq!(front.as_ptr(), backing);
+        assert_eq!(&front[..], b"0123");
+        // And the remainder still views the same allocation, 4 bytes in.
+        assert_eq!(b[..].as_ptr(), unsafe { backing.add(4) });
+    }
+
+    #[test]
+    fn clone_is_a_refcount_bump() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert!(a.shares_allocation_with(&b));
+    }
+
+    #[test]
+    fn slice_shares_and_bounds_check() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4]);
+        let mid = a.slice(1..4);
+        assert_eq!(&mid[..], &[1, 2, 3]);
+        assert!(mid.shares_allocation_with(&a));
+        assert_eq!(mid.as_ptr(), unsafe { a.as_ptr().add(1) });
+        assert_eq!(a.slice(..).len(), 5);
+        assert_eq!(a.slice(2..=3).len(), 2);
+        let empty = a.slice(5..5);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_end_panics() {
+        Bytes::from(vec![1u8]).slice(0..2);
+    }
+
+    #[test]
+    fn append_after_split_copies_only_the_tail() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"frame1frame2");
+        let frame1 = b.split_to(6).freeze();
+        let shared_ptr = frame1.as_ptr();
+        // The live view forces the next append onto a fresh allocation…
+        b.put_slice(b"!");
+        assert_eq!(&b[..], b"frame2!");
+        // …while the view is untouched, still on the old one.
+        assert_eq!(&frame1[..], b"frame1");
+        assert_eq!(frame1.as_ptr(), shared_ptr);
+    }
+
+    #[test]
+    fn append_without_views_reuses_the_allocation() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"abcdef");
+        {
+            let front = b.split_to(3); // dropped immediately: refcount back to 1
+            assert_eq!(&front[..], b"abc");
+        }
+        let ptr = b[..].as_ptr();
+        b.put_slice(b"gh");
+        // Still inside the original 64-byte allocation (the consumed
+        // prefix is small, so no compaction moved it either).
+        assert_eq!(b[..].as_ptr(), ptr);
+        assert_eq!(&b[..], b"defgh");
+    }
+
+    #[test]
+    fn advance_then_compact_reclaims_consumed_prefix() {
+        let mut b = BytesMut::new();
+        b.put_bytes(7, 10_000);
+        b.advance(9_000);
+        assert_eq!(b.len(), 1_000);
+        // The next append triggers compaction (head dominates); contents
+        // must be preserved exactly.
+        b.put_u8(8);
+        assert_eq!(b.len(), 1_001);
+        assert!(b[..1_000].iter().all(|&x| x == 7));
+        assert_eq!(b[1_000], 8);
+    }
+
+    #[test]
+    fn deref_mut_copy_on_write_protects_views() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"xxxx");
+        let view = b.split_to(2).freeze();
+        // Writable access must not mutate through the shared allocation.
+        b[0] = b'y';
+        assert_eq!(&b[..], b"yx");
+        assert_eq!(&view[..], b"xx");
+    }
+
+    #[test]
+    fn clear_resets_shared_and_unshared() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"abc");
+        let _view = b.split_to(1).freeze();
+        b.clear();
+        assert!(b.is_empty());
+        b.put_slice(b"z");
+        assert_eq!(&b[..], b"z");
+    }
+
+    #[test]
+    fn eq_and_hash_are_by_content() {
+        use std::collections::HashSet;
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from(vec![0u8, 1, 2, 3]).slice(1..);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        use serde::{Deserialize, Serialize};
+        let a = Bytes::from(vec![0u8, 255, 7]);
+        let v = a.to_value();
+        let back = Bytes::from_value(&v).unwrap();
+        assert_eq!(a, back);
+        assert!(Bytes::from_value(&serde::Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn empty_buffers_share_the_static_allocation() {
+        let a = Bytes::new();
+        let b = Bytes::new();
+        assert!(a.shares_allocation_with(&b));
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!(a, Bytes::default());
     }
 }
