@@ -9,6 +9,8 @@
 //! `results/`. EXPERIMENTS.md records a paper-vs-measured comparison for
 //! every artifact.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;

@@ -24,6 +24,8 @@
 //! * **cold miss** — entry absent (never cached or evicted): a normal
 //!   cache miss, *not* part of `C_S`.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -39,6 +39,8 @@
 //! assert!(adaptive.cf_normalized < ttl.cf_normalized);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

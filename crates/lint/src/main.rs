@@ -1,0 +1,110 @@
+//! CLI for the fresca workspace linter.
+//!
+//! ```text
+//! fresca-lint [--root DIR] [--json PATH] [--print-tag-table]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any rule fires (one
+//! `file:line: [rule] message` diagnostic per violation on stderr),
+//! 2 on usage or I/O errors. `--json PATH` additionally writes the
+//! machine-readable report (CI uploads this as an artifact).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fresca_lint::{find_workspace_root, lint_workspace, parse_wire_tags, CODEC_PATH};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut print_tags = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match argv.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--print-tag-table" => print_tags = true,
+            "--help" | "-h" => {
+                eprintln!("usage: fresca-lint [--root DIR] [--json PATH] [--print-tag-table]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("fresca-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("fresca-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    if print_tags {
+        // Regenerate the PROTOCOL.md tag-table names from the codec —
+        // the source of truth the doc table must match.
+        let codec = root.join(CODEC_PATH);
+        match std::fs::read_to_string(&codec) {
+            Ok(src) => {
+                for t in parse_wire_tags(&src) {
+                    println!("| {} | `{}` | ({}) |", t.value, t.message, t.const_name);
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("fresca-lint: cannot read {}: {e}", codec.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = lint_workspace(&root);
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("fresca-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for v in &report.violations {
+        eprintln!("{v}");
+    }
+    eprintln!(
+        "fresca-lint: {} file(s) scanned, {} violation(s)",
+        report.files_scanned,
+        report.violations.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fresca-lint: {msg}");
+    eprintln!("usage: fresca-lint [--root DIR] [--json PATH] [--print-tag-table]");
+    ExitCode::from(2)
+}

@@ -492,12 +492,16 @@ impl FrameCodec {
     /// cursor advance per field.
     #[inline]
     fn be_u64(hdr: &[u8], at: usize) -> u64 {
-        u64::from_be_bytes(hdr[at..at + 8].try_into().expect("8 bytes"))
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&hdr[at..at + 8]);
+        u64::from_be_bytes(b)
     }
 
     #[inline]
     fn be_u32(hdr: &[u8], at: usize) -> u32 {
-        u32::from_be_bytes(hdr[at..at + 4].try_into().expect("4 bytes"))
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&hdr[at..at + 4]);
+        u32::from_be_bytes(b)
     }
 
     fn decode_get_req(id: RequestId, frame: &mut BytesMut) -> Result<Message, CodecError> {

@@ -34,6 +34,8 @@
 //! * [`reliable`] — an ack + retransmission layer and a de-duplicating
 //!   receiver, the fix the lossy-delivery experiment evaluates.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

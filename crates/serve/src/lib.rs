@@ -50,6 +50,8 @@
 //! server start. TTLs and staleness bounds therefore mean real
 //! nanoseconds here, with no change to the cache crate.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -40,8 +40,9 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Server configuration.
@@ -236,8 +237,8 @@ pub fn spawn<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Serv
         let shared = Arc::clone(&shared);
         let mut targets: Vec<(Arc<Mutex<Vec<TcpStream>>>, UnixStream)> = loops
             .iter()
-            .map(|l| (Arc::clone(&l.inbox), l.wake_tx.try_clone().expect("clone wake pipe")))
-            .collect();
+            .map(|l| Ok((Arc::clone(&l.inbox), l.wake_tx.try_clone()?)))
+            .collect::<io::Result<_>>()?;
         std::thread::spawn(move || {
             let mut next = 0usize;
             for conn in listener.incoming() {
@@ -250,7 +251,7 @@ pub fn spawn<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Serv
                 let n = targets.len();
                 let (inbox, wake) = &mut targets[next % n];
                 next += 1;
-                inbox.lock().unwrap().push(conn);
+                inbox.lock().push(conn);
                 let _ = wake.write(&[1]);
             }
         })
@@ -393,7 +394,7 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
             // Take the batch out under the lock, register after releasing
             // it: register() does two syscalls per socket, and the accept
             // thread must not stall on the mutex during bursts.
-            let pending = std::mem::take(&mut *inbox.lock().unwrap());
+            let pending = std::mem::take(&mut *inbox.lock());
             for stream in pending {
                 match register(stream) {
                     Ok(conn) => match free.pop() {
@@ -409,7 +410,10 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
 
         for (i, &slot) in slot_of.iter().enumerate() {
             let readiness = poll.readiness(i + 1);
-            let conn = conns[slot].as_mut().expect("registered slot");
+            // Registered slots stay populated for the whole tick; a
+            // vacant slot here would be a reactor bug, but the serving
+            // loop must not be able to panic — skip it instead.
+            let Some(conn) = conns[slot].as_mut() else { continue };
             if !readiness.any() && (conn.closing || !conn.io.has_buffered_frame()) {
                 continue;
             }
@@ -426,7 +430,7 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
 /// slots plus sockets accepted but still waiting in the inbox (both were
 /// counted into `open_connections` at accept time).
 fn close_all(conns: &[Option<Conn>], inbox: &Mutex<Vec<TcpStream>>, shared: &Shared) {
-    let live = conns.iter().filter(|c| c.is_some()).count() + inbox.lock().unwrap().len();
+    let live = conns.iter().filter(|c| c.is_some()).count() + inbox.lock().len();
     shared.stats.open_connections.fetch_sub(live as u64, Ordering::Relaxed);
 }
 

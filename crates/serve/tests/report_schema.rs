@@ -1,0 +1,128 @@
+//! The loadgen `--json` report is a public interface: dashboards and
+//! CI scripts key on its field names. This suite pins the exact key
+//! set of `LoadReport` and `ClusterReport` so a rename or a dropped
+//! counter fails a test instead of silently breaking a consumer.
+
+use fresca_serve::loadgen::{ClusterReport, LoadReport, NodeReport};
+use serde_json::JsonValue;
+
+/// Every key `LoadReport` must serialize, in declaration order. New
+/// counters may be appended (consumers ignore unknown keys) but
+/// renaming or removing one is a breaking change — update the
+/// dashboards before touching this list.
+const LOAD_REPORT_KEYS: &[&str] = &[
+    "wall_secs",
+    "ops",
+    "gets",
+    "puts",
+    "ops_per_sec",
+    "fresh",
+    "stale_served",
+    "refused_stale",
+    "staleness_violations",
+    "misses",
+    "hit_ratio",
+    "version_anomalies",
+    "checksum_mismatches",
+    "value_bytes_read",
+    "value_bytes_written",
+    "mean_latency_us",
+    "p50_latency_us",
+    "p99_latency_us",
+    "p999_latency_us",
+];
+
+fn to_value<T: serde::Serialize>(v: &T) -> JsonValue {
+    let text = serde_json::to_string(v).expect("serialize");
+    serde_json::parse(&text).expect("parse back")
+}
+
+fn keys_of(value: &JsonValue) -> Vec<&str> {
+    value
+        .as_map()
+        .expect("report serializes to a JSON object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect()
+}
+
+fn as_u64(value: &JsonValue) -> u64 {
+    match value {
+        JsonValue::U64(n) => *n,
+        other => panic!("expected a u64 counter, got {other:?}"),
+    }
+}
+
+fn as_f64(value: &JsonValue) -> f64 {
+    match value {
+        JsonValue::F64(f) => *f,
+        JsonValue::U64(n) => *n as f64,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+#[test]
+fn load_report_keys_are_stable() {
+    let json = to_value(&LoadReport::default());
+    assert_eq!(
+        keys_of(&json),
+        LOAD_REPORT_KEYS,
+        "LoadReport JSON keys drifted — this is the loadgen --json contract"
+    );
+}
+
+#[test]
+fn load_report_counters_serialize_as_numbers() {
+    let report = LoadReport {
+        ops: 3,
+        checksum_mismatches: 1,
+        value_bytes_read: 4096,
+        value_bytes_written: 8192,
+        hit_ratio: 0.5,
+        ..LoadReport::default()
+    };
+    let json = to_value(&report);
+    assert_eq!(as_u64(json.get("ops").expect("ops")), 3);
+    assert_eq!(as_u64(json.get("checksum_mismatches").expect("key")), 1);
+    assert_eq!(as_u64(json.get("value_bytes_read").expect("key")), 4096);
+    assert_eq!(as_u64(json.get("value_bytes_written").expect("key")), 8192);
+    assert_eq!(as_f64(json.get("hit_ratio").expect("key")), 0.5);
+}
+
+#[test]
+fn cluster_report_nests_aggregate_and_per_node_reports() {
+    let cluster = ClusterReport {
+        aggregate: LoadReport { ops: 10, ..LoadReport::default() },
+        nodes: vec![
+            NodeReport {
+                addr: "127.0.0.1:7001".into(),
+                report: LoadReport { ops: 4, ..LoadReport::default() },
+            },
+            NodeReport {
+                addr: "127.0.0.1:7002".into(),
+                report: LoadReport { ops: 6, ..LoadReport::default() },
+            },
+        ],
+    };
+    let json = to_value(&cluster);
+    assert_eq!(keys_of(&json), ["aggregate", "nodes"]);
+    assert_eq!(keys_of(json.get("aggregate").expect("aggregate")), LOAD_REPORT_KEYS);
+    let nodes = json.get("nodes").and_then(JsonValue::as_seq).expect("nodes is an array");
+    assert_eq!(nodes.len(), 2);
+    for node in nodes {
+        assert_eq!(keys_of(node), ["addr", "report"]);
+        assert_eq!(keys_of(node.get("report").expect("report")), LOAD_REPORT_KEYS);
+    }
+    assert_eq!(nodes[0].get("addr").and_then(JsonValue::as_str), Some("127.0.0.1:7001"));
+    assert_eq!(as_u64(nodes[1].get("report").and_then(|r| r.get("ops")).expect("ops")), 6);
+}
+
+#[test]
+fn report_round_trips_through_its_own_json() {
+    // `--json` output must stay parseable as generic JSON — no NaN
+    // floats or other serializer extensions.
+    let report = LoadReport { wall_secs: 1.25, ops_per_sec: 800.0, ..LoadReport::default() };
+    let back = to_value(&report);
+    assert_eq!(as_f64(back.get("wall_secs").expect("key")), 1.25);
+    assert_eq!(as_f64(back.get("ops_per_sec").expect("key")), 800.0);
+}

@@ -33,6 +33,8 @@
 //! assert_eq!(order, vec![(0.5, "half"), (1.0, "one")]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

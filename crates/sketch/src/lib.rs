@@ -23,6 +23,8 @@
 //! proxy, which observes both reads and writes), and report their exact
 //! heap footprint for the Figure 6c storage comparison.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -16,6 +16,8 @@
 //! * [`CacheStateMirror`] — the backend's (optional) view of cache
 //!   contents, used by the Adpt.+C.S. hypothetical policy in Figure 5.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

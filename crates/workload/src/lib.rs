@@ -29,6 +29,8 @@
 //! * [`analyze`] — measured statistics over a trace (observed read ratio,
 //!   per-key `E[W]`, skew), used by tests and by the figure harnesses.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -19,14 +19,35 @@
 //!
 //! Big-endian accessors match the real crate's defaults.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
-use std::sync::{Arc, OnceLock};
+
+// Under `--cfg miniloom` (set via RUSTFLAGS by the model-checking
+// suite) the refcount backbone is miniloom's mock Arc: every clone,
+// drop and try_unwrap becomes a scheduling point, so the exhaustive-
+// interleaving checker can explore all orderings of the Unique↔Shared
+// transitions below without this crate's logic changing at all.
+#[cfg(miniloom)]
+use miniloom::sync::Arc;
+#[cfg(not(miniloom))]
+use std::sync::Arc;
 
 /// The shared empty allocation: `Bytes::new()`/`BytesMut::new()` are
 /// allocation-free after the first call process-wide.
+#[cfg(not(miniloom))]
 fn empty_arc() -> Arc<Vec<u8>> {
-    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
     Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+/// Model-checked builds allocate a fresh empty backing per call: a
+/// process-wide static would leak scheduler state across the checker's
+/// re-executions (and the mock Arc's clone is a scheduling point, so
+/// sharing one static would also inflate every schedule).
+#[cfg(miniloom)]
+fn empty_arc() -> Arc<Vec<u8>> {
+    Arc::new(Vec::new())
 }
 
 /// Immutable, refcounted byte view. Cloning and slicing never copy the
@@ -620,8 +641,9 @@ mod tests {
         // payload-sized buffer was allocated.
         assert_eq!(front.as_ptr(), backing);
         assert_eq!(&front[..], b"0123");
-        // And the remainder still views the same allocation, 4 bytes in.
-        assert_eq!(b[..].as_ptr(), unsafe { backing.add(4) });
+        // And the remainder still views the same allocation, 4 bytes in
+        // (compared as addresses: no unsafe pointer arithmetic needed).
+        assert_eq!(b[..].as_ptr() as usize, backing as usize + 4);
     }
 
     #[test]
@@ -638,7 +660,7 @@ mod tests {
         let mid = a.slice(1..4);
         assert_eq!(&mid[..], &[1, 2, 3]);
         assert!(mid.shares_allocation_with(&a));
-        assert_eq!(mid.as_ptr(), unsafe { a.as_ptr().add(1) });
+        assert_eq!(mid.as_ptr() as usize, a.as_ptr() as usize + 1);
         assert_eq!(a.slice(..).len(), 5);
         assert_eq!(a.slice(2..=3).len(), 2);
         let empty = a.slice(5..5);

@@ -15,6 +15,8 @@
 //! bench targets), every routine runs exactly one sample of one
 //! iteration, so test runs stay fast.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

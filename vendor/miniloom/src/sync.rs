@@ -1,0 +1,237 @@
+//! Mock synchronization primitives: drop-in stand-ins for
+//! `std::sync::Arc`, `parking_lot::Mutex` and `std::sync::atomic` that
+//! hit a scheduling point before every visible operation, making their
+//! interleavings explorable by the [`crate::check`] scheduler. Outside
+//! a model run they behave like the real types.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc as StdArc, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+use crate::{current_ctx, model_lock_acquire, model_lock_release, model_lock_try_acquire, next_lock_id, sync_point};
+
+pub mod atomic;
+
+/// Mock `Arc`: a refcounted pointer whose `clone`, `drop` and
+/// `try_unwrap` are scheduling points, so the checker explores every
+/// ordering of refcount transitions (the exact protocol the `bytes`
+/// shim's `Unique↔Shared` representation depends on).
+pub struct Arc<T: ?Sized> {
+    // ManuallyDrop so `try_unwrap` can move the inner Arc out of a
+    // type that also implements Drop.
+    inner: ManuallyDrop<StdArc<T>>,
+}
+
+impl<T> Arc<T> {
+    /// Allocate a new refcounted value.
+    pub fn new(value: T) -> Self {
+        Arc { inner: ManuallyDrop::new(StdArc::new(value)) }
+    }
+
+    /// Return the inner value iff this is the sole handle. A scheduling
+    /// point: under a model, other threads may run between the caller's
+    /// last use and the refcount inspection — exactly the window the
+    /// `bytes` shim's allocation-reclaim path must tolerate.
+    pub fn try_unwrap(mut this: Self) -> Result<T, Self> {
+        sync_point("Arc::try_unwrap");
+        // SAFETY: `this` is forgotten immediately after the take, so
+        // its Drop impl never runs and the inner Arc is moved exactly
+        // once.
+        let inner = unsafe { ManuallyDrop::take(&mut this.inner) };
+        std::mem::forget(this);
+        StdArc::try_unwrap(inner).map_err(|arc| Arc { inner: ManuallyDrop::new(arc) })
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    /// True when both handles point at the same allocation.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        StdArc::ptr_eq(&a.inner, &b.inner)
+    }
+
+    /// Current strong refcount (diagnostic; itself a scheduling point
+    /// so assertions on it are explored at every position).
+    pub fn strong_count(this: &Self) -> usize {
+        sync_point("Arc::strong_count");
+        StdArc::strong_count(&this.inner)
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        sync_point("Arc::clone");
+        Arc { inner: ManuallyDrop::new(StdArc::clone(&self.inner)) }
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    fn drop(&mut self) {
+        sync_point("Arc::drop");
+        // SAFETY: drop runs at most once per handle; the only other
+        // place the inner Arc is taken (`try_unwrap`) forgets the
+        // wrapper so this destructor never sees a taken slot.
+        unsafe { ManuallyDrop::drop(&mut self.inner) }
+    }
+}
+
+impl<T: ?Sized> Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: Default> Default for Arc<T> {
+    fn default() -> Self {
+        Arc::new(T::default())
+    }
+}
+
+/// Mock mutex with parking_lot's poison-free API. Under a model,
+/// mutual exclusion is enforced by the scheduler (lock ownership lives
+/// in the scheduler state and blocked threads are descheduled);
+/// outside a model, an embedded `std::sync::Mutex` provides the real
+/// thing.
+pub struct Mutex<T: ?Sized> {
+    /// Scheduler identity, assigned on first model use (addresses can
+    /// be reused across executions; ids cannot).
+    id: OnceLock<usize>,
+    /// Real lock used outside model runs.
+    real: StdMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the guard hands out &T/&mut T only while exclusivity holds —
+// scheduler-enforced ownership under a model, the embedded std mutex
+// otherwise — so sharing the container across threads is sound exactly
+// when T: Send, mirroring std's bounds for Mutex.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — all access to `data` is serialized through one of
+// the two exclusion mechanisms.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { id: OnceLock::new(), real: StdMutex::new(()), data: UnsafeCell::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn model_id(&self) -> usize {
+        *self.id.get_or_init(next_lock_id)
+    }
+
+    /// Acquire the lock, blocking until available. A scheduling point.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current_ctx() {
+            Some(ctx) => {
+                sync_point("Mutex::lock");
+                model_lock_acquire(&ctx, self.model_id());
+                MutexGuard { lock: self, real: None }
+            }
+            None => {
+                let g = self.real.lock().unwrap_or_else(|e| e.into_inner());
+                MutexGuard { lock: self, real: Some(g) }
+            }
+        }
+    }
+
+    /// Try to acquire the lock without blocking. A scheduling point.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match current_ctx() {
+            Some(ctx) => {
+                sync_point("Mutex::try_lock");
+                model_lock_try_acquire(&ctx, self.model_id())
+                    .then_some(MutexGuard { lock: self, real: None })
+            }
+            None => match self.real.try_lock() {
+                Ok(g) => Some(MutexGuard { lock: self, real: Some(g) }),
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    Some(MutexGuard { lock: self, real: Some(e.into_inner()) })
+                }
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves
+    /// uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releasing it is a
+/// scheduling point (except while unwinding, where the lock is
+/// released silently so aborting threads cannot double-panic).
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// Present iff acquired outside a model run.
+    real: Option<StdMutexGuard<'a, ()>>,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.real.is_some() {
+            return; // std guard releases on its own drop
+        }
+        if let Some(ctx) = current_ctx() {
+            if !std::thread::panicking() {
+                sync_point("Mutex::unlock");
+            }
+            model_lock_release(&ctx, self.lock.model_id());
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard's existence proves exclusivity — the
+        // scheduler granted this thread sole ownership of the model
+        // lock, or `real` holds the std mutex — so no other reference
+        // to `data` can exist.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive access is guaranteed for
+        // the guard's lifetime by whichever exclusion mechanism
+        // produced it.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}

@@ -1,0 +1,151 @@
+//! Mock atomics: each operation is a scheduling point, so the checker
+//! explores every ordering of loads and stores. The actual memory
+//! operation delegates to the std atomic (the scheduler serializes
+//! model threads, so every explored schedule is sequentially
+//! consistent — a sound over-approximation for the SeqCst-only code in
+//! this workspace).
+
+use crate::sync_point;
+
+pub use std::sync::atomic::Ordering;
+
+/// Mock `AtomicUsize`; see the module docs.
+#[derive(Debug, Default)]
+pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+impl AtomicUsize {
+    /// New atomic with the given initial value.
+    pub const fn new(v: usize) -> Self {
+        AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+    }
+
+    /// Atomic load (scheduling point).
+    pub fn load(&self, order: Ordering) -> usize {
+        sync_point("AtomicUsize::load");
+        self.0.load(order)
+    }
+
+    /// Atomic store (scheduling point).
+    pub fn store(&self, v: usize, order: Ordering) {
+        sync_point("AtomicUsize::store");
+        self.0.store(v, order)
+    }
+
+    /// Atomic add, returning the previous value (scheduling point).
+    pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        sync_point("AtomicUsize::fetch_add");
+        self.0.fetch_add(v, order)
+    }
+
+    /// Atomic subtract, returning the previous value (scheduling point).
+    pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+        sync_point("AtomicUsize::fetch_sub");
+        self.0.fetch_sub(v, order)
+    }
+
+    /// Atomic swap (scheduling point).
+    pub fn swap(&self, v: usize, order: Ordering) -> usize {
+        sync_point("AtomicUsize::swap");
+        self.0.swap(v, order)
+    }
+
+    /// Atomic compare-exchange (scheduling point).
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        sync_point("AtomicUsize::compare_exchange");
+        self.0.compare_exchange(current, new, success, failure)
+    }
+
+    /// Consume the atomic, returning the inner value (not a scheduling
+    /// point: exclusive ownership means no interleaving is visible).
+    pub fn into_inner(self) -> usize {
+        self.0.into_inner()
+    }
+}
+
+/// Mock `AtomicU64`; see the module docs.
+#[derive(Debug, Default)]
+pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+impl AtomicU64 {
+    /// New atomic with the given initial value.
+    pub const fn new(v: u64) -> Self {
+        AtomicU64(std::sync::atomic::AtomicU64::new(v))
+    }
+
+    /// Atomic load (scheduling point).
+    pub fn load(&self, order: Ordering) -> u64 {
+        sync_point("AtomicU64::load");
+        self.0.load(order)
+    }
+
+    /// Atomic store (scheduling point).
+    pub fn store(&self, v: u64, order: Ordering) {
+        sync_point("AtomicU64::store");
+        self.0.store(v, order)
+    }
+
+    /// Atomic add, returning the previous value (scheduling point).
+    pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        sync_point("AtomicU64::fetch_add");
+        self.0.fetch_add(v, order)
+    }
+
+    /// Atomic compare-exchange (scheduling point).
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        sync_point("AtomicU64::compare_exchange");
+        self.0.compare_exchange(current, new, success, failure)
+    }
+}
+
+/// Mock `AtomicBool`; see the module docs.
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// New atomic with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        AtomicBool(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Atomic load (scheduling point).
+    pub fn load(&self, order: Ordering) -> bool {
+        sync_point("AtomicBool::load");
+        self.0.load(order)
+    }
+
+    /// Atomic store (scheduling point).
+    pub fn store(&self, v: bool, order: Ordering) {
+        sync_point("AtomicBool::store");
+        self.0.store(v, order)
+    }
+
+    /// Atomic swap (scheduling point).
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        sync_point("AtomicBool::swap");
+        self.0.swap(v, order)
+    }
+
+    /// Atomic compare-exchange (scheduling point).
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        sync_point("AtomicBool::compare_exchange");
+        self.0.compare_exchange(current, new, success, failure)
+    }
+}

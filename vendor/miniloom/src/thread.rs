@@ -1,0 +1,79 @@
+//! Mock `thread::spawn`/`JoinHandle` integrated with the model
+//! scheduler. Inside a model run, spawned closures become scheduler-
+//! controlled model threads; outside, they are plain `std::thread`
+//! threads.
+
+use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+use crate::{
+    current_ctx, model_join, model_thread_body, push_real_handle, register_thread, sync_point, Abort,
+};
+
+/// Handle to a spawned model (or fallback std) thread.
+pub struct JoinHandle<T> {
+    /// Model-thread id when spawned inside a model run.
+    tid: Option<usize>,
+    /// Result slot filled by the model thread on success.
+    slot: StdArc<StdMutex<Option<T>>>,
+    /// Real handle when spawned outside a model run.
+    real: Option<std::thread::JoinHandle<T>>,
+}
+
+/// Spawn a thread. Inside a model run this registers a new model
+/// thread with the scheduler (registration is itself a scheduling
+/// point, so the child may run immediately or arbitrarily later);
+/// outside it delegates to `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        Some(ctx) => {
+            let tid = register_thread(&ctx);
+            let slot = StdArc::new(StdMutex::new(None));
+            let shared = StdArc::clone(&ctx.shared);
+            let slot2 = StdArc::clone(&slot);
+            let handle = std::thread::Builder::new()
+                .name(format!("miniloom-t{tid}"))
+                .spawn(move || model_thread_body(shared, tid, f, slot2))
+                .expect("miniloom: failed to spawn model thread");
+            push_real_handle(&ctx, handle);
+            sync_point("spawn");
+            JoinHandle { tid: Some(tid), slot, real: None }
+        }
+        None => {
+            let handle = std::thread::spawn(f);
+            JoinHandle { tid: None, slot: StdArc::new(StdMutex::new(None)), real: Some(handle) }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value. A
+    /// scheduling point under a model. If the target thread panicked,
+    /// the model run is already aborting and this unwinds too.
+    pub fn join(self) -> T {
+        if let Some(handle) = self.real {
+            return handle.join().expect("miniloom: joined thread panicked");
+        }
+        let ctx = current_ctx()
+            .expect("miniloom: model JoinHandle joined outside its model run");
+        let tid = self.tid.expect("model handle always carries a tid");
+        sync_point("join");
+        model_join(&ctx, tid);
+        let v = self.slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match v {
+            Some(v) => v,
+            // The child unwound: its failure is recorded and the run
+            // is aborting — propagate the abort.
+            None => std::panic::panic_any(Abort),
+        }
+    }
+}
+
+/// Voluntary scheduling point: lets the checker interleave other
+/// threads here. A no-op outside a model run.
+pub fn yield_now() {
+    sync_point("yield_now");
+}

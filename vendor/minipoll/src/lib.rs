@@ -185,6 +185,11 @@ impl PollSet {
             for f in &mut self.fds {
                 f.revents = 0;
             }
+            // SAFETY: `fds` is a live, exclusively borrowed Vec of
+            // `#[repr(C)]` pollfd structs matching the libc layout, so
+            // the pointer/len pair describes exactly `len` valid
+            // entries for the kernel to read and write; poll(2) does
+            // not retain the pointer past the call.
             let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len(), timeout_ms) };
             if rc >= 0 {
                 return Ok(rc as usize);

@@ -5,15 +5,34 @@
 //! API-compatible subsets. This one wraps `std::sync` primitives and
 //! papers over lock poisoning (parking_lot locks are poison-free, so the
 //! code written against it never expects a `Result`).
+//!
+//! # Model checking (`--cfg miniloom`)
+//!
+//! Built with `RUSTFLAGS="--cfg miniloom"`, [`Mutex`]/[`MutexGuard`]
+//! become `miniloom`'s scheduler-aware mocks instead: every lock and
+//! unlock is a scheduling point, so the exhaustive-interleaving checker
+//! can explore all orderings of code written against this crate — e.g.
+//! the cache's shard-lock LRU surgery — without that code changing at
+//! all. The API surface is identical either way.
+
+#![forbid(unsafe_code)]
 
 use std::fmt;
 
+/// Scheduler-aware mock lock: under `--cfg miniloom` every `lock()`
+/// call and guard drop is a model-checker scheduling point.
+#[cfg(miniloom)]
+pub use miniloom::sync::{Mutex, MutexGuard};
+
 /// A mutual-exclusion lock with a poison-free `lock()` API.
+#[cfg(not(miniloom))]
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
+#[cfg(not(miniloom))]
 /// RAII guard returned by [`Mutex::lock`].
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
 
+#[cfg(not(miniloom))]
 impl<T> Mutex<T> {
     /// Create a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
@@ -26,6 +45,7 @@ impl<T> Mutex<T> {
     }
 }
 
+#[cfg(not(miniloom))]
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available. Never poisons: if a
     /// holder panicked, the data is handed to the next locker anyway,
@@ -49,12 +69,14 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+#[cfg(not(miniloom))]
 impl<T: Default> Default for Mutex<T> {
     fn default() -> Self {
         Mutex::new(T::default())
     }
 }
 
+#[cfg(not(miniloom))]
 impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_lock() {

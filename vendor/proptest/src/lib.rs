@@ -12,6 +12,8 @@
 //! the failing case's values are reported as-is via the assertion
 //! message. That trades minimal counterexamples for zero dependencies.
 
+#![forbid(unsafe_code)]
+
 /// Strategy vocabulary: how to draw random values of a type.
 pub mod strategy {
     use crate::test_runner::TestRng;

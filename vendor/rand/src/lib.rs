@@ -6,6 +6,8 @@
 //! methods. This crate provides that subset with the same names and
 //! signatures, so swapping the real crate back in is a manifest change.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
 

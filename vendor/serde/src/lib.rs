@@ -12,6 +12,8 @@
 //! fresca workspace uses and the real dependency can be swapped back in
 //! by editing manifests only.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;

@@ -6,6 +6,8 @@
 //! stand-in's `to_value`/`from_value` trait methods. Generated code
 //! refers to the traits via the `::serde` crate path.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]

@@ -7,6 +7,8 @@
 //! round-trippable form. Non-finite floats render as `null`, which the
 //! stand-in `f64` deserializer maps back to `NaN`.
 
+#![forbid(unsafe_code)]
+
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt::Write as _;
 
