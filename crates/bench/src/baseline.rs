@@ -1,0 +1,407 @@
+//! Perf-trajectory gating: compare a scenario report against a stored
+//! baseline with noise-tolerant thresholds.
+//!
+//! The loadgen `--json` report of a `--scenario` run is a point on the
+//! perf trajectory. This module turns a directory of stored reports
+//! (`baselines/<scenario>.json`, committed to the repo) into a
+//! regression gate:
+//!
+//! * **throughput floor** — current `ops_per_sec` must be at least
+//!   `min_throughput_ratio ×` the baseline's (relative, so one
+//!   threshold works for a 20k-op/s scenario and a 200k one);
+//! * **p99 ceiling** — current `p99_latency_us` must not exceed
+//!   `max_p99_ratio ×` the baseline's;
+//! * **zero tolerance** — staleness violations, version anomalies and
+//!   checksum mismatches must not exceed the baseline's count, and
+//!   every stored baseline records zero, so any occurrence fails.
+//!
+//! The ratios absorb shared-runner noise; correctness counters get
+//! none. [`check`] produces a [`CheckReport`]: one row per metric with
+//! the baseline value, the current value, the applied limit and a
+//! verdict — renderable as an aligned diff table ([`CheckReport::table`])
+//! and serializable to JSON (schema pinned by
+//! `crates/serve/tests/report_schema.rs`).
+//!
+//! The `baseline` binary wraps this as `baseline write <report.json>`
+//! (store/refresh a baseline — the intentional-change workflow) and
+//! `baseline check <report.json>` (exit nonzero on regression — the CI
+//! workflow).
+
+use crate::Table;
+use serde::Serialize;
+use serde_json::JsonValue;
+
+/// The gated metrics extracted from a loadgen `--json` report (the
+/// aggregate, for cluster reports).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Metrics {
+    /// Scenario (or workload generator) name the report identifies as.
+    pub scenario: String,
+    /// RNG master seed of the replayed schedule.
+    pub seed: u64,
+    /// Operations completed.
+    pub ops: u64,
+    /// Completed operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Median request latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Bounded reads refused — must stay zero in a clean scenario run.
+    pub staleness_violations: u64,
+    /// Version-monotonicity violations — must stay zero.
+    pub version_anomalies: u64,
+    /// Payload checksum mismatches — must stay zero.
+    pub checksum_mismatches: u64,
+}
+
+fn field<'a>(flat: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    flat.get(key).ok_or_else(|| format!("report is missing field {key:?}"))
+}
+
+fn num(flat: &JsonValue, key: &str) -> Result<f64, String> {
+    match field(flat, key)? {
+        JsonValue::F64(f) => Ok(*f),
+        JsonValue::U64(n) => Ok(*n as f64),
+        JsonValue::I64(n) => Ok(*n as f64),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+fn count(flat: &JsonValue, key: &str) -> Result<u64, String> {
+    match field(flat, key)? {
+        JsonValue::U64(n) => Ok(*n),
+        other => Err(format!("field {key:?} is not a counter: {other:?}")),
+    }
+}
+
+/// Extract the gated metrics from a parsed loadgen report. Accepts both
+/// shapes the loadgen writes: a flat single-node `LoadReport` and a
+/// `ClusterReport` (gates on its `aggregate`). A report without a
+/// `scenario` identity is rejected — gating on an anonymous run would
+/// compare apples to whatever happened to be on disk.
+pub fn metrics_from_json(root: &JsonValue) -> Result<Metrics, String> {
+    let flat = root.get("aggregate").unwrap_or(root);
+    let scenario = field(flat, "scenario")?
+        .as_str()
+        .ok_or_else(|| "field \"scenario\" is not a string".to_string())?
+        .to_string();
+    if scenario.is_empty() {
+        return Err("report carries no scenario identity (empty \"scenario\" field); \
+                    generate it with `loadgen --scenario <name> --json <path>`"
+            .to_string());
+    }
+    Ok(Metrics {
+        scenario,
+        seed: count(flat, "seed")?,
+        ops: count(flat, "ops")?,
+        ops_per_sec: num(flat, "ops_per_sec")?,
+        p50_latency_us: num(flat, "p50_latency_us")?,
+        p99_latency_us: num(flat, "p99_latency_us")?,
+        staleness_violations: count(flat, "staleness_violations")?,
+        version_anomalies: count(flat, "version_anomalies")?,
+        checksum_mismatches: count(flat, "checksum_mismatches")?,
+    })
+}
+
+/// Parse report text (the file loadgen wrote with `--json`) into
+/// [`Metrics`].
+pub fn metrics_from_str(text: &str) -> Result<Metrics, String> {
+    let root = serde_json::parse(text).map_err(|e| format!("report is not JSON: {e:?}"))?;
+    metrics_from_json(&root)
+}
+
+/// Noise tolerance for the relative thresholds. Correctness counters
+/// (violations, anomalies, mismatches) always gate at the baseline's
+/// count — zero tolerance given the all-zero stored baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Floor on `current.ops_per_sec / baseline.ops_per_sec`.
+    pub min_throughput_ratio: f64,
+    /// Ceiling on `current.p99_latency_us / baseline.p99_latency_us`.
+    pub max_p99_ratio: f64,
+}
+
+impl Default for Thresholds {
+    /// Local-machine defaults: half the baseline throughput or triple
+    /// its p99 is a regression. CI on shared runners passes softer
+    /// ratios explicitly.
+    fn default() -> Self {
+        Thresholds { min_throughput_ratio: 0.5, max_p99_ratio: 3.0 }
+    }
+}
+
+/// One row of the per-metric diff table.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricDiff {
+    /// Metric name, matching the report's JSON field.
+    pub metric: String,
+    /// Value stored in the baseline.
+    pub baseline: f64,
+    /// Value in the report under check.
+    pub current: f64,
+    /// Human-readable spelling of the applied limit (empty for
+    /// informational rows).
+    pub limit: String,
+    /// Whether this row can fail the check (false = informational).
+    pub gating: bool,
+    /// Whether this row passed (informational rows always pass).
+    pub pass: bool,
+}
+
+/// The outcome of one baseline check: per-metric rows plus the verdict.
+/// Serializes to JSON for the `baseline check --json` flag; the key set
+/// is pinned by `crates/serve/tests/report_schema.rs`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CheckReport {
+    /// Scenario both reports identify as.
+    pub scenario: String,
+    /// True when every gating row passed.
+    pub pass: bool,
+    /// Per-metric diffs, gating rows first.
+    pub rows: Vec<MetricDiff>,
+}
+
+impl CheckReport {
+    /// Render the per-metric diff table (aligned columns, one row per
+    /// metric, FAIL markers on gating rows that missed their limit).
+    pub fn table(&self) -> String {
+        let mut t = Table::new(vec!["metric", "baseline", "current", "limit", "verdict"]);
+        for row in &self.rows {
+            let fmt = |v: f64| {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{v:.0}")
+                } else {
+                    format!("{v:.1}")
+                }
+            };
+            let verdict = match (row.gating, row.pass) {
+                (false, _) => "info",
+                (true, true) => "ok",
+                (true, false) => "FAIL",
+            };
+            t.row(vec![
+                row.metric.clone(),
+                fmt(row.baseline),
+                fmt(row.current),
+                row.limit.clone(),
+                verdict.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Compare `current` against `baseline` under `thresholds`. Returns an
+/// error (not a failing report) when the two reports describe different
+/// scenarios — that is a usage mistake, not a regression.
+pub fn check(
+    current: &Metrics,
+    baseline: &Metrics,
+    thresholds: &Thresholds,
+) -> Result<CheckReport, String> {
+    if current.scenario != baseline.scenario {
+        return Err(format!(
+            "scenario mismatch: report is {:?} but baseline is {:?}",
+            current.scenario, baseline.scenario
+        ));
+    }
+    let mut rows = Vec::new();
+
+    let floor = baseline.ops_per_sec * thresholds.min_throughput_ratio;
+    rows.push(MetricDiff {
+        metric: "ops_per_sec".into(),
+        baseline: baseline.ops_per_sec,
+        current: current.ops_per_sec,
+        limit: format!(">= {floor:.0} ({:.2}x)", thresholds.min_throughput_ratio),
+        gating: true,
+        pass: current.ops_per_sec >= floor,
+    });
+
+    // A sub-microsecond baseline p99 would make any real latency an
+    // "infinite" regression; clamp the reference to 1us.
+    let ceiling = baseline.p99_latency_us.max(1.0) * thresholds.max_p99_ratio;
+    rows.push(MetricDiff {
+        metric: "p99_latency_us".into(),
+        baseline: baseline.p99_latency_us,
+        current: current.p99_latency_us,
+        limit: format!("<= {ceiling:.0} ({:.2}x)", thresholds.max_p99_ratio),
+        gating: true,
+        pass: current.p99_latency_us <= ceiling,
+    });
+
+    for (metric, base, cur) in [
+        ("staleness_violations", baseline.staleness_violations, current.staleness_violations),
+        ("version_anomalies", baseline.version_anomalies, current.version_anomalies),
+        ("checksum_mismatches", baseline.checksum_mismatches, current.checksum_mismatches),
+    ] {
+        rows.push(MetricDiff {
+            metric: metric.into(),
+            baseline: base as f64,
+            current: cur as f64,
+            limit: format!("<= {base}"),
+            gating: true,
+            pass: cur <= base,
+        });
+    }
+
+    // Informational rows: context for a human reading the diff, never
+    // gating (op counts scale with --rate; p50 is covered by p99; seeds
+    // may legitimately differ when someone checks an exploratory run).
+    for (metric, base, cur) in [
+        ("ops", baseline.ops as f64, current.ops as f64),
+        ("p50_latency_us", baseline.p50_latency_us, current.p50_latency_us),
+        ("seed", baseline.seed as f64, current.seed as f64),
+    ] {
+        rows.push(MetricDiff {
+            metric: metric.into(),
+            baseline: base,
+            current: cur,
+            limit: String::new(),
+            gating: false,
+            pass: true,
+        });
+    }
+
+    let pass = rows.iter().all(|r| r.pass);
+    Ok(CheckReport { scenario: current.scenario.clone(), pass, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(ops_per_sec: f64, p99: f64) -> Metrics {
+        Metrics {
+            scenario: "flash-crowd".into(),
+            seed: 42,
+            ops: 80_000,
+            ops_per_sec,
+            p50_latency_us: 100.0,
+            p99_latency_us: p99,
+            staleness_violations: 0,
+            version_anomalies: 0,
+            checksum_mismatches: 0,
+        }
+    }
+
+    #[test]
+    fn clean_run_within_thresholds_passes() {
+        let report = check(
+            &metrics(19_000.0, 900.0),
+            &metrics(20_000.0, 800.0),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(report.pass, "{}", report.table());
+        assert!(report.rows.iter().all(|r| r.pass));
+        assert_eq!(report.scenario, "flash-crowd");
+    }
+
+    #[test]
+    fn throughput_collapse_fails_the_floor() {
+        // 10x slower than baseline — the acceptance-criteria scenario.
+        let report = check(
+            &metrics(2_000.0, 800.0),
+            &metrics(20_000.0, 800.0),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(!report.pass);
+        let row = report.rows.iter().find(|r| r.metric == "ops_per_sec").unwrap();
+        assert!(!row.pass && row.gating);
+        assert!(report.table().contains("FAIL"), "{}", report.table());
+    }
+
+    #[test]
+    fn p99_blowup_fails_the_ceiling() {
+        let report = check(
+            &metrics(20_000.0, 80_000.0),
+            &metrics(20_000.0, 800.0),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(!report.pass);
+        let row = report.rows.iter().find(|r| r.metric == "p99_latency_us").unwrap();
+        assert!(!row.pass);
+        // Generous CI ratio forgives it.
+        let soft = Thresholds { min_throughput_ratio: 0.2, max_p99_ratio: 200.0 };
+        assert!(check(&metrics(20_000.0, 80_000.0), &metrics(20_000.0, 800.0), &soft)
+            .unwrap()
+            .pass);
+    }
+
+    #[test]
+    fn any_violation_fails_zero_tolerance() {
+        for field in ["staleness_violations", "version_anomalies", "checksum_mismatches"] {
+            let mut current = metrics(20_000.0, 800.0);
+            match field {
+                "staleness_violations" => current.staleness_violations = 1,
+                "version_anomalies" => current.version_anomalies = 1,
+                _ => current.checksum_mismatches = 1,
+            }
+            let report =
+                check(&current, &metrics(20_000.0, 800.0), &Thresholds::default()).unwrap();
+            assert!(!report.pass, "{field} must gate");
+            let row = report.rows.iter().find(|r| r.metric == field).unwrap();
+            assert!(!row.pass && row.gating && row.limit == "<= 0");
+        }
+    }
+
+    #[test]
+    fn scenario_mismatch_is_an_error_not_a_failure() {
+        let mut other = metrics(20_000.0, 800.0);
+        other.scenario = "diurnal".into();
+        let err = check(&metrics(20_000.0, 800.0), &other, &Thresholds::default()).unwrap_err();
+        assert!(err.contains("mismatch") && err.contains("diurnal"), "{err}");
+    }
+
+    #[test]
+    fn seed_difference_is_informational_only() {
+        let mut current = metrics(20_000.0, 800.0);
+        current.seed = 7;
+        let report = check(&current, &metrics(20_000.0, 800.0), &Thresholds::default()).unwrap();
+        assert!(report.pass);
+        let row = report.rows.iter().find(|r| r.metric == "seed").unwrap();
+        assert!(!row.gating && row.pass);
+    }
+
+    #[test]
+    fn metrics_parse_flat_and_cluster_reports() {
+        let flat = r#"{"scenario":"diurnal","seed":9,"ops":100,"ops_per_sec":50.0,
+            "p50_latency_us":10.0,"p99_latency_us":20.0,"staleness_violations":0,
+            "version_anomalies":0,"checksum_mismatches":0}"#;
+        let m = metrics_from_str(flat).unwrap();
+        assert_eq!((m.scenario.as_str(), m.seed, m.ops), ("diurnal", 9, 100));
+        assert_eq!(m.ops_per_sec, 50.0);
+
+        let cluster = format!(r#"{{"aggregate":{flat},"nodes":[]}}"#);
+        let m = metrics_from_str(&cluster).unwrap();
+        assert_eq!(m.scenario, "diurnal");
+
+        // Anonymous and malformed reports are rejected with a reason.
+        let anon = flat.replace("\"diurnal\"", "\"\"");
+        assert!(metrics_from_str(&anon).unwrap_err().contains("no scenario identity"));
+        assert!(metrics_from_str("{}").unwrap_err().contains("scenario"));
+        assert!(metrics_from_str("not json").unwrap_err().contains("not JSON"));
+    }
+
+    #[test]
+    fn check_report_serializes_with_stable_keys() {
+        let report = check(
+            &metrics(20_000.0, 800.0),
+            &metrics(20_000.0, 800.0),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let root = serde_json::parse(&json).unwrap();
+        let keys: Vec<&str> =
+            root.as_map().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["scenario", "pass", "rows"]);
+        let rows = root.get("rows").and_then(JsonValue::as_seq).unwrap();
+        let row_keys: Vec<&str> =
+            rows[0].as_map().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(row_keys, ["metric", "baseline", "current", "limit", "gating", "pass"]);
+    }
+}

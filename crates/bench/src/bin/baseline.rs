@@ -1,0 +1,179 @@
+//! `baseline` — store and check per-scenario performance baselines.
+//!
+//! ```text
+//! baseline write <report.json> [--dir baselines]
+//! baseline check <report.json> [--dir baselines]
+//!                [--min-throughput-ratio 0.5] [--max-p99-ratio 3.0]
+//!                [--json <out.json>]
+//! baseline list  [--dir baselines]
+//! ```
+//!
+//! `write` stores the loadgen `--json` report verbatim as
+//! `<dir>/<scenario>.json`, keyed by the report's own `scenario` field —
+//! the workflow for blessing an intentional performance change (rerun
+//! the scenario, `baseline write`, commit the diff).
+//!
+//! `check` compares a fresh report against the stored baseline for the
+//! same scenario: relative throughput floor, p99 ceiling, zero
+//! tolerance on staleness violations / version anomalies / checksum
+//! mismatches. It prints a per-metric diff table, optionally writes the
+//! structured verdict with `--json`, and exits `1` on regression —
+//! the CI `scenario-matrix` contract. Exit code `2` means a usage
+//! error (unreadable report, no baseline stored, scenario mismatch),
+//! so CI can tell "perf regressed" from "the gate is misconfigured".
+
+use fresca_bench::baseline::{check, metrics_from_str, Metrics, Thresholds};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: baseline write <report.json> [--dir baselines]\n\
+         \x20      baseline check <report.json> [--dir baselines] \
+         [--min-throughput-ratio 0.5] [--max-p99-ratio 3.0] [--json <out.json>]\n\
+         \x20      baseline list  [--dir baselines]"
+    );
+    exit(2);
+}
+
+/// Value of `--name <value>`, or `default`; exits 2 on a missing or
+/// unparsable value (never silently falls back after a typo).
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    let Some(i) = args.iter().position(|a| a == name) else { return default };
+    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("baseline: flag {name} is missing its value or it does not parse");
+            exit(2);
+        }
+    }
+}
+
+fn read_metrics(path: &Path) -> (String, Metrics) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("baseline: cannot read {}: {e}", path.display());
+            exit(2);
+        }
+    };
+    match metrics_from_str(&text) {
+        Ok(m) => (text, m),
+        Err(e) => {
+            eprintln!("baseline: {}: {e}", path.display());
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let dir = PathBuf::from(flag(&args, "--dir", "baselines".to_string()));
+    match args.get(1).map(String::as_str) {
+        Some("write") => {
+            let Some(report_path) = args.get(2).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            let (text, m) = read_metrics(Path::new(report_path));
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("baseline: cannot create {}: {e}", dir.display());
+                exit(2);
+            }
+            let target = dir.join(format!("{}.json", m.scenario));
+            let existed = target.exists();
+            if let Err(e) = std::fs::write(&target, &text) {
+                eprintln!("baseline: cannot write {}: {e}", target.display());
+                exit(2);
+            }
+            println!(
+                "{} baseline {} for scenario {} (seed {}, {:.0} ops/s, p99 {:.1}us)",
+                if existed { "updated" } else { "stored" },
+                target.display(),
+                m.scenario,
+                m.seed,
+                m.ops_per_sec,
+                m.p99_latency_us,
+            );
+        }
+        Some("check") => {
+            let Some(report_path) = args.get(2).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            let thresholds = Thresholds {
+                min_throughput_ratio: flag(
+                    &args,
+                    "--min-throughput-ratio",
+                    Thresholds::default().min_throughput_ratio,
+                ),
+                max_p99_ratio: flag(&args, "--max-p99-ratio", Thresholds::default().max_p99_ratio),
+            };
+            let (_, current) = read_metrics(Path::new(report_path));
+            let baseline_path = dir.join(format!("{}.json", current.scenario));
+            if !baseline_path.exists() {
+                eprintln!(
+                    "baseline: no stored baseline {} for scenario {:?} — \
+                     seed one with `baseline write {report_path}`",
+                    baseline_path.display(),
+                    current.scenario
+                );
+                exit(2);
+            }
+            let (_, stored) = read_metrics(&baseline_path);
+            let report = match check(&current, &stored, &thresholds) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("baseline: {e}");
+                    exit(2);
+                }
+            };
+            println!(
+                "scenario {}: report {} vs baseline {}",
+                report.scenario,
+                report_path,
+                baseline_path.display()
+            );
+            print!("{}", report.table());
+            let json_out = flag(&args, "--json", String::new());
+            if !json_out.is_empty() {
+                let json =
+                    serde_json::to_string_pretty(&report).expect("check report serializes");
+                if let Err(e) = std::fs::write(&json_out, json + "\n") {
+                    eprintln!("baseline: cannot write {json_out}: {e}");
+                    exit(2);
+                }
+                println!("wrote {json_out}");
+            }
+            if report.pass {
+                println!("PASS");
+            } else {
+                println!("FAIL — regression against stored baseline");
+                exit(1);
+            }
+        }
+        Some("list") => {
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("baseline: cannot read {}: {e}", dir.display());
+                    exit(2);
+                }
+            };
+            let mut paths: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|e| e == "json"))
+                .collect();
+            paths.sort();
+            for path in paths {
+                let (_, m) = read_metrics(&path);
+                println!(
+                    "{}: seed {}, {} ops, {:.0} ops/s, p50 {:.1}us, p99 {:.1}us",
+                    m.scenario, m.seed, m.ops, m.ops_per_sec, m.p50_latency_us, m.p99_latency_us
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -11,6 +11,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;

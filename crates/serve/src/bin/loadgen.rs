@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! loadgen [--addr 127.0.0.1:7440 | --addrs a,b,c] [--vnodes 128]
+//!         [--scenario flash-crowd|diurnal|write-heavy-ticker|
+//!                     mixed-tenants|freshness-regimes]
 //!         [--workload poisson|mix|meta|twitter]
 //!         [--seed 42] [--rate 10] [--horizon-secs 1000]
 //!         [--mode closed|open] [--conns 4] [--pipeline 16]
@@ -11,17 +13,33 @@
 //!         [--json BENCH_serve.json] [--fail-on-violations]
 //! ```
 //!
-//! Generates the chosen paper workload, maps it onto wire operations
-//! (`--ttl-ms` attaches a TTL to every put, `--bound-ms` a staleness
-//! bound to every get; 0 disables either), replays it closed- or
-//! open-loop with up to `--pipeline` requests in flight per connection,
-//! and prints the [`fresca_serve::LoadReport`] with per-status read
-//! counts and p50/p99/p999 request latency.
+//! Two schedule sources:
+//!
+//! * `--workload` generates one of the paper's workloads and maps it
+//!   onto wire operations (`--ttl-ms` attaches a TTL to every put,
+//!   `--bound-ms` a staleness bound to every get; 0 disables either;
+//!   `--time-scale` rescales the trace's virtual timestamps).
+//! * `--scenario` replays a **named scenario** from
+//!   [`fresca_workload::scenario`] — a deterministic seeded schedule in
+//!   wall time with per-op TTLs and staleness bounds baked in. `--rate`
+//!   and `--horizon-secs`, when given, override the scenario's default
+//!   rate/duration; `--time-scale` is ignored (scenario timestamps are
+//!   already wall time); `--ttl-ms` / `--bound-ms`, when given
+//!   *explicitly*, override every op's TTL/bound (0 strips them) — the
+//!   lever CI uses to inject staleness violations when testing the
+//!   baseline gate. Scenario runs default to open-loop mode, so
+//!   measured throughput tracks the scenario's offered rate and stored
+//!   baselines stay comparable across machines.
+//!
+//! The report (text and `--json`) carries the schedule identity —
+//! `scenario` name and `seed` — so every run is reproducible from its
+//! own output; `baseline check` (the `fresca-bench` gating tool) keys
+//! on those fields.
 //!
 //! Every put carries the deterministic pattern payload for its key, and
 //! every served read is FNV-checksummed against it; the report's
 //! `checksum_mismatches` must stay zero. `--value-bytes` overrides the
-//! trace's value sizes with a fixed, uniform, or heavy-tailed
+//! schedule's value sizes with a fixed, uniform, or heavy-tailed
 //! ("zipf-sized") distribution.
 //!
 //! With `--addrs a,b,c` the schedule is partitioned by the cluster's
@@ -31,30 +49,29 @@
 //! per-node breakdown plus the merged aggregate, in closed-loop mode
 //! with `--conns` connections *per node*.
 //!
-//! In open-loop mode the trace's virtual timestamps are multiplied by
-//! `--time-scale`: the paper's λ=10 req/s trace at `--time-scale 0.001`
-//! offers ~10k req/s.
-//!
 //! `--json <path>` additionally writes the report as a machine-readable
 //! JSON summary (ops/s, hit ratio, latency percentiles, violation
-//! counts) for tracking the perf trajectory across commits.
-//! `--fail-on-violations` exits non-zero when the run observed staleness
-//! violations or version anomalies — the CI smoke-test contract.
+//! counts, scenario + seed) for tracking the perf trajectory across
+//! commits. `--fail-on-violations` exits non-zero when the run observed
+//! staleness violations, version anomalies, or checksum mismatches —
+//! the CI smoke-test contract.
 
 use fresca_serve::cli::arg;
 use fresca_serve::loadgen::{self, LoadGenConfig, Mode, ValueDist};
 use fresca_sim::SimDuration;
 use fresca_workload::{
-    MetaLikeConfig, PoissonMixConfig, PoissonZipfConfig, ReplayConfig, TwitterLikeConfig,
-    WorkloadGen,
+    scenario, MetaLikeConfig, PoissonMixConfig, PoissonZipfConfig, ReplayConfig, ScenarioParams,
+    TimedOp, TwitterLikeConfig, WireOp, WorkloadGen,
 };
 use std::net::{SocketAddr, ToSocketAddrs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
+        let names = scenario::names().join("|");
         eprintln!(
             "usage: loadgen [--addr 127.0.0.1:7440 | --addrs a,b,c] [--vnodes 128] \
+             [--scenario {names}] \
              [--workload poisson|mix|meta|twitter] \
              [--seed 42] [--rate 10] [--horizon-secs 1000] [--mode closed|open] \
              [--conns 4] [--pipeline 16] [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0] \
@@ -63,22 +80,21 @@ fn main() {
         );
         return;
     }
+    let has_flag = |name: &str| args.iter().any(|a| a == name);
     let addr_s = arg(&args, "--addr", "127.0.0.1:7440".to_string());
     let addrs_s = arg(&args, "--addrs", String::new());
     let vnodes: usize = arg(&args, "--vnodes", fresca_serve::ring::DEFAULT_VNODES);
+    let scenario_s = arg(&args, "--scenario", String::new());
     let workload = arg(&args, "--workload", "poisson".to_string());
     let seed: u64 = arg(&args, "--seed", 42);
-    let rate: f64 = arg(&args, "--rate", 10.0);
-    let horizon = SimDuration::from_secs(arg(&args, "--horizon-secs", 1000));
-    let mode_s = arg(&args, "--mode", "closed".to_string());
+    let mode_s = arg(&args, "--mode", String::new());
     let conns: usize = arg(&args, "--conns", 4);
     let pipeline: usize = arg(&args, "--pipeline", 16);
-    let time_scale: f64 = arg(&args, "--time-scale", 0.001);
     let ttl_ms: u64 = arg(&args, "--ttl-ms", 500);
     let bound_ms: u64 = arg(&args, "--bound-ms", 0);
     let value_bytes_s = arg(&args, "--value-bytes", String::new());
     let json_path = arg(&args, "--json", String::new());
-    let fail_on_violations = args.iter().any(|a| a == "--fail-on-violations");
+    let fail_on_violations = has_flag("--fail-on-violations");
 
     let value_bytes = if value_bytes_s.is_empty() {
         None
@@ -95,33 +111,86 @@ fn main() {
         }
     };
 
-    let trace = match workload.as_str() {
-        "poisson" => {
-            PoissonZipfConfig { rate, horizon, ..Default::default() }.generate(seed)
-        }
-        "mix" => PoissonMixConfig { rate, horizon, ..Default::default() }.generate(seed),
-        "meta" => MetaLikeConfig { rate, horizon, ..Default::default() }.generate(seed),
-        "twitter" => {
-            TwitterLikeConfig { rate, horizon, ..Default::default() }.generate(seed)
-        }
-        other => {
-            eprintln!("loadgen: unknown workload {other:?} (try poisson|mix|meta|twitter)");
+    // Schedule source: a named scenario (wall-time schedule, per-op
+    // freshness params baked in) or a generated paper workload mapped
+    // through ReplayConfig. Either way: (ops, identity, default mode).
+    let (ops, schedule_name, default_mode): (Vec<TimedOp>, String, &str) = if !scenario_s
+        .is_empty()
+    {
+        let Some(def) = scenario::find(&scenario_s) else {
+            eprintln!(
+                "loadgen: unknown scenario {scenario_s:?} (try {})",
+                scenario::names().join("|")
+            );
             std::process::exit(2);
+        };
+        let rate: f64 =
+            if has_flag("--rate") { arg(&args, "--rate", 0.0) } else { def.default_rate };
+        let duration = if has_flag("--horizon-secs") {
+            SimDuration::from_secs(arg(&args, "--horizon-secs", 0))
+        } else {
+            SimDuration::from_secs(def.default_duration_secs)
+        };
+        let mut ops = def.build(&ScenarioParams { seed, rate, duration });
+        // Explicit --ttl-ms / --bound-ms override the scenario's per-op
+        // freshness params (0 strips them). This is the violation-
+        // injection lever: `--bound-ms 1` makes a correct server refuse
+        // nearly every bounded read, which `baseline check` must catch.
+        if has_flag("--ttl-ms") {
+            let ttl = (ttl_ms > 0).then(|| SimDuration::from_millis(ttl_ms));
+            for op in &mut ops {
+                if let WireOp::Put { ttl: t, .. } = &mut op.op {
+                    *t = ttl;
+                }
+            }
         }
+        if has_flag("--bound-ms") {
+            let bound = (bound_ms > 0).then(|| SimDuration::from_millis(bound_ms));
+            for op in &mut ops {
+                if let WireOp::Get { max_staleness, .. } = &mut op.op {
+                    *max_staleness = bound;
+                }
+            }
+        }
+        (ops, def.name.to_string(), "open")
+    } else {
+        let rate: f64 = arg(&args, "--rate", 10.0);
+        let horizon = SimDuration::from_secs(arg(&args, "--horizon-secs", 1000));
+        let time_scale: f64 = arg(&args, "--time-scale", 0.001);
+        let trace = match workload.as_str() {
+            "poisson" => {
+                PoissonZipfConfig { rate, horizon, ..Default::default() }.generate(seed)
+            }
+            "mix" => PoissonMixConfig { rate, horizon, ..Default::default() }.generate(seed),
+            "meta" => MetaLikeConfig { rate, horizon, ..Default::default() }.generate(seed),
+            "twitter" => {
+                TwitterLikeConfig { rate, horizon, ..Default::default() }.generate(seed)
+            }
+            other => {
+                eprintln!("loadgen: unknown workload {other:?} (try poisson|mix|meta|twitter)");
+                std::process::exit(2);
+            }
+        };
+        let replay = ReplayConfig {
+            ttl: (ttl_ms > 0).then(|| SimDuration::from_millis(ttl_ms)),
+            max_staleness: (bound_ms > 0).then(|| SimDuration::from_millis(bound_ms)),
+            time_scale,
+        };
+        let name = trace.meta().generator.clone();
+        (replay.map_trace(&trace), name, "closed")
     };
-    let replay = ReplayConfig {
-        ttl: (ttl_ms > 0).then(|| SimDuration::from_millis(ttl_ms)),
-        max_staleness: (bound_ms > 0).then(|| SimDuration::from_millis(bound_ms)),
-        time_scale,
-    };
-    let ops = replay.map_trace(&trace);
-    let mode = match mode_s.as_str() {
+
+    let mode = match if mode_s.is_empty() { default_mode } else { mode_s.as_str() } {
         "closed" => Mode::Closed { connections: conns.max(1) },
         "open" => Mode::Open,
         other => {
             eprintln!("loadgen: unknown mode {other:?} (try closed|open)");
             std::process::exit(2);
         }
+    };
+    let mode_name = match mode {
+        Mode::Closed { .. } => "closed",
+        Mode::Open => "open",
     };
     let resolve = |s: &str| match s.to_socket_addrs().ok().and_then(|mut it| it.next()) {
         Some(a) => a,
@@ -144,14 +213,16 @@ fn main() {
             })
             .collect();
         println!(
-            "replaying {} ops of {} (seed {seed}) across {} nodes [{mode_s}, pipeline \
-             {pipeline}, {vnodes} vnodes]",
+            "replaying {} ops of {schedule_name} (seed {seed}) across {} nodes [{mode_name}, \
+             pipeline {pipeline}, {vnodes} vnodes]",
             ops.len(),
-            trace.meta().generator,
             nodes.len(),
         );
         match loadgen::run_cluster(&nodes, &ops, &config, vnodes) {
-            Ok(cluster) => (cluster.aggregate.clone(), Some(cluster)),
+            Ok(mut cluster) => {
+                cluster.set_identity(&schedule_name, seed);
+                (cluster.aggregate.clone(), Some(cluster))
+            }
             Err(e) => {
                 eprintln!("loadgen: {e}");
                 std::process::exit(1);
@@ -160,12 +231,15 @@ fn main() {
     } else {
         let addr = resolve(&addr_s);
         println!(
-            "replaying {} ops of {} (seed {seed}) against {addr} [{mode_s}, pipeline {pipeline}]",
+            "replaying {} ops of {schedule_name} (seed {seed}) against {addr} [{mode_name}, \
+             pipeline {pipeline}]",
             ops.len(),
-            trace.meta().generator,
         );
         match loadgen::run(addr, &ops, &config) {
-            Ok(report) => (report, None),
+            Ok(mut report) => {
+                report.set_identity(&schedule_name, seed);
+                (report, None)
+            }
             Err(e) => {
                 eprintln!("loadgen: {e}");
                 std::process::exit(1);

@@ -215,6 +215,13 @@ pub struct LoadReport {
     pub p99_latency_us: f64,
     /// 99.9th-percentile request latency in microseconds.
     pub p999_latency_us: f64,
+    /// Identity of the schedule this run replayed: a scenario registry
+    /// name (`loadgen --scenario`) or a workload generator name. Paired
+    /// with [`LoadReport::seed`], it makes every report reproducible —
+    /// `baseline check` refuses to compare reports across scenarios.
+    pub scenario: String,
+    /// RNG master seed the schedule was generated from.
+    pub seed: u64,
 }
 
 impl LoadReport {
@@ -226,10 +233,20 @@ impl LoadReport {
             && self.version_anomalies == 0
             && self.checksum_mismatches == 0
     }
+
+    /// Record which schedule produced this run (scenario or generator
+    /// name, plus the RNG master seed) so the report is reproducible.
+    pub fn set_identity(&mut self, scenario: &str, seed: u64) {
+        self.scenario = scenario.to_string();
+        self.seed = seed;
+    }
 }
 
 impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.scenario.is_empty() {
+            writeln!(f, "schedule: {} (seed {})", self.scenario, self.seed)?;
+        }
         writeln!(
             f,
             "{} ops in {:.3}s  ({:.0} ops/s)",
@@ -467,6 +484,16 @@ impl ClusterReport {
     pub fn is_clean(&self) -> bool {
         self.aggregate.is_clean()
     }
+
+    /// Record the schedule identity (scenario or generator name + seed)
+    /// on the aggregate and every per-node report, so each row of the
+    /// JSON stays independently reproducible.
+    pub fn set_identity(&mut self, scenario: &str, seed: u64) {
+        self.aggregate.set_identity(scenario, seed);
+        for node in &mut self.nodes {
+            node.report.set_identity(scenario, seed);
+        }
+    }
 }
 
 impl std::fmt::Display for ClusterReport {
@@ -652,6 +679,10 @@ fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
         p50_latency_us: percentile(&r.latencies_us, 0.50),
         p99_latency_us: percentile(&r.latencies_us, 0.99),
         p999_latency_us: percentile(&r.latencies_us, 0.999),
+        // Schedule identity is attached by the caller via
+        // `set_identity` — the engine only sees the op list.
+        scenario: String::new(),
+        seed: 0,
     }
 }
 
@@ -804,6 +835,29 @@ mod tests {
         let mut res = WorkerResult::default();
         served_empty(&mut track, &mut res);
         assert_eq!(res.checksum_mismatches, 0);
+    }
+
+    #[test]
+    fn identity_threads_through_single_and_cluster_reports() {
+        let mut report = build_report(WorkerResult::default(), Duration::from_secs(1));
+        assert_eq!(report.scenario, "", "identity is opt-in");
+        report.set_identity("flash-crowd", 42);
+        assert_eq!((report.scenario.as_str(), report.seed), ("flash-crowd", 42));
+        let shown = report.to_string();
+        assert!(shown.contains("schedule: flash-crowd (seed 42)"), "{shown}");
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"scenario\"") && json.contains("\"seed\""), "{json}");
+
+        let mut cluster = ClusterReport {
+            aggregate: build_report(WorkerResult::default(), Duration::from_secs(1)),
+            nodes: vec![NodeReport {
+                addr: "a:1".into(),
+                report: build_report(WorkerResult::default(), Duration::from_secs(1)),
+            }],
+        };
+        cluster.set_identity("diurnal", 7);
+        assert_eq!(cluster.aggregate.scenario, "diurnal");
+        assert_eq!(cluster.nodes[0].report.seed, 7);
     }
 
     #[test]

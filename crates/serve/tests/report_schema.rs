@@ -30,7 +30,16 @@ const LOAD_REPORT_KEYS: &[&str] = &[
     "p50_latency_us",
     "p99_latency_us",
     "p999_latency_us",
+    "scenario",
+    "seed",
 ];
+
+/// Top-level keys of `baseline check --json` output, in declaration
+/// order — the structured verdict the CI `scenario-matrix` job uploads.
+const CHECK_REPORT_KEYS: &[&str] = &["scenario", "pass", "rows"];
+
+/// Keys of each per-metric diff row inside `rows`.
+const METRIC_DIFF_KEYS: &[&str] = &["metric", "baseline", "current", "limit", "gating", "pass"];
 
 fn to_value<T: serde::Serialize>(v: &T) -> JsonValue {
     let text = serde_json::to_string(v).expect("serialize");
@@ -115,6 +124,73 @@ fn cluster_report_nests_aggregate_and_per_node_reports() {
     }
     assert_eq!(nodes[0].get("addr").and_then(JsonValue::as_str), Some("127.0.0.1:7001"));
     assert_eq!(as_u64(nodes[1].get("report").and_then(|r| r.get("ops")).expect("ops")), 6);
+}
+
+#[test]
+fn report_carries_scenario_identity() {
+    // `scenario` + `seed` are the replay identity: `baseline check`
+    // keys its stored-baseline lookup on `scenario`, and a report must
+    // name the seed that regenerates its schedule.
+    let mut report = LoadReport::default();
+    report.set_identity("flash-crowd", 42);
+    let json = to_value(&report);
+    assert_eq!(json.get("scenario").and_then(JsonValue::as_str), Some("flash-crowd"));
+    assert_eq!(as_u64(json.get("seed").expect("seed")), 42);
+
+    let mut cluster = ClusterReport {
+        aggregate: LoadReport::default(),
+        nodes: vec![NodeReport { addr: "127.0.0.1:7001".into(), report: LoadReport::default() }],
+    };
+    cluster.set_identity("diurnal", 7);
+    let json = to_value(&cluster);
+    assert_eq!(
+        json.get("aggregate").and_then(|a| a.get("scenario")).and_then(JsonValue::as_str),
+        Some("diurnal")
+    );
+    let nodes = json.get("nodes").and_then(JsonValue::as_seq).expect("nodes");
+    let node_report = nodes[0].get("report").expect("report");
+    assert_eq!(node_report.get("scenario").and_then(JsonValue::as_str), Some("diurnal"));
+    assert_eq!(as_u64(node_report.get("seed").expect("seed")), 7);
+}
+
+#[test]
+fn baseline_check_diff_schema_is_stable() {
+    // The baseline gate's structured verdict is part of the same CI
+    // contract as the load report itself: scenario-matrix uploads it,
+    // dashboards key on the row fields.
+    use fresca_bench::baseline::{check, Metrics, Thresholds};
+    let m = Metrics {
+        scenario: "flash-crowd".into(),
+        seed: 42,
+        ops: 1000,
+        ops_per_sec: 2000.0,
+        p50_latency_us: 40.0,
+        p99_latency_us: 150.0,
+        staleness_violations: 0,
+        version_anomalies: 0,
+        checksum_mismatches: 0,
+    };
+    let report = check(&m, &m, &Thresholds::default()).expect("same scenario");
+    let json = to_value(&report);
+    assert_eq!(
+        keys_of(&json),
+        CHECK_REPORT_KEYS,
+        "CheckReport JSON keys drifted — this is the baseline check --json contract"
+    );
+    assert!(matches!(json.get("pass"), Some(JsonValue::Bool(true))));
+    let rows = json.get("rows").and_then(JsonValue::as_seq).expect("rows is an array");
+    assert!(!rows.is_empty());
+    let mut metrics_seen = Vec::new();
+    for row in rows {
+        assert_eq!(keys_of(row), METRIC_DIFF_KEYS, "MetricDiff JSON keys drifted");
+        metrics_seen.push(row.get("metric").and_then(JsonValue::as_str).expect("metric name"));
+    }
+    // The gated metrics must all be present, by these exact names.
+    for gated in
+        ["ops_per_sec", "p99_latency_us", "staleness_violations", "checksum_mismatches"]
+    {
+        assert!(metrics_seen.contains(&gated), "missing gated metric row {gated}");
+    }
 }
 
 #[test]

@@ -25,6 +25,11 @@
 //!   staleness-bounded `Get`s / TTL-carrying `Put`s and rescales
 //!   timestamps so the `fresca-serve` load generator can replay a trace
 //!   against a real server at wall-clock speed.
+//! * [`scenario`] — the named replayed-workload library (`flash-crowd`,
+//!   `diurnal`, `write-heavy-ticker`, `mixed-tenants`,
+//!   `freshness-regimes`): deterministic seeded generators producing
+//!   complete wall-time schedules, selectable as `loadgen --scenario
+//!   <name>` and gated against stored per-scenario baselines in CI.
 //! * [`trace_io`] — binary and CSV trace serialisation.
 //! * [`analyze`] — measured statistics over a trace (observed read ratio,
 //!   per-key `E[W]`, skew), used by tests and by the figure harnesses.
@@ -41,10 +46,12 @@ pub mod gen;
 pub mod keyspace;
 pub mod replay;
 pub mod request;
+pub mod scenario;
 pub mod trace_io;
 
 pub use analyze::TraceStats;
 pub use replay::{ReplayConfig, TimedOp, WireOp};
+pub use scenario::{ScenarioDef, ScenarioParams};
 pub use gen::{
     ClassSpec, MetaLikeConfig, MultiClassConfig, PoissonMixConfig, PoissonZipfConfig,
     TwitterLikeConfig, WorkloadGen,

@@ -1,0 +1,77 @@
+//! Every registered scenario is a pure function of its parameters:
+//! the same seed, rate, and duration must produce a byte-identical op
+//! trace every time it is built. This is the property `baseline check`
+//! and the CI scenario matrix stand on — a report's `(scenario, seed)`
+//! pair fully names the schedule it measured.
+
+use fresca_sim::SimDuration;
+use fresca_workload::{scenario, ScenarioParams};
+use proptest::prelude::*;
+
+/// Canonical byte encoding of a schedule: the serialized JSON of every
+/// op, covering timestamps, kinds, keys, sizes, TTLs, and bounds.
+/// Comparing encodings catches any nondeterminism the type's `Eq`
+/// would, while pinning that the ops also serialize stably.
+fn trace_bytes(params: &ScenarioParams, def: &scenario::ScenarioDef) -> String {
+    let ops = def.build(params);
+    serde_json::to_string(&ops).expect("ops serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Building any scenario twice with identical parameters yields a
+    /// byte-identical trace, for arbitrary seeds and small rate/duration
+    /// variations.
+    #[test]
+    fn every_scenario_is_deterministic(
+        seed in any::<u64>(),
+        rate in 500.0f64..3000.0,
+        duration_secs in 1u64..3,
+    ) {
+        let params = ScenarioParams {
+            seed,
+            rate,
+            duration: SimDuration::from_secs(duration_secs),
+        };
+        for def in scenario::all() {
+            let first = trace_bytes(&params, def);
+            let second = trace_bytes(&params, def);
+            prop_assert_eq!(
+                &first,
+                &second,
+                "scenario {} not deterministic for seed {}",
+                def.name,
+                seed
+            );
+        }
+    }
+
+    /// Different seeds produce different traces — the seed is a real
+    /// input, not dead weight in the report identity.
+    #[test]
+    fn seed_changes_the_trace(seed in any::<u64>()) {
+        let duration = SimDuration::from_secs(1);
+        for def in scenario::all() {
+            let a = trace_bytes(&ScenarioParams { seed, rate: 1000.0, duration }, def);
+            let b = trace_bytes(
+                &ScenarioParams { seed: seed.wrapping_add(1), rate: 1000.0, duration },
+                def,
+            );
+            prop_assert!(a != b, "scenario {} ignores its seed", def.name);
+        }
+    }
+}
+
+/// The default parameters every scenario advertises build a non-trivial
+/// schedule, and rebuilding from a fresh `default_params` is stable —
+/// the exact path `loadgen --scenario <name>` takes.
+#[test]
+fn default_params_are_deterministic_for_all_scenarios() {
+    for def in scenario::all() {
+        let first = trace_bytes(&def.default_params(42), def);
+        let second = trace_bytes(&def.default_params(42), def);
+        assert_eq!(first, second, "scenario {} default build not stable", def.name);
+        assert!(first.len() > 2, "scenario {} default build is empty", def.name);
+    }
+}
