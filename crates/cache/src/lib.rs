@@ -15,6 +15,11 @@
 //!   message-driven system engine and the throughput benches.
 //! * [`TimerWheel`] — a hierarchical timing wheel for managing per-entry
 //!   TTL deadlines in O(1), the classic network-stack data structure.
+//! * [`RefetchTable`] — the per-key in-flight-refetch registry the
+//!   serving reactor parks refused/missed bounded reads on, coalescing
+//!   concurrent readers onto one origin fetch (the dogpile guard);
+//!   its park/coalesce/complete protocol is model-checked under
+//!   `--cfg miniloom`.
 //!
 //! Terminology used across the workspace (and in metric names):
 //!
@@ -32,10 +37,12 @@
 pub mod cache;
 pub mod entry;
 pub mod lru;
+pub mod refetch;
 pub mod sharded;
 pub mod wheel;
 
 pub use cache::{BoundedGet, Cache, CacheConfig, CacheStats, Capacity, EvictionPolicy, GetResult};
 pub use entry::{Entry, Freshness};
+pub use refetch::{Park, RefetchTable};
 pub use sharded::ShardedCache;
 pub use wheel::TimerWheel;

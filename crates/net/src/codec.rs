@@ -22,7 +22,7 @@
 //! caller-supplied sink instead of copying it, which is how
 //! [`crate::NonBlockingFramedStream`] builds its zero-copy segment queue.
 
-use crate::msg::{GetStatus, Message, RequestId, UpdateItem};
+use crate::msg::{GetStatus, Message, ReadStat, RequestId, UpdateItem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
@@ -63,6 +63,14 @@ const TAG_GET_REQ_ID: u8 = 12;
 const TAG_GET_RESP_ID: u8 = 13;
 const TAG_PUT_REQ_ID: u8 = 14;
 const TAG_PUT_RESP_ID: u8 = 15;
+// Freshness-control-loop tags: cache-node→origin refetch (§3.1's
+// backchannel), the read-frequency stats feed for the adaptive policy
+// (§3.3), and the counters clients query to observe the loop.
+const TAG_FETCH_REQ: u8 = 16;
+const TAG_FETCH_RESP: u8 = 17;
+const TAG_READ_STATS: u8 = 18;
+const TAG_STATS_REQ: u8 = 19;
+const TAG_STATS_RESP: u8 = 20;
 
 /// Decode errors. Encoding is infallible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,7 +108,9 @@ impl std::error::Error for CodecError {}
 /// counted: they are synthesized into the buffer, not diverted.
 fn payload_bytes(msg: &Message) -> usize {
     match msg {
-        Message::GetResp { value, .. } | Message::PutReq { value, .. } => value.len(),
+        Message::GetResp { value, .. }
+        | Message::PutReq { value, .. }
+        | Message::FetchResp { value, .. } => value.len(),
         Message::Update { items, .. } => items.iter().map(|it| it.value.len()).sum(),
         _ => 0,
     }
@@ -290,6 +300,35 @@ impl FrameCodec {
                 out.put_u64(*key);
                 out.put_u64(*version);
             }
+            Message::FetchReq { key } => {
+                out.put_u8(TAG_FETCH_REQ);
+                out.put_u64(*key);
+            }
+            Message::FetchResp { key, version, value } => {
+                debug_assert!(value.len() <= MAX_VALUE, "value exceeds MAX_VALUE");
+                out.put_u8(TAG_FETCH_RESP);
+                out.put_u64(*key);
+                out.put_u64(*version);
+                out.put_u32(value.len() as u32);
+                emit_payload(out, value);
+            }
+            Message::ReadStats { entries } => {
+                out.put_u8(TAG_READ_STATS);
+                out.put_u32(entries.len() as u32);
+                for e in entries {
+                    out.put_u64(e.key);
+                    out.put_u32(e.reads);
+                }
+            }
+            Message::StatsReq => {
+                out.put_u8(TAG_STATS_REQ);
+            }
+            Message::StatsResp { refetches, refetch_coalesced, origin_errors } => {
+                out.put_u8(TAG_STATS_RESP);
+                out.put_u64(*refetches);
+                out.put_u64(*refetch_coalesced);
+                out.put_u64(*origin_errors);
+            }
         }
     }
 
@@ -350,7 +389,7 @@ impl FrameCodec {
         // Offset of the u32 value_size field from the frame start.
         let at = match buf[4] {
             TAG_WRITE_REQ | TAG_PUT_REQ => 13,
-            TAG_READ_RESP | TAG_GET_RESP | TAG_PUT_REQ_ID => 21,
+            TAG_READ_RESP | TAG_GET_RESP | TAG_PUT_REQ_ID | TAG_FETCH_RESP => 21,
             TAG_GET_RESP_ID => 29,
             TAG_UPDATE => 33, // first item's value_size
             _ => return Ok(()),
@@ -476,6 +515,36 @@ impl FrameCodec {
             TAG_PUT_RESP_ID => {
                 let id = Self::request_id(frame)?;
                 Self::decode_put_resp(id, frame)
+            }
+            TAG_FETCH_REQ => {
+                Self::need(frame, 8, "fetch-req key")?;
+                Ok(Message::FetchReq { key: frame.get_u64() })
+            }
+            TAG_FETCH_RESP => {
+                Self::need(frame, 20, "fetch-resp header")?;
+                let key = frame.get_u64();
+                let version = frame.get_u64();
+                let value_size = frame.get_u32();
+                let value = Self::take_value(frame, value_size, "fetch-resp value")?;
+                Ok(Message::FetchResp { key, version, value })
+            }
+            TAG_READ_STATS => {
+                Self::need(frame, 4, "read-stats header")?;
+                let n = frame.get_u32() as usize;
+                Self::need(frame, n * 12, "read-stats entries")?;
+                let entries = (0..n)
+                    .map(|_| ReadStat { key: frame.get_u64(), reads: frame.get_u32() })
+                    .collect();
+                Ok(Message::ReadStats { entries })
+            }
+            TAG_STATS_REQ => Ok(Message::StatsReq),
+            TAG_STATS_RESP => {
+                Self::need(frame, 24, "stats-resp")?;
+                Ok(Message::StatsResp {
+                    refetches: frame.get_u64(),
+                    refetch_coalesced: frame.get_u64(),
+                    origin_errors: frame.get_u64(),
+                })
             }
             t => Err(CodecError::UnknownTag(t)),
         }
@@ -605,10 +674,50 @@ mod tests {
                 ttl: 2_000_000_000,
             },
             Message::PutResp { id: RequestId(3), key: 5, version: 1 },
+            Message::FetchReq { key: 6 },
+            Message::FetchResp { key: 6, version: 2, value: crate::payload::pattern(6, 33) },
+            Message::FetchResp { key: 7, version: 0, value: Bytes::new() },
+            Message::ReadStats {
+                entries: vec![ReadStat { key: 1, reads: 3 }, ReadStat { key: 2, reads: 1 }],
+            },
+            Message::ReadStats { entries: vec![] },
+            Message::StatsReq,
+            Message::StatsResp { refetches: 5, refetch_coalesced: 2, origin_errors: 0 },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m), m);
         }
+    }
+
+    #[test]
+    fn rejects_oversized_fetch_resp_before_buffering_the_payload() {
+        // The fetch-resp value_size sits at the same fixed offset as a
+        // legacy get-resp's; the early check must refuse an over-limit
+        // declaration after ~25 header bytes, not after 16 MiB.
+        let declared = (MAX_VALUE as u32) + 1;
+        let mut prefix = BytesMut::new();
+        prefix.put_u32(5 + 20 + declared);
+        prefix.put_u8(TAG_FETCH_RESP);
+        prefix.put_u64(1); // key
+        prefix.put_u64(1); // version
+        prefix.put_u32(declared);
+        let mut codec = FrameCodec::new();
+        codec.feed(&prefix);
+        assert!(codec.has_frame(), "poisoned prefix must be serviced without more input");
+        assert_eq!(codec.next(), Err(CodecError::ValueTooLarge(declared)));
+    }
+
+    #[test]
+    fn rejects_read_stats_count_beyond_frame() {
+        // A read-stats header claiming 1<<29 entries inside a tiny frame
+        // must fail on the missing entries, not allocate or spin.
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 4);
+        frame.put_u8(TAG_READ_STATS);
+        frame.put_u32(1 << 29);
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("read-stats entries")));
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub mod simnet;
 
 pub use codec::{CodecError, FrameCodec, MAX_FRAME, MAX_VALUE};
 pub use frame_io::{FramedStream, NonBlockingFramedStream, PollRecv};
-pub use msg::{GetStatus, Message, RequestId, UpdateItem};
+pub use msg::{GetStatus, Message, ReadStat, RequestId, UpdateItem};
 pub use reliable::{DedupReceiver, ReliableSender};
 pub use simnet::{FaultConfig, NetStats, SimNetwork};

@@ -80,6 +80,20 @@ impl UpdateItem {
     }
 }
 
+/// One entry of a [`Message::ReadStats`] backchannel frame: how many
+/// bounded reads a cache node absorbed for `key` since the last report.
+///
+/// Counts are deltas, not totals — the origin accumulates them into its
+/// `E[W]` estimator (`fresca-sketch`), so a report lost to a dropped
+/// connection degrades the estimate instead of corrupting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadStat {
+    /// Key that was read.
+    pub key: u64,
+    /// Reads absorbed since the previous report (saturating).
+    pub reads: u32,
+}
+
 /// How a staleness-bounded read ([`Message::GetReq`]) was resolved by the
 /// serving cache. Carried on the wire as one byte in
 /// [`Message::GetResp`].
@@ -260,6 +274,46 @@ pub enum Message {
         /// Version assigned by the server.
         version: u64,
     },
+    /// Cache server → origin: refetch a key whose bounded read would have
+    /// been refused or missed (§3.1's cache-aside backchannel). One
+    /// refetch is in flight per key per reactor loop — concurrent readers
+    /// park on the in-flight-refetch table and are answered together.
+    FetchReq {
+        /// Key to refetch.
+        key: u64,
+    },
+    /// Origin → cache server: the refreshed value. Serving it also clears
+    /// the origin-side invalidation-tracker mark for the key, re-arming
+    /// push suppression (§3.1).
+    FetchResp {
+        /// Key refetched.
+        key: u64,
+        /// Origin's version (provenance only — the cache re-versions the
+        /// entry from its own serving counter, see PROTOCOL.md).
+        version: u64,
+        /// The refreshed value, carried verbatim on the wire.
+        value: Bytes,
+    },
+    /// Cache server → origin: fire-and-forget per-key read counts since
+    /// the last report, feeding the origin's `E[W]` estimator so the
+    /// adaptive invalidate-vs-update policy sees live read frequencies.
+    ReadStats {
+        /// Per-key read deltas (bounded batch; see the codec's limits).
+        entries: Vec<ReadStat>,
+    },
+    /// Client → cache server: query the server's freshness-loop counters.
+    /// Used by loadgen to report refetch activity for a run.
+    StatsReq,
+    /// Cache server → client: freshness-loop counters at this instant.
+    StatsResp {
+        /// Refetches sent to the origin.
+        refetches: u64,
+        /// Bounded reads coalesced onto an already-in-flight refetch.
+        refetch_coalesced: u64,
+        /// Bounded reads degraded to `RefusedStale`/`Miss` because the
+        /// origin was unreachable or a fetch failed.
+        origin_errors: u64,
+    },
 }
 
 impl Message {
@@ -294,6 +348,11 @@ impl Message {
                 HDR + id.wire_size() + 8 + 4 + 8 + value.len()
             }
             Message::PutResp { id, .. } => HDR + id.wire_size() + 8 + 8,
+            Message::FetchReq { .. } => HDR + 8,
+            Message::FetchResp { value, .. } => HDR + 8 + 8 + 4 + value.len(),
+            Message::ReadStats { entries } => HDR + 4 + entries.len() * 12,
+            Message::StatsReq => HDR,
+            Message::StatsResp { .. } => HDR + 8 + 8 + 8,
         }
     }
 
@@ -388,6 +447,34 @@ mod tests {
             5 + 8 + 8 + 4 + 8 + 64
         );
         assert_eq!(Message::PutResp { id: RequestId(8), key: 1, version: 9 }.wire_size(), 29);
+    }
+
+    #[test]
+    fn freshness_loop_wire_sizes() {
+        assert_eq!(Message::FetchReq { key: 1 }.wire_size(), 13);
+        let resp = Message::FetchResp {
+            key: 1,
+            version: 3,
+            value: crate::payload::pattern(1, 100),
+        };
+        assert_eq!(resp.wire_size(), 5 + 8 + 8 + 4 + 100);
+        let stats = Message::ReadStats {
+            entries: vec![ReadStat { key: 1, reads: 4 }, ReadStat { key: 2, reads: 1 }],
+        };
+        assert_eq!(stats.wire_size(), 5 + 4 + 2 * 12);
+        assert_eq!(Message::StatsReq.wire_size(), 5);
+        assert_eq!(
+            Message::StatsResp { refetches: 1, refetch_coalesced: 2, origin_errors: 3 }
+                .wire_size(),
+            29
+        );
+        // A fetch response is cheaper than an update batch for the same
+        // value: no seq, no per-item framing — it answers exactly one key.
+        let upd = Message::Update {
+            seq: 1,
+            items: vec![UpdateItem { key: 1, version: 3, value: crate::payload::pattern(1, 100) }],
+        };
+        assert!(resp.wire_size() < upd.wire_size());
     }
 
     #[test]

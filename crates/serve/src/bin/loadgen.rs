@@ -4,7 +4,7 @@
 //! ```text
 //! loadgen [--addr 127.0.0.1:7440 | --addrs a,b,c] [--vnodes 128]
 //!         [--scenario flash-crowd|diurnal|write-heavy-ticker|
-//!                     mixed-tenants|freshness-regimes]
+//!                     mixed-tenants|freshness-regimes|push-storm]
 //!         [--workload poisson|mix|meta|twitter]
 //!         [--seed 42] [--rate 10] [--horizon-secs 1000]
 //!         [--mode closed|open] [--conns 4] [--pipeline 16]

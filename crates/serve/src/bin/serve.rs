@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7440] [--shards 16] [--capacity-entries 65536]
-//!       [--event-loops 2] [--stats-every 5]
+//!       [--event-loops 2] [--origin 127.0.0.1:7500] [--stats-every 5]
 //! ```
 //!
 //! Binds the address, then prints a serving-counter line every
 //! `--stats-every` seconds until killed. `--capacity-entries 0` means
 //! unbounded. `--event-loops` sets how many reactor threads connections
 //! are multiplexed onto (each one comfortably serves thousands of
-//! connections; raise it to use more cores).
+//! connections; raise it to use more cores). `--origin` points at a
+//! store-push node's origin endpoint (`store-push --origin ADDR`):
+//! bounded reads that would be refused or missed then refetch through
+//! it instead of failing — see `fresca_serve::server`'s module docs.
 
 use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
 use fresca_serve::cli::arg;
@@ -21,7 +24,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: serve [--addr 127.0.0.1:7440] [--shards 16] \
-             [--capacity-entries 65536] [--event-loops 2] [--stats-every 5]"
+             [--capacity-entries 65536] [--event-loops 2] \
+             [--origin 127.0.0.1:7500] [--stats-every 5]"
         );
         return;
     }
@@ -29,14 +33,27 @@ fn main() {
     let shards: usize = arg(&args, "--shards", 16);
     let capacity: usize = arg(&args, "--capacity-entries", 65_536);
     let event_loops: usize = arg(&args, "--event-loops", 2);
+    let origin_s = arg(&args, "--origin", String::new());
     let stats_every: u64 = arg(&args, "--stats-every", 5);
 
+    let origin = if origin_s.is_empty() {
+        None
+    } else {
+        match origin_s.parse() {
+            Ok(a) => Some(a),
+            Err(e) => {
+                eprintln!("serve: cannot parse --origin {origin_s:?}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
     let capacity =
         if capacity == 0 { Capacity::Unbounded } else { Capacity::Entries(capacity) };
     let config = ServerConfig {
         cache: CacheConfig { capacity, eviction: EvictionPolicy::Lru },
         shards,
         event_loops,
+        origin,
     };
     let handle = match server::spawn(&addr, config) {
         Ok(h) => h,
@@ -46,11 +63,12 @@ fn main() {
         }
     };
     println!(
-        "serving on {} ({} shards, {:?}, {} event loops)",
+        "serving on {} ({} shards, {:?}, {} event loops{})",
         handle.addr(),
         shards,
         capacity,
-        handle.event_loops()
+        handle.event_loops(),
+        origin.map(|o| format!(", origin {o}")).unwrap_or_default()
     );
     loop {
         std::thread::sleep(Duration::from_secs(stats_every.max(1)));

@@ -1,9 +1,11 @@
 //! `store-push` — run a store node that pushes freshness traffic into a
-//! cache cluster.
+//! cache cluster, optionally serving the origin refetch endpoint on the
+//! same backend state.
 //!
 //! ```text
 //! store-push --addrs 127.0.0.1:7440,127.0.0.1:7441,127.0.0.1:7442
-//!            [--policy invalidate|update] [--vnodes 128]
+//!            [--policy adaptive|invalidate|update] [--vnodes 128]
+//!            [--origin 127.0.0.1:7500]
 //!            [--write-rate 2000] [--keys 4096] [--value-size 64]
 //!            [--interval-ms 100] [--duration-secs 10] [--seed 42]
 //!            [--json BENCH_push.json]
@@ -12,21 +14,29 @@
 //! Applies a uniform pseudo-random write stream (`--write-rate` writes
 //! per second over `--keys` distinct keys) to a real `fresca-store`
 //! backend, and at the end of every `--interval-ms` staleness interval
-//! flushes the dirty-key buffer as per-node `Invalidate` or `Update`
+//! flushes the dirty-key buffer as per-node `Invalidate`/`Update`
 //! batches to the cache nodes owning each key — the ring placement is
 //! the same one `loadgen --addrs` and every `ClusterClient` compute, so
 //! a pushed key always lands on the node serving it. Each batch blocks
 //! for its `Ack`; the run fails (exit 1) on any transport or ack
 //! mismatch, so a clean exit certifies every batch was acknowledged.
 //!
-//! Under the invalidate policy the backend's §3.1 tracker suppresses
-//! repeat invalidates of a key until a refetch clears it — and this
-//! binary generates *writes only*, so no refetch ever reaches its
-//! store and a key stays suppressed after its first invalidation.
-//! That mirrors the paper's assumption (refetches flow through the
-//! backend); embedders with real read traffic call
-//! `StorePusher::refetched` on the miss path — see
-//! [`fresca_serve::push`].
+//! The default policy is `adaptive`: per key, per flush, the backend
+//! decides invalidate-vs-update from its live `E[W]` estimate
+//! (`E[W]·c_u < c_m + c_i`, the paper's §3.3 rule), fed by the read
+//! statistics cache servers report through the origin backchannel. The
+//! static `invalidate`/`update` spellings remain as overrides for
+//! benchmarking the endpoints of the spectrum.
+//!
+//! `--origin ADDR` binds the origin refetch endpoint **on the pusher's
+//! own backend state**: cache servers started with `serve --origin
+//! ADDR` refetch refused/missed keys through it, which (a) serves them
+//! the store's current bytes, (b) clears §3.1 invalidation suppression
+//! so the next write re-invalidates, and (c) returns their read
+//! statistics to steer the adaptive policy. Without `--origin` this
+//! binary generates *writes only*, so no refetch ever reaches its store
+//! and a key stays suppressed after its first invalidation — the
+//! paper's tracking assumption, degenerate for lack of read traffic.
 //!
 //! `--json <path>` writes the cumulative [`fresca_serve::PushStats`] as
 //! machine-readable JSON.
@@ -49,15 +59,17 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: store-push --addrs a,b,c [--policy invalidate|update] [--vnodes 128] \
-             [--write-rate 2000] [--keys 4096] [--value-size 64] [--interval-ms 100] \
-             [--duration-secs 10] [--seed 42] [--json BENCH_push.json]"
+            "usage: store-push --addrs a,b,c [--policy adaptive|invalidate|update] \
+             [--vnodes 128] [--origin 127.0.0.1:7500] [--write-rate 2000] [--keys 4096] \
+             [--value-size 64] [--interval-ms 100] [--duration-secs 10] [--seed 42] \
+             [--json BENCH_push.json]"
         );
         return;
     }
     let addrs_s = arg(&args, "--addrs", String::new());
-    let policy_s = arg(&args, "--policy", "invalidate".to_string());
+    let policy_s = arg(&args, "--policy", "adaptive".to_string());
     let vnodes: usize = arg(&args, "--vnodes", fresca_serve::ring::DEFAULT_VNODES);
+    let origin_addr = arg(&args, "--origin", String::new());
     let write_rate: u64 = arg(&args, "--write-rate", 2000);
     let keys: u64 = arg(&args, "--keys", 4096);
     let value_size: u32 = arg(&args, "--value-size", 64);
@@ -72,7 +84,7 @@ fn main() {
     }
     let addrs: Vec<String> = addrs_s.split(',').map(|s| s.trim().to_string()).collect();
     let Some(policy) = PushPolicy::parse(&policy_s) else {
-        eprintln!("store-push: unknown policy {policy_s:?} (try invalidate|update)");
+        eprintln!("store-push: unknown policy {policy_s:?} (try adaptive|invalidate|update)");
         std::process::exit(2);
     };
     if keys == 0 || interval_ms == 0 {
@@ -80,12 +92,28 @@ fn main() {
         std::process::exit(2);
     }
 
-    let config = PushConfig { policy, vnodes };
+    let config = PushConfig { policy, vnodes, ..Default::default() };
     let mut pusher = match StorePusher::connect(&addrs, config) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("store-push: cannot connect to cluster {addrs:?}: {e}");
             std::process::exit(1);
+        }
+    };
+    // The origin listener shares the pusher's backend state: refetches
+    // arriving there clear suppression for the very next flush here.
+    let origin = if origin_addr.is_empty() {
+        None
+    } else {
+        match fresca_serve::origin::spawn(origin_addr.as_str(), pusher.origin_state()) {
+            Ok(handle) => {
+                println!("origin endpoint listening on {}", handle.addr());
+                Some(handle)
+            }
+            Err(e) => {
+                eprintln!("store-push: cannot bind origin {origin_addr}: {e}");
+                std::process::exit(1);
+            }
         }
     };
     println!(
@@ -114,10 +142,14 @@ fn main() {
             Ok(receipts) => {
                 let pushed: usize = receipts.iter().map(|r| r.keys).sum();
                 let bytes: usize = receipts.iter().map(|r| r.wire_bytes).sum();
+                let s = pusher.stats();
                 println!(
-                    "t={:>6.1}s  {} batches acked, {pushed} keys, {bytes} wire bytes",
+                    "t={:>6.1}s  {} batches acked, {pushed} keys, {bytes} wire bytes \
+                     (decided {} invalidate / {} update)",
                     started.elapsed().as_secs_f64(),
                     receipts.len(),
+                    s.decided_invalidate,
+                    s.decided_update,
                 );
             }
             Err(e) => {
@@ -138,7 +170,8 @@ fn main() {
     let stats = pusher.stats();
     println!(
         "done: {} writes, {} flushes, {} batches ({} acked), {} keys pushed, \
-         {} suppressed, {} coalesced, {} wire bytes",
+         {} suppressed, {} coalesced, {} wire bytes, \
+         decisions {} invalidate / {} update",
         stats.writes,
         stats.flushes,
         stats.batches,
@@ -146,8 +179,19 @@ fn main() {
         stats.keys_pushed,
         stats.suppressed,
         stats.coalesced,
-        stats.push_bytes
+        stats.push_bytes,
+        stats.decided_invalidate,
+        stats.decided_update
     );
+    if let Some(handle) = origin {
+        let fetches = {
+            let state = handle.state();
+            let s = state.lock();
+            (s.fetches(), s.reads_recorded())
+        };
+        println!("origin: {} fetches served, {} reads recorded", fetches.0, fetches.1);
+        handle.shutdown();
+    }
     if !json_path.is_empty() {
         let json = serde_json::to_string_pretty(&stats).expect("stats serialize");
         if let Err(e) = std::fs::write(&json_path, json + "\n") {

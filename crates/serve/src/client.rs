@@ -137,6 +137,19 @@ impl CacheClient {
         }
     }
 
+    /// Probe the server's refetch counters (`StatsReq` → `StatsResp`):
+    /// `(refetches, refetch_coalesced, origin_errors)`. All three are
+    /// zero on a server running without an origin.
+    pub fn server_stats(&mut self) -> io::Result<(u64, u64, u64)> {
+        self.framed.send(&Message::StatsReq)?;
+        match self.must_recv()? {
+            Message::StatsResp { refetches, refetch_coalesced, origin_errors } => {
+                Ok((refetches, refetch_coalesced, origin_errors))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
     fn must_recv(&mut self) -> io::Result<Message> {
         self.framed.recv()?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")

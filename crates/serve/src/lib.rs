@@ -34,8 +34,16 @@
 //! * [`push`] — the store side of the paper's freshness pipeline on the
 //!   wire: [`push::StorePusher`] buffers writes in a real
 //!   `fresca-store` backend and pushes per-node `Invalidate`/`Update`
-//!   batches (policy-selectable) to the ring members owning each key,
-//!   collecting per-node acks by sequence number.
+//!   batches to the ring members owning each key, collecting per-node
+//!   acks by sequence number. The policy is selectable — including
+//!   `adaptive`, which decides invalidate-vs-update per key from live
+//!   read-frequency estimates.
+//! * [`origin`] — the origin endpoint cache servers refetch through
+//!   when a bounded read would be refused or missed: shared
+//!   store/tracker/estimator state ([`origin::OriginState`]) behind a
+//!   blocking listener, closing the paper's §3.1 backchannel (a
+//!   refetch clears invalidation suppression) and feeding the adaptive
+//!   policy's per-key read rates.
 //!
 //! The `serve`, `loadgen` and `store-push` binaries wrap these for the
 //! command line; `examples/remote_cache.rs`, `tests/wire_roundtrip.rs`
@@ -58,6 +66,7 @@
 pub mod client;
 pub mod cluster;
 pub mod loadgen;
+pub mod origin;
 pub mod push;
 pub mod ring;
 pub mod server;
@@ -133,6 +142,7 @@ pub mod cli {
 pub use client::{CacheClient, GetOutcome, PipelinedClient, Response};
 pub use cluster::ClusterClient;
 pub use loadgen::{ClusterReport, LoadGenConfig, LoadReport, Mode, NodeReport};
+pub use origin::{OriginHandle, OriginState};
 pub use push::{BatchReceipt, PushConfig, PushPolicy, PushStats, StorePusher};
 pub use ring::HashRing;
 pub use server::{ServerConfig, ServerHandle, ServerStatsSnapshot};

@@ -222,6 +222,16 @@ pub struct LoadReport {
     pub scenario: String,
     /// RNG master seed the schedule was generated from.
     pub seed: u64,
+    /// Origin refetches the server(s) issued during this run (probed
+    /// via `StatsReq` before and after, so concurrent runs against the
+    /// same server overlap in each other's counts). Zero without an
+    /// origin.
+    pub refetches: u64,
+    /// Reads that coalesced onto an in-flight refetch during this run.
+    pub refetch_coalesced: u64,
+    /// Reads degraded to their fallback because the origin was
+    /// unreachable during this run.
+    pub origin_errors: u64,
 }
 
 impl LoadReport {
@@ -274,6 +284,13 @@ impl std::fmt::Display for LoadReport {
             "staleness violations: {}   version anomalies: {}",
             self.staleness_violations, self.version_anomalies
         )?;
+        if self.refetches + self.refetch_coalesced + self.origin_errors > 0 {
+            writeln!(
+                f,
+                "origin refetches: {} ({} coalesced, {} origin errors)",
+                self.refetches, self.refetch_coalesced, self.origin_errors
+            )?;
+        }
         Ok(())
     }
 }
@@ -408,12 +425,32 @@ fn submit(
     }
 }
 
+/// Snapshot a server's refetch counters over a side connection:
+/// `(refetches, refetch_coalesced, origin_errors)`. Best-effort — a
+/// server predating `StatsReq`, or a probe hitting a connection limit,
+/// reads as zeros rather than failing the run it brackets.
+fn probe_refetch_stats(addr: SocketAddr) -> (u64, u64, u64) {
+    crate::client::CacheClient::connect(addr)
+        .and_then(|mut c| c.server_stats())
+        .unwrap_or((0, 0, 0))
+}
+
+/// Attribute the delta between two refetch-counter probes to a report.
+fn attribute_refetches(report: &mut LoadReport, before: (u64, u64, u64), after: (u64, u64, u64)) {
+    report.refetches = after.0.saturating_sub(before.0);
+    report.refetch_coalesced = after.1.saturating_sub(before.1);
+    report.origin_errors = after.2.saturating_sub(before.2);
+}
+
 /// Replay `ops` against the server at `addr` and report what happened.
 pub fn run(addr: SocketAddr, ops: &[TimedOp], config: &LoadGenConfig) -> io::Result<LoadReport> {
+    let before = probe_refetch_stats(addr);
     let started = Instant::now();
     let merged = run_node(addr, ops, config, started)?;
     let wall = started.elapsed();
-    Ok(build_report(merged, wall))
+    let mut report = build_report(merged, wall);
+    attribute_refetches(&mut report, before, probe_refetch_stats(addr));
+    Ok(report)
 }
 
 /// Replay `ops` against one node in the configured mode — the shared
@@ -545,6 +582,8 @@ pub fn run_cluster(
         let owner = ring.node_index_for(op.op.key()).expect("non-empty ring");
         per_node[owner].push(*op);
     }
+    let before: Vec<(u64, u64, u64)> =
+        nodes.iter().map(|&(_, addr)| probe_refetch_stats(addr)).collect();
     let started = Instant::now();
     let results: Vec<io::Result<WorkerResult>> = std::thread::scope(|s| {
         let handles: Vec<_> = nodes
@@ -559,12 +598,20 @@ pub fn run_cluster(
     let wall = started.elapsed();
     let mut aggregate = WorkerResult::default();
     let mut node_reports = Vec::with_capacity(nodes.len());
-    for ((name, _), result) in nodes.iter().zip(results) {
+    let mut refetch_totals = (0u64, 0u64, 0u64);
+    for (i, ((name, addr), result)) in nodes.iter().zip(results).enumerate() {
         let r = result?;
-        node_reports.push(NodeReport { addr: name.clone(), report: build_report(r.clone(), wall) });
+        let mut report = build_report(r.clone(), wall);
+        attribute_refetches(&mut report, before[i], probe_refetch_stats(*addr));
+        refetch_totals.0 += report.refetches;
+        refetch_totals.1 += report.refetch_coalesced;
+        refetch_totals.2 += report.origin_errors;
+        node_reports.push(NodeReport { addr: name.clone(), report });
         aggregate.merge(r);
     }
-    Ok(ClusterReport { aggregate: build_report(aggregate, wall), nodes: node_reports })
+    let mut aggregate = build_report(aggregate, wall);
+    attribute_refetches(&mut aggregate, (0, 0, 0), refetch_totals);
+    Ok(ClusterReport { aggregate, nodes: node_reports })
 }
 
 /// Closed loop on one connection: keep up to `depth` requests in flight,
@@ -683,6 +730,11 @@ fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
         // `set_identity` — the engine only sees the op list.
         scenario: String::new(),
         seed: 0,
+        // Refetch counters come from server-side probes, attributed by
+        // the caller via `attribute_refetches`.
+        refetches: 0,
+        refetch_coalesced: 0,
+        origin_errors: 0,
     }
 }
 

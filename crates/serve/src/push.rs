@@ -3,21 +3,35 @@
 //! owning each key.
 //!
 //! This is the paper's Figure-4 pipeline lifted off the simulator and
-//! onto the wire. A [`StorePusher`] owns the store-side freshness
-//! machinery — a versioned [`DataStore`], the per-interval dirty-key
-//! [`WriteBuffer`], and the [`InvalidationTracker`] that suppresses
-//! repeat invalidates (§3.1) — plus one framed TCP connection per cache
-//! node and the same [`HashRing`] every other cluster participant
-//! routes by. Writes mark keys dirty; [`StorePusher::flush`] drains the
-//! buffer, partitions the dirty keys by ring owner, and sends each node
-//! one `Invalidate { seq, keys }` or `Update { seq, items }` frame
-//! (policy-selectable, mirroring the `SystemEngine`'s always-invalidate
-//! and always-update policies), then blocks for the `Ack { seq }` each
-//! node owes.
+//! onto the wire. A [`StorePusher`] drives the store-side freshness
+//! machinery — the shared [`OriginState`] (versioned store, §3.1
+//! [`fresca_store::InvalidationTracker`], live adaptive policy) plus
+//! the per-interval dirty-key [`WriteBuffer`] — over one framed TCP
+//! connection per cache node, routed by the same [`HashRing`] every
+//! other cluster participant computes. Writes mark keys dirty;
+//! [`StorePusher::flush`] drains the buffer, partitions the dirty keys
+//! by ring owner, and sends each node `Invalidate { seq, keys }` and/or
+//! `Update { seq, items }` frames, then blocks for the `Ack { seq }`
+//! each node owes.
+//!
+//! Three policies mirror the paper's §3.3 spectrum:
+//!
+//! * [`PushPolicy::Invalidate`] / [`PushPolicy::Update`] — the static
+//!   always-invalidate and always-update policies of the simulation
+//!   engines (and the original `--policy` flag, kept as an override).
+//! * [`PushPolicy::Adaptive`] — per key, per flush: update iff
+//!   `E[W]·c_u < c_m + c_i`, with `E[W]` estimated live from the read
+//!   statistics the serving tier reports to the shared origin state.
+//!   A mixed workload produces *mixed* batches — hot-read keys ride
+//!   `Update` frames, write-mostly keys ride `Invalidate` frames, and
+//!   both are counted in [`PushStats::decided_update`] /
+//!   [`PushStats::decided_invalidate`].
 //!
 //! Sequence numbers are **per node** (each connection is its own
 //! reliable channel, exactly like the simulation's per-link
-//! `ReliableSender`), monotone from 1.
+//! `ReliableSender`), monotone from 1, assigned at send time — an
+//! adaptive flush may send a node two frames (one invalidate, one
+//! update), each with its own seq.
 //!
 //! ## Version domains
 //!
@@ -30,18 +44,19 @@
 //! but the node re-versions the refreshed entry from its own counter —
 //! see `docs/PROTOCOL.md`, *Invalidate/Update on the serving path*.
 
+use crate::origin::{OriginState, DEFAULT_ORIGIN_VALUE_SIZE};
 use crate::ring::HashRing;
-use crate::ServeClock;
+use fresca_core::cost::{CostModel, ObjectSize};
+use fresca_core::policy::FlushDecision;
 use fresca_net::{payload, FramedStream, Message, UpdateItem};
-use fresca_store::{DataStore, InvalidationTracker, Record, WriteBuffer};
+use fresca_store::{Record, WriteBuffer};
+use parking_lot::Mutex;
 use serde::Serialize;
 use std::io;
 use std::net::TcpStream;
+use std::sync::Arc;
 
-/// What the store sends for a dirty key at flush time — the wire-level
-/// mirror of `fresca_core::policy::FlushDecision`, minus `Nothing`
-/// (cache-state-aware policies need a backchannel the serving path does
-/// not have yet).
+/// What the store sends for a dirty key at flush time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushPolicy {
     /// Send key-only `Invalidate` batches: cheap, but a pushed key is
@@ -50,6 +65,11 @@ pub enum PushPolicy {
     /// Send full `Update` batches: each item re-freshens the cached
     /// entry in place (absent keys are untouched, per the paper).
     Update,
+    /// Decide per key from the live `E[W]` estimate (§3.3): update iff
+    /// `E[W]·c_u < c_m + c_i`. Keys with no estimate yet default to
+    /// update — a key nobody has read is assumed cheap to keep fresh
+    /// until its write run proves otherwise.
+    Adaptive,
 }
 
 impl PushPolicy {
@@ -58,6 +78,7 @@ impl PushPolicy {
         match s {
             "invalidate" => Some(PushPolicy::Invalidate),
             "update" => Some(PushPolicy::Update),
+            "adaptive" => Some(PushPolicy::Adaptive),
             _ => None,
         }
     }
@@ -67,23 +88,31 @@ impl PushPolicy {
         match self {
             PushPolicy::Invalidate => "invalidate",
             PushPolicy::Update => "update",
+            PushPolicy::Adaptive => "adaptive",
         }
     }
 }
 
 /// Store-push configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PushConfig {
-    /// Invalidate or update batches.
+    /// Invalidate, update, or per-key adaptive batches.
     pub policy: PushPolicy,
     /// Virtual nodes per ring member — must match the cluster's other
     /// participants.
     pub vnodes: usize,
+    /// Cost model the adaptive policy decides under (ignored by the
+    /// static policies).
+    pub cost: CostModel,
 }
 
 impl Default for PushConfig {
     fn default() -> Self {
-        PushConfig { policy: PushPolicy::Invalidate, vnodes: crate::ring::DEFAULT_VNODES }
+        PushConfig {
+            policy: PushPolicy::Invalidate,
+            vnodes: crate::ring::DEFAULT_VNODES,
+            cost: CostModel::default(),
+        }
     }
 }
 
@@ -122,6 +151,28 @@ pub struct PushStats {
     pub coalesced: u64,
     /// Total wire bytes of pushed batches.
     pub push_bytes: u64,
+    /// Dirty keys the flush decided to invalidate (counted before §3.1
+    /// suppression; the static invalidate policy counts every key here).
+    pub decided_invalidate: u64,
+    /// Dirty keys the flush decided to update.
+    pub decided_update: u64,
+}
+
+/// A batch built during a flush but not yet sent: the seq is assigned
+/// at send time, so an adaptive flush can give one node two frames.
+#[derive(Debug)]
+enum PendingBatch {
+    Invalidate(Vec<u64>),
+    Update(Vec<UpdateItem>),
+}
+
+impl PendingBatch {
+    fn keys(&self) -> usize {
+        match self {
+            PendingBatch::Invalidate(keys) => keys.len(),
+            PendingBatch::Update(items) => items.len(),
+        }
+    }
 }
 
 /// A live store node pushing freshness traffic into a cache cluster.
@@ -133,10 +184,10 @@ pub struct StorePusher {
     conns: Vec<FramedStream<TcpStream>>,
     /// Next sequence number per node, starting at 1.
     next_seq: Vec<u64>,
-    store: DataStore,
+    /// The store-side brain, shared with an origin listener when one is
+    /// serving refetches for the same backend (see [`crate::origin`]).
+    origin: Arc<Mutex<OriginState>>,
     buffer: WriteBuffer,
-    tracker: InvalidationTracker,
-    clock: ServeClock,
     config: PushConfig,
     stats: PushStats,
 }
@@ -154,8 +205,24 @@ impl std::fmt::Debug for StorePusher {
 impl StorePusher {
     /// Connect to every cache node in `addrs` (the ring is built from
     /// the addresses as given — all cluster participants must spell
-    /// them identically).
+    /// them identically), with a private backend state.
     pub fn connect<S: AsRef<str>>(addrs: &[S], config: PushConfig) -> io::Result<Self> {
+        let origin = Arc::new(Mutex::new(OriginState::with_default_estimator(
+            DEFAULT_ORIGIN_VALUE_SIZE,
+        )));
+        StorePusher::connect_shared(addrs, config, origin)
+    }
+
+    /// [`StorePusher::connect`], but sharing an existing backend state —
+    /// the wiring that closes the freshness loop: hand the same
+    /// `Arc<Mutex<OriginState>>` to [`crate::origin::spawn`] and cache
+    /// refetches clear suppression for this pusher while serving-tier
+    /// read stats steer its adaptive decisions.
+    pub fn connect_shared<S: AsRef<str>>(
+        addrs: &[S],
+        config: PushConfig,
+        origin: Arc<Mutex<OriginState>>,
+    ) -> io::Result<Self> {
         let ring = HashRing::try_from_members(config.vnodes, addrs)?;
         let conns = ring
             .nodes()
@@ -171,10 +238,8 @@ impl StorePusher {
             ring,
             conns,
             next_seq,
-            store: DataStore::new(),
+            origin,
             buffer: WriteBuffer::new(),
-            tracker: InvalidationTracker::new(),
-            clock: ServeClock::start(),
             config,
             stats: PushStats::default(),
         })
@@ -185,15 +250,15 @@ impl StorePusher {
         &self.ring
     }
 
-    /// The backing store (read-only view).
-    pub fn store(&self) -> &DataStore {
-        &self.store
+    /// The shared backend state (store, tracker, adaptive policy).
+    pub fn origin_state(&self) -> Arc<Mutex<OriginState>> {
+        Arc::clone(&self.origin)
     }
 
     /// Counters so far.
     pub fn stats(&self) -> PushStats {
         let mut s = self.stats;
-        s.suppressed = self.tracker.suppressed();
+        s.suppressed = self.origin.lock().tracker().suppressed();
         s.coalesced = self.buffer.coalesced();
         s
     }
@@ -201,7 +266,7 @@ impl StorePusher {
     /// Apply a client write to the backing store and mark the key dirty
     /// for the next flush. Returns the store's new record.
     pub fn write(&mut self, key: u64, value_size: u32) -> Record {
-        let rec = self.store.write(key, value_size, self.clock.now());
+        let rec = self.origin.lock().write(key, value_size);
         self.buffer.mark_dirty(key);
         self.stats.writes += 1;
         rec
@@ -213,17 +278,14 @@ impl StorePusher {
     /// invalidate instead of being suppressed. Returns the store's
     /// record for the read.
     ///
-    /// This is the §3.1 backchannel the tracking assumption rests on —
-    /// the paper's backend can track invalidations precisely *because*
-    /// refetches flow through it. Embedders whose refetch traffic
-    /// bypasses this store (today's `store-push` binary generates
-    /// writes only) must either call this on every refetch they do see
-    /// or accept that under the invalidate policy a key's later writes
-    /// stay suppressed once it has been invalidated; server-side
-    /// refetch (ROADMAP) closes the loop for real.
+    /// This is the §3.1 backchannel the tracking assumption rests on.
+    /// When an origin listener serves refetches on this pusher's shared
+    /// state ([`StorePusher::connect_shared`] + [`crate::origin::spawn`])
+    /// the backchannel runs itself; this method remains for embedders
+    /// whose refetch traffic arrives out of band.
     pub fn refetched(&mut self, key: u64, default_size: u32) -> Record {
-        self.tracker.clear(key);
-        self.store.read(key, default_size)
+        let mut o = self.origin.lock();
+        o.refetched(key, default_size)
     }
 
     /// Distinct keys dirty in the current interval.
@@ -232,11 +294,13 @@ impl StorePusher {
     }
 
     /// End-of-interval flush: drain the dirty set, partition it by ring
-    /// owner, send each owning node one batch, and block for each
-    /// node's `Ack`. Returns one receipt per batch actually sent (nodes
-    /// owning no dirty key this interval get nothing; under the
-    /// invalidate policy, keys the tracker knows are already
-    /// invalidated are suppressed and may empty a batch out entirely).
+    /// owner, decide invalidate-vs-update for each key, send each
+    /// owning node its batch(es), and block for each node's `Ack`.
+    /// Returns one receipt per batch actually sent (nodes owning no
+    /// dirty key this interval get nothing; §3.1 suppression may empty
+    /// an invalidate batch out entirely). Under the static policies a
+    /// node gets at most one frame per flush; under the adaptive policy
+    /// at most two (its invalidate share and its update share).
     ///
     /// On a transport or ack error the flush stops and the error
     /// propagates — but no freshness signal is lost: the failed batch's
@@ -252,51 +316,69 @@ impl StorePusher {
         if dirty.is_empty() {
             return Ok(receipts);
         }
-        // Build every batch before sending any, so a mid-flush failure
-        // knows exactly which keys still need pushing.
-        let mut batches: Vec<(usize, Message)> = Vec::new();
-        for (node, keys) in self.ring.partition(dirty).into_iter().enumerate() {
-            if keys.is_empty() {
-                continue;
-            }
-            match self.config.policy {
-                PushPolicy::Invalidate => {
-                    // §3.1 tracking: a key the backend already believes
-                    // invalidated needs no second invalidate until a
-                    // refetch clears it (see `refetched`).
-                    let keys: Vec<u64> =
-                        keys.into_iter().filter(|&k| self.tracker.should_send(k)).collect();
-                    if !keys.is_empty() {
-                        batches.push((node, Message::Invalidate { seq: self.next_seq[node], keys }));
-                    }
+        // Build every batch before sending any — under ONE lock
+        // acquisition, released before the first blocking send — so a
+        // mid-flush failure knows exactly which keys still need
+        // pushing and a slow cache node never stalls the origin
+        // listener sharing this state.
+        let mut batches: Vec<(usize, PendingBatch)> = Vec::new();
+        {
+            let mut o = self.origin.lock();
+            for (node, keys) in self.ring.partition(dirty).into_iter().enumerate() {
+                if keys.is_empty() {
+                    continue;
                 }
-                PushPolicy::Update => {
-                    let items: Vec<UpdateItem> = keys
-                        .into_iter()
-                        .map(|k| {
-                            let rec = self.store.peek(k).expect("dirty keys were written");
+                let mut inv_keys: Vec<u64> = Vec::new();
+                let mut upd_items: Vec<UpdateItem> = Vec::new();
+                for k in keys {
+                    let rec = o.store().peek(k).expect("dirty keys were written");
+                    let decision = match self.config.policy {
+                        PushPolicy::Invalidate => FlushDecision::Invalidate,
+                        PushPolicy::Update => FlushDecision::Update,
+                        PushPolicy::Adaptive => o.decide(
+                            k,
+                            &self.config.cost,
+                            ObjectSize { key: 8, value: rec.value_size },
+                        ),
+                    };
+                    match decision {
+                        FlushDecision::Invalidate => {
+                            self.stats.decided_invalidate += 1;
+                            // §3.1 tracking: a key the backend already
+                            // believes invalidated needs no second
+                            // invalidate until a refetch clears it.
+                            if o.should_send_invalidate(k) {
+                                inv_keys.push(k);
+                            }
+                        }
+                        _ => {
+                            self.stats.decided_update += 1;
                             // An update re-freshens the cached entry, so
                             // the backend no longer considers the key
-                            // invalidated.
-                            self.tracker.clear(k);
-                            // The pushed batch carries the store's real
-                            // bytes: the deterministic pattern every
+                            // invalidated. The batch carries the store's
+                            // real bytes: the deterministic pattern every
                             // writer uses, so checksum-verifying readers
                             // accept refreshed entries.
-                            UpdateItem {
+                            o.clear_invalidated(k);
+                            upd_items.push(UpdateItem {
                                 key: k,
                                 version: rec.version,
                                 value: payload::pattern(k, rec.value_size as usize),
-                            }
-                        })
-                        .collect();
-                    batches.push((node, Message::Update { seq: self.next_seq[node], items }));
+                            });
+                        }
+                    }
+                }
+                if !inv_keys.is_empty() {
+                    batches.push((node, PendingBatch::Invalidate(inv_keys)));
+                }
+                if !upd_items.is_empty() {
+                    batches.push((node, PendingBatch::Update(upd_items)));
                 }
             }
         }
         for i in 0..batches.len() {
-            let (node, ref msg) = batches[i];
-            match self.send_batch(node, msg) {
+            let (node, ref batch) = batches[i];
+            match self.send_batch(node, batch) {
                 Ok(receipt) => receipts.push(receipt),
                 Err(e) => {
                     self.restore_unsent(&batches[i..]);
@@ -310,35 +392,37 @@ impl StorePusher {
     /// A flush failed at some batch: put the failed and never-sent
     /// batches' keys back into the dirty buffer (and roll back their
     /// invalidation-tracker marks) so the next flush carries them.
-    fn restore_unsent(&mut self, unsent: &[(usize, Message)]) {
-        for (_, msg) in unsent {
-            match msg {
-                Message::Invalidate { keys, .. } => {
+    fn restore_unsent(&mut self, unsent: &[(usize, PendingBatch)]) {
+        let mut o = self.origin.lock();
+        for (_, batch) in unsent {
+            match batch {
+                PendingBatch::Invalidate(keys) => {
                     for &k in keys {
-                        self.tracker.clear(k);
+                        o.clear_invalidated(k);
                         self.buffer.mark_dirty(k);
                     }
                 }
-                Message::Update { items, .. } => {
+                PendingBatch::Update(items) => {
                     for it in items {
                         self.buffer.mark_dirty(it.key);
                     }
                 }
-                _ => unreachable!("push batches are Invalidate or Update"),
             }
         }
     }
 
-    /// Send one batch and block for its ack.
-    fn send_batch(&mut self, node: usize, msg: &Message) -> io::Result<BatchReceipt> {
+    /// Send one batch (stamping it with the node's next seq) and block
+    /// for its ack.
+    fn send_batch(&mut self, node: usize, batch: &PendingBatch) -> io::Result<BatchReceipt> {
         let seq = self.next_seq[node];
-        let (keys, wire_bytes) = match msg {
-            Message::Invalidate { keys, .. } => (keys.len(), msg.wire_size()),
-            Message::Update { items, .. } => (items.len(), msg.wire_size()),
-            _ => unreachable!("push batches are Invalidate or Update"),
+        let msg = match batch {
+            PendingBatch::Invalidate(keys) => Message::Invalidate { seq, keys: keys.clone() },
+            PendingBatch::Update(items) => Message::Update { seq, items: items.clone() },
         };
+        let keys = batch.keys();
+        let wire_bytes = msg.wire_size();
         let addr = self.ring.nodes()[node].clone();
-        self.conns[node].send(msg)?;
+        self.conns[node].send(&msg)?;
         self.stats.batches += 1;
         self.stats.keys_pushed += keys as u64;
         self.stats.push_bytes += wire_bytes as u64;
@@ -364,6 +448,7 @@ impl StorePusher {
 mod tests {
     use super::*;
     use crate::server::{self, ServerConfig};
+    use fresca_net::ReadStat;
 
     fn spawn_cluster(n: usize) -> (Vec<server::ServerHandle>, Vec<String>) {
         let handles: Vec<_> = (0..n)
@@ -377,8 +462,11 @@ mod tests {
     fn policy_parse_roundtrip() {
         assert_eq!(PushPolicy::parse("invalidate"), Some(PushPolicy::Invalidate));
         assert_eq!(PushPolicy::parse("update"), Some(PushPolicy::Update));
-        assert_eq!(PushPolicy::parse("adaptive"), None);
-        assert_eq!(PushPolicy::parse(PushPolicy::Update.name()), Some(PushPolicy::Update));
+        assert_eq!(PushPolicy::parse("adaptive"), Some(PushPolicy::Adaptive));
+        assert_eq!(PushPolicy::parse("oracle"), None);
+        for p in [PushPolicy::Invalidate, PushPolicy::Update, PushPolicy::Adaptive] {
+            assert_eq!(PushPolicy::parse(p.name()), Some(p));
+        }
     }
 
     #[test]
@@ -418,6 +506,8 @@ mod tests {
         assert_eq!(stats.acks, stats.batches);
         assert_eq!(stats.suppressed, 32);
         assert_eq!(stats.coalesced, 32);
+        assert_eq!(stats.decided_invalidate, 64, "decisions counted pre-suppression");
+        assert_eq!(stats.decided_update, 0);
         // The refetch backchannel clears suppression: a write after a
         // refetch triggers a fresh invalidate batch again.
         pusher.refetched(0, 16);
@@ -480,6 +570,70 @@ mod tests {
         for r in pusher.flush().unwrap() {
             assert_eq!(r.seq, 2);
         }
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn adaptive_flush_splits_keys_by_live_read_frequency() {
+        let (handles, addrs) = spawn_cluster(1);
+        let config = PushConfig { policy: PushPolicy::Adaptive, ..Default::default() };
+        let mut pusher = StorePusher::connect(&addrs, config).unwrap();
+        // Teach the estimator through the same backchannel the serving
+        // tier uses. Keys 0..8 are read-hot: each write run is length 1
+        // before a read burst closes it → E[W] = 1, under the 2.2
+        // threshold → update. Keys 8..16 run eight writes before a read
+        // closes the sample → E[W] = 8 → invalidate.
+        for key in 0..8u64 {
+            pusher.write(key, 16);
+        }
+        {
+            let origin = pusher.origin_state();
+            let mut o = origin.lock();
+            let stats: Vec<ReadStat> =
+                (0..8).map(|k| ReadStat { key: k, reads: 50 }).collect();
+            o.record_reads(&stats);
+        }
+        for _ in 0..8 {
+            for key in 8..16u64 {
+                pusher.write(key, 16);
+            }
+        }
+        {
+            let origin = pusher.origin_state();
+            let mut o = origin.lock();
+            let stats: Vec<ReadStat> =
+                (8..16).map(|k| ReadStat { key: k, reads: 1 }).collect();
+            o.record_reads(&stats);
+        }
+        // Dirty every key once more so one flush decides all sixteen.
+        for key in 0..16u64 {
+            pusher.write(key, 16);
+        }
+        // Populate the cache so updates have entries to refresh.
+        let mut client = crate::ClusterClient::connect(&addrs, config.vnodes).unwrap();
+        for key in 0..16u64 {
+            client.put(key, payload::pattern(key, 8), None).unwrap();
+        }
+        let receipts = pusher.flush().unwrap();
+        let stats = pusher.stats();
+        assert!(stats.decided_update >= 8, "read-hot keys update: {stats:?}");
+        assert!(stats.decided_invalidate >= 8, "write-run keys invalidate: {stats:?}");
+        // The single node received both an invalidate and an update
+        // frame, with distinct sequence numbers.
+        assert_eq!(receipts.len(), 2, "mixed flush sends two frames: {receipts:?}");
+        let seqs: Vec<u64> = receipts.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2], "per-node seqs stay monotone across the split");
+        // Read-hot keys were refreshed in place; write-only keys were
+        // invalidated (bounded reads refuse them).
+        let hot = client.get(0, None).unwrap();
+        assert!(hot.is_served());
+        assert_eq!(hot.value_size(), 16, "updated in place from the store");
+        let cold = client
+            .get(12, Some(fresca_sim::SimDuration::from_secs(3600)))
+            .unwrap();
+        assert!(!cold.is_served(), "invalidated key refuses a bounded read");
         for h in handles {
             h.shutdown();
         }

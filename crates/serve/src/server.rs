@@ -29,13 +29,36 @@
 //! `ShardedCache` under the per-key shard locks and answers
 //! `Ack { seq }` — the paper's write-triggered freshness pipeline
 //! running against a real cache node instead of the simulator.
+//!
+//! ## The refetch path
+//!
+//! With [`ServerConfig::origin`] set, a bounded read that would come
+//! back `RefusedStale` or `Miss` does not answer at all — the reactor
+//! *parks* the request on its in-flight-refetch table
+//! ([`fresca_cache::refetch::RefetchTable`]) and asks the origin for
+//! the key over a per-event-loop non-blocking connection. Concurrent
+//! readers of the same key coalesce onto the one in-flight fetch
+//! (dogpile guard); when the `FetchResp` arrives the entry is
+//! installed like a put and every parked reader is answered
+//! `Fresh` at age 0. The event loop never blocks on the origin:
+//! parked requests cost a table entry, unrelated keys keep serving,
+//! and if the origin connection dies every parked reader immediately
+//! receives the refusal/miss it would have gotten without an origin
+//! (counted in `origin_errors`), with reconnection retried on a
+//! timer. Refetching through the origin is also the paper's §3.1
+//! backchannel — the fetch clears the key's invalidation-suppression
+//! mark at the store — and the loop batches per-key read counts back
+//! to the origin as `ReadStats` frames, which is what feeds the
+//! adaptive invalidate-vs-update policy's `E[W]` estimator.
 
 use crate::ServeClock;
 use bytes::Bytes;
+use fresca_cache::refetch::{Park, RefetchTable};
 use fresca_cache::{BoundedGet, CacheConfig, ShardedCache};
-use fresca_net::{GetStatus, Message, NonBlockingFramedStream, PollRecv};
+use fresca_net::{GetStatus, Message, NonBlockingFramedStream, PollRecv, ReadStat, RequestId};
 use fresca_sim::SimDuration;
 use minipoll::{Interest, PollSet, Readiness};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::{AsRawFd, RawFd};
@@ -44,6 +67,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,11 +81,20 @@ pub struct ServerConfig {
     /// connections from one thread; raise this to spread request
     /// processing across cores, not to admit more connections.
     pub event_loops: usize,
+    /// Origin endpoint to refetch refused/missed keys through (see the
+    /// module docs). `None` — the default — answers refusals and misses
+    /// directly, exactly as before.
+    pub origin: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { cache: CacheConfig::default(), shards: 16, event_loops: 2 }
+        ServerConfig {
+            cache: CacheConfig::default(),
+            shards: 16,
+            event_loops: 2,
+            origin: None,
+        }
     }
 }
 
@@ -82,6 +115,9 @@ struct ServerStats {
     connections: AtomicU64,
     open_connections: AtomicU64,
     protocol_errors: AtomicU64,
+    refetches: AtomicU64,
+    refetch_coalesced: AtomicU64,
+    origin_errors: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -113,6 +149,15 @@ pub struct ServerStatsSnapshot {
     /// Connections dropped for sending non-serving-path or malformed
     /// frames.
     pub protocol_errors: u64,
+    /// Origin fetches issued for refused/missed bounded reads (one per
+    /// refetch epoch — coalesced readers do not add here).
+    pub refetches: u64,
+    /// Bounded reads that coalesced onto an already-in-flight refetch
+    /// of their key instead of issuing another origin fetch.
+    pub refetch_coalesced: u64,
+    /// Reads answered with their fallback refusal/miss because the
+    /// origin was unreachable or its connection died mid-fetch.
+    pub origin_errors: u64,
 }
 
 impl ServerStats {
@@ -130,6 +175,9 @@ impl ServerStats {
             connections: self.connections.load(Ordering::Relaxed),
             open_connections: self.open_connections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            refetches: self.refetches.load(Ordering::Relaxed),
+            refetch_coalesced: self.refetch_coalesced.load(Ordering::Relaxed),
+            origin_errors: self.origin_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -139,6 +187,7 @@ impl std::fmt::Display for ServerStatsSnapshot {
         write!(
             f,
             "gets={} puts={} fresh={} stale_served={} refused={} misses={} \
+             refetches={} coalesced={} origin_errs={} \
              push_batches={} keys_invalidated={} keys_updated={} \
              conns={} open={} proto_errs={}",
             self.gets,
@@ -147,6 +196,9 @@ impl std::fmt::Display for ServerStatsSnapshot {
             self.stale_served,
             self.refused,
             self.misses,
+            self.refetches,
+            self.refetch_coalesced,
+            self.origin_errors,
             self.push_batches,
             self.keys_invalidated,
             self.keys_updated,
@@ -228,7 +280,8 @@ pub fn spawn<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Serv
         let inbox = Arc::new(Mutex::new(Vec::new()));
         let join = {
             let (inbox, shared) = (Arc::clone(&inbox), Arc::clone(&shared));
-            std::thread::spawn(move || event_loop(wake_rx, &inbox, &shared))
+            let origin = config.origin;
+            std::thread::spawn(move || event_loop(wake_rx, &inbox, &shared, origin))
         };
         loops.push(LoopHandle { inbox, wake_tx, join });
     }
@@ -315,12 +368,146 @@ impl ServerHandle {
 struct Conn {
     io: NonBlockingFramedStream<TcpStream>,
     fd: RawFd,
+    /// Loop-unique identity for this registration. Parked refetch
+    /// waiters name their connection by `(slot, token)`; the token is
+    /// what stops a reply from landing on an unrelated connection that
+    /// reused the slot after the original closed.
+    token: u64,
     /// No more requests will be read (clean EOF — possibly a half-close
     /// — or a protocol violation), but replies already queued still
     /// drain before the connection is dropped. The blocking server
     /// answered every request it had read; the reactor keeps that
     /// property.
     closing: bool,
+}
+
+/// A parked bounded read, waiting on an origin refetch of its key. The
+/// fallback fields reconstruct the reply the request would have gotten
+/// with no origin, for delivery if the fetch fails.
+struct Waiter {
+    slot: usize,
+    token: u64,
+    id: RequestId,
+    fallback_status: GetStatus,
+    fallback_age: u64,
+}
+
+/// The non-blocking origin connection one event loop refetches through.
+struct OriginLink {
+    io: NonBlockingFramedStream<TcpStream>,
+    fd: RawFd,
+}
+
+/// Per-event-loop origin state: the link (when up), the in-flight
+/// refetch table, and the read-count batch owed to the origin's
+/// `E[W]` estimator.
+struct OriginCtx {
+    addr: SocketAddr,
+    link: Option<OriginLink>,
+    /// Don't re-attempt a failed connect before this instant.
+    retry_at: Option<Instant>,
+    table: RefetchTable<Waiter>,
+    read_counts: HashMap<u64, u32>,
+    reads_pending: u32,
+}
+
+/// How long a (blocking, inline) origin connect attempt may take. Kept
+/// short: it runs on the event-loop thread when a park finds the link
+/// down and the retry timer expired.
+const ORIGIN_CONNECT_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Backoff between origin connect attempts. While it runs, refused and
+/// missed reads degrade to their fallback replies immediately.
+const ORIGIN_RETRY: Duration = Duration::from_secs(1);
+
+/// Flush the pending read-count batch to the origin once this many
+/// reads accumulate…
+const READ_STATS_FLUSH_READS: u32 = 1024;
+
+/// …or once this many distinct keys do, whichever comes first.
+const READ_STATS_FLUSH_KEYS: usize = 256;
+
+/// With the origin link down, stop hoarding read counts past this many
+/// distinct keys — the estimator feed is advisory, memory is not.
+const READ_STATS_MAX_BUFFERED_KEYS: usize = 4096;
+
+impl OriginCtx {
+    fn new(addr: SocketAddr) -> Self {
+        OriginCtx {
+            addr,
+            link: None,
+            retry_at: None,
+            table: RefetchTable::new(),
+            read_counts: HashMap::new(),
+            reads_pending: 0,
+        }
+    }
+
+    /// True when the origin link is up — connecting now if it is down
+    /// and the retry backoff has expired. A failed attempt arms the
+    /// backoff and returns false, so callers degrade immediately
+    /// instead of queueing behind a dead endpoint.
+    fn ensure_link(&mut self) -> bool {
+        if self.link.is_some() {
+            return true;
+        }
+        let now = Instant::now();
+        if self.retry_at.is_some_and(|at| now < at) {
+            return false;
+        }
+        match TcpStream::connect_timeout(&self.addr, ORIGIN_CONNECT_TIMEOUT)
+            .and_then(|stream| {
+                stream.set_nodelay(true)?;
+                stream.set_nonblocking(true)?;
+                Ok(stream)
+            }) {
+            Ok(stream) => {
+                let fd = stream.as_raw_fd();
+                self.link = Some(OriginLink { io: NonBlockingFramedStream::new(stream), fd });
+                self.retry_at = None;
+                true
+            }
+            Err(_) => {
+                self.retry_at = Some(now + ORIGIN_RETRY);
+                false
+            }
+        }
+    }
+
+    /// Count one read of `key` toward the next `ReadStats` batch.
+    fn count_read(&mut self, key: u64) {
+        *self.read_counts.entry(key).or_insert(0) += 1;
+        self.reads_pending += 1;
+    }
+
+    /// Queue the pending read-count batch on the link when it is due
+    /// (or shed it when the link is down and the buffer outgrew its
+    /// cap). The caller flushes the link afterwards.
+    fn queue_read_stats(&mut self) {
+        match &mut self.link {
+            None => {
+                if self.read_counts.len() > READ_STATS_MAX_BUFFERED_KEYS {
+                    self.read_counts.clear();
+                    self.reads_pending = 0;
+                }
+            }
+            Some(link) => {
+                if self.reads_pending >= READ_STATS_FLUSH_READS
+                    || self.read_counts.len() >= READ_STATS_FLUSH_KEYS
+                {
+                    let entries: Vec<ReadStat> = self
+                        .read_counts
+                        .drain()
+                        .map(|(key, reads)| ReadStat { key, reads })
+                        .collect();
+                    self.reads_pending = 0;
+                    if !entries.is_empty() {
+                        link.io.queue(&Message::ReadStats { entries });
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Read-side backpressure: while a connection has more than this many
@@ -336,13 +523,20 @@ const OUTBOUND_HIGH_WATER: usize = 1 << 20;
 const MAX_FRAMES_PER_TICK: usize = 128;
 
 /// The reactor: multiplex every connection assigned to this loop over one
-/// `poll(2)` set. Index 0 of the set is always the wake pipe; connection
-/// slots follow. The loop exits when the shared stop flag is set.
-fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &Shared) {
+/// `poll(2)` set. Index 0 of the set is always the wake pipe; the origin
+/// link (when configured and up) takes index 1; connection slots follow.
+/// The loop exits when the shared stop flag is set.
+fn event_loop(
+    mut wake_rx: UnixStream,
+    inbox: &Mutex<Vec<TcpStream>>,
+    shared: &Shared,
+    origin: Option<SocketAddr>,
+) {
     let wake_fd = wake_rx.as_raw_fd();
     // Slot-indexed connection table; `None` slots are free and reused.
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut free: Vec<usize> = Vec::new();
+    let mut next_token: u64 = 0;
     let mut poll = PollSet::new();
     // poll index -> conn slot for this tick (index 0 is the wake pipe).
     let mut slot_of: Vec<usize> = Vec::new();
@@ -350,6 +544,12 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
     // it holds no per-stream state, so idle connections cost no
     // read-buffer memory.
     let mut scratch = vec![0u8; 64 * 1024];
+    let mut origin_ctx = origin.map(OriginCtx::new);
+    if let Some(ctx) = &mut origin_ctx {
+        // Dial the origin eagerly so the first refused read parks
+        // instead of paying the connect on its own request path.
+        ctx.ensure_link();
+    }
 
     loop {
         poll.clear();
@@ -361,6 +561,22 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
         // serviced this tick even if their descriptor never becomes
         // readable again, so backlog forces a zero-timeout poll.
         let mut backlog = false;
+        // The origin link polls at index 1 when present: always for
+        // reads (a FetchResp can arrive any tick), for writes while
+        // frames are buffered outbound.
+        let link_polled = match origin_ctx.as_ref().and_then(|c| c.link.as_ref()) {
+            Some(link) => {
+                let mut interest = Interest::READABLE;
+                if link.io.wants_write() {
+                    interest = interest.and(Interest::WRITABLE);
+                }
+                backlog |= link.io.has_buffered_frame();
+                poll.push(link.fd, interest);
+                true
+            }
+            None => false,
+        };
+        let base = 1 + usize::from(link_polled);
         for (slot, conn) in conns.iter().enumerate() {
             let Some(conn) = conn else { continue };
             let reading = !conn.closing && conn.io.pending_out() <= OUTBOUND_HIGH_WATER;
@@ -375,7 +591,7 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
             poll.push(conn.fd, interest);
             slot_of.push(slot);
         }
-        let timeout = if backlog { Some(std::time::Duration::ZERO) } else { None };
+        let timeout = if backlog { Some(Duration::ZERO) } else { None };
         if poll.poll(timeout).is_err() {
             // poll(2) only fails for ENOMEM/EFAULT/EINVAL; none are
             // recoverable from here.
@@ -396,7 +612,8 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
             // thread must not stall on the mutex during bursts.
             let pending = std::mem::take(&mut *inbox.lock());
             for stream in pending {
-                match register(stream) {
+                next_token += 1;
+                match register(stream, next_token) {
                     Ok(conn) => match free.pop() {
                         Some(slot) => conns[slot] = Some(conn),
                         None => conns.push(Some(conn)),
@@ -408,8 +625,23 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
             }
         }
 
+        // Drain origin FetchResps first: completed refetches answer
+        // their parked readers before this tick's new requests are
+        // serviced, so a just-installed key is immediately servable.
+        if link_polled {
+            let readiness = poll.readiness(1);
+            let buffered = origin_ctx
+                .as_ref()
+                .is_some_and(|c| c.link.as_ref().is_some_and(|l| l.io.has_buffered_frame()));
+            if readiness.any() || buffered {
+                if let Some(ctx) = &mut origin_ctx {
+                    drain_origin(ctx, &mut conns, &mut free, shared, &mut scratch);
+                }
+            }
+        }
+
         for (i, &slot) in slot_of.iter().enumerate() {
-            let readiness = poll.readiness(i + 1);
+            let readiness = poll.readiness(base + i);
             // Registered slots stay populated for the whole tick; a
             // vacant slot here would be a reactor bug, but the serving
             // loop must not be able to panic — skip it instead.
@@ -417,12 +649,133 @@ fn event_loop(mut wake_rx: UnixStream, inbox: &Mutex<Vec<TcpStream>>, shared: &S
             if !readiness.any() && (conn.closing || !conn.io.has_buffered_frame()) {
                 continue;
             }
-            if !service(conn, readiness, shared, &mut scratch) {
+            if !service(conn, slot, readiness, shared, &mut origin_ctx, &mut scratch) {
                 conns[slot] = None;
                 free.push(slot);
                 shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
             }
         }
+
+        // End of tick: push the owed read-count batch and any FetchReqs
+        // dispatch queued while servicing connections. A write failure
+        // here is an origin outage — fail every parked waiter to its
+        // fallback and start the reconnect backoff.
+        if let Some(ctx) = &mut origin_ctx {
+            ctx.queue_read_stats();
+            if let Some(link) = &mut ctx.link {
+                if link.io.wants_write() && link.io.flush().is_err() {
+                    origin_outage(ctx, &mut conns, &mut free, shared);
+                }
+            }
+        }
+    }
+}
+
+/// Drain FetchResps from the origin link (bounded per tick, like any
+/// other connection): install each fetched entry like a put and answer
+/// every reader parked on its key with a fresh age-0 response. Any
+/// transport error or protocol violation on the link is an outage.
+fn drain_origin(
+    ctx: &mut OriginCtx,
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    shared: &Shared,
+    scratch: &mut [u8],
+) {
+    let mut budget = MAX_FRAMES_PER_TICK;
+    let mut failed = false;
+    while budget > 0 {
+        budget -= 1;
+        let Some(link) = ctx.link.as_mut() else { return };
+        match link.io.poll_recv_with(scratch) {
+            Ok(PollRecv::Msg(Message::FetchResp { key, version: _, value })) => {
+                // Install under the shard lock with a serving version
+                // from this node's counter (the store's version is a
+                // different domain — see the Update arm of dispatch).
+                // No TTL: the entry is fresh until invalidated/evicted.
+                let now = shared.clock.now();
+                let version = shared.cache.locked(key, |shard| {
+                    let version = shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
+                    shard.insert_value(key, version, value.clone(), now, None);
+                    version
+                });
+                for w in ctx.table.complete(key) {
+                    shared.stats.fresh.fetch_add(1, Ordering::Relaxed);
+                    let reply = Message::GetResp {
+                        id: w.id,
+                        key,
+                        version,
+                        age: 0,
+                        value: value.clone(),
+                        status: GetStatus::Fresh,
+                    };
+                    deliver(conns, free, shared, &w, &reply);
+                }
+            }
+            Ok(PollRecv::WouldBlock) => return,
+            Ok(PollRecv::Msg(_)) | Ok(PollRecv::Closed) | Err(_) => {
+                failed = true;
+                break;
+            }
+        }
+    }
+    if failed {
+        origin_outage(ctx, conns, free, shared);
+    }
+}
+
+/// The origin connection died: drop the link, arm the reconnect
+/// backoff, and answer every parked reader with the refusal/miss it
+/// would have gotten without an origin.
+fn origin_outage(
+    ctx: &mut OriginCtx,
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    shared: &Shared,
+) {
+    ctx.link = None;
+    ctx.retry_at = Some(Instant::now() + ORIGIN_RETRY);
+    for (key, waiters) in ctx.table.fail_all() {
+        for w in waiters {
+            shared.stats.origin_errors.fetch_add(1, Ordering::Relaxed);
+            match w.fallback_status {
+                GetStatus::Miss => shared.stats.misses.fetch_add(1, Ordering::Relaxed),
+                _ => shared.stats.refused.fetch_add(1, Ordering::Relaxed),
+            };
+            let reply = Message::GetResp {
+                id: w.id,
+                key,
+                version: 0,
+                value: Bytes::new(),
+                age: w.fallback_age,
+                status: w.fallback_status,
+            };
+            deliver(conns, free, shared, &w, &reply);
+        }
+    }
+}
+
+/// Queue `reply` on the waiter's connection and push it toward the
+/// socket immediately — a parked request's poll tick is long gone, so
+/// nothing else would flush this connection promptly. Skips waiters
+/// whose connection closed (the slot token no longer matches); drops
+/// the connection on a transport error, exactly like `service`.
+fn deliver(
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    shared: &Shared,
+    w: &Waiter,
+    reply: &Message,
+) {
+    let Some(conn) = conns[w.slot].as_mut() else { return };
+    if conn.token != w.token {
+        return;
+    }
+    conn.io.queue(reply);
+    if conn.io.flush().is_err() {
+        conns[w.slot] = None;
+        free.push(w.slot);
+        shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -436,11 +789,23 @@ fn close_all(conns: &[Option<Conn>], inbox: &Mutex<Vec<TcpStream>>, shared: &Sha
 
 /// Put an accepted socket into non-blocking mode and wrap it for the
 /// reactor.
-fn register(stream: TcpStream) -> io::Result<Conn> {
+fn register(stream: TcpStream, token: u64) -> io::Result<Conn> {
     stream.set_nodelay(true)?;
     stream.set_nonblocking(true)?;
     let fd = stream.as_raw_fd();
-    Ok(Conn { io: NonBlockingFramedStream::new(stream), fd, closing: false })
+    Ok(Conn { io: NonBlockingFramedStream::new(stream), fd, token, closing: false })
+}
+
+/// What `dispatch` decided for one request.
+enum Dispatch {
+    /// Answer with this message.
+    Reply(Message),
+    /// No reply now: the request is parked on an in-flight origin
+    /// refetch and will be answered when it completes (or fails).
+    Parked,
+    /// Not a request this node answers — protocol error, close after
+    /// draining what was already queued.
+    Close,
 }
 
 /// Service one ready connection: decode complete frames (bounded per
@@ -450,16 +815,25 @@ fn register(stream: TcpStream) -> io::Result<Conn> {
 /// which, for a clean EOF or a protocol violation, only happens after
 /// every already-queued reply has drained (a half-closing client still
 /// receives its responses).
-fn service(conn: &mut Conn, readiness: Readiness, shared: &Shared, scratch: &mut [u8]) -> bool {
+fn service(
+    conn: &mut Conn,
+    slot: usize,
+    readiness: Readiness,
+    shared: &Shared,
+    origin: &mut Option<OriginCtx>,
+    scratch: &mut [u8],
+) -> bool {
     if !conn.closing && (readiness.readable() || readiness.error() || conn.io.has_buffered_frame())
     {
+        let token = conn.token;
         let mut budget = MAX_FRAMES_PER_TICK;
         while budget > 0 && conn.io.pending_out() <= OUTBOUND_HIGH_WATER {
             budget -= 1;
             match conn.io.poll_recv_with(scratch) {
-                Ok(PollRecv::Msg(msg)) => match dispatch(msg, shared) {
-                    Some(reply) => conn.io.queue(&reply),
-                    None => {
+                Ok(PollRecv::Msg(msg)) => match dispatch(msg, shared, origin, slot, token) {
+                    Dispatch::Reply(reply) => conn.io.queue(&reply),
+                    Dispatch::Parked => {}
+                    Dispatch::Close => {
                         // Not a request this node answers (neither
                         // serving-path nor store-path): the peer is
                         // confused or hostile either way; answer what
@@ -501,15 +875,28 @@ fn service(conn: &mut Conn, readiness: Readiness, shared: &Shared, scratch: &mut
     }
 }
 
-/// Map one request onto the cache; `None` for messages that do not
-/// belong on a cache node's socket. Serving-path requests (`GetReq`,
-/// `PutReq`) come from clients; store-path batches (`Invalidate`,
-/// `Update`) come from a store-push node and are acknowledged by `seq`.
-fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
+/// Map one request onto the cache; [`Dispatch::Close`] for messages
+/// that do not belong on a cache node's socket. Serving-path requests
+/// (`GetReq`, `PutReq`) come from clients; store-path batches
+/// (`Invalidate`, `Update`) come from a store-push node and are
+/// acknowledged by `seq`; `StatsReq` comes from a load generator
+/// pinning down the refetch counters.
+fn dispatch(
+    msg: Message,
+    shared: &Shared,
+    origin: &mut Option<OriginCtx>,
+    slot: usize,
+    token: u64,
+) -> Dispatch {
     let stats = &shared.stats;
     match msg {
         Message::GetReq { id, key, max_staleness } => {
             stats.gets.fetch_add(1, Ordering::Relaxed);
+            if let Some(ctx) = origin.as_mut() {
+                // Every read feeds the origin's E[W] estimator — parked
+                // or answered, each counts exactly once.
+                ctx.count_read(key);
+            }
             let now = shared.clock.now();
             let bound = (max_staleness != u64::MAX).then(|| SimDuration::from_nanos(max_staleness));
             // The bounded read clones the entry under its shard lock —
@@ -541,33 +928,50 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
                     }
                 }
                 BoundedGet::Refused(e) => {
-                    stats.refused.fetch_add(1, Ordering::Relaxed);
-                    // No value travels back on a refusal — only the
-                    // entry's age, so the client can see by how much the
-                    // bound was missed.
-                    Message::GetResp {
-                        id,
-                        key,
-                        version: 0,
-                        value: Bytes::new(),
-                        age: e.age(now).as_nanos(),
-                        status: GetStatus::RefusedStale,
+                    let age = e.age(now).as_nanos();
+                    match park(origin, shared, key, slot, token, id, GetStatus::RefusedStale, age)
+                    {
+                        Some(d) => return d,
+                        None => {
+                            stats.refused.fetch_add(1, Ordering::Relaxed);
+                            // No value travels back on a refusal — only
+                            // the entry's age, so the client can see by
+                            // how much the bound was missed.
+                            Message::GetResp {
+                                id,
+                                key,
+                                version: 0,
+                                value: Bytes::new(),
+                                age,
+                                status: GetStatus::RefusedStale,
+                            }
+                        }
                     }
                 }
                 BoundedGet::Miss => {
-                    stats.misses.fetch_add(1, Ordering::Relaxed);
-                    Message::GetResp {
-                        id,
-                        key,
-                        version: 0,
-                        value: Bytes::new(),
-                        age: 0,
-                        status: GetStatus::Miss,
+                    match park(origin, shared, key, slot, token, id, GetStatus::Miss, 0) {
+                        Some(d) => return d,
+                        None => {
+                            stats.misses.fetch_add(1, Ordering::Relaxed);
+                            Message::GetResp {
+                                id,
+                                key,
+                                version: 0,
+                                value: Bytes::new(),
+                                age: 0,
+                                status: GetStatus::Miss,
+                            }
+                        }
                     }
                 }
             };
-            Some(reply)
+            Dispatch::Reply(reply)
         }
+        Message::StatsReq => Dispatch::Reply(Message::StatsResp {
+            refetches: stats.refetches.load(Ordering::Relaxed),
+            refetch_coalesced: stats.refetch_coalesced.load(Ordering::Relaxed),
+            origin_errors: stats.origin_errors.load(Ordering::Relaxed),
+        }),
         Message::PutReq { id, key, value, ttl } => {
             stats.puts.fetch_add(1, Ordering::Relaxed);
             let now = shared.clock.now();
@@ -583,7 +987,7 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
                 shard.insert_value(key, version, value, now, expires_at);
                 version
             });
-            Some(Message::PutResp { id, key, version })
+            Dispatch::Reply(Message::PutResp { id, key, version })
         }
         Message::Invalidate { seq, keys } => {
             // A store-pushed batch: mark every cached entry in it stale
@@ -599,7 +1003,7 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
             }
             stats.keys_invalidated.fetch_add(applied, Ordering::Relaxed);
             stats.push_batches.fetch_add(1, Ordering::Relaxed);
-            Some(Message::Ack { seq })
+            Dispatch::Reply(Message::Ack { seq })
         }
         Message::Update { seq, items } => {
             // A store-pushed refresh batch: re-freshen every cached
@@ -631,8 +1035,47 @@ fn dispatch(msg: Message, shared: &Shared) -> Option<Message> {
             }
             stats.keys_updated.fetch_add(applied, Ordering::Relaxed);
             stats.push_batches.fetch_add(1, Ordering::Relaxed);
-            Some(Message::Ack { seq })
+            Dispatch::Reply(Message::Ack { seq })
         }
-        _ => None,
+        _ => Dispatch::Close,
     }
+}
+
+/// Try to park a refused/missed bounded read on an origin refetch.
+/// `Some(Dispatch::Parked)` when the request was parked (the first
+/// parker of the key also queued the `FetchReq` — flushed at end of
+/// tick); `None` when there is no origin or it is unreachable, in
+/// which case the caller answers the fallback directly.
+#[allow(clippy::too_many_arguments)]
+fn park(
+    origin: &mut Option<OriginCtx>,
+    shared: &Shared,
+    key: u64,
+    slot: usize,
+    token: u64,
+    id: RequestId,
+    fallback_status: GetStatus,
+    fallback_age: u64,
+) -> Option<Dispatch> {
+    let ctx = origin.as_mut()?;
+    if !ctx.ensure_link() {
+        // Origin down and the retry backoff running: degrade now.
+        shared.stats.origin_errors.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    let waiter = Waiter { slot, token, id, fallback_status, fallback_age };
+    match ctx.table.park(key, waiter) {
+        Park::Fetch => {
+            shared.stats.refetches.fetch_add(1, Ordering::Relaxed);
+            // ensure_link() above guarantees the link is up; the if-let
+            // keeps this hot path structurally panic-free regardless.
+            if let Some(link) = ctx.link.as_mut() {
+                link.io.queue(&Message::FetchReq { key });
+            }
+        }
+        Park::Coalesced => {
+            shared.stats.refetch_coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    Some(Dispatch::Parked)
 }

@@ -32,6 +32,9 @@ const LOAD_REPORT_KEYS: &[&str] = &[
     "p999_latency_us",
     "scenario",
     "seed",
+    "refetches",
+    "refetch_coalesced",
+    "origin_errors",
 ];
 
 /// Top-level keys of `baseline check --json` output, in declaration
@@ -191,6 +194,44 @@ fn baseline_check_diff_schema_is_stable() {
     {
         assert!(metrics_seen.contains(&gated), "missing gated metric row {gated}");
     }
+}
+
+/// Every key `PushStats` must serialize, in declaration order. The
+/// store-push done-line and any scripted scrape of its `--json`-style
+/// summary key on these names; the per-policy decision counters are
+/// part of the adaptive-policy contract (ISSUE 8).
+const PUSH_STATS_KEYS: &[&str] = &[
+    "writes",
+    "flushes",
+    "batches",
+    "keys_pushed",
+    "acks",
+    "suppressed",
+    "coalesced",
+    "push_bytes",
+    "decided_invalidate",
+    "decided_update",
+];
+
+#[test]
+fn push_stats_keys_are_stable() {
+    let stats = fresca_serve::push::PushStats::default();
+    let json = to_value(&stats);
+    assert_eq!(
+        keys_of(&json),
+        PUSH_STATS_KEYS,
+        "PushStats JSON keys drifted — decision counters are part of the push contract"
+    );
+    // Both decision counters must serialize as numbers so dashboards can
+    // plot the invalidate/update split without schema sniffing.
+    let stats = fresca_serve::push::PushStats {
+        decided_invalidate: 3,
+        decided_update: 9,
+        ..Default::default()
+    };
+    let json = to_value(&stats);
+    assert_eq!(as_u64(json.get("decided_invalidate").expect("key")), 3);
+    assert_eq!(as_u64(json.get("decided_update").expect("key")), 9);
 }
 
 #[test]

@@ -27,7 +27,7 @@
 //!   against a real server at wall-clock speed.
 //! * [`scenario`] — the named replayed-workload library (`flash-crowd`,
 //!   `diurnal`, `write-heavy-ticker`, `mixed-tenants`,
-//!   `freshness-regimes`): deterministic seeded generators producing
+//!   `freshness-regimes`, `push-storm`): deterministic seeded generators producing
 //!   complete wall-time schedules, selectable as `loadgen --scenario
 //!   <name>` and gated against stored per-scenario baselines in CI.
 //! * [`trace_io`] — binary and CSV trace serialisation.

@@ -14,6 +14,7 @@
 //! | `write-heavy-ticker` | high put ratio, very short TTLs | invalidation/TTL churn on the write path |
 //! | `mixed-tenants` | two keyspaces with disjoint TTL/staleness-bound regimes | one tenant's policy bleeding into the other's |
 //! | `freshness-regimes` | `max_staleness` swept across constraint classes | bounded-read bookkeeping, per-class accounting |
+//! | `push-storm` | bounded reads racing a store-push invalidation storm | refetch-loop regressions: refusals leaking to clients, origin stampedes |
 //!
 //! The `freshness-regimes` sweep mirrors the varying-freshness-demand
 //! regimes of the caching-under-freshness-constraints literature
@@ -30,7 +31,12 @@
 //! that are generous relative to their own duration (a bound can only
 //! refuse when an entry's age exceeds it, and no entry can get older
 //! than the run), so a correct server replays every scenario with zero
-//! staleness violations. That is the property baseline gating enforces
+//! staleness violations. `push-storm` extends the property to the
+//! refetch loop: replayed against a plain server it is violation-free
+//! like the others, and replayed while a `store-push` process
+//! invalidates the same keyspace it stays violation-free **only if**
+//! the server's origin refetch path rescues every refusal — which is
+//! exactly what its CI leg gates. That is the property baseline gating enforces
 //! with zero tolerance; deliberately violating runs (for testing the
 //! gate itself) tighten bounds via the loadgen `--bound-ms` override.
 
@@ -121,7 +127,7 @@ pub fn names() -> Vec<&'static str> {
     SCENARIOS.iter().map(|s| s.name).collect()
 }
 
-static SCENARIOS: [ScenarioDef; 5] = [
+static SCENARIOS: [ScenarioDef; 6] = [
     ScenarioDef {
         name: "flash-crowd",
         summary: "Zipf traffic with a 16-key hot set taking 60% of ops; \
@@ -161,6 +167,15 @@ static SCENARIOS: [ScenarioDef; 5] = [
         default_rate: 15_000.0,
         default_duration_secs: 4,
         build: freshness_regimes,
+    },
+    ScenarioDef {
+        name: "push-storm",
+        summary: "read-mostly bounded traffic over the store-pushed keyspace; \
+                  run against a store-push + origin pair, every \
+                  invalidation-induced refusal must refetch to Fresh",
+        default_rate: 15_000.0,
+        default_duration_secs: 3,
+        build: push_storm,
     },
 ];
 
@@ -482,6 +497,48 @@ fn freshness_regimes(p: &ScenarioParams) -> Vec<TimedOp> {
     out
 }
 
+/// Keyspace size of `push-storm` — sized to match the `--keys` knob of
+/// the `store-push` process its CI leg runs alongside, so every key the
+/// load generator touches is also a key the backend invalidates or
+/// updates.
+pub const PUSH_STORM_KEYS: u64 = 2048;
+
+/// `push-storm`: read-mostly (85%) Zipf traffic with a staleness bound
+/// on every get, over exactly the keyspace a concurrent `store-push`
+/// process dirties. On a plain server this is violation-free like every
+/// scenario (the 10s bound dwarfs the run). Its real habitat is the CI
+/// leg that replays it against a `serve --origin` + `store-push
+/// --origin` pair: backend invalidations land mid-run, every bounded
+/// read of an invalidated entry refuses at *any* bound, and the only
+/// way the run stays violation-free is the server parking the read,
+/// refetching through the origin, and answering `Fresh` — the paper's
+/// control loop under storm conditions. Short TTLs keep the cache's own
+/// expiry churn in play at the same time, and misses on cold keys
+/// exercise the refetch-on-miss path alongside refetch-on-refusal.
+fn push_storm(p: &ScenarioParams) -> Vec<TimedOp> {
+    let f = RngFactory::new(p.seed);
+    let mut out = Vec::new();
+    stream_ops(
+        &f,
+        &StreamSpec {
+            label: "push-storm",
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + p.duration,
+            rate: p.rate,
+            num_keys: PUSH_STORM_KEYS,
+            key_base: 0,
+            zipf: 0.9,
+            read_ratio: 0.85,
+            ttl: Some(SimDuration::from_millis(500)),
+            bound: Some(SimDuration::from_secs(10)),
+            size_min: 32,
+            size_max: 512,
+        },
+        &mut out,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,14 +549,14 @@ mod tests {
 
     #[test]
     fn registry_finds_every_scenario_by_name() {
-        assert_eq!(all().len(), 5);
+        assert_eq!(all().len(), 6);
         for def in all() {
             assert!(std::ptr::eq(find(def.name).unwrap(), def));
             assert!(!def.summary.is_empty());
             assert!(def.default_rate > 0.0 && def.default_duration_secs > 0);
         }
         assert!(find("no-such-scenario").is_none());
-        assert_eq!(names().len(), 5);
+        assert_eq!(names().len(), 6);
     }
 
     #[test]
@@ -635,6 +692,30 @@ mod tests {
                 "class {seg} produced no ops"
             );
         }
+    }
+
+    #[test]
+    fn push_storm_stays_inside_the_store_pushed_keyspace() {
+        let ops = find("push-storm").unwrap().build(&small(12));
+        let mut gets = 0u64;
+        for op in &ops {
+            // Every key must be one the paired store-push process owns.
+            assert!(op.op.key() < PUSH_STORM_KEYS, "key {} outside storm", op.op.key());
+            match op.op {
+                WireOp::Get { max_staleness, .. } => {
+                    gets += 1;
+                    // The bound is what makes an invalidation refusable —
+                    // every get must carry one for the CI leg to mean
+                    // anything.
+                    assert_eq!(max_staleness, Some(SimDuration::from_secs(10)));
+                }
+                WireOp::Put { ttl, .. } => {
+                    assert_eq!(ttl, Some(SimDuration::from_millis(500)));
+                }
+            }
+        }
+        let read_ratio = gets as f64 / ops.len() as f64;
+        assert!((read_ratio - 0.85).abs() < 0.03, "read ratio {read_ratio}");
     }
 
     #[test]

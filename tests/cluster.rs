@@ -33,6 +33,7 @@ fn spawn_cluster(n: usize) -> (Vec<ServerHandle>, Vec<String>) {
                     },
                     shards: 8,
                     event_loops: 1,
+                    origin: None,
                 },
             )
             .expect("bind ephemeral localhost port")
@@ -86,7 +87,7 @@ fn store_push_invalidation_refuses_stale_reads_and_acks_by_seq() {
     let mut client = ClusterClient::connect(&addrs, VNODES).unwrap();
     let mut pusher = StorePusher::connect(
         &addrs,
-        PushConfig { policy: PushPolicy::Invalidate, vnodes: VNODES },
+        PushConfig { policy: PushPolicy::Invalidate, vnodes: VNODES, ..Default::default() },
     )
     .unwrap();
     assert_eq!(
@@ -164,7 +165,7 @@ fn store_push_updates_refresh_in_place() {
     let mut client = ClusterClient::connect(&addrs, VNODES).unwrap();
     let mut pusher = StorePusher::connect(
         &addrs,
-        PushConfig { policy: PushPolicy::Update, vnodes: VNODES },
+        PushConfig { policy: PushPolicy::Update, vnodes: VNODES, ..Default::default() },
     )
     .unwrap();
 

@@ -1,0 +1,187 @@
+//! Property tests on the adaptive invalidate-vs-update decision (§3.3):
+//! the *live* policy — an [`AdaptivePolicy`] fed a request stream through
+//! an online `E[W]` estimator, exactly what `store-push --policy adaptive`
+//! runs on the wire — must agree with the *simulation engine's* analytic
+//! rule on randomized per-key (read-rate, write-rate, value-size) inputs,
+//! and must be monotone in read frequency: adding reads to a workload can
+//! never flip a key from update to invalidate.
+//!
+//! The bridge between the two forms is the paper's identity for the
+//! conditional expectation: a key whose nonempty write runs average `w`
+//! behaves like a Bernoulli stream with read ratio `r = 1/w`, for which
+//! `E[W | W ≥ 1] = 1/r`. Under that correspondence the measured rule
+//! `E[W]·c_u < c_m + c_i` and the engine's `T→0` limit rule
+//! `c_u < r·(c_m + c_i)` are the *same inequality*, so the live policy
+//! and the simulator must reach the same verdict — for every cost model,
+//! every bottleneck, every object size.
+
+use fresca::fresca_core::policy::{AdaptivePolicy, FlushDecision};
+use fresca::prelude::*;
+use proptest::prelude::*;
+
+/// Feed `cycles` repetitions of "`writes` writes then `reads` reads" of
+/// `key` into the policy. `ExactEw` closes one sample per cycle (the
+/// first read closes the run; the remaining reads see an empty run and
+/// record nothing), so the converged estimate is exactly `writes`.
+fn feed_cycles<E: EwEstimator>(
+    p: &mut AdaptivePolicy<E>,
+    key: u64,
+    writes: u32,
+    reads: u32,
+    cycles: u32,
+) {
+    for _ in 0..cycles {
+        for _ in 0..writes {
+            p.on_write(key);
+        }
+        for _ in 0..reads {
+            p.on_read(key);
+        }
+    }
+}
+
+/// A strategy over every cost-model shape the engines run: the unit
+/// models the figures use (randomized `c_m`, `c_i`, `c_u`) and the
+/// Table 1 byte-scaled decomposition under each bottleneck (where the
+/// object size genuinely moves the decision).
+fn cost_models() -> impl Strategy<Value = CostModel> {
+    prop_oneof![
+        // `CostModel::unit` enforces the paper's c_u < c_m assumption, so
+        // draw the update cost as a fraction of the miss cost.
+        (0.2f64..4.0, 0.01f64..1.0, 0.05f64..0.95)
+            .prop_map(|(c_m, c_i, frac)| CostModel::unit(c_m, c_i, c_m * frac, 1.0)),
+        prop_oneof![
+            Just(Bottleneck::CacheCpu),
+            Just(Bottleneck::BackendCpu),
+            Just(Bottleneck::Network),
+            Just(Bottleneck::Balanced),
+        ]
+        .prop_map(|b| CostModel::from_bottleneck(b, PrimitiveCosts::default())),
+    ]
+}
+
+fn sizes() -> impl Strategy<Value = ObjectSize> {
+    (1u32..=64, 1u32..=16_384).prop_map(|(key, value)| ObjectSize { key, value })
+}
+
+/// True when `w·c_u` sits numerically on the decision threshold: the two
+/// algebraic forms of the rule multiply in different orders, so exactly
+/// on the knife edge float rounding may legitimately differ. The
+/// properties quantify over everything *off* that measure-zero edge.
+fn on_knife_edge(w: f64, cost: &CostModel, size: ObjectSize) -> bool {
+    let lhs = w * cost.update_cost(size);
+    let rhs = cost.miss_cost(size) + cost.invalidate_cost(size);
+    (lhs - rhs).abs() <= 1e-9 * rhs.max(1.0)
+}
+
+proptest! {
+    /// Agreement: for randomized per-key (write-run length, read-run
+    /// length, value size, cost model), the live adaptive policy decides
+    /// exactly what the simulation engine's `T→0` rule decides at the
+    /// equivalent workload point — per key, with all keys interleaved
+    /// through one shared estimator, and identically under the exact
+    /// tracker and the paper's Top-K sketch.
+    #[test]
+    fn live_adaptive_decision_agrees_with_the_engines_analytic_rule(
+        keys in proptest::collection::vec((1u32..=8, 1u32..=8), 1..6),
+        cycles in 3u32..20,
+        cost in cost_models(),
+        size in sizes(),
+        lambda in 0.1f64..100.0,
+    ) {
+        let mut exact = AdaptivePolicy::new(ExactEw::new());
+        // Top-K with k ≥ tracked keys is lossless for them — same
+        // decisions as exact, which is the sketch-accuracy claim the
+        // simulator's Figure 6 rests on.
+        let mut topk = AdaptivePolicy::new(TopKEw::new(16, 64, 4));
+
+        // Interleave the keys cycle by cycle: estimators are per-key, so
+        // neighbours must not bleed into each other's estimates.
+        for _ in 0..cycles {
+            for (i, &(w, r)) in keys.iter().enumerate() {
+                feed_cycles(&mut exact, i as u64, w, r, 1);
+                feed_cycles(&mut topk, i as u64, w, r, 1);
+            }
+        }
+
+        for (i, &(w, _)) in keys.iter().enumerate() {
+            prop_assume!(!on_knife_edge(w as f64, &cost, size));
+
+            // The simulation engine's verdict for this key: the `T→0`
+            // limit rule at the Bernoulli point with the same conditional
+            // E[W] (r = 1/w — the paper's E[W|W≥1] = 1/r identity). The
+            // rate λ must not matter ("independent of λ and T").
+            let point = WorkloadPoint { size, ..WorkloadPoint::new(lambda, 1.0 / w as f64) };
+            let engine_says = rules::should_update_limit(&point, &cost);
+            let want = if engine_says { FlushDecision::Update } else { FlushDecision::Invalidate };
+
+            prop_assert_eq!(
+                exact.decide(i as u64, &cost, size), want,
+                "key {} (w={}): live ExactEw policy disagrees with the engine rule", i, w
+            );
+            prop_assert_eq!(
+                topk.decide(i as u64, &cost, size), want,
+                "key {} (w={}): live TopKEw policy disagrees with the engine rule", i, w
+            );
+        }
+    }
+
+    /// Monotonicity in read frequency: take any write/read stream and
+    /// *refine* it by inserting extra reads (splitting write runs). The
+    /// refined key's mean run length can only drop — same total writes,
+    /// at least as many samples — so a key the policy would update must
+    /// still be updated after the refinement. More reads never argue for
+    /// a colder treatment.
+    #[test]
+    fn more_frequent_reads_never_flip_update_to_invalidate(
+        runs in proptest::collection::vec(1u32..=8, 1..24),
+        splits in proptest::collection::vec(any::<u32>(), 24),
+        cost in cost_models(),
+        size in sizes(),
+    ) {
+        let mut p = AdaptivePolicy::new(ExactEw::new());
+        const BASE: u64 = 0;
+        const REFINED: u64 = 1;
+
+        for (i, &len) in runs.iter().enumerate() {
+            // Base key: the run as generated, closed by one read.
+            feed_cycles(&mut p, BASE, len, 1, 1);
+            // Refined key: the same writes with one extra read dropped at
+            // a random point inside the run, splitting it in two.
+            let cut = 1 + splits[i % splits.len()] % len; // 1..=len
+            feed_cycles(&mut p, REFINED, cut, 1, 1);
+            if len > cut {
+                feed_cycles(&mut p, REFINED, len - cut, 1, 1);
+            } else {
+                p.on_read(REFINED); // cut == len: the extra read is a no-op sample-wise
+            }
+        }
+
+        let base = p.decide(BASE, &cost, size);
+        let refined = p.decide(REFINED, &cost, size);
+        prop_assert!(
+            !(base == FlushDecision::Update && refined == FlushDecision::Invalidate),
+            "adding reads flipped update → invalidate (base {:?}, refined {:?})", base, refined
+        );
+    }
+
+    /// The same monotonicity stated on the analytic side, so the two
+    /// properties pincer the implementation: the engine's limit rule is
+    /// monotone in the read ratio for every cost model and size.
+    #[test]
+    fn limit_rule_is_monotone_in_read_ratio(
+        r_lo in 0.01f64..0.99,
+        bump in 0.0f64..0.5,
+        cost in cost_models(),
+        size in sizes(),
+        lambda in 0.1f64..100.0,
+    ) {
+        let r_hi = (r_lo + bump).min(0.99);
+        let lo = WorkloadPoint { size, ..WorkloadPoint::new(lambda, r_lo) };
+        let hi = WorkloadPoint { size, ..WorkloadPoint::new(lambda, r_hi) };
+        prop_assert!(
+            !rules::should_update_limit(&lo, &cost) || rules::should_update_limit(&hi, &cost),
+            "raising read ratio {} → {} flipped update → invalidate", r_lo, r_hi
+        );
+    }
+}

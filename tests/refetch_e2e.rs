@@ -1,0 +1,174 @@
+//! End-to-end battery for the origin refetch loop (ISSUE 8): a cache
+//! server wired to a store-push origin endpoint must turn bounded reads
+//! that would refuse or miss into `Fresh` answers by refetching from
+//! the backing store — without blocking its reactor, without stampeding
+//! the origin, and without letting an origin outage take unrelated
+//! keys down with it.
+//!
+//! Three contracts:
+//!
+//! 1. **Refetch-on-refusal**: a bounded read of an entry older than its
+//!    bound comes back `Fresh` with the store's bytes, not
+//!    `RefusedStale`.
+//! 2. **Coalescing**: N concurrent readers of one cold key cost the
+//!    origin exactly one fetch.
+//! 3. **Outage degradation**: with the origin down, bounded reads
+//!    degrade to their fallback refusal/miss *promptly*, and keys that
+//!    don't need the origin keep being served.
+
+use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
+use fresca_net::{payload, GetStatus};
+use fresca_serve::origin::{self, OriginState, DEFAULT_ORIGIN_VALUE_SIZE};
+use fresca_serve::server::{self, ServerConfig};
+use fresca_serve::{CacheClient, PipelinedClient, Response};
+use fresca_sim::SimDuration;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// One event loop keeps request ordering deterministic for the
+/// coalescing assertions; the refetch path itself is per-loop anyway.
+fn spawn_server(origin: Option<SocketAddr>) -> server::ServerHandle {
+    server::spawn(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache: CacheConfig { capacity: Capacity::Unbounded, eviction: EvictionPolicy::Lru },
+            shards: 8,
+            event_loops: 1,
+            origin,
+        },
+    )
+    .expect("bind ephemeral localhost port")
+}
+
+fn spawn_origin() -> origin::OriginHandle {
+    let state = OriginState::with_default_estimator(DEFAULT_ORIGIN_VALUE_SIZE).into_shared();
+    origin::spawn("127.0.0.1:0", state).expect("bind origin endpoint")
+}
+
+#[test]
+fn bounded_read_past_its_bound_refetches_to_fresh() {
+    let origin = spawn_origin();
+    let handle = spawn_server(Some(origin.addr()));
+    let mut client = CacheClient::connect(handle.addr()).unwrap();
+
+    // Install an entry, let it age past the bound we'll read with.
+    client.put_pattern(7, 128, None).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+
+    // Without an origin this read would be RefusedStale (age ~60ms >
+    // bound 10ms). With the loop closed it parks, refetches, and the
+    // server vouches for the bytes as Fresh.
+    let got = client.get(7, Some(SimDuration::from_millis(10))).unwrap();
+    assert_eq!(got.status, GetStatus::Fresh, "refusal was not rescued: {got:?}");
+    assert_eq!(got.age, SimDuration::ZERO, "refetched entry must be brand new");
+    // The served bytes are the origin's record — the canonical pattern
+    // at the origin's default size, since the store never saw a write
+    // for this key — and they now serve repeat readers from cache.
+    assert_eq!(got.value, payload::pattern(7, DEFAULT_ORIGIN_VALUE_SIZE as usize));
+    let again = client.get(7, Some(SimDuration::from_secs(10))).unwrap();
+    assert_eq!(again.status, GetStatus::Fresh);
+
+    let stats = handle.stats();
+    assert!(stats.refetches >= 1, "no refetch recorded: {stats:?}");
+    assert_eq!(stats.origin_errors, 0, "healthy origin errored: {stats:?}");
+    {
+        let state = origin.state();
+        let s = state.lock();
+        assert!(s.fetches_for(7) >= 1, "origin never saw the fetch");
+    }
+
+    // A cold miss refetches too (the store materialises first-touch
+    // keys), so a bounded read of a never-written key is also Fresh.
+    let cold = client.get(4242, Some(SimDuration::from_secs(10))).unwrap();
+    assert_eq!(cold.status, GetStatus::Fresh, "miss was not rescued: {cold:?}");
+    assert_eq!(cold.value_size(), DEFAULT_ORIGIN_VALUE_SIZE);
+
+    handle.shutdown();
+    origin.shutdown();
+}
+
+#[test]
+fn concurrent_readers_of_one_cold_key_coalesce_to_one_origin_fetch() {
+    const KEY: u64 = 99;
+    const READERS: usize = 8;
+
+    let origin = spawn_origin();
+    let handle = spawn_server(Some(origin.addr()));
+
+    // Fire 8 pipelined reads of one cold key. However the frames slice
+    // across reactor ticks, the table admits one fetch per epoch: the
+    // first parker owns it, later readers either coalesce onto it or
+    // (after it completes) hit the now-fresh cache entry. Exactly one
+    // origin fetch either way.
+    let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+    for _ in 0..READERS {
+        client.submit_get(KEY, Some(SimDuration::from_secs(10))).unwrap();
+    }
+    let mut fresh = 0;
+    for _ in 0..READERS {
+        let (_, resp) = client.complete().unwrap();
+        match resp {
+            Response::Get { key, outcome } => {
+                assert_eq!(key, KEY);
+                assert_eq!(outcome.status, GetStatus::Fresh, "reader not rescued: {outcome:?}");
+                assert_eq!(outcome.value_size(), DEFAULT_ORIGIN_VALUE_SIZE);
+                fresh += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(fresh, READERS);
+
+    {
+        let state = origin.state();
+        let s = state.lock();
+        assert_eq!(s.fetches_for(KEY), 1, "origin stampede: {} fetches", s.fetches_for(KEY));
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.refetches, 1, "expected exactly one refetch epoch: {stats:?}");
+    assert!(
+        stats.refetch_coalesced <= (READERS - 1) as u64,
+        "more coalesced readers than issued: {stats:?}"
+    );
+
+    handle.shutdown();
+    origin.shutdown();
+}
+
+#[test]
+fn origin_outage_degrades_to_refusal_without_stalling_unrelated_keys() {
+    // Bind a real origin, then take it down: the server's connect
+    // attempts fail fast (connection refused), never hang.
+    let origin = spawn_origin();
+    let origin_addr = origin.addr();
+    origin.shutdown();
+
+    let handle = spawn_server(Some(origin_addr));
+    let mut client = CacheClient::connect(handle.addr()).unwrap();
+
+    // A key that never needs the origin serves normally throughout.
+    client.put_pattern(1, 64, None).unwrap();
+    assert_eq!(client.get(1, None).unwrap().status, GetStatus::Fresh);
+
+    // Age an entry past a tight bound: the refetch cannot happen, so
+    // the read must degrade to its honest fallback — RefusedStale, with
+    // the age that exceeded the bound — rather than stall or lie.
+    client.put_pattern(2, 64, None).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let refused = client.get(2, Some(SimDuration::from_millis(10))).unwrap();
+    assert_eq!(refused.status, GetStatus::RefusedStale, "outage must not invent data");
+    assert!(refused.age >= SimDuration::from_millis(10), "refusal age below bound");
+
+    // A cold key degrades to its own fallback, a plain miss.
+    let missed = client.get(3333, Some(SimDuration::from_secs(10))).unwrap();
+    assert_eq!(missed.status, GetStatus::Miss);
+
+    // Unrelated fresh keys were served the whole time, and the failures
+    // were accounted as origin errors, not silent.
+    assert_eq!(client.get(1, None).unwrap().status, GetStatus::Fresh);
+    let stats = handle.stats();
+    assert!(stats.origin_errors >= 2, "outage not accounted: {stats:?}");
+    assert_eq!(stats.refetches, 0, "no fetch can be issued while the origin is down");
+
+    handle.shutdown();
+}

@@ -24,6 +24,7 @@ fn spawn_server() -> server::ServerHandle {
             cache: CacheConfig { capacity: Capacity::Unbounded, eviction: EvictionPolicy::Lru },
             shards: 8,
             event_loops: 2,
+            origin: None,
         },
     )
     .expect("bind ephemeral localhost port")

@@ -32,6 +32,7 @@ fn spawn_server_with_loops(event_loops: usize) -> server::ServerHandle {
             cache: CacheConfig { capacity: Capacity::Unbounded, eviction: EvictionPolicy::Lru },
             shards: 8,
             event_loops,
+            origin: None,
         },
     )
     .expect("bind ephemeral localhost port")
@@ -190,7 +191,9 @@ fn closed_loop_loadgen_replays_a_paper_workload() {
     let stats = handle.shutdown();
     assert_eq!(stats.gets, report.gets);
     assert_eq!(stats.puts, report.puts);
-    assert_eq!(stats.connections, 4);
+    // 4 workers, plus the two short-lived connections loadgen uses to
+    // bracket the run with refetch-counter probes (`StatsReq`).
+    assert_eq!(stats.connections, 6);
     assert_eq!(stats.protocol_errors, 0);
 }
 
