@@ -1,0 +1,257 @@
+//! Cache hot-path throughput: event-loop-owned `SlabCache` shards vs
+//! the locked `ShardedCache`, on the get-heavy churn the serving path
+//! actually sees.
+//!
+//! The thread-per-core reactor partitions shards across event loops at
+//! startup, so every owner-local operation reaches its shard through
+//! plain `&mut` — no lock, and entries live in the slab's index-linked
+//! slots instead of boxed nodes. This bench measures exactly that
+//! trade against the previous design (one `ShardedCache` shared by all
+//! loops, every access through a shard mutex), under an identical
+//! workload:
+//!
+//! * ~90% `get_bounded` / ~10% `insert_value` (the serve mix: reads
+//!   dominate, writes churn the LRU),
+//! * a keyspace 4× the capacity, so inserts continuously evict (LRU
+//!   link surgery on both sides),
+//! * keys pre-partitioned per thread the way the topology routes them,
+//!   so both designs do the same per-thread work — the only difference
+//!   is the synchronization and the entry storage.
+//!
+//! Sections: single-thread (lock overhead alone — uncontended
+//! `parking_lot` acquire vs none) and 4-thread (the contention the
+//! thread-per-core design deletes: four loops hammering one shared
+//! cache vs four loops each owning a quarter of the shards). Results
+//! go to stdout and `BENCH_cache.json` (uploaded by CI); the
+//! acceptance bar reads `speedup_4t` ≥ 1.5.
+//!
+//! ```sh
+//! cargo bench -p fresca-bench --bench cache_hot_path
+//! ```
+
+use bytes::Bytes;
+use criterion::black_box;
+use fresca_cache::slab::SlabCache;
+use fresca_cache::{BoundedGet, CacheConfig, Capacity, EvictionPolicy, ShardedCache};
+use fresca_net::payload;
+use fresca_sim::SimTime;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Total entry capacity, split across shards/threads in both designs.
+const CAPACITY: usize = 16_384;
+/// Keyspace; 4× capacity keeps the LRU churning.
+const KEYSPACE: u64 = (CAPACITY as u64) * 4;
+/// Shard count for the locked baseline (the serve default).
+const SHARDS: usize = 16;
+/// Value payload per entry (small: the hot path cost under test is
+/// lookup + LRU surgery, not memcpy).
+const VALUE_BYTES: usize = 64;
+/// Out of 16 ops, how many are gets (14/16 ≈ 90%).
+const GETS_PER_16: u64 = 14;
+
+/// One measured row of the report.
+#[derive(Debug, Serialize)]
+struct Row {
+    threads: usize,
+    ops: u64,
+    slab_ops_per_sec: f64,
+    locked_ops_per_sec: f64,
+    /// slab / locked.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct CacheReport {
+    workload: String,
+    capacity_entries: usize,
+    keyspace: u64,
+    /// Speedup with one thread: lock overhead alone.
+    speedup_1t: f64,
+    /// Speedup with four threads: the contention thread-per-core
+    /// ownership deletes. The acceptance bar reads this.
+    speedup_4t: f64,
+    rows: Vec<Row>,
+}
+
+/// SplitMix64 step — deterministic per-thread op stream, no rand dep.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-thread op stream: `(key, is_get)` pairs. Keys are striped
+/// by thread id the way the topology partitions them (`key % threads
+/// == id`), so each thread touches a disjoint keyspace in both
+/// designs and the comparison isolates synchronization + storage.
+fn op_stream(thread: usize, threads: usize, ops: u64) -> Vec<(u64, bool)> {
+    let mut state = 0xFEED_u64 ^ ((thread as u64) << 32);
+    (0..ops)
+        .map(|_| {
+            let r = splitmix(&mut state);
+            let key = (r % (KEYSPACE / threads as u64)) * threads as u64 + thread as u64;
+            (key, r >> 60 < GETS_PER_16)
+        })
+        .collect()
+}
+
+fn now() -> SimTime {
+    SimTime::from_secs(1)
+}
+
+/// Run one thread's stream against an exclusively-owned slab shard:
+/// the reactor's owner-local path, `&mut` all the way down.
+fn run_slab(shard: &mut SlabCache, stream: &[(u64, bool)], value: &Bytes) -> u64 {
+    let mut served = 0u64;
+    for &(key, is_get) in stream {
+        if is_get {
+            if let BoundedGet::Fresh(e) | BoundedGet::ServedStale(e) =
+                shard.get_bounded(key, now(), None)
+            {
+                served += e.version;
+            }
+        } else {
+            shard.insert_value(key, 1, value.clone(), now(), None);
+        }
+    }
+    served
+}
+
+/// Run one thread's stream against the shared locked cache: every op
+/// takes the key's shard mutex, exactly like the pre-change server.
+fn run_locked(cache: &ShardedCache, stream: &[(u64, bool)], value: &Bytes) -> u64 {
+    let mut served = 0u64;
+    for &(key, is_get) in stream {
+        if is_get {
+            if let BoundedGet::Fresh(e) | BoundedGet::ServedStale(e) =
+                cache.get_bounded(key, now(), None)
+            {
+                served += e.version;
+            }
+        } else {
+            cache.insert_value(key, 1, value.clone(), now(), None);
+        }
+    }
+    served
+}
+
+/// Median seconds over `samples` timed runs of `run`.
+fn measure(mut run: impl FnMut() -> u64, samples: usize) -> f64 {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(run());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn bench_threads(threads: usize, ops_per_thread: u64, samples: usize, value: &Bytes) -> Row {
+    let streams: Vec<Vec<(u64, bool)>> =
+        (0..threads).map(|t| op_stream(t, threads, ops_per_thread)).collect();
+    let total_ops = ops_per_thread * threads as u64;
+
+    // Thread-per-core shape: each thread owns one slab sized to its
+    // share of the capacity (the per-loop partition `EventLoop::new`
+    // builds). Shards are rebuilt per sample — churn state must not
+    // leak across samples.
+    let slab_secs = measure(
+        || {
+            let mut shards: Vec<SlabCache> = (0..threads)
+                .map(|_| SlabCache::new(Capacity::Entries(CAPACITY / threads)))
+                .collect();
+            if threads == 1 {
+                run_slab(&mut shards[0], &streams[0], value)
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = shards
+                        .iter_mut()
+                        .zip(&streams)
+                        .map(|(shard, stream)| s.spawn(|| run_slab(shard, stream, value)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("bench thread")).sum()
+                })
+            }
+        },
+        samples,
+    );
+
+    // Shared locked shape: one cache, all threads through the mutexes.
+    let locked_secs = measure(
+        || {
+            let cache = Arc::new(ShardedCache::new(
+                CacheConfig {
+                    capacity: Capacity::Entries(CAPACITY),
+                    eviction: EvictionPolicy::Lru,
+                },
+                SHARDS,
+            ));
+            if threads == 1 {
+                run_locked(&cache, &streams[0], value)
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = streams
+                        .iter()
+                        .map(|stream| {
+                            let cache = Arc::clone(&cache);
+                            s.spawn(move || run_locked(&cache, stream, value))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("bench thread")).sum()
+                })
+            }
+        },
+        samples,
+    );
+
+    let slab_ops = total_ops as f64 / slab_secs;
+    let locked_ops = total_ops as f64 / locked_secs;
+    let speedup = if locked_ops > 0.0 { slab_ops / locked_ops } else { 0.0 };
+    println!(
+        "cache_hot_path/{threads}t  slab {slab_ops:>12.0} ops/s  locked {locked_ops:>12.0} \
+         ops/s  speedup {speedup:>5.2}x"
+    );
+    Row { threads, ops: total_ops, slab_ops_per_sec: slab_ops, locked_ops_per_sec: locked_ops, speedup }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (ops_per_thread, samples) = if test_mode { (4_096, 1) } else { (2_000_000, 7) };
+    let value = payload::pattern(1, VALUE_BYTES);
+
+    let rows = vec![
+        bench_threads(1, ops_per_thread, samples, &value),
+        bench_threads(4, ops_per_thread, samples, &value),
+    ];
+    let speedup_1t = rows[0].speedup;
+    let speedup_4t = rows[1].speedup;
+    let report = CacheReport {
+        workload: format!(
+            "{}/16 get, {}/16 insert churn over {KEYSPACE} keys",
+            GETS_PER_16,
+            16 - GETS_PER_16
+        ),
+        capacity_entries: CAPACITY,
+        keyspace: KEYSPACE,
+        speedup_1t,
+        speedup_4t,
+        rows,
+    };
+    if !test_mode {
+        // Cargo runs bench binaries from the package dir; drop the
+        // artifact at the workspace root where CI picks it up.
+        let path = std::env::var("BENCH_CACHE_OUT").unwrap_or_else(|_| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json").to_string()
+        });
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n").expect("write BENCH_cache.json");
+        println!("wrote {path} (4-thread speedup: {speedup_4t:.2}x)");
+    } else {
+        println!("test cache_hot_path ... ok (bench smoke)");
+    }
+}

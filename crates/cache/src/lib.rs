@@ -13,6 +13,9 @@
 //!   expiry, and the exact freshness state machine the engines meter.
 //! * [`ShardedCache`] — a `parking_lot`-sharded concurrent wrapper for the
 //!   message-driven system engine and the throughput benches.
+//! * [`SlabCache`] — the thread-per-core serving shard: contiguous slab
+//!   entry storage with intrusive LRU links and a SplitMix key index,
+//!   owned by exactly one event loop so reads need no lock at all.
 //! * [`TimerWheel`] — a hierarchical timing wheel for managing per-entry
 //!   TTL deadlines in O(1), the classic network-stack data structure.
 //! * [`RefetchTable`] — the per-key in-flight-refetch registry the
@@ -39,10 +42,12 @@ pub mod entry;
 pub mod lru;
 pub mod refetch;
 pub mod sharded;
+pub mod slab;
 pub mod wheel;
 
 pub use cache::{BoundedGet, Cache, CacheConfig, CacheStats, Capacity, EvictionPolicy, GetResult};
 pub use entry::{Entry, Freshness};
 pub use refetch::{Park, RefetchTable};
 pub use sharded::ShardedCache;
+pub use slab::SlabCache;
 pub use wheel::TimerWheel;

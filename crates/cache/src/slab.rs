@@ -1,0 +1,742 @@
+//! Slab-backed cache for event-loop-owned shards.
+//!
+//! [`SlabCache`] is the thread-per-core serving variant of [`Cache`](crate::Cache):
+//! entries live in one contiguous `Vec` slab with the LRU list threaded
+//! *through* them as intrusive `prev`/`next` indices, and the key index
+//! maps keys to slab slots through a SplitMix-based hasher instead of
+//! SipHash. Compared to the `HashMap<u64, Box-ish Slot>` + side
+//! linked-slab design the deterministic [`Cache`](crate::Cache) uses, a read here
+//! touches exactly two arrays (index probe, slab slot) with no
+//! per-entry allocation and no DoS-resistant-but-slow hashing — the
+//! right trade for a shard that is *owned by one event loop* and never
+//! sees attacker-controlled hash flooding across a lock (keys are
+//! already partitioned by the same SplitMix function).
+//!
+//! The freshness semantics are identical to [`Cache`](crate::Cache): lazy TTL expiry,
+//! invalidate-marks-in-place, update-rewrites-if-present, and the exact
+//! [`BoundedGet`] classification of staleness-bounded reads. Eviction is
+//! LRU-only — the serving path always reads-touch, and the richer
+//! policies (SLRU, freshness-aware probing) remain available on the
+//! simulation-side [`Cache`](crate::Cache).
+//!
+//! Free slots are chained through the same `next` field (a freed slot's
+//! payload handle is dropped eagerly so a dead entry cannot pin a shared
+//! receive-buffer allocation), so the slab's high-water mark —
+//! [`SlabCache::slab_capacity`] — is the live ceiling, not a leak.
+
+use crate::cache::{BoundedGet, CacheStats, Capacity, GetResult};
+use crate::entry::{Entry, Freshness};
+use bytes::Bytes;
+use fresca_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// Index sentinel: "no slot".
+const NIL: u32 = u32::MAX;
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`Hasher`] that finalises `u64` keys with one SplitMix64 round —
+/// ~3 multiplies instead of SipHash's keyed rounds. Only suitable where
+/// the key space is not attacker-controlled per shard (the serving path
+/// partitions keys with the same function before they reach a shard).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SplitMixHasher {
+    state: u64,
+}
+
+impl Hasher for SplitMixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused on the u64-key hot path).
+        for &b in bytes {
+            self.state = splitmix(self.state ^ u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = splitmix(n);
+    }
+}
+
+/// [`BuildHasher`] for [`SplitMixHasher`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SplitMixBuild;
+
+impl BuildHasher for SplitMixBuild {
+    type Hasher = SplitMixHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> SplitMixHasher {
+        SplitMixHasher::default()
+    }
+}
+
+/// One slab slot: the entry plus its intrusive LRU links. Occupied
+/// slots chain through `prev`/`next` in recency order; free slots reuse
+/// `next` as the free-list link (with `prev == NIL` and an empty
+/// placeholder entry, so freed payload handles drop immediately).
+#[derive(Debug)]
+struct Slot {
+    key: u64,
+    entry: Entry,
+    prev: u32,
+    next: u32,
+}
+
+/// Single-owner slab cache: contiguous entry storage, intrusive LRU,
+/// SplitMix-indexed. See the [module docs](self) for the design and
+/// [`Cache`](crate::Cache) for the freshness semantics it mirrors.
+///
+/// ```
+/// use fresca_cache::{slab::SlabCache, Capacity};
+/// use fresca_sim::{SimDuration, SimTime};
+///
+/// let mut shard = SlabCache::new(Capacity::Entries(1024));
+/// let t0 = SimTime::ZERO;
+/// shard.insert(42, 1, 128, t0, Some(t0 + SimDuration::from_secs(10)));
+/// let read = shard.get_bounded(42, t0 + SimDuration::from_secs(3), Some(SimDuration::from_secs(5)));
+/// assert!(read.is_served());
+/// ```
+pub struct SlabCache {
+    capacity: Capacity,
+    slots: Vec<Slot>,
+    map: HashMap<u64, u32, SplitMixBuild>,
+    /// LRU list head (most recent) / tail (coldest).
+    head: u32,
+    tail: u32,
+    /// Free-list head (chained through `Slot::next`).
+    free: u32,
+    bytes: u64,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for SlabCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlabCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.map.len())
+            .field("slab_capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl SlabCache {
+    /// New slab cache with the given capacity limit (LRU eviction).
+    pub fn new(capacity: Capacity) -> Self {
+        if let Capacity::Entries(n) = capacity {
+            assert!(n > 0, "entry capacity must be positive");
+        }
+        SlabCache {
+            capacity,
+            slots: Vec::new(),
+            map: HashMap::with_hasher(SplitMixBuild),
+            head: NIL,
+            tail: NIL,
+            free: NIL,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached entries (including stale ones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total value bytes currently cached.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Live entries in the slab — the `slab_entries` stats gauge.
+    pub fn slab_entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Allocated slab slots (live + free-listed) — the high-water mark
+    /// reported as the `slab_capacity` stats gauge.
+    pub fn slab_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if `key` is present (fresh or stale).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Peek at an entry without touching recency or stats.
+    pub fn peek(&self, key: u64) -> Option<&Entry> {
+        self.map.get(&key).map(|&i| &self.slots[i as usize].entry)
+    }
+
+    /// Age of the entry for `key` at `now` (time since it was last made
+    /// fresh), without touching recency or stats. `None` if absent.
+    pub fn entry_age(&self, key: u64, now: SimTime) -> Option<SimDuration> {
+        self.map.get(&key).map(|&i| self.slots[i as usize].entry.age(now))
+    }
+
+    /// Iterate over the cached keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.map.keys().copied()
+    }
+
+    // ---- intrusive LRU list ------------------------------------------
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[idx as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, idx: u32) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    // ---- slot allocation ---------------------------------------------
+
+    fn alloc(&mut self, key: u64, entry: Entry) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let slot = &mut self.slots[idx as usize];
+            self.free = slot.next;
+            slot.key = key;
+            slot.entry = entry;
+            slot.prev = NIL;
+            slot.next = NIL;
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx < NIL, "slab full: 2^32-1 slots");
+            self.slots.push(Slot { key, entry, prev: NIL, next: NIL });
+            idx
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        // Drop the payload handle eagerly: a free-listed slot must not
+        // keep a (possibly large, possibly shared) allocation alive.
+        let slot = &mut self.slots[idx as usize];
+        slot.entry = Entry::new(0, 0, SimTime::ZERO, None);
+        slot.prev = NIL;
+        slot.next = self.free;
+        self.free = idx;
+    }
+
+    // ---- reads --------------------------------------------------------
+
+    /// Read `key` at time `now` (see [`Cache::get`](crate::Cache::get)).
+    pub fn get(&mut self, key: u64, now: SimTime) -> GetResult {
+        let Some(&idx) = self.map.get(&key) else {
+            self.stats.cold_misses += 1;
+            return GetResult::ColdMiss;
+        };
+        let entry = self.slots[idx as usize].entry.clone();
+        self.touch(idx);
+        if entry.is_stale(now) {
+            self.stats.stale_misses += 1;
+            GetResult::StaleMiss(entry)
+        } else {
+            self.stats.fresh_hits += 1;
+            GetResult::FreshHit(entry)
+        }
+    }
+
+    /// Staleness-bounded read: identical classification and stats
+    /// accounting to [`Cache::get_bounded`](crate::Cache::get_bounded).
+    pub fn get_bounded(
+        &mut self,
+        key: u64,
+        now: SimTime,
+        max_staleness: Option<SimDuration>,
+    ) -> BoundedGet {
+        let Some(&idx) = self.map.get(&key) else {
+            self.stats.cold_misses += 1;
+            return BoundedGet::Miss;
+        };
+        let entry = self.slots[idx as usize].entry.clone();
+        self.touch(idx);
+        let within_bound = entry.state != Freshness::Invalidated
+            && max_staleness.is_none_or(|bound| entry.age(now) <= bound);
+        match (within_bound, entry.is_stale(now)) {
+            (true, false) => {
+                self.stats.fresh_hits += 1;
+                BoundedGet::Fresh(entry)
+            }
+            (true, true) => {
+                self.stats.stale_misses += 1;
+                self.stats.stale_served += 1;
+                BoundedGet::ServedStale(entry)
+            }
+            (false, _) => {
+                self.stats.stale_misses += 1;
+                self.stats.bound_refusals += 1;
+                BoundedGet::Refused(entry)
+            }
+        }
+    }
+
+    // ---- writes -------------------------------------------------------
+
+    fn over_capacity(&self) -> bool {
+        match self.capacity {
+            Capacity::Entries(n) => self.map.len() > n,
+            Capacity::Bytes(b) => self.bytes > b,
+            Capacity::Unbounded => false,
+        }
+    }
+
+    /// Evict from the LRU tail until within capacity; never evicts
+    /// `protect` (the key just written). Returns the evicted keys.
+    fn enforce_capacity(&mut self, protect: u64) -> Vec<u64> {
+        let mut evicted = Vec::new();
+        while self.over_capacity() {
+            let mut victim = self.tail;
+            if victim != NIL && self.slots[victim as usize].key == protect {
+                victim = self.slots[victim as usize].prev;
+            }
+            if victim == NIL {
+                break; // only the protected key remains
+            }
+            let key = self.slots[victim as usize].key;
+            self.remove_idx(key, victim);
+            self.stats.evictions += 1;
+            evicted.push(key);
+        }
+        evicted
+    }
+
+    fn remove_idx(&mut self, key: u64, idx: u32) {
+        self.map.remove(&key);
+        self.bytes -= self.slots[idx as usize].entry.value_size as u64;
+        self.unlink(idx);
+        self.release(idx);
+    }
+
+    fn insert_slot(&mut self, key: u64, value_size: u32, entry: Entry) -> Vec<u64> {
+        let idx = self.alloc(key, entry);
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        self.bytes += value_size as u64;
+        self.enforce_capacity(key)
+    }
+
+    /// Insert or overwrite `key` with a fresh metadata-only entry (see
+    /// [`Cache::insert`](crate::Cache::insert)). Returns evicted keys.
+    pub fn insert(
+        &mut self,
+        key: u64,
+        version: u64,
+        value_size: u32,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> Vec<u64> {
+        if let Some(&idx) = self.map.get(&key) {
+            let slot = &mut self.slots[idx as usize];
+            self.bytes -= slot.entry.value_size as u64;
+            slot.entry.refresh(version, value_size, now, expires_at);
+            self.bytes += value_size as u64;
+            self.touch(idx);
+            return Vec::new();
+        }
+        self.insert_slot(key, value_size, Entry::new(version, value_size, now, expires_at))
+    }
+
+    /// Insert or overwrite `key` with a fresh entry carrying real value
+    /// bytes (see [`Cache::insert_value`](crate::Cache::insert_value)):
+    /// the serving path. Returns evicted keys.
+    pub fn insert_value(
+        &mut self,
+        key: u64,
+        version: u64,
+        value: Bytes,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> Vec<u64> {
+        let value_size = value.len() as u32;
+        if let Some(&idx) = self.map.get(&key) {
+            let slot = &mut self.slots[idx as usize];
+            self.bytes -= slot.entry.value_size as u64;
+            slot.entry.refresh_value(version, value, now, expires_at);
+            self.bytes += value_size as u64;
+            self.touch(idx);
+            return Vec::new();
+        }
+        self.insert_slot(key, value_size, Entry::with_value(version, value, now, expires_at))
+    }
+
+    /// Remove `key` outright. Returns true if it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.map.get(&key) {
+            Some(&idx) => {
+                self.remove_idx(key, idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Apply a backend invalidation: mark the entry stale in place (see
+    /// [`Cache::apply_invalidate`](crate::Cache::apply_invalidate)).
+    pub fn apply_invalidate(&mut self, key: u64) -> bool {
+        match self.map.get(&key) {
+            Some(&idx) => {
+                self.slots[idx as usize].entry.state = Freshness::Invalidated;
+                self.stats.invalidations_applied += 1;
+                true
+            }
+            None => {
+                self.stats.invalidations_missed += 1;
+                false
+            }
+        }
+    }
+
+    /// Apply a backend metadata update: rewrite if present, do nothing
+    /// if absent (see [`Cache::apply_update`](crate::Cache::apply_update)).
+    pub fn apply_update(
+        &mut self,
+        key: u64,
+        version: u64,
+        value_size: u32,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> bool {
+        match self.map.get(&key) {
+            Some(&idx) => {
+                let slot = &mut self.slots[idx as usize];
+                self.bytes -= slot.entry.value_size as u64;
+                slot.entry.refresh(version, value_size, now, expires_at);
+                self.bytes += value_size as u64;
+                self.stats.updates_applied += 1;
+                true
+            }
+            None => {
+                self.stats.updates_missed += 1;
+                false
+            }
+        }
+    }
+
+    /// Apply a backend update carrying real value bytes (see
+    /// [`Cache::apply_update_value`](crate::Cache::apply_update_value)).
+    pub fn apply_update_value(
+        &mut self,
+        key: u64,
+        version: u64,
+        value: Bytes,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> bool {
+        match self.map.get(&key) {
+            Some(&idx) => {
+                let slot = &mut self.slots[idx as usize];
+                self.bytes -= slot.entry.value_size as u64;
+                self.bytes += value.len() as u64;
+                slot.entry.refresh_value(version, value, now, expires_at);
+                self.stats.updates_applied += 1;
+                true
+            }
+            None => {
+                self.stats.updates_missed += 1;
+                false
+            }
+        }
+    }
+
+    /// Apply a TTL-polling refresh: re-arm deadline + version (see
+    /// [`Cache::apply_refresh`](crate::Cache::apply_refresh)).
+    pub fn apply_refresh(
+        &mut self,
+        key: u64,
+        version: u64,
+        now: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> bool {
+        match self.map.get(&key) {
+            Some(&idx) => {
+                self.slots[idx as usize].entry.rearm(version, now, expires_at);
+                self.stats.refreshes += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Cache, CacheConfig, EvictionPolicy};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn bound(s: u64) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(s))
+    }
+
+    #[test]
+    fn bounded_get_classifies_all_outcomes() {
+        let mut c = SlabCache::new(Capacity::Entries(4));
+        assert_eq!(c.get_bounded(1, t(0), bound(10)), BoundedGet::Miss);
+        c.insert(1, 1, 8, t(0), Some(t(10)));
+        assert!(matches!(c.get_bounded(1, t(5), bound(10)), BoundedGet::Fresh(_)));
+        assert!(matches!(c.get_bounded(1, t(5), bound(2)), BoundedGet::Refused(_)));
+        assert!(matches!(c.get_bounded(1, t(12), bound(20)), BoundedGet::ServedStale(_)));
+        assert!(matches!(c.get_bounded(1, t(12), bound(3)), BoundedGet::Refused(_)));
+        let s = c.stats();
+        assert_eq!(s.fresh_hits, 1);
+        assert_eq!(s.stale_misses, 3);
+        assert_eq!(s.stale_served, 1);
+        assert_eq!(s.bound_refusals, 2);
+        assert_eq!(s.cold_misses, 1);
+        assert_eq!(s.reads(), 5);
+    }
+
+    #[test]
+    fn invalidated_refused_at_any_bound_until_update_heals() {
+        let mut c = SlabCache::new(Capacity::Entries(4));
+        c.insert(1, 1, 8, t(0), None);
+        assert!(c.apply_invalidate(1));
+        assert!(matches!(c.get_bounded(1, t(0), None), BoundedGet::Refused(_)));
+        assert!(c.apply_update_value(1, 2, Bytes::from(vec![7u8; 4]), t(1), None));
+        assert!(matches!(c.get_bounded(1, t(1), None), BoundedGet::Fresh(_)));
+        assert!(!c.apply_invalidate(99));
+        let s = c.stats();
+        assert_eq!((s.invalidations_applied, s.invalidations_missed), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SlabCache::new(Capacity::Entries(2));
+        c.insert(1, 1, 1, t(0), None);
+        c.insert(2, 1, 1, t(1), None);
+        c.get(1, t(2)); // touch 1 → 2 is now coldest
+        let evicted = c.insert(3, 1, 1, t(3), None);
+        assert_eq!(evicted, vec![2]);
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn bounded_get_touches_recency() {
+        let mut c = SlabCache::new(Capacity::Entries(2));
+        c.insert(1, 1, 1, t(0), None);
+        c.insert(2, 1, 1, t(1), None);
+        c.get_bounded(1, t(2), bound(100));
+        let evicted = c.insert(3, 1, 1, t(3), None);
+        assert_eq!(evicted, vec![2]);
+    }
+
+    #[test]
+    fn byte_capacity_evicts_until_fit() {
+        let mut c = SlabCache::new(Capacity::Bytes(100));
+        c.insert(1, 1, 40, t(0), None);
+        c.insert(2, 1, 40, t(1), None);
+        let evicted = c.insert(3, 1, 60, t(2), None);
+        assert_eq!(evicted, vec![1]);
+        assert_eq!(c.bytes(), 100);
+        let evicted = c.insert(4, 1, 90, t(3), None);
+        assert_eq!(evicted, vec![2, 3]);
+        assert_eq!(c.bytes(), 90);
+    }
+
+    #[test]
+    fn protected_key_survives_single_slot() {
+        let mut c = SlabCache::new(Capacity::Entries(1));
+        c.insert(1, 1, 1, t(0), None);
+        let evicted = c.insert(2, 1, 1, t(1), None);
+        assert_eq!(evicted, vec![1]);
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn oversized_single_entry_stays() {
+        let mut c = SlabCache::new(Capacity::Bytes(10));
+        c.insert(1, 1, 50, t(0), None);
+        assert!(c.contains(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut c = SlabCache::new(Capacity::Entries(4));
+        for k in 0..100u64 {
+            c.insert(k, 1, 8, t(k), None);
+        }
+        assert_eq!(c.len(), 4);
+        // Eviction churn recycles slots through the free list: the slab
+        // high-water mark stays at capacity + the one transient slot an
+        // insert occupies before eviction runs.
+        assert!(c.slab_capacity() <= 5, "slab grew to {}", c.slab_capacity());
+        assert_eq!(c.slab_entries(), 4);
+        c.remove(99);
+        assert_eq!(c.slab_entries(), 3);
+        c.insert(200, 1, 8, t(200), None);
+        assert!(c.slab_capacity() <= 5, "remove+insert must reuse the freed slot");
+    }
+
+    #[test]
+    fn freed_slot_drops_payload_handle() {
+        let mut c = SlabCache::new(Capacity::Entries(4));
+        let payload = Bytes::from(vec![9u8; 4096]);
+        c.insert_value(1, 1, payload.clone(), t(0), None);
+        assert!(c.peek(1).unwrap().value.shares_allocation_with(&payload));
+        c.remove(1);
+        // The slot is free-listed but its entry was overwritten: no slab
+        // slot still shares the payload allocation.
+        assert_eq!(c.len(), 0);
+        for k in c.keys() {
+            assert!(!c.peek(k).unwrap().value.shares_allocation_with(&payload));
+        }
+        // Reusing the slot installs the new value cleanly.
+        c.insert_value(2, 1, Bytes::from(vec![1u8; 8]), t(1), None);
+        assert_eq!(&c.peek(2).unwrap().value[..], &[1u8; 8]);
+    }
+
+    #[test]
+    fn value_hits_share_the_allocation() {
+        let mut c = SlabCache::new(Capacity::Entries(4));
+        let payload = Bytes::from(vec![0xAB; 300]);
+        c.insert_value(1, 1, payload.clone(), t(0), None);
+        match c.get_bounded(1, t(1), None) {
+            BoundedGet::Fresh(e) => {
+                assert!(e.value.shares_allocation_with(&payload), "hit must not copy");
+                assert_eq!(e.value_size, 300);
+            }
+            other => panic!("expected fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refresh_rearms_keeping_payload() {
+        let mut c = SlabCache::new(Capacity::Entries(4));
+        c.insert_value(1, 1, Bytes::from(vec![2u8; 25]), t(0), Some(t(5)));
+        assert!(c.apply_refresh(1, 3, t(4), Some(t(9))));
+        assert!(matches!(c.get_bounded(1, t(6), None), BoundedGet::Fresh(_)));
+        assert_eq!(&c.peek(1).unwrap().value[..], &[2u8; 25]);
+        assert!(!c.apply_refresh(9, 1, t(4), None));
+        assert_eq!(c.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn reinsert_existing_key_updates_in_place() {
+        let mut c = SlabCache::new(Capacity::Entries(2));
+        c.insert(1, 1, 10, t(0), None);
+        let evicted = c.insert(1, 2, 30, t(1), None);
+        assert!(evicted.is_empty());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 30);
+        assert_eq!(c.peek(1).unwrap().version, 2);
+    }
+
+    /// Differential check: a deterministic pseudo-random op stream must
+    /// produce byte-identical state and stats on [`SlabCache`] and an
+    /// LRU [`Cache`](crate::Cache) — the slab is an optimisation, not a new policy.
+    #[test]
+    fn differential_against_reference_cache() {
+        let mut slab = SlabCache::new(Capacity::Entries(64));
+        let mut oracle = Cache::new(CacheConfig {
+            capacity: Capacity::Entries(64),
+            eviction: EvictionPolicy::Lru,
+        });
+        let mut rng: u64 = 0x1234_5678;
+        let mut next = move || {
+            // xorshift64*: deterministic, no rand dependency.
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for step in 0..20_000u64 {
+            let r = next();
+            let key = (r >> 8) % 256;
+            let now = t(step / 10);
+            match r % 7 {
+                0 | 1 => {
+                    let a = slab.insert(key, step, (r % 128) as u32, now, Some(now + SimDuration::from_secs(3)));
+                    let b = oracle.insert(key, step, (r % 128) as u32, now, Some(now + SimDuration::from_secs(3)));
+                    assert_eq!(a, b, "evictions diverged at step {step}");
+                }
+                2..=4 => {
+                    let b_ms = r % 5_000;
+                    let a = slab.get_bounded(key, now, Some(SimDuration::from_millis(b_ms)));
+                    let b = oracle.get_bounded(key, now, Some(SimDuration::from_millis(b_ms)));
+                    assert_eq!(a, b, "classification diverged at step {step}");
+                }
+                5 => {
+                    assert_eq!(slab.apply_invalidate(key), oracle.apply_invalidate(key));
+                }
+                _ => {
+                    assert_eq!(
+                        slab.apply_update(key, step, (r % 64) as u32, now, None),
+                        oracle.apply_update(key, step, (r % 64) as u32, now, None)
+                    );
+                }
+            }
+        }
+        assert_eq!(slab.stats(), oracle.stats(), "stats diverged");
+        assert_eq!(slab.len(), oracle.len());
+        assert_eq!(slab.bytes(), oracle.bytes());
+        let mut a: Vec<u64> = slab.keys().collect();
+        let mut b: Vec<u64> = oracle.keys().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "key sets diverged");
+    }
+}

@@ -20,6 +20,14 @@
 //!   crates) is held. A blocked shard stalls every request hashing to
 //!   it; the freshness bound is only as good as the shard's worst
 //!   hold time.
+//! * **R5 `lock-free-serve-path`** — the reactor's owner-local serving
+//!   functions (`serve_get`/`serve_put`/`serve_invalidate`/
+//!   `serve_update` in `crates/serve/src/server.rs`) contain no
+//!   `.lock()`/`.read()`/`.write()` calls. Thread-per-core ownership
+//!   is the whole point of routing requests by key: each shard is
+//!   touched through plain `&mut` by exactly one loop, so a lock
+//!   acquisition appearing in that path means the partitioning
+//!   invariant was broken, not that a lock was needed.
 //!
 //! The tokenizer understands comments (line, nested block), string
 //! literals (plain, raw, byte, byte-raw), char literals vs lifetimes,
@@ -960,6 +968,73 @@ fn scan_lock_scope(
 }
 
 // ---------------------------------------------------------------------------
+// R5: lock-free owner-local serve path
+// ---------------------------------------------------------------------------
+
+/// The reactor file whose owner-local serving functions must stay
+/// lock-free.
+pub const SERVE_PATH_FILE: &str = "crates/serve/src/server.rs";
+
+/// The owner-local serving functions. Each runs only on the event
+/// loop that owns the key's shard and reaches it through `&mut`; a
+/// lock acquisition here means the thread-per-core partitioning was
+/// violated.
+pub const SERVE_PATH_FNS: &[&str] =
+    &["serve_get", "serve_put", "serve_invalidate", "serve_update"];
+
+/// Lock-acquiring method names. `read`/`write` cover `RwLock` guards
+/// (and, usefully, raw socket I/O — neither belongs in an owner-local
+/// shard operation).
+const LOCK_ACQUIRE_CALLS: &[&str] = &["lock", "read", "write"];
+
+fn rule_lock_free_serve_path(root: &Path, path: &Path, tokens: &[Token], report: &mut Report) {
+    let spans = cfg_test_spans(tokens);
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_serve_fn = tokens[i].is_ident("fn")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident
+                    && SERVE_PATH_FNS.contains(&t.text.as_str()));
+        if !is_serve_fn {
+            i += 1;
+            continue;
+        }
+        let fn_name = tokens[i + 1].text.clone();
+        // The body is the first brace group after the signature.
+        let mut open = i + 2;
+        while open < tokens.len() && !tokens[open].is_punct('{') {
+            open += 1;
+        }
+        let end = matching_close(tokens, open, '{', '}');
+        for k in open..end.min(tokens.len()) {
+            let t = &tokens[k];
+            if t.kind != TokenKind::Ident || in_spans(&spans, t.line) {
+                continue;
+            }
+            if LOCK_ACQUIRE_CALLS.contains(&t.text.as_str())
+                && k > 0
+                && tokens[k - 1].is_punct('.')
+                && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                report.violations.push(Violation {
+                    rule: "lock-free-serve-path",
+                    file: rel(root, path),
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` inside `{fn_name}`: the owner-local serve path touches \
+                         its shards through `&mut` only — a lock here breaks the \
+                         thread-per-core ownership invariant",
+                        t.text
+                    ),
+                });
+            }
+        }
+        i = end.max(i + 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -982,6 +1057,9 @@ pub fn lint_workspace(root: &Path) -> Report {
         }
         if lock_dirs.iter().any(|d| path.starts_with(d)) {
             rule_no_blocking_under_lock(root, path, &tokens, &mut report);
+        }
+        if *path == root.join(SERVE_PATH_FILE) {
+            rule_lock_free_serve_path(root, path, &tokens, &mut report);
         }
     }
     report.violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));

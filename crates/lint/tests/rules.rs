@@ -356,6 +356,87 @@ fn lock_rules_only_apply_to_serving_and_cache_dirs() {
 }
 
 // ---------------------------------------------------------------------------
+// R5: lock-free owner-local serve path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_in_serve_path_fn_is_flagged_at_its_line() {
+    // The mutation the rule exists to catch: someone reintroduces a
+    // shard lock into the owner-local read path.
+    let fx = Fixture::new("servepath-lock");
+    fx.file(
+        "crates/serve/src/server.rs",
+        "fn serve_get(&mut self, key: u64) -> Option<Message> {\n\
+         \x20   let shard = self.cache.shard(key).lock();\n\
+         \x20   shard.get_bounded(key)\n\
+         }\n",
+    );
+    let report = fx.lint();
+    let v = violations(&report, "lock-free-serve-path");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].file, "crates/serve/src/server.rs");
+    assert_eq!(v[0].line, 2);
+    assert!(v[0].message.contains("serve_get") && v[0].message.contains(".lock()"));
+}
+
+#[test]
+fn rwlock_read_and_write_guards_in_serve_path_are_flagged() {
+    let fx = Fixture::new("servepath-rwlock");
+    fx.file(
+        "crates/serve/src/server.rs",
+        "fn serve_put(&mut self, key: u64) -> u64 {\n\
+         \x20   self.shared.index.write().insert(key)\n\
+         }\n\
+         fn serve_invalidate(&mut self, keys: &[u64]) -> u64 {\n\
+         \x20   self.shared.index.read().count(keys)\n\
+         }\n",
+    );
+    let report = fx.lint();
+    let v = violations(&report, "lock-free-serve-path");
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![2, 5], "both guard acquisitions: {v:?}");
+}
+
+#[test]
+fn locks_outside_the_serve_fns_or_outside_the_reactor_file_are_allowed() {
+    // The reactor legitimately locks elsewhere (the cross-core inbox
+    // handoff), and other files lock freely — the rule is scoped to
+    // the four owner-local serving functions in server.rs.
+    let fx = Fixture::new("servepath-elsewhere");
+    fx.file(
+        "crates/serve/src/server.rs",
+        "fn flush_outboxes(&mut self) {\n\
+         \x20   self.peers[0].inbox.lock().msgs.push(1);\n\
+         }\n\
+         fn serve_update(&mut self, items: Vec<u64>) -> u64 {\n\
+         \x20   items.len() as u64\n\
+         }\n",
+    )
+    .file(
+        "crates/serve/src/push.rs",
+        "fn serve_get(m: &Mutex<u64>) -> u64 { *m.lock() }\n",
+    );
+    assert!(
+        violations(&fx.lint(), "lock-free-serve-path").is_empty(),
+        "only serve-path bodies in server.rs are in scope"
+    );
+}
+
+#[test]
+fn serve_path_test_modules_are_exempt() {
+    let fx = Fixture::new("servepath-testmod");
+    fx.file(
+        "crates/serve/src/server.rs",
+        "fn serve_get(&mut self) -> u64 { 1 }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn serve_get(m: &Mutex<u64>) -> u64 { *m.lock() }\n\
+         }\n",
+    );
+    assert!(violations(&fx.lint(), "lock-free-serve-path").is_empty());
+}
+
+// ---------------------------------------------------------------------------
 // Report plumbing
 // ---------------------------------------------------------------------------
 

@@ -323,11 +323,21 @@ impl FrameCodec {
             Message::StatsReq => {
                 out.put_u8(TAG_STATS_REQ);
             }
-            Message::StatsResp { refetches, refetch_coalesced, origin_errors } => {
+            Message::StatsResp {
+                refetches,
+                refetch_coalesced,
+                origin_errors,
+                cross_core_forwards,
+                slab_entries,
+                slab_capacity,
+            } => {
                 out.put_u8(TAG_STATS_RESP);
                 out.put_u64(*refetches);
                 out.put_u64(*refetch_coalesced);
                 out.put_u64(*origin_errors);
+                out.put_u64(*cross_core_forwards);
+                out.put_u64(*slab_entries);
+                out.put_u64(*slab_capacity);
             }
         }
     }
@@ -539,11 +549,14 @@ impl FrameCodec {
             }
             TAG_STATS_REQ => Ok(Message::StatsReq),
             TAG_STATS_RESP => {
-                Self::need(frame, 24, "stats-resp")?;
+                Self::need(frame, 48, "stats-resp")?;
                 Ok(Message::StatsResp {
                     refetches: frame.get_u64(),
                     refetch_coalesced: frame.get_u64(),
                     origin_errors: frame.get_u64(),
+                    cross_core_forwards: frame.get_u64(),
+                    slab_entries: frame.get_u64(),
+                    slab_capacity: frame.get_u64(),
                 })
             }
             t => Err(CodecError::UnknownTag(t)),
@@ -682,7 +695,14 @@ mod tests {
             },
             Message::ReadStats { entries: vec![] },
             Message::StatsReq,
-            Message::StatsResp { refetches: 5, refetch_coalesced: 2, origin_errors: 0 },
+            Message::StatsResp {
+                refetches: 5,
+                refetch_coalesced: 2,
+                origin_errors: 0,
+                cross_core_forwards: 9,
+                slab_entries: 1024,
+                slab_capacity: 2048,
+            },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m), m);

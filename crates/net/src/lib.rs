@@ -28,6 +28,10 @@
 //! * [`payload`] — deterministic, checksummable value payloads: every
 //!   writer fills values with the same seeded pattern, so any reader can
 //!   verify integrity end-to-end from the key and bytes alone.
+//! * [`pin`] — the receive-buffer pinning heuristic: small values about
+//!   to be *cached* out of a large read chunk are re-materialized into
+//!   an exact allocation, so a long-lived 100 B value cannot pin a
+//!   64 KiB receive buffer.
 //! * [`simnet`] — a deterministic simulated network: configurable delay
 //!   distribution plus smoltcp-style fault injection (drop, duplicate,
 //!   reorder), driven entirely by the caller's scheduler.
@@ -43,6 +47,7 @@ pub mod codec;
 pub mod frame_io;
 pub mod msg;
 pub mod payload;
+pub mod pin;
 pub mod reliable;
 pub mod simnet;
 

@@ -313,6 +313,14 @@ pub enum Message {
         /// Bounded reads degraded to `RefusedStale`/`Miss` because the
         /// origin was unreachable or a fetch failed.
         origin_errors: u64,
+        /// Requests whose key was owned by a different event loop and
+        /// was forwarded over the cross-core channel.
+        cross_core_forwards: u64,
+        /// Live entries across all event-loop-owned slab shards.
+        slab_entries: u64,
+        /// Allocated slab slots (live + free-listed) across all owned
+        /// shards — the slab memory high-water mark.
+        slab_capacity: u64,
     },
 }
 
@@ -352,7 +360,7 @@ impl Message {
             Message::FetchResp { value, .. } => HDR + 8 + 8 + 4 + value.len(),
             Message::ReadStats { entries } => HDR + 4 + entries.len() * 12,
             Message::StatsReq => HDR,
-            Message::StatsResp { .. } => HDR + 8 + 8 + 8,
+            Message::StatsResp { .. } => HDR + 6 * 8,
         }
     }
 
@@ -464,9 +472,16 @@ mod tests {
         assert_eq!(stats.wire_size(), 5 + 4 + 2 * 12);
         assert_eq!(Message::StatsReq.wire_size(), 5);
         assert_eq!(
-            Message::StatsResp { refetches: 1, refetch_coalesced: 2, origin_errors: 3 }
-                .wire_size(),
-            29
+            Message::StatsResp {
+                refetches: 1,
+                refetch_coalesced: 2,
+                origin_errors: 3,
+                cross_core_forwards: 4,
+                slab_entries: 5,
+                slab_capacity: 6,
+            }
+            .wire_size(),
+            53
         );
         // A fetch response is cheaper than an update batch for the same
         // value: no seq, no per-item framing — it answers exactly one key.

@@ -220,7 +220,11 @@ fn main() {
         );
         match loadgen::run_cluster(&nodes, &ops, &config, vnodes) {
             Ok(mut cluster) => {
-                cluster.set_identity(&schedule_name, seed);
+                // A fanned-out run is a different experiment than a
+                // single-node replay of the same schedule — suffix the
+                // identity so baseline gating never compares across the
+                // two shapes.
+                cluster.set_identity(&format!("{schedule_name}-cluster"), seed);
                 (cluster.aggregate.clone(), Some(cluster))
             }
             Err(e) => {

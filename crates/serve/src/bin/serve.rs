@@ -3,16 +3,20 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7440] [--shards 16] [--capacity-entries 65536]
 //!       [--event-loops 2] [--origin 127.0.0.1:7500] [--stats-every 5]
+//!       [--pin-threshold 512]
 //! ```
 //!
 //! Binds the address, then prints a serving-counter line every
 //! `--stats-every` seconds until killed. `--capacity-entries 0` means
 //! unbounded. `--event-loops` sets how many reactor threads connections
 //! are multiplexed onto (each one comfortably serves thousands of
-//! connections; raise it to use more cores). `--origin` points at a
-//! store-push node's origin endpoint (`store-push --origin ADDR`):
-//! bounded reads that would be refused or missed then refetch through
-//! it instead of failing — see `fresca_serve::server`'s module docs.
+//! connections; raise it to use more cores — cache shards are
+//! partitioned across the loops and requests route by key). `--origin`
+//! points at a store-push node's origin endpoint
+//! (`store-push --origin ADDR`): bounded reads that would be refused or
+//! missed then refetch through it instead of failing — see
+//! `fresca_serve::server`'s module docs. `--pin-threshold` sets the
+//! receive-buffer pinning cutoff in bytes (0 disables re-pinning).
 
 use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
 use fresca_serve::cli::arg;
@@ -25,7 +29,8 @@ fn main() {
         eprintln!(
             "usage: serve [--addr 127.0.0.1:7440] [--shards 16] \
              [--capacity-entries 65536] [--event-loops 2] \
-             [--origin 127.0.0.1:7500] [--stats-every 5]"
+             [--origin 127.0.0.1:7500] [--stats-every 5] \
+             [--pin-threshold 512]"
         );
         return;
     }
@@ -35,6 +40,8 @@ fn main() {
     let event_loops: usize = arg(&args, "--event-loops", 2);
     let origin_s = arg(&args, "--origin", String::new());
     let stats_every: u64 = arg(&args, "--stats-every", 5);
+    let pin_threshold: usize =
+        arg(&args, "--pin-threshold", fresca_net::pin::DEFAULT_PIN_THRESHOLD);
 
     let origin = if origin_s.is_empty() {
         None
@@ -54,6 +61,7 @@ fn main() {
         shards,
         event_loops,
         origin,
+        pin_threshold,
     };
     let handle = match server::spawn(&addr, config) {
         Ok(h) => h,

@@ -44,6 +44,26 @@ impl GetOutcome {
     }
 }
 
+/// A snapshot of a server's wire-exported counters, as answered to a
+/// `StatsReq` probe (see [`CacheClient::server_stats`]). The refetch
+/// fields are cumulative counters (probe before/after and diff); the
+/// slab fields are instantaneous gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerProbe {
+    /// Origin refetches issued so far.
+    pub refetches: u64,
+    /// Bounded reads coalesced onto an in-flight refetch so far.
+    pub refetch_coalesced: u64,
+    /// Reads degraded because the origin was unreachable, so far.
+    pub origin_errors: u64,
+    /// Requests forwarded to the event loop owning their key's shard.
+    pub cross_core_forwards: u64,
+    /// Live entries across all event-loop-owned slab shards (gauge).
+    pub slab_entries: u64,
+    /// Allocated slab slots across all owned shards (gauge).
+    pub slab_capacity: u64,
+}
+
 /// A completed pipelined request, as handed back by
 /// [`PipelinedClient::complete`] together with its [`RequestId`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,15 +157,28 @@ impl CacheClient {
         }
     }
 
-    /// Probe the server's refetch counters (`StatsReq` → `StatsResp`):
-    /// `(refetches, refetch_coalesced, origin_errors)`. All three are
-    /// zero on a server running without an origin.
-    pub fn server_stats(&mut self) -> io::Result<(u64, u64, u64)> {
+    /// Probe the server's freshness-loop and serving-path counters
+    /// (`StatsReq` → `StatsResp`). The refetch counters are zero on a
+    /// server running without an origin; `cross_core_forwards` is zero
+    /// on a single-event-loop server.
+    pub fn server_stats(&mut self) -> io::Result<ServerProbe> {
         self.framed.send(&Message::StatsReq)?;
         match self.must_recv()? {
-            Message::StatsResp { refetches, refetch_coalesced, origin_errors } => {
-                Ok((refetches, refetch_coalesced, origin_errors))
-            }
+            Message::StatsResp {
+                refetches,
+                refetch_coalesced,
+                origin_errors,
+                cross_core_forwards,
+                slab_entries,
+                slab_capacity,
+            } => Ok(ServerProbe {
+                refetches,
+                refetch_coalesced,
+                origin_errors,
+                cross_core_forwards,
+                slab_entries,
+                slab_capacity,
+            }),
             other => Err(unexpected(&other)),
         }
     }

@@ -5,10 +5,14 @@
 //! cares about: freshness guarantees only mean something end-to-end, once
 //! requests actually cross a network boundary. It provides:
 //!
-//! * [`server`] — an event-driven TCP cache server fronting a
-//!   [`fresca_cache::ShardedCache`]: a poll-based reactor (vendored
-//!   `minipoll`, no external runtime) multiplexes all connections onto a
-//!   configurable number of event-loop threads, speaking the
+//! * [`server`] — an event-driven TCP cache server built thread-per-core:
+//!   a poll-based reactor (vendored `minipoll`, no external runtime)
+//!   multiplexes all connections onto a configurable number of
+//!   event-loop threads, and the cache shards (each a slab-backed
+//!   [`fresca_cache::SlabCache`]) are partitioned across those loops at
+//!   startup. Requests route by key: owner-local keys are served inline
+//!   with no locking, cross-core operations are forwarded over the
+//!   wakeup channels as completion-style messages. The server speaks the
 //!   `fresca-net` framed protocol. Writes carry a per-key TTL; reads
 //!   carry a per-request max-staleness bound; responses say whether the
 //!   entry was served fresh, served stale, refused, or missed — and echo
@@ -139,7 +143,7 @@ pub mod cli {
     }
 }
 
-pub use client::{CacheClient, GetOutcome, PipelinedClient, Response};
+pub use client::{CacheClient, GetOutcome, PipelinedClient, Response, ServerProbe};
 pub use cluster::ClusterClient;
 pub use loadgen::{ClusterReport, LoadGenConfig, LoadReport, Mode, NodeReport};
 pub use origin::{OriginHandle, OriginState};

@@ -34,7 +34,7 @@
 //! [`LoadReport`] per node plus the merged aggregate (aggregate
 //! percentiles are computed over the pooled samples, not averaged).
 
-use crate::client::{PipelinedClient, Response};
+use crate::client::{PipelinedClient, Response, ServerProbe};
 use crate::ring::HashRing;
 use fresca_net::{payload, GetStatus, RequestId};
 use fresca_workload::{TimedOp, WireOp};
@@ -232,6 +232,17 @@ pub struct LoadReport {
     /// Reads degraded to their fallback because the origin was
     /// unreachable during this run.
     pub origin_errors: u64,
+    /// Requests the server(s) forwarded to the event loop owning their
+    /// key's shard during this run (probed like the refetch counters).
+    /// Zero on a single-event-loop server.
+    pub cross_core_forwards: u64,
+    /// Live entries across the server's event-loop-owned slab shards at
+    /// the end of the run (a gauge, not a delta; summed across nodes in
+    /// cluster runs).
+    pub slab_entries: u64,
+    /// Allocated slab slots across the server's owned shards at the end
+    /// of the run (gauge; the slab memory high-water mark).
+    pub slab_capacity: u64,
 }
 
 impl LoadReport {
@@ -289,6 +300,13 @@ impl std::fmt::Display for LoadReport {
                 f,
                 "origin refetches: {} ({} coalesced, {} origin errors)",
                 self.refetches, self.refetch_coalesced, self.origin_errors
+            )?;
+        }
+        if self.cross_core_forwards > 0 || self.slab_capacity > 0 {
+            writeln!(
+                f,
+                "cross-core forwards: {}   slab: {}/{} entries/slots",
+                self.cross_core_forwards, self.slab_entries, self.slab_capacity
             )?;
         }
         Ok(())
@@ -425,21 +443,27 @@ fn submit(
     }
 }
 
-/// Snapshot a server's refetch counters over a side connection:
-/// `(refetches, refetch_coalesced, origin_errors)`. Best-effort — a
-/// server predating `StatsReq`, or a probe hitting a connection limit,
-/// reads as zeros rather than failing the run it brackets.
-fn probe_refetch_stats(addr: SocketAddr) -> (u64, u64, u64) {
+/// Snapshot a server's wire-exported counters over a side connection.
+/// Best-effort — a server predating `StatsReq`, or a probe hitting a
+/// connection limit, reads as zeros rather than failing the run it
+/// brackets.
+fn probe_refetch_stats(addr: SocketAddr) -> ServerProbe {
     crate::client::CacheClient::connect(addr)
         .and_then(|mut c| c.server_stats())
-        .unwrap_or((0, 0, 0))
+        .unwrap_or_default()
 }
 
-/// Attribute the delta between two refetch-counter probes to a report.
-fn attribute_refetches(report: &mut LoadReport, before: (u64, u64, u64), after: (u64, u64, u64)) {
-    report.refetches = after.0.saturating_sub(before.0);
-    report.refetch_coalesced = after.1.saturating_sub(before.1);
-    report.origin_errors = after.2.saturating_sub(before.2);
+/// Attribute two bracketing probes to a report: cumulative counters
+/// (refetches, forwards) as deltas, slab gauges at their end-of-run
+/// value.
+fn attribute_refetches(report: &mut LoadReport, before: ServerProbe, after: ServerProbe) {
+    report.refetches = after.refetches.saturating_sub(before.refetches);
+    report.refetch_coalesced = after.refetch_coalesced.saturating_sub(before.refetch_coalesced);
+    report.origin_errors = after.origin_errors.saturating_sub(before.origin_errors);
+    report.cross_core_forwards =
+        after.cross_core_forwards.saturating_sub(before.cross_core_forwards);
+    report.slab_entries = after.slab_entries;
+    report.slab_capacity = after.slab_capacity;
 }
 
 /// Replay `ops` against the server at `addr` and report what happened.
@@ -582,7 +606,7 @@ pub fn run_cluster(
         let owner = ring.node_index_for(op.op.key()).expect("non-empty ring");
         per_node[owner].push(*op);
     }
-    let before: Vec<(u64, u64, u64)> =
+    let before: Vec<ServerProbe> =
         nodes.iter().map(|&(_, addr)| probe_refetch_stats(addr)).collect();
     let started = Instant::now();
     let results: Vec<io::Result<WorkerResult>> = std::thread::scope(|s| {
@@ -598,19 +622,22 @@ pub fn run_cluster(
     let wall = started.elapsed();
     let mut aggregate = WorkerResult::default();
     let mut node_reports = Vec::with_capacity(nodes.len());
-    let mut refetch_totals = (0u64, 0u64, 0u64);
+    let mut totals = ServerProbe::default();
     for (i, ((name, addr), result)) in nodes.iter().zip(results).enumerate() {
         let r = result?;
         let mut report = build_report(r.clone(), wall);
         attribute_refetches(&mut report, before[i], probe_refetch_stats(*addr));
-        refetch_totals.0 += report.refetches;
-        refetch_totals.1 += report.refetch_coalesced;
-        refetch_totals.2 += report.origin_errors;
+        totals.refetches += report.refetches;
+        totals.refetch_coalesced += report.refetch_coalesced;
+        totals.origin_errors += report.origin_errors;
+        totals.cross_core_forwards += report.cross_core_forwards;
+        totals.slab_entries += report.slab_entries;
+        totals.slab_capacity += report.slab_capacity;
         node_reports.push(NodeReport { addr: name.clone(), report });
         aggregate.merge(r);
     }
     let mut aggregate = build_report(aggregate, wall);
-    attribute_refetches(&mut aggregate, (0, 0, 0), refetch_totals);
+    attribute_refetches(&mut aggregate, ServerProbe::default(), totals);
     Ok(ClusterReport { aggregate, nodes: node_reports })
 }
 
@@ -735,6 +762,9 @@ fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
         refetches: 0,
         refetch_coalesced: 0,
         origin_errors: 0,
+        cross_core_forwards: 0,
+        slab_entries: 0,
+        slab_capacity: 0,
     }
 }
 

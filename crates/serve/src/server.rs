@@ -1,4 +1,4 @@
-//! The event-driven TCP cache server.
+//! The event-driven, thread-per-core TCP cache server.
 //!
 //! A small poll-based reactor replaces the original thread-per-connection
 //! design: one blocking accept thread hands sockets to a configurable
@@ -9,13 +9,46 @@
 //! thread count scales service capacity across cores, not connection
 //! count.
 //!
+//! ## Thread-per-core ownership
+//!
+//! Cache shards are not shared behind locks — they are **partitioned
+//! across the event loops at startup and owned exclusively by one
+//! loop** for the server's lifetime. Shard `s` (of `S`, rounded up to a
+//! power of two) belongs to loop `s % L`; each loop keeps its owned
+//! shards in a plain `Vec<SlabCache>` (slab-backed storage with an
+//! intrusive LRU — see [`fresca_cache::slab`]) and mutates them through
+//! `&mut` with **no locking at all**.
+//!
+//! Requests are therefore routed *by key*, not just by connection. A
+//! request arriving on its key's owner loop is served inline, straight
+//! against the owned shard. A request for a shard owned by another loop
+//! is **forwarded**: the home loop stages a `CoreMsg::Op` into a
+//! per-destination outbox, flushes the batch into the owner's inbox at
+//! end of tick (one mutex append + one self-pipe wake byte per
+//! destination — the same wakeup channel the accept thread uses), and
+//! the request parks exactly like an origin refetch does. The owner
+//! serves it against its shard and stages a completion message carrying
+//! the fully-formed reply back to the home loop, which queues it on the
+//! original connection, matched by `(slot, token)` so a recycled slot
+//! can never receive a stranger's reply. The reactor never blocks on a
+//! forward; counted in `cross_core_forwards`.
+//!
+//! Because every key has exactly one owner thread, multi-step operations
+//! that used to need a shard lock ("allocate a version, then insert")
+//! are atomic by construction, and per-key operation order is preserved
+//! end-to-end: a connection's requests are decoded in order, same-key
+//! operations always route to the same owner, and the inbox queues are
+//! FIFO.
+//!
 //! Per connection the reactor keeps a [`NonBlockingFramedStream`]: reads
 //! accumulate into the streaming codec until frames complete, responses
 //! queue into an outbound buffer and drain as the socket accepts them, so
 //! a slow reader never blocks the loop. Requests are processed in arrival
 //! order per connection and each response echoes its request's
 //! [`fresca_net::RequestId`], which is what lets clients pipeline many
-//! requests on one connection and match responses by id.
+//! requests on one connection and match responses by id (forwarded
+//! requests may complete out of order with respect to later local ones,
+//! exactly like parked refetches always could).
 //!
 //! Freshness is enforced *at the serving boundary*, per the paper's
 //! argument: a `PutReq` installs its per-key TTL, and a `GetReq`'s
@@ -23,68 +56,94 @@
 //! refused, and miss — the decision travels back on the wire as a
 //! [`GetStatus`] so the client can count staleness violations end-to-end.
 //!
+//! Small values decoded from large receive chunks are **re-pinned**
+//! before they are cached ([`fresca_net::pin::repin_small`], threshold
+//! [`ServerConfig::pin_threshold`]): a 100-byte payload sliced out of a
+//! 64 KiB read would otherwise hold the whole chunk alive for as long
+//! as the entry stays cached.
+//!
 //! The same socket also accepts the **store path**: a store-push node
 //! (see [`crate::push`]) sends batched `Invalidate { seq, keys }` /
-//! `Update { seq, items }` frames; the node applies each batch to its
-//! `ShardedCache` under the per-key shard locks and answers
-//! `Ack { seq }` — the paper's write-triggered freshness pipeline
-//! running against a real cache node instead of the simulator.
+//! `Update { seq, items }` frames. The receiving loop applies the keys
+//! it owns directly, splits the rest into per-owner sub-batches
+//! forwarded like any other cross-core op, and answers `Ack { seq }`
+//! once every sub-batch completion has come back — the paper's
+//! write-triggered freshness pipeline running against a real cache node
+//! instead of the simulator.
 //!
 //! ## The refetch path
 //!
 //! With [`ServerConfig::origin`] set, a bounded read that would come
-//! back `RefusedStale` or `Miss` does not answer at all — the reactor
-//! *parks* the request on its in-flight-refetch table
+//! back `RefusedStale` or `Miss` does not answer at all — the **owner
+//! loop** parks the request on its in-flight-refetch table
 //! ([`fresca_cache::refetch::RefetchTable`]) and asks the origin for
 //! the key over a per-event-loop non-blocking connection. Concurrent
 //! readers of the same key coalesce onto the one in-flight fetch
-//! (dogpile guard); when the `FetchResp` arrives the entry is
-//! installed like a put and every parked reader is answered
-//! `Fresh` at age 0. The event loop never blocks on the origin:
-//! parked requests cost a table entry, unrelated keys keep serving,
-//! and if the origin connection dies every parked reader immediately
-//! receives the refusal/miss it would have gotten without an origin
-//! (counted in `origin_errors`), with reconnection retried on a
-//! timer. Refetching through the origin is also the paper's §3.1
-//! backchannel — the fetch clears the key's invalidation-suppression
-//! mark at the store — and the loop batches per-key read counts back
-//! to the origin as `ReadStats` frames, which is what feeds the
-//! adaptive invalidate-vs-update policy's `E[W]` estimator.
+//! (dogpile guard — and because a key has one owner, coalescing is now
+//! global, not per-loop); when the `FetchResp` arrives the entry is
+//! installed like a put and every parked reader is answered `Fresh` at
+//! age 0 — directly for readers whose connection lives on the owner
+//! loop, via a completion message for forwarded ones. The event loop
+//! never blocks on the origin: parked requests cost a table entry,
+//! unrelated keys keep serving, and if the origin connection dies every
+//! parked reader immediately receives the refusal/miss it would have
+//! gotten without an origin (counted in `origin_errors`), with
+//! reconnection retried on a timer. Refetching through the origin is
+//! also the paper's §3.1 backchannel — the fetch clears the key's
+//! invalidation-suppression mark at the store — and each owner loop
+//! batches per-key read counts back to the origin as `ReadStats`
+//! frames, which is what feeds the adaptive invalidate-vs-update
+//! policy's `E[W]` estimator.
 
 use crate::ServeClock;
 use bytes::Bytes;
 use fresca_cache::refetch::{Park, RefetchTable};
-use fresca_cache::{BoundedGet, CacheConfig, ShardedCache};
-use fresca_net::{GetStatus, Message, NonBlockingFramedStream, PollRecv, ReadStat, RequestId};
+use fresca_cache::slab::SlabCache;
+use fresca_cache::{BoundedGet, CacheConfig, Capacity};
+use fresca_net::pin::{repin_small, DEFAULT_PIN_THRESHOLD};
+use fresca_net::{
+    GetStatus, Message, NonBlockingFramedStream, PollRecv, ReadStat, RequestId, UpdateItem,
+};
 use fresca_sim::SimDuration;
 use minipoll::{Interest, PollSet, Readiness};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerConfig {
-    /// Cache capacity and eviction policy.
+    /// Cache capacity (the eviction policy field is ignored: owned
+    /// shards are slab-backed and always LRU — see
+    /// [`fresca_cache::slab`]).
     pub cache: CacheConfig,
-    /// Number of cache shards (rounded up to a power of two).
+    /// Number of cache shards (rounded up to a power of two). Shards
+    /// are partitioned across the event loops at startup; shard `s`
+    /// is owned by loop `s % event_loops`.
     pub shards: usize,
-    /// Number of event-loop threads connections are multiplexed onto
-    /// (round-robin at accept time). Each loop serves all of its
-    /// connections from one thread; raise this to spread request
-    /// processing across cores, not to admit more connections.
+    /// Number of event-loop threads. Connections are multiplexed onto
+    /// them round-robin at accept time; *requests* are then routed by
+    /// key to the loop owning the key's shard, so this is also the
+    /// serving parallelism. Raise it to spread request processing
+    /// across cores, not to admit more connections.
     pub event_loops: usize,
     /// Origin endpoint to refetch refused/missed keys through (see the
     /// module docs). `None` — the default — answers refusals and misses
     /// directly, exactly as before.
     pub origin: Option<SocketAddr>,
+    /// Receive-buffer pinning threshold in bytes: a value smaller than
+    /// this that was decoded from a read chunk at least 8× its size is
+    /// copied into a fresh allocation before it is cached, so one tiny
+    /// hot entry cannot pin a 64 KiB receive chunk. `0` disables
+    /// re-pinning. See [`fresca_net::pin`].
+    pub pin_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +153,7 @@ impl Default for ServerConfig {
             shards: 16,
             event_loops: 2,
             origin: None,
+            pin_threshold: DEFAULT_PIN_THRESHOLD,
         }
     }
 }
@@ -118,6 +178,7 @@ struct ServerStats {
     refetches: AtomicU64,
     refetch_coalesced: AtomicU64,
     origin_errors: AtomicU64,
+    cross_core_forwards: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -158,6 +219,16 @@ pub struct ServerStatsSnapshot {
     /// Reads answered with their fallback refusal/miss because the
     /// origin was unreachable or its connection died mid-fetch.
     pub origin_errors: u64,
+    /// Operations forwarded to the event loop owning their key's shard
+    /// (requests arriving on the owner loop serve inline and do not
+    /// count here).
+    pub cross_core_forwards: u64,
+    /// Live entries across every owned slab shard (gauge, refreshed at
+    /// each loop's end of tick).
+    pub slab_entries: u64,
+    /// Allocated slab slots across every owned shard — the storage
+    /// high-water mark (gauge).
+    pub slab_capacity: u64,
 }
 
 impl ServerStats {
@@ -178,6 +249,9 @@ impl ServerStats {
             refetches: self.refetches.load(Ordering::Relaxed),
             refetch_coalesced: self.refetch_coalesced.load(Ordering::Relaxed),
             origin_errors: self.origin_errors.load(Ordering::Relaxed),
+            cross_core_forwards: self.cross_core_forwards.load(Ordering::Relaxed),
+            slab_entries: 0,
+            slab_capacity: 0,
         }
     }
 }
@@ -187,9 +261,9 @@ impl std::fmt::Display for ServerStatsSnapshot {
         write!(
             f,
             "gets={} puts={} fresh={} stale_served={} refused={} misses={} \
-             refetches={} coalesced={} origin_errs={} \
+             refetches={} coalesced={} origin_errs={} forwards={} \
              push_batches={} keys_invalidated={} keys_updated={} \
-             conns={} open={} proto_errs={}",
+             slab={}/{} conns={} open={} proto_errs={}",
             self.gets,
             self.puts,
             self.fresh,
@@ -199,9 +273,12 @@ impl std::fmt::Display for ServerStatsSnapshot {
             self.refetches,
             self.refetch_coalesced,
             self.origin_errors,
+            self.cross_core_forwards,
             self.push_batches,
             self.keys_invalidated,
             self.keys_updated,
+            self.slab_entries,
+            self.slab_capacity,
             self.connections,
             self.open_connections,
             self.protocol_errors
@@ -209,23 +286,145 @@ impl std::fmt::Display for ServerStatsSnapshot {
     }
 }
 
+/// Shard-routing hash: the two-constant SplitMix variant. Deliberately
+/// *not* the three-constant round the slab's key index finalises with
+/// ([`fresca_cache::slab::SplitMixHasher`]) — shard selection keys on
+/// the low bits, and reusing the index hash would put every key of a
+/// shard into the same index buckets.
+#[inline]
+fn shard_hash(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 31)
+}
+
+/// The static shard → loop partition every thread routes by.
+#[derive(Debug, Clone, Copy)]
+struct Topology {
+    /// Global shard count minus one (shard count is a power of two).
+    shard_mask: u64,
+    num_loops: usize,
+}
+
+impl Topology {
+    #[inline]
+    fn shard_of(&self, key: u64) -> usize {
+        (shard_hash(key) & self.shard_mask) as usize
+    }
+
+    /// The loop owning `key`'s shard.
+    #[inline]
+    fn owner_of(&self, key: u64) -> usize {
+        self.shard_of(key) % self.num_loops
+    }
+
+    /// Index of `key`'s shard within its owner's `Vec<SlabCache>`.
+    #[inline]
+    fn local_index(&self, key: u64) -> usize {
+        self.shard_of(key) / self.num_loops
+    }
+
+    /// How many shards `loop_id` owns.
+    fn owned_shards(&self, loop_id: usize) -> usize {
+        let total = self.shard_mask as usize + 1;
+        (loop_id..total).step_by(self.num_loops.max(1)).count()
+    }
+}
+
 /// Everything an event loop needs to dispatch requests.
 struct Shared {
-    cache: Arc<ShardedCache>,
     stats: Arc<ServerStats>,
     // One global version counter: versions are monotone across all keys,
     // which is stronger than the per-key monotonicity clients rely on.
+    // Per-key alloc+insert needs no lock: a key's owner thread is the
+    // only writer of its shard, so the two steps cannot interleave.
     versions: AtomicU64,
     clock: ServeClock,
     stop: AtomicBool,
+    topo: Topology,
+    /// Per-loop slab gauges, published by each owner at end of tick and
+    /// summed for stats and `StatsResp`.
+    slab_entries: Vec<AtomicU64>,
+    slab_capacity: Vec<AtomicU64>,
 }
 
-/// Accept-side handle to one event loop: where to park new sockets and
-/// how to wake the loop to collect them.
-struct LoopHandle {
-    inbox: Arc<Mutex<Vec<TcpStream>>>,
+impl Shared {
+    fn snapshot(&self) -> ServerStatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.slab_entries = self.slab_entries.iter().map(|g| g.load(Ordering::Relaxed)).sum();
+        snap.slab_capacity = self.slab_capacity.iter().map(|g| g.load(Ordering::Relaxed)).sum();
+        snap
+    }
+}
+
+/// An operation forwarded to the loop that owns its key's shard.
+enum ForwardOp {
+    /// A bounded read; the owner replies (or parks on its refetch
+    /// table) exactly as if the request had arrived locally.
+    Get { id: RequestId, key: u64, max_staleness: u64 },
+    /// A write; the owner allocates the version and installs.
+    Put { id: RequestId, key: u64, value: Bytes, ttl: u64 },
+    /// The sub-batch of a store-pushed `Invalidate` owned by the
+    /// destination; completion decrements the home loop's pending
+    /// batch `batch`.
+    InvalidateKeys { batch: u64, keys: Vec<u64> },
+    /// The sub-batch of a store-pushed `Update` owned by the
+    /// destination.
+    UpdateItems { batch: u64, items: Vec<UpdateItem> },
+}
+
+/// What a completed cross-core operation sends back to the home loop.
+enum Completion {
+    /// A fully-formed reply to queue on the originating connection.
+    Reply(Message),
+    /// One owner finished its sub-batch of pending batch `batch`.
+    BatchPart { batch: u64 },
+}
+
+/// A message between event loops (or from [`ServerHandle`]), carried
+/// through the destination's inbox + self-pipe wake.
+enum CoreMsg {
+    /// Forwarded operation: `from` is the home loop the completion goes
+    /// back to; `(slot, token)` name the originating connection there.
+    Op { from: usize, slot: usize, token: u64, op: ForwardOp },
+    /// A completion routed back to the home loop's connection.
+    Done { slot: usize, token: u64, what: Completion },
+    /// Control-plane invalidation from [`ServerHandle::invalidate`],
+    /// answered over the one-shot channel (`true` if the key was
+    /// cached). Always addressed to the key's owner loop.
+    Invalidate { key: u64, reply: mpsc::Sender<bool> },
+}
+
+/// A store-push batch waiting on forwarded sub-batches; the `Ack` goes
+/// out when `remaining` owners have reported back.
+struct PendingBatch {
+    seq: u64,
+    slot: usize,
+    token: u64,
+    remaining: u32,
+}
+
+/// What the accept thread (and peer loops) deposit for an event loop:
+/// freshly accepted sockets and cross-core messages, drained together
+/// on the next wake.
+#[derive(Default)]
+struct LoopInbox {
+    conns: Vec<TcpStream>,
+    msgs: Vec<CoreMsg>,
+}
+
+/// One row of a loop's routing table: where to deposit messages for a
+/// destination loop and how to wake it.
+struct Peer {
+    inbox: Arc<Mutex<LoopInbox>>,
     // Writing one byte wakes the loop's poll; non-blocking, so a full
     // pipe (wake already pending) is fine to ignore.
+    wake_tx: UnixStream,
+}
+
+/// Accept-side handle to one event loop.
+struct LoopHandle {
+    inbox: Arc<Mutex<LoopInbox>>,
     wake_tx: UnixStream,
     join: JoinHandle<()>,
 }
@@ -264,31 +463,52 @@ impl std::fmt::Debug for LoopHandle {
 pub fn spawn<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let num_loops = config.event_loops.max(1);
+    let shards = config.shards.max(1).next_power_of_two();
+    let topo = Topology { shard_mask: shards as u64 - 1, num_loops };
     let shared = Arc::new(Shared {
-        cache: Arc::new(ShardedCache::new(config.cache, config.shards)),
         stats: Arc::new(ServerStats::default()),
         versions: AtomicU64::new(0),
         clock: ServeClock::start(),
         stop: AtomicBool::new(false),
+        topo,
+        slab_entries: (0..num_loops).map(|_| AtomicU64::new(0)).collect(),
+        slab_capacity: (0..num_loops).map(|_| AtomicU64::new(0)).collect(),
     });
 
-    let mut loops = Vec::new();
-    for _ in 0..config.event_loops.max(1) {
+    // Every loop's inbox and wake endpoint exist before any thread
+    // starts, so each loop can carry a complete routing table of its
+    // peers from its first tick.
+    let mut endpoints: Vec<(Arc<Mutex<LoopInbox>>, UnixStream)> = Vec::with_capacity(num_loops);
+    let mut wake_rxs = Vec::with_capacity(num_loops);
+    for _ in 0..num_loops {
         let (wake_tx, wake_rx) = UnixStream::pair()?;
         wake_tx.set_nonblocking(true)?;
         wake_rx.set_nonblocking(true)?;
-        let inbox = Arc::new(Mutex::new(Vec::new()));
+        endpoints.push((Arc::new(Mutex::new(LoopInbox::default())), wake_tx));
+        wake_rxs.push(wake_rx);
+    }
+
+    let mut loops = Vec::with_capacity(num_loops);
+    for (loop_id, wake_rx) in wake_rxs.into_iter().enumerate() {
+        let peers: Vec<Peer> = endpoints
+            .iter()
+            .map(|(inbox, tx)| Ok(Peer { inbox: Arc::clone(inbox), wake_tx: tx.try_clone()? }))
+            .collect::<io::Result<_>>()?;
+        let inbox = Arc::clone(&endpoints[loop_id].0);
+        let wake_tx = endpoints[loop_id].1.try_clone()?;
         let join = {
-            let (inbox, shared) = (Arc::clone(&inbox), Arc::clone(&shared));
-            let origin = config.origin;
-            std::thread::spawn(move || event_loop(wake_rx, &inbox, &shared, origin))
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                EventLoop::new(loop_id, wake_rx, peers, shared, config).run();
+            })
         };
         loops.push(LoopHandle { inbox, wake_tx, join });
     }
 
     let accept_loop = {
         let shared = Arc::clone(&shared);
-        let mut targets: Vec<(Arc<Mutex<Vec<TcpStream>>>, UnixStream)> = loops
+        let mut targets: Vec<(Arc<Mutex<LoopInbox>>, UnixStream)> = loops
             .iter()
             .map(|l| Ok((Arc::clone(&l.inbox), l.wake_tx.try_clone()?)))
             .collect::<io::Result<_>>()?;
@@ -304,7 +524,7 @@ pub fn spawn<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Serv
                 let n = targets.len();
                 let (inbox, wake) = &mut targets[next % n];
                 next += 1;
-                inbox.lock().push(conn);
+                inbox.lock().conns.push(conn);
                 let _ = wake.write(&[1]);
             }
         })
@@ -321,13 +541,22 @@ impl ServerHandle {
 
     /// Current serving counters.
     pub fn stats(&self) -> ServerStatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.snapshot()
     }
 
-    /// The shared cache — exposed so operators (and tests) can apply
-    /// backend-originated invalidations or inspect entry ages directly.
-    pub fn cache(&self) -> &Arc<ShardedCache> {
-        &self.shared.cache
+    /// Apply a backend-originated invalidation: mark `key`'s entry
+    /// known-stale on the event loop owning its shard. Returns `true`
+    /// if the key was cached. This is the operator-facing replacement
+    /// for reaching into the (now loop-owned, unlocked) shards
+    /// directly: it routes a control message through the owner's inbox
+    /// and waits briefly for the answer.
+    pub fn invalidate(&self, key: u64) -> bool {
+        let owner = self.shared.topo.owner_of(key);
+        let Some(l) = self.loops.get(owner) else { return false };
+        let (tx, rx) = mpsc::channel();
+        l.inbox.lock().msgs.push(CoreMsg::Invalidate { key, reply: tx });
+        l.wake();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or(false)
     }
 
     /// The server's clock, for callers that want to interpret entry ages
@@ -359,7 +588,7 @@ impl ServerHandle {
         for l in self.loops.drain(..) {
             let _ = l.join.join();
         }
-        self.shared.stats.snapshot()
+        self.shared.snapshot()
     }
 }
 
@@ -369,9 +598,10 @@ struct Conn {
     io: NonBlockingFramedStream<TcpStream>,
     fd: RawFd,
     /// Loop-unique identity for this registration. Parked refetch
-    /// waiters name their connection by `(slot, token)`; the token is
-    /// what stops a reply from landing on an unrelated connection that
-    /// reused the slot after the original closed.
+    /// waiters and cross-core completions name their connection by
+    /// `(slot, token)`; the token is what stops a reply from landing on
+    /// an unrelated connection that reused the slot after the original
+    /// closed.
     token: u64,
     /// No more requests will be read (clean EOF — possibly a half-close
     /// — or a protocol violation), but replies already queued still
@@ -379,12 +609,23 @@ struct Conn {
     /// answered every request it had read; the reactor keeps that
     /// property.
     closing: bool,
+    /// Requests read off this connection whose replies have not been
+    /// queued yet: forwarded cross-core operations, pending store-push
+    /// batches, and parked origin refetches. A closing connection
+    /// drains these too before it is dropped — a half-closing client is
+    /// owed every response, including the ones completing on another
+    /// core.
+    in_flight: u32,
 }
 
-/// A parked bounded read, waiting on an origin refetch of its key. The
-/// fallback fields reconstruct the reply the request would have gotten
-/// with no origin, for delivery if the fetch fails.
+/// A parked bounded read, waiting on an origin refetch of its key at
+/// the key's owner loop. `home` is the loop whose connection table
+/// `(slot, token)` index into — the owner delivers directly when that
+/// is itself, via a completion message otherwise. The fallback fields
+/// reconstruct the reply the request would have gotten with no origin,
+/// for delivery if the fetch fails.
 struct Waiter {
+    home: usize,
     slot: usize,
     token: u64,
     id: RequestId,
@@ -522,269 +763,894 @@ const OUTBOUND_HIGH_WATER: usize = 1 << 20;
 /// neighbours.
 const MAX_FRAMES_PER_TICK: usize = 128;
 
-/// The reactor: multiplex every connection assigned to this loop over one
-/// `poll(2)` set. Index 0 of the set is always the wake pipe; the origin
-/// link (when configured and up) takes index 1; connection slots follow.
-/// The loop exits when the shared stop flag is set.
-fn event_loop(
-    mut wake_rx: UnixStream,
-    inbox: &Mutex<Vec<TcpStream>>,
-    shared: &Shared,
-    origin: Option<SocketAddr>,
-) {
-    let wake_fd = wake_rx.as_raw_fd();
-    // Slot-indexed connection table; `None` slots are free and reused.
-    let mut conns: Vec<Option<Conn>> = Vec::new();
-    let mut free: Vec<usize> = Vec::new();
-    let mut next_token: u64 = 0;
-    let mut poll = PollSet::new();
-    // poll index -> conn slot for this tick (index 0 is the wake pipe).
-    let mut slot_of: Vec<usize> = Vec::new();
-    // One read-scratch buffer shared by every connection on this loop:
-    // it holds no per-stream state, so idle connections cost no
-    // read-buffer memory.
-    let mut scratch = vec![0u8; 64 * 1024];
-    let mut origin_ctx = origin.map(OriginCtx::new);
-    if let Some(ctx) = &mut origin_ctx {
-        // Dial the origin eagerly so the first refused read parks
-        // instead of paying the connect on its own request path.
-        ctx.ensure_link();
+/// What `dispatch` decided for one request.
+enum Dispatch {
+    /// Answer with this message.
+    Reply(Message),
+    /// No reply now: the request was forwarded to its key's owner loop
+    /// or parked on an in-flight origin refetch, and will be answered
+    /// when the completion (or fetch) comes back.
+    Pending,
+    /// Not a request this node answers — protocol error, close after
+    /// draining what was already queued.
+    Close,
+}
+
+/// One event-loop thread: the poll reactor plus the slab shards this
+/// loop exclusively owns. All shard access happens through `&mut self`
+/// on this thread — the serving hot path takes no lock.
+struct EventLoop {
+    loop_id: usize,
+    wake_rx: UnixStream,
+    shared: Arc<Shared>,
+    /// The owned shards, indexed by [`Topology::local_index`].
+    shards: Vec<SlabCache>,
+    /// Routing table to every loop (the self entry doubles as this
+    /// loop's own inbox).
+    peers: Vec<Peer>,
+    /// Per-destination staging for cross-core messages; flushed into
+    /// peer inboxes (one lock + one wake each) at end of tick.
+    outbox: Vec<Vec<CoreMsg>>,
+    /// Slot-indexed connection table; `None` slots are free and reused.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_token: u64,
+    origin: Option<OriginCtx>,
+    /// Store-push batches waiting on forwarded sub-batches, by batch id.
+    pending: HashMap<u64, PendingBatch>,
+    next_batch: u64,
+    pin_threshold: usize,
+}
+
+impl EventLoop {
+    fn new(
+        loop_id: usize,
+        wake_rx: UnixStream,
+        peers: Vec<Peer>,
+        shared: Arc<Shared>,
+        config: ServerConfig,
+    ) -> Self {
+        // Per-shard capacity divides the configured total across the
+        // *global* shard count, exactly like the locked ShardedCache
+        // did, so the aggregate matches the configured total.
+        let total_shards = shared.topo.shard_mask as usize + 1;
+        let per_shard = match config.cache.capacity {
+            Capacity::Entries(e) => Capacity::Entries((e / total_shards).max(1)),
+            Capacity::Bytes(b) => Capacity::Bytes((b / total_shards as u64).max(1)),
+            Capacity::Unbounded => Capacity::Unbounded,
+        };
+        let owned = shared.topo.owned_shards(loop_id);
+        let num_loops = shared.topo.num_loops;
+        let mut origin = config.origin.map(OriginCtx::new);
+        if let Some(ctx) = &mut origin {
+            // Dial the origin eagerly so the first refused read parks
+            // instead of paying the connect on its own request path.
+            ctx.ensure_link();
+        }
+        EventLoop {
+            loop_id,
+            wake_rx,
+            shared,
+            shards: (0..owned).map(|_| SlabCache::new(per_shard)).collect(),
+            peers,
+            outbox: (0..num_loops).map(|_| Vec::new()).collect(),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_token: 0,
+            origin,
+            pending: HashMap::new(),
+            next_batch: 0,
+            pin_threshold: config.pin_threshold,
+        }
     }
 
-    loop {
-        poll.clear();
-        slot_of.clear();
-        poll.push(wake_fd, Interest::READABLE);
-        // A connection has *backlog* when complete frames already sit in
-        // its decoder (the per-tick budget cut servicing short) and it is
-        // under the outbound high-water mark. Such connections must be
-        // serviced this tick even if their descriptor never becomes
-        // readable again, so backlog forces a zero-timeout poll.
-        let mut backlog = false;
-        // The origin link polls at index 1 when present: always for
-        // reads (a FetchResp can arrive any tick), for writes while
-        // frames are buffered outbound.
-        let link_polled = match origin_ctx.as_ref().and_then(|c| c.link.as_ref()) {
-            Some(link) => {
-                let mut interest = Interest::READABLE;
-                if link.io.wants_write() {
+    /// Index of `key`'s shard in `self.shards` — only meaningful on the
+    /// owner loop.
+    #[inline]
+    fn local_shard(&self, key: u64) -> usize {
+        self.shared.topo.local_index(key)
+    }
+
+    /// The reactor: multiplex every connection assigned to this loop
+    /// over one `poll(2)` set. Index 0 of the set is always the wake
+    /// pipe; the origin link (when configured and up) takes index 1;
+    /// connection slots follow. The loop exits when the shared stop
+    /// flag is set.
+    fn run(mut self) {
+        let wake_fd = self.wake_rx.as_raw_fd();
+        let mut poll = PollSet::new();
+        // poll index -> conn slot for this tick (index 0 is the wake pipe).
+        let mut slot_of: Vec<usize> = Vec::new();
+        // One read-scratch buffer shared by every connection on this loop:
+        // it holds no per-stream state, so idle connections cost no
+        // read-buffer memory.
+        let mut scratch = vec![0u8; 64 * 1024];
+
+        loop {
+            poll.clear();
+            slot_of.clear();
+            poll.push(wake_fd, Interest::READABLE);
+            // A connection has *backlog* when complete frames already sit in
+            // its decoder (the per-tick budget cut servicing short) and it is
+            // under the outbound high-water mark. Such connections must be
+            // serviced this tick even if their descriptor never becomes
+            // readable again, so backlog forces a zero-timeout poll.
+            let mut backlog = false;
+            // The origin link polls at index 1 when present: always for
+            // reads (a FetchResp can arrive any tick), for writes while
+            // frames are buffered outbound.
+            let link_polled = match self.origin.as_ref().and_then(|c| c.link.as_ref()) {
+                Some(link) => {
+                    let mut interest = Interest::READABLE;
+                    if link.io.wants_write() {
+                        interest = interest.and(Interest::WRITABLE);
+                    }
+                    backlog |= link.io.has_buffered_frame();
+                    poll.push(link.fd, interest);
+                    true
+                }
+                None => false,
+            };
+            let base = 1 + usize::from(link_polled);
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                if conn.closing && !conn.io.wants_write() {
+                    // Nothing left to read and nothing queued: the
+                    // connection only waits on in-flight cross-core
+                    // completions, which `deliver_to` flushes (and drops
+                    // the connection) directly — polling its descriptor
+                    // would just spin on writable readiness.
+                    continue;
+                }
+                let reading = !conn.closing && conn.io.pending_out() <= OUTBOUND_HIGH_WATER;
+                backlog |= reading && conn.io.has_buffered_frame();
+                // Read interest only while under the outbound high-water
+                // mark (a client that won't drain its responses doesn't get
+                // to submit more requests) and not closing.
+                let mut interest = if reading { Interest::READABLE } else { Interest::WRITABLE };
+                if conn.io.wants_write() {
                     interest = interest.and(Interest::WRITABLE);
                 }
-                backlog |= link.io.has_buffered_frame();
-                poll.push(link.fd, interest);
-                true
+                poll.push(conn.fd, interest);
+                slot_of.push(slot);
             }
-            None => false,
-        };
-        let base = 1 + usize::from(link_polled);
-        for (slot, conn) in conns.iter().enumerate() {
-            let Some(conn) = conn else { continue };
-            let reading = !conn.closing && conn.io.pending_out() <= OUTBOUND_HIGH_WATER;
-            backlog |= reading && conn.io.has_buffered_frame();
-            // Read interest only while under the outbound high-water
-            // mark (a client that won't drain its responses doesn't get
-            // to submit more requests) and not closing.
-            let mut interest = if reading { Interest::READABLE } else { Interest::WRITABLE };
-            if conn.io.wants_write() {
-                interest = interest.and(Interest::WRITABLE);
-            }
-            poll.push(conn.fd, interest);
-            slot_of.push(slot);
-        }
-        let timeout = if backlog { Some(Duration::ZERO) } else { None };
-        if poll.poll(timeout).is_err() {
-            // poll(2) only fails for ENOMEM/EFAULT/EINVAL; none are
-            // recoverable from here.
-            close_all(&conns, inbox, shared);
-            return;
-        }
-
-        if poll.readiness(0).readable() {
-            // Drain the wake pipe (many wakes coalesce into one drain).
-            let mut buf = [0u8; 64];
-            while matches!(wake_rx.read(&mut buf), Ok(n) if n > 0) {}
-            if shared.stop.load(Ordering::Acquire) {
-                close_all(&conns, inbox, shared);
+            let timeout = if backlog { Some(Duration::ZERO) } else { None };
+            if poll.poll(timeout).is_err() {
+                // poll(2) only fails for ENOMEM/EFAULT/EINVAL; none are
+                // recoverable from here.
+                self.close_all();
                 return;
             }
-            // Take the batch out under the lock, register after releasing
-            // it: register() does two syscalls per socket, and the accept
-            // thread must not stall on the mutex during bursts.
-            let pending = std::mem::take(&mut *inbox.lock());
-            for stream in pending {
-                next_token += 1;
-                match register(stream, next_token) {
-                    Ok(conn) => match free.pop() {
-                        Some(slot) => conns[slot] = Some(conn),
-                        None => conns.push(Some(conn)),
+
+            if poll.readiness(0).readable() {
+                // Drain the wake pipe (many wakes coalesce into one drain).
+                let mut buf = [0u8; 64];
+                while matches!(self.wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+                if self.shared.stop.load(Ordering::Acquire) {
+                    self.close_all();
+                    return;
+                }
+                // Take the whole inbox out under the lock, act after
+                // releasing it: registration does syscalls per socket, and
+                // neither the accept thread nor peer loops must stall on
+                // the mutex during bursts.
+                let LoopInbox { conns: arrivals, msgs } =
+                    std::mem::take(&mut *self.peers[self.loop_id].inbox.lock());
+                for stream in arrivals {
+                    self.next_token += 1;
+                    match register(stream, self.next_token) {
+                        Ok(conn) => match self.free.pop() {
+                            Some(slot) => self.conns[slot] = Some(conn),
+                            None => self.conns.push(Some(conn)),
+                        },
+                        Err(_) => {
+                            self.shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Cross-core traffic is serviced before this tick's new
+                // socket reads: completions answer requests that have
+                // been pending since at least the previous tick, and
+                // forwarded ops apply before any same-key op decoded
+                // this tick (per-key FIFO).
+                for msg in msgs {
+                    self.handle_core_msg(msg);
+                }
+            }
+
+            // Drain origin FetchResps next: completed refetches answer
+            // their parked readers before this tick's new requests are
+            // serviced, so a just-installed key is immediately servable.
+            if link_polled {
+                let readiness = poll.readiness(1);
+                let buffered = self
+                    .origin
+                    .as_ref()
+                    .is_some_and(|c| c.link.as_ref().is_some_and(|l| l.io.has_buffered_frame()));
+                if readiness.any() || buffered {
+                    self.drain_origin(&mut scratch);
+                }
+            }
+
+            for (i, &slot) in slot_of.iter().enumerate() {
+                let readiness = poll.readiness(base + i);
+                // Registered slots stay populated for the whole tick; a
+                // vacant slot here would be a reactor bug, but the serving
+                // loop must not be able to panic — skip it instead. The
+                // connection is moved out of its slot while being serviced
+                // so the dispatch path can borrow the loop's shards freely.
+                let Some(mut conn) = self.conns[slot].take() else { continue };
+                if !readiness.any() && (conn.closing || !conn.io.has_buffered_frame()) {
+                    self.conns[slot] = Some(conn);
+                    continue;
+                }
+                if self.service(&mut conn, slot, readiness, &mut scratch) {
+                    self.conns[slot] = Some(conn);
+                } else {
+                    self.free.push(slot);
+                    self.shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+
+            // End of tick: push the owed read-count batch and any FetchReqs
+            // queued while servicing connections. A write failure here is
+            // an origin outage — fail every parked waiter to its fallback
+            // and start the reconnect backoff.
+            if let Some(mut ctx) = self.origin.take() {
+                ctx.queue_read_stats();
+                if let Some(link) = &mut ctx.link {
+                    if link.io.wants_write() && link.io.flush().is_err() {
+                        self.origin_outage(&mut ctx);
+                    }
+                }
+                self.origin = Some(ctx);
+            }
+            // Then hand this tick's cross-core batches to their owners
+            // (after the origin flush, which may have staged fallback
+            // completions) and publish the slab gauges.
+            self.flush_outboxes();
+            self.publish_gauges();
+        }
+    }
+
+    /// Stage a cross-core message for `dest`, delivered at end of tick.
+    fn forward(&mut self, dest: usize, msg: CoreMsg) {
+        if let Some(out) = self.outbox.get_mut(dest) {
+            out.push(msg);
+        }
+    }
+
+    /// Route a completion for `(slot, token)` on loop `home` — directly
+    /// into the local connection table when `home` is this loop, staged
+    /// as a cross-core message otherwise.
+    fn stage_done(&mut self, home: usize, slot: usize, token: u64, what: Completion) {
+        if home == self.loop_id {
+            self.handle_core_msg(CoreMsg::Done { slot, token, what });
+        } else {
+            self.forward(home, CoreMsg::Done { slot, token, what });
+        }
+    }
+
+    /// Hand every non-empty outbox batch to its destination loop: one
+    /// lock acquisition to append, one wake byte. Batch vectors are
+    /// recycled to keep the steady state allocation-free.
+    fn flush_outboxes(&mut self) {
+        for dest in 0..self.outbox.len() {
+            if self.outbox[dest].is_empty() {
+                continue;
+            }
+            let mut batch = std::mem::take(&mut self.outbox[dest]);
+            self.peers[dest].inbox.lock().msgs.append(&mut batch);
+            let _ = (&self.peers[dest].wake_tx).write(&[1]);
+            self.outbox[dest] = batch;
+        }
+    }
+
+    /// Publish this loop's slab occupancy into the shared per-loop
+    /// gauges (summed by stats snapshots and `StatsResp`).
+    fn publish_gauges(&self) {
+        let entries: u64 = self.shards.iter().map(|s| s.slab_entries() as u64).sum();
+        let capacity: u64 = self.shards.iter().map(|s| s.slab_capacity() as u64).sum();
+        if let Some(g) = self.shared.slab_entries.get(self.loop_id) {
+            g.store(entries, Ordering::Relaxed);
+        }
+        if let Some(g) = self.shared.slab_capacity.get(self.loop_id) {
+            g.store(capacity, Ordering::Relaxed);
+        }
+    }
+
+    /// Apply one message from a peer loop (or the server handle).
+    fn handle_core_msg(&mut self, msg: CoreMsg) {
+        match msg {
+            CoreMsg::Op { from, slot, token, op } => match op {
+                ForwardOp::Get { id, key, max_staleness } => {
+                    if let Some(reply) = self.serve_get(from, slot, token, id, key, max_staleness)
+                    {
+                        self.stage_done(from, slot, token, Completion::Reply(reply));
+                    }
+                }
+                ForwardOp::Put { id, key, value, ttl } => {
+                    let version = self.serve_put(key, value, ttl);
+                    let reply = Message::PutResp { id, key, version };
+                    self.stage_done(from, slot, token, Completion::Reply(reply));
+                }
+                ForwardOp::InvalidateKeys { batch, keys } => {
+                    let applied = self.serve_invalidate(&keys);
+                    self.shared.stats.keys_invalidated.fetch_add(applied, Ordering::Relaxed);
+                    self.stage_done(from, slot, token, Completion::BatchPart { batch });
+                }
+                ForwardOp::UpdateItems { batch, items } => {
+                    let applied = self.serve_update(items);
+                    self.shared.stats.keys_updated.fetch_add(applied, Ordering::Relaxed);
+                    self.stage_done(from, slot, token, Completion::BatchPart { batch });
+                }
+            },
+            CoreMsg::Done { slot, token, what } => match what {
+                Completion::Reply(reply) => self.deliver_to(slot, token, &reply),
+                Completion::BatchPart { batch } => {
+                    let finished = match self.pending.get_mut(&batch) {
+                        Some(p) => {
+                            p.remaining = p.remaining.saturating_sub(1);
+                            p.remaining == 0
+                        }
+                        None => false,
+                    };
+                    if finished {
+                        if let Some(p) = self.pending.remove(&batch) {
+                            self.deliver_to(p.slot, p.token, &Message::Ack { seq: p.seq });
+                        }
+                    }
+                }
+            },
+            CoreMsg::Invalidate { key, reply } => {
+                let li = self.local_shard(key);
+                let hit = match self.shards.get_mut(li) {
+                    Some(shard) => shard.apply_invalidate(key),
+                    None => false,
+                };
+                let _ = reply.send(hit);
+            }
+        }
+    }
+
+    /// Queue `reply` on the connection at `(slot, token)` and push it
+    /// toward the socket immediately — a pending request's poll tick is
+    /// long gone, so nothing else would flush this connection promptly.
+    /// Skips connections that closed (the slot token no longer
+    /// matches); drops the connection on a transport error, exactly
+    /// like `service`.
+    fn deliver_to(&mut self, slot: usize, token: u64, reply: &Message) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        if conn.token != token {
+            return;
+        }
+        conn.in_flight = conn.in_flight.saturating_sub(1);
+        conn.io.queue(reply);
+        let drop_now = match conn.io.flush() {
+            // The last in-flight reply on a closing connection just
+            // drained: the socket is done (it is not in the poll set, so
+            // nothing else would drop it).
+            Ok(_) => conn.closing && conn.in_flight == 0 && !conn.io.wants_write(),
+            Err(_) => true,
+        };
+        if drop_now {
+            self.conns[slot] = None;
+            self.free.push(slot);
+            self.shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Deliver to a refetch waiter: directly when its connection lives
+    /// on this loop, as a staged completion otherwise.
+    fn deliver_waiter(&mut self, w: &Waiter, reply: Message) {
+        if w.home == self.loop_id {
+            self.deliver_to(w.slot, w.token, &reply);
+        } else {
+            self.forward(
+                w.home,
+                CoreMsg::Done { slot: w.slot, token: w.token, what: Completion::Reply(reply) },
+            );
+        }
+    }
+
+    /// Drain FetchResps from the origin link (bounded per tick, like any
+    /// other connection): install each fetched entry like a put and answer
+    /// every reader parked on its key with a fresh age-0 response. Any
+    /// transport error or protocol violation on the link is an outage.
+    fn drain_origin(&mut self, scratch: &mut [u8]) {
+        let Some(mut ctx) = self.origin.take() else { return };
+        let mut budget = MAX_FRAMES_PER_TICK;
+        let mut failed = false;
+        while budget > 0 {
+            budget -= 1;
+            let Some(link) = ctx.link.as_mut() else { break };
+            match link.io.poll_recv_with(scratch) {
+                Ok(PollRecv::Msg(Message::FetchResp { key, version: _, value })) => {
+                    // Install into the owned shard with a serving version
+                    // from this node's counter (the store's version is a
+                    // different domain — see the Update arm of dispatch).
+                    // No TTL: the entry is fresh until invalidated/evicted.
+                    // Owner-thread exclusivity makes alloc+insert atomic.
+                    let now = self.shared.clock.now();
+                    let value = repin_small(value, self.pin_threshold);
+                    let version = self.shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
+                    let li = self.local_shard(key);
+                    if let Some(shard) = self.shards.get_mut(li) {
+                        shard.insert_value(key, version, value.clone(), now, None);
+                    }
+                    for w in ctx.table.complete(key) {
+                        self.shared.stats.fresh.fetch_add(1, Ordering::Relaxed);
+                        let reply = Message::GetResp {
+                            id: w.id,
+                            key,
+                            version,
+                            age: 0,
+                            value: value.clone(),
+                            status: GetStatus::Fresh,
+                        };
+                        self.deliver_waiter(&w, reply);
+                    }
+                }
+                Ok(PollRecv::WouldBlock) => break,
+                Ok(PollRecv::Msg(_)) | Ok(PollRecv::Closed) | Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            self.origin_outage(&mut ctx);
+        }
+        self.origin = Some(ctx);
+    }
+
+    /// The origin connection died: drop the link, arm the reconnect
+    /// backoff, and answer every parked reader with the refusal/miss it
+    /// would have gotten without an origin.
+    fn origin_outage(&mut self, ctx: &mut OriginCtx) {
+        ctx.link = None;
+        ctx.retry_at = Some(Instant::now() + ORIGIN_RETRY);
+        for (key, waiters) in ctx.table.fail_all() {
+            for w in waiters {
+                self.shared.stats.origin_errors.fetch_add(1, Ordering::Relaxed);
+                match w.fallback_status {
+                    GetStatus::Miss => self.shared.stats.misses.fetch_add(1, Ordering::Relaxed),
+                    _ => self.shared.stats.refused.fetch_add(1, Ordering::Relaxed),
+                };
+                let reply = Message::GetResp {
+                    id: w.id,
+                    key,
+                    version: 0,
+                    value: Bytes::new(),
+                    age: w.fallback_age,
+                    status: w.fallback_status,
+                };
+                self.deliver_waiter(&w, reply);
+            }
+        }
+    }
+
+    /// Account for every connection this exiting loop force-closes: live
+    /// slots plus sockets accepted but still waiting in the inbox (both
+    /// were counted into `open_connections` at accept time).
+    fn close_all(&self) {
+        let waiting = self.peers[self.loop_id].inbox.lock().conns.len();
+        let live = self.conns.iter().filter(|c| c.is_some()).count() + waiting;
+        self.shared.stats.open_connections.fetch_sub(live as u64, Ordering::Relaxed);
+    }
+
+    /// Service one ready connection: decode complete frames (bounded per
+    /// tick for fairness, and only while under the outbound high-water
+    /// mark), dispatch, queue replies, then write as much as the socket
+    /// accepts. Returns `false` when the connection should be dropped —
+    /// which, for a clean EOF or a protocol violation, only happens after
+    /// every already-queued reply has drained (a half-closing client still
+    /// receives its responses).
+    fn service(
+        &mut self,
+        conn: &mut Conn,
+        slot: usize,
+        readiness: Readiness,
+        scratch: &mut [u8],
+    ) -> bool {
+        if !conn.closing
+            && (readiness.readable() || readiness.error() || conn.io.has_buffered_frame())
+        {
+            let token = conn.token;
+            let mut budget = MAX_FRAMES_PER_TICK;
+            while budget > 0 && conn.io.pending_out() <= OUTBOUND_HIGH_WATER {
+                budget -= 1;
+                match conn.io.poll_recv_with(scratch) {
+                    Ok(PollRecv::Msg(msg)) => match self.dispatch(msg, slot, token) {
+                        Dispatch::Reply(reply) => conn.io.queue(&reply),
+                        Dispatch::Pending => conn.in_flight += 1,
+                        Dispatch::Close => {
+                            // Not a request this node answers (neither
+                            // serving-path nor store-path): the peer is
+                            // confused or hostile either way; answer what
+                            // preceded it, then close.
+                            self.shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            conn.closing = true;
+                            break;
+                        }
                     },
-                    Err(_) => {
-                        shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+                    Ok(PollRecv::WouldBlock) => break,
+                    Ok(PollRecv::Closed) => {
+                        // Clean EOF, possibly a half-close with responses
+                        // still owed: stop reading, drain, then drop.
+                        conn.closing = true;
+                        break;
+                    }
+                    Err(e) => {
+                        if e.kind() == io::ErrorKind::InvalidData {
+                            // Codec violation: frames are length-delimited so
+                            // the stream is still aligned; deliver the
+                            // replies already queued before closing.
+                            self.shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            conn.closing = true;
+                            break;
+                        }
+                        // Reset or EOF mid-frame: transport weather, the
+                        // peer is gone — nothing left to deliver to.
+                        return false;
                     }
                 }
             }
         }
+        // Push queued replies; leftover bytes keep write interest registered
+        // for the next tick. A closing connection lives until its last
+        // reply byte leaves — including replies still in flight on other
+        // cores, which `deliver_to` queues (and drops the drained
+        // connection) when they complete.
+        match conn.io.flush() {
+            Ok(_) => !conn.closing || conn.io.wants_write() || conn.in_flight > 0,
+            Err(_) => false,
+        }
+    }
 
-        // Drain origin FetchResps first: completed refetches answer
-        // their parked readers before this tick's new requests are
-        // serviced, so a just-installed key is immediately servable.
-        if link_polled {
-            let readiness = poll.readiness(1);
-            let buffered = origin_ctx
-                .as_ref()
-                .is_some_and(|c| c.link.as_ref().is_some_and(|l| l.io.has_buffered_frame()));
-            if readiness.any() || buffered {
-                if let Some(ctx) = &mut origin_ctx {
-                    drain_origin(ctx, &mut conns, &mut free, shared, &mut scratch);
+    /// Map one request onto the partitioned cache; [`Dispatch::Close`]
+    /// for messages that do not belong on a cache node's socket.
+    /// Serving-path requests (`GetReq`, `PutReq`) come from clients and
+    /// route by key: owner-local keys serve inline against the owned
+    /// shard, remote ones forward. Store-path batches (`Invalidate`,
+    /// `Update`) come from a store-push node, split by owner, and are
+    /// acknowledged by `seq` once every sub-batch completes; `StatsReq`
+    /// comes from a load generator pinning down the refetch and
+    /// forwarding counters.
+    fn dispatch(&mut self, msg: Message, slot: usize, token: u64) -> Dispatch {
+        match msg {
+            Message::GetReq { id, key, max_staleness } => {
+                self.shared.stats.gets.fetch_add(1, Ordering::Relaxed);
+                let owner = self.shared.topo.owner_of(key);
+                if owner == self.loop_id {
+                    match self.serve_get(self.loop_id, slot, token, id, key, max_staleness) {
+                        Some(reply) => Dispatch::Reply(reply),
+                        None => Dispatch::Pending,
+                    }
+                } else {
+                    self.shared.stats.cross_core_forwards.fetch_add(1, Ordering::Relaxed);
+                    self.forward(
+                        owner,
+                        CoreMsg::Op {
+                            from: self.loop_id,
+                            slot,
+                            token,
+                            op: ForwardOp::Get { id, key, max_staleness },
+                        },
+                    );
+                    Dispatch::Pending
                 }
             }
+            Message::StatsReq => {
+                let snap = self.shared.snapshot();
+                Dispatch::Reply(Message::StatsResp {
+                    refetches: snap.refetches,
+                    refetch_coalesced: snap.refetch_coalesced,
+                    origin_errors: snap.origin_errors,
+                    cross_core_forwards: snap.cross_core_forwards,
+                    slab_entries: snap.slab_entries,
+                    slab_capacity: snap.slab_capacity,
+                })
+            }
+            Message::PutReq { id, key, value, ttl } => {
+                self.shared.stats.puts.fetch_add(1, Ordering::Relaxed);
+                let owner = self.shared.topo.owner_of(key);
+                if owner == self.loop_id {
+                    let version = self.serve_put(key, value, ttl);
+                    Dispatch::Reply(Message::PutResp { id, key, version })
+                } else {
+                    self.shared.stats.cross_core_forwards.fetch_add(1, Ordering::Relaxed);
+                    self.forward(
+                        owner,
+                        CoreMsg::Op {
+                            from: self.loop_id,
+                            slot,
+                            token,
+                            op: ForwardOp::Put { id, key, value, ttl },
+                        },
+                    );
+                    Dispatch::Pending
+                }
+            }
+            Message::Invalidate { seq, keys } => {
+                // A store-pushed batch: mark this loop's share stale
+                // directly, forward the rest to their owners, and ack the
+                // whole batch by seq once every part reports back. Keys
+                // the cache does not hold are no-ops (counted by the
+                // cache as missed invalidations), exactly like the
+                // simulation path.
+                let mut remote: Vec<Vec<u64>> = Vec::new();
+                remote.resize_with(self.shared.topo.num_loops, Vec::new);
+                let mut local = Vec::new();
+                for key in keys {
+                    let owner = self.shared.topo.owner_of(key);
+                    if owner == self.loop_id {
+                        local.push(key);
+                    } else if let Some(part) = remote.get_mut(owner) {
+                        part.push(key);
+                    }
+                }
+                let applied = self.serve_invalidate(&local);
+                self.shared.stats.keys_invalidated.fetch_add(applied, Ordering::Relaxed);
+                self.shared.stats.push_batches.fetch_add(1, Ordering::Relaxed);
+                self.finish_batch(slot, token, seq, remote, |batch, keys| {
+                    ForwardOp::InvalidateKeys { batch, keys }
+                })
+            }
+            Message::Update { seq, items } => {
+                // A store-pushed refresh batch: re-freshen every cached
+                // entry in it, split by owner like an invalidation. The
+                // pushed item carries the *store's* version, which lives
+                // in a different counter domain than this node's serving
+                // versions — so each owner allocates a fresh serving
+                // version for each entry it refreshes, keeping the global
+                // monotonicity clients' anomaly checks rely on. Absent
+                // keys do nothing, per the paper's update semantics;
+                // pushed updates carry no TTL, so refreshed entries are
+                // fresh until invalidated or evicted.
+                let mut remote: Vec<Vec<UpdateItem>> = Vec::new();
+                remote.resize_with(self.shared.topo.num_loops, Vec::new);
+                let mut local = Vec::new();
+                for item in items {
+                    let owner = self.shared.topo.owner_of(item.key);
+                    if owner == self.loop_id {
+                        local.push(item);
+                    } else if let Some(part) = remote.get_mut(owner) {
+                        part.push(item);
+                    }
+                }
+                let applied = self.serve_update(local);
+                self.shared.stats.keys_updated.fetch_add(applied, Ordering::Relaxed);
+                self.shared.stats.push_batches.fetch_add(1, Ordering::Relaxed);
+                self.finish_batch(slot, token, seq, remote, |batch, items| {
+                    ForwardOp::UpdateItems { batch, items }
+                })
+            }
+            _ => Dispatch::Close,
         }
+    }
 
-        for (i, &slot) in slot_of.iter().enumerate() {
-            let readiness = poll.readiness(base + i);
-            // Registered slots stay populated for the whole tick; a
-            // vacant slot here would be a reactor bug, but the serving
-            // loop must not be able to panic — skip it instead.
-            let Some(conn) = conns[slot].as_mut() else { continue };
-            if !readiness.any() && (conn.closing || !conn.io.has_buffered_frame()) {
+    /// Ack a store-push batch now if nothing was forwarded, otherwise
+    /// register the pending batch and forward every non-empty per-owner
+    /// part (each counted as a cross-core forward).
+    fn finish_batch<T>(
+        &mut self,
+        slot: usize,
+        token: u64,
+        seq: u64,
+        parts: Vec<Vec<T>>,
+        make_op: impl Fn(u64, Vec<T>) -> ForwardOp,
+    ) -> Dispatch {
+        let forwards = parts.iter().filter(|p| !p.is_empty()).count();
+        if forwards == 0 {
+            return Dispatch::Reply(Message::Ack { seq });
+        }
+        self.next_batch += 1;
+        let batch = self.next_batch;
+        self.pending
+            .insert(batch, PendingBatch { seq, slot, token, remaining: forwards as u32 });
+        for (owner, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
                 continue;
             }
-            if !service(conn, slot, readiness, shared, &mut origin_ctx, &mut scratch) {
-                conns[slot] = None;
-                free.push(slot);
-                shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+            self.shared.stats.cross_core_forwards.fetch_add(1, Ordering::Relaxed);
+            self.forward(
+                owner,
+                CoreMsg::Op { from: self.loop_id, slot, token, op: make_op(batch, part) },
+            );
+        }
+        Dispatch::Pending
+    }
+
+    // ---- owner-local serving ------------------------------------------
+    //
+    // Everything below runs only on the loop that owns the key's shard
+    // and touches the shard through plain `&mut` — the serving hot path
+    // holds no lock (enforced by fresca-lint's lock-free-serve-path
+    // rule). `home`/`slot`/`token` name the originating connection on
+    // its home loop.
+
+    /// Owner-local bounded read. `None` means the request was parked on
+    /// an origin refetch and will be answered by `drain_origin`.
+    fn serve_get(
+        &mut self,
+        home: usize,
+        slot: usize,
+        token: u64,
+        id: RequestId,
+        key: u64,
+        max_staleness: u64,
+    ) -> Option<Message> {
+        if let Some(ctx) = self.origin.as_mut() {
+            // Every read feeds the origin's E[W] estimator — parked or
+            // answered, each counts exactly once, on the owner loop.
+            ctx.count_read(key);
+        }
+        let now = self.shared.clock.now();
+        let bound = (max_staleness != u64::MAX).then(|| SimDuration::from_nanos(max_staleness));
+        let li = self.local_shard(key);
+        // The bounded read clones the entry out of the owned shard — for
+        // the value that is a refcount bump on the cached Bytes handle —
+        // with no lock anywhere on the path. The same handle then rides
+        // the outbound segment queue (or the completion message), so a
+        // hit never copies the payload.
+        let looked_up = match self.shards.get_mut(li) {
+            Some(shard) => shard.get_bounded(key, now, bound),
+            None => BoundedGet::Miss,
+        };
+        match looked_up {
+            BoundedGet::Fresh(e) => {
+                self.shared.stats.fresh.fetch_add(1, Ordering::Relaxed);
+                Some(Message::GetResp {
+                    id,
+                    key,
+                    version: e.version,
+                    age: e.age(now).as_nanos(),
+                    value: e.value,
+                    status: GetStatus::Fresh,
+                })
+            }
+            BoundedGet::ServedStale(e) => {
+                self.shared.stats.stale_served.fetch_add(1, Ordering::Relaxed);
+                Some(Message::GetResp {
+                    id,
+                    key,
+                    version: e.version,
+                    age: e.age(now).as_nanos(),
+                    value: e.value,
+                    status: GetStatus::ServedStale,
+                })
+            }
+            BoundedGet::Refused(e) => {
+                let age = e.age(now).as_nanos();
+                if self.park(home, slot, token, id, key, GetStatus::RefusedStale, age) {
+                    return None;
+                }
+                self.shared.stats.refused.fetch_add(1, Ordering::Relaxed);
+                // No value travels back on a refusal — only the entry's
+                // age, so the client can see by how much the bound was
+                // missed.
+                Some(Message::GetResp {
+                    id,
+                    key,
+                    version: 0,
+                    value: Bytes::new(),
+                    age,
+                    status: GetStatus::RefusedStale,
+                })
+            }
+            BoundedGet::Miss => {
+                if self.park(home, slot, token, id, key, GetStatus::Miss, 0) {
+                    return None;
+                }
+                self.shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+                Some(Message::GetResp {
+                    id,
+                    key,
+                    version: 0,
+                    value: Bytes::new(),
+                    age: 0,
+                    status: GetStatus::Miss,
+                })
             }
         }
+    }
 
-        // End of tick: push the owed read-count batch and any FetchReqs
-        // dispatch queued while servicing connections. A write failure
-        // here is an origin outage — fail every parked waiter to its
-        // fallback and start the reconnect backoff.
-        if let Some(ctx) = &mut origin_ctx {
-            ctx.queue_read_stats();
-            if let Some(link) = &mut ctx.link {
-                if link.io.wants_write() && link.io.flush().is_err() {
-                    origin_outage(ctx, &mut conns, &mut free, shared);
+    /// Owner-local write: allocate a serving version and install into
+    /// the owned shard. Version allocation and insert are atomic by
+    /// owner-thread exclusivity — no other writer of this key exists.
+    /// The value handle moves into the cache as-is (the refcounted
+    /// slice the codec cut from the receive buffer) unless it is small
+    /// enough relative to its backing chunk to be worth re-pinning.
+    fn serve_put(&mut self, key: u64, value: Bytes, ttl: u64) -> u64 {
+        let now = self.shared.clock.now();
+        let expires_at = (ttl > 0).then(|| now + SimDuration::from_nanos(ttl));
+        let value = repin_small(value, self.pin_threshold);
+        let version = self.shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        let li = self.local_shard(key);
+        if let Some(shard) = self.shards.get_mut(li) {
+            shard.insert_value(key, version, value, now, expires_at);
+        }
+        version
+    }
+
+    /// Owner-local share of a store-pushed invalidation batch; returns
+    /// how many of the keys were actually cached.
+    fn serve_invalidate(&mut self, keys: &[u64]) -> u64 {
+        let mut applied = 0u64;
+        for &key in keys {
+            let li = self.local_shard(key);
+            if let Some(shard) = self.shards.get_mut(li) {
+                if shard.apply_invalidate(key) {
+                    applied += 1;
                 }
             }
         }
+        applied
     }
-}
 
-/// Drain FetchResps from the origin link (bounded per tick, like any
-/// other connection): install each fetched entry like a put and answer
-/// every reader parked on its key with a fresh age-0 response. Any
-/// transport error or protocol violation on the link is an outage.
-fn drain_origin(
-    ctx: &mut OriginCtx,
-    conns: &mut [Option<Conn>],
-    free: &mut Vec<usize>,
-    shared: &Shared,
-    scratch: &mut [u8],
-) {
-    let mut budget = MAX_FRAMES_PER_TICK;
-    let mut failed = false;
-    while budget > 0 {
-        budget -= 1;
-        let Some(link) = ctx.link.as_mut() else { return };
-        match link.io.poll_recv_with(scratch) {
-            Ok(PollRecv::Msg(Message::FetchResp { key, version: _, value })) => {
-                // Install under the shard lock with a serving version
-                // from this node's counter (the store's version is a
-                // different domain — see the Update arm of dispatch).
-                // No TTL: the entry is fresh until invalidated/evicted.
-                let now = shared.clock.now();
-                let version = shared.cache.locked(key, |shard| {
-                    let version = shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
-                    shard.insert_value(key, version, value.clone(), now, None);
-                    version
-                });
-                for w in ctx.table.complete(key) {
-                    shared.stats.fresh.fetch_add(1, Ordering::Relaxed);
-                    let reply = Message::GetResp {
-                        id: w.id,
-                        key,
-                        version,
-                        age: 0,
-                        value: value.clone(),
-                        status: GetStatus::Fresh,
-                    };
-                    deliver(conns, free, shared, &w, &reply);
+    /// Owner-local share of a store-pushed update batch; returns how
+    /// many entries were re-freshened.
+    fn serve_update(&mut self, items: Vec<UpdateItem>) -> u64 {
+        let now = self.shared.clock.now();
+        let mut applied = 0u64;
+        for item in items {
+            let li = self.local_shard(item.key);
+            let Some(shard) = self.shards.get_mut(li) else { continue };
+            let value = repin_small(item.value, self.pin_threshold);
+            let refreshed = if shard.contains(item.key) {
+                let version = self.shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
+                shard.apply_update_value(item.key, version, value, now, None)
+            } else {
+                // Counts the missed update without burning a serving
+                // version on a key that is not here.
+                shard.apply_update_value(item.key, 0, value, now, None)
+            };
+            if refreshed {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Try to park a refused/missed bounded read on an origin refetch.
+    /// `true` when the request was parked (the first parker of the key
+    /// also queued the `FetchReq` — flushed at end of tick); `false`
+    /// when there is no origin or it is unreachable, in which case the
+    /// caller answers the fallback directly.
+    #[allow(clippy::too_many_arguments)]
+    fn park(
+        &mut self,
+        home: usize,
+        slot: usize,
+        token: u64,
+        id: RequestId,
+        key: u64,
+        fallback_status: GetStatus,
+        fallback_age: u64,
+    ) -> bool {
+        let Some(ctx) = self.origin.as_mut() else { return false };
+        if !ctx.ensure_link() {
+            // Origin down and the retry backoff running: degrade now.
+            self.shared.stats.origin_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let waiter = Waiter { home, slot, token, id, fallback_status, fallback_age };
+        match ctx.table.park(key, waiter) {
+            Park::Fetch => {
+                self.shared.stats.refetches.fetch_add(1, Ordering::Relaxed);
+                // ensure_link() above guarantees the link is up; the if-let
+                // keeps this hot path structurally panic-free regardless.
+                if let Some(link) = ctx.link.as_mut() {
+                    link.io.queue(&Message::FetchReq { key });
                 }
             }
-            Ok(PollRecv::WouldBlock) => return,
-            Ok(PollRecv::Msg(_)) | Ok(PollRecv::Closed) | Err(_) => {
-                failed = true;
-                break;
+            Park::Coalesced => {
+                self.shared.stats.refetch_coalesced.fetch_add(1, Ordering::Relaxed);
             }
         }
+        true
     }
-    if failed {
-        origin_outage(ctx, conns, free, shared);
-    }
-}
-
-/// The origin connection died: drop the link, arm the reconnect
-/// backoff, and answer every parked reader with the refusal/miss it
-/// would have gotten without an origin.
-fn origin_outage(
-    ctx: &mut OriginCtx,
-    conns: &mut [Option<Conn>],
-    free: &mut Vec<usize>,
-    shared: &Shared,
-) {
-    ctx.link = None;
-    ctx.retry_at = Some(Instant::now() + ORIGIN_RETRY);
-    for (key, waiters) in ctx.table.fail_all() {
-        for w in waiters {
-            shared.stats.origin_errors.fetch_add(1, Ordering::Relaxed);
-            match w.fallback_status {
-                GetStatus::Miss => shared.stats.misses.fetch_add(1, Ordering::Relaxed),
-                _ => shared.stats.refused.fetch_add(1, Ordering::Relaxed),
-            };
-            let reply = Message::GetResp {
-                id: w.id,
-                key,
-                version: 0,
-                value: Bytes::new(),
-                age: w.fallback_age,
-                status: w.fallback_status,
-            };
-            deliver(conns, free, shared, &w, &reply);
-        }
-    }
-}
-
-/// Queue `reply` on the waiter's connection and push it toward the
-/// socket immediately — a parked request's poll tick is long gone, so
-/// nothing else would flush this connection promptly. Skips waiters
-/// whose connection closed (the slot token no longer matches); drops
-/// the connection on a transport error, exactly like `service`.
-fn deliver(
-    conns: &mut [Option<Conn>],
-    free: &mut Vec<usize>,
-    shared: &Shared,
-    w: &Waiter,
-    reply: &Message,
-) {
-    let Some(conn) = conns[w.slot].as_mut() else { return };
-    if conn.token != w.token {
-        return;
-    }
-    conn.io.queue(reply);
-    if conn.io.flush().is_err() {
-        conns[w.slot] = None;
-        free.push(w.slot);
-        shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// Account for every connection this exiting loop force-closes: live
-/// slots plus sockets accepted but still waiting in the inbox (both were
-/// counted into `open_connections` at accept time).
-fn close_all(conns: &[Option<Conn>], inbox: &Mutex<Vec<TcpStream>>, shared: &Shared) {
-    let live = conns.iter().filter(|c| c.is_some()).count() + inbox.lock().len();
-    shared.stats.open_connections.fetch_sub(live as u64, Ordering::Relaxed);
 }
 
 /// Put an accepted socket into non-blocking mode and wrap it for the
@@ -793,289 +1659,5 @@ fn register(stream: TcpStream, token: u64) -> io::Result<Conn> {
     stream.set_nodelay(true)?;
     stream.set_nonblocking(true)?;
     let fd = stream.as_raw_fd();
-    Ok(Conn { io: NonBlockingFramedStream::new(stream), fd, token, closing: false })
-}
-
-/// What `dispatch` decided for one request.
-enum Dispatch {
-    /// Answer with this message.
-    Reply(Message),
-    /// No reply now: the request is parked on an in-flight origin
-    /// refetch and will be answered when it completes (or fails).
-    Parked,
-    /// Not a request this node answers — protocol error, close after
-    /// draining what was already queued.
-    Close,
-}
-
-/// Service one ready connection: decode complete frames (bounded per
-/// tick for fairness, and only while under the outbound high-water
-/// mark), dispatch, queue replies, then write as much as the socket
-/// accepts. Returns `false` when the connection should be dropped —
-/// which, for a clean EOF or a protocol violation, only happens after
-/// every already-queued reply has drained (a half-closing client still
-/// receives its responses).
-fn service(
-    conn: &mut Conn,
-    slot: usize,
-    readiness: Readiness,
-    shared: &Shared,
-    origin: &mut Option<OriginCtx>,
-    scratch: &mut [u8],
-) -> bool {
-    if !conn.closing && (readiness.readable() || readiness.error() || conn.io.has_buffered_frame())
-    {
-        let token = conn.token;
-        let mut budget = MAX_FRAMES_PER_TICK;
-        while budget > 0 && conn.io.pending_out() <= OUTBOUND_HIGH_WATER {
-            budget -= 1;
-            match conn.io.poll_recv_with(scratch) {
-                Ok(PollRecv::Msg(msg)) => match dispatch(msg, shared, origin, slot, token) {
-                    Dispatch::Reply(reply) => conn.io.queue(&reply),
-                    Dispatch::Parked => {}
-                    Dispatch::Close => {
-                        // Not a request this node answers (neither
-                        // serving-path nor store-path): the peer is
-                        // confused or hostile either way; answer what
-                        // preceded it, then close.
-                        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        conn.closing = true;
-                        break;
-                    }
-                },
-                Ok(PollRecv::WouldBlock) => break,
-                Ok(PollRecv::Closed) => {
-                    // Clean EOF, possibly a half-close with responses
-                    // still owed: stop reading, drain, then drop.
-                    conn.closing = true;
-                    break;
-                }
-                Err(e) => {
-                    if e.kind() == io::ErrorKind::InvalidData {
-                        // Codec violation: frames are length-delimited so
-                        // the stream is still aligned; deliver the
-                        // replies already queued before closing.
-                        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        conn.closing = true;
-                        break;
-                    }
-                    // Reset or EOF mid-frame: transport weather, the
-                    // peer is gone — nothing left to deliver to.
-                    return false;
-                }
-            }
-        }
-    }
-    // Push queued replies; leftover bytes keep write interest registered
-    // for the next tick. A closing connection lives exactly until its
-    // last reply byte leaves.
-    match conn.io.flush() {
-        Ok(_) => !conn.closing || conn.io.wants_write(),
-        Err(_) => false,
-    }
-}
-
-/// Map one request onto the cache; [`Dispatch::Close`] for messages
-/// that do not belong on a cache node's socket. Serving-path requests
-/// (`GetReq`, `PutReq`) come from clients; store-path batches
-/// (`Invalidate`, `Update`) come from a store-push node and are
-/// acknowledged by `seq`; `StatsReq` comes from a load generator
-/// pinning down the refetch counters.
-fn dispatch(
-    msg: Message,
-    shared: &Shared,
-    origin: &mut Option<OriginCtx>,
-    slot: usize,
-    token: u64,
-) -> Dispatch {
-    let stats = &shared.stats;
-    match msg {
-        Message::GetReq { id, key, max_staleness } => {
-            stats.gets.fetch_add(1, Ordering::Relaxed);
-            if let Some(ctx) = origin.as_mut() {
-                // Every read feeds the origin's E[W] estimator — parked
-                // or answered, each counts exactly once.
-                ctx.count_read(key);
-            }
-            let now = shared.clock.now();
-            let bound = (max_staleness != u64::MAX).then(|| SimDuration::from_nanos(max_staleness));
-            // The bounded read clones the entry under its shard lock —
-            // for the value that is a refcount bump on the cached Bytes
-            // handle — and the lock is released before the reply is
-            // serialized or queued. The same handle then rides the
-            // outbound segment queue, so a hit never copies the payload.
-            let reply = match shared.cache.get_bounded(key, now, bound) {
-                BoundedGet::Fresh(e) => {
-                    stats.fresh.fetch_add(1, Ordering::Relaxed);
-                    Message::GetResp {
-                        id,
-                        key,
-                        version: e.version,
-                        age: e.age(now).as_nanos(),
-                        value: e.value,
-                        status: GetStatus::Fresh,
-                    }
-                }
-                BoundedGet::ServedStale(e) => {
-                    stats.stale_served.fetch_add(1, Ordering::Relaxed);
-                    Message::GetResp {
-                        id,
-                        key,
-                        version: e.version,
-                        age: e.age(now).as_nanos(),
-                        value: e.value,
-                        status: GetStatus::ServedStale,
-                    }
-                }
-                BoundedGet::Refused(e) => {
-                    let age = e.age(now).as_nanos();
-                    match park(origin, shared, key, slot, token, id, GetStatus::RefusedStale, age)
-                    {
-                        Some(d) => return d,
-                        None => {
-                            stats.refused.fetch_add(1, Ordering::Relaxed);
-                            // No value travels back on a refusal — only
-                            // the entry's age, so the client can see by
-                            // how much the bound was missed.
-                            Message::GetResp {
-                                id,
-                                key,
-                                version: 0,
-                                value: Bytes::new(),
-                                age,
-                                status: GetStatus::RefusedStale,
-                            }
-                        }
-                    }
-                }
-                BoundedGet::Miss => {
-                    match park(origin, shared, key, slot, token, id, GetStatus::Miss, 0) {
-                        Some(d) => return d,
-                        None => {
-                            stats.misses.fetch_add(1, Ordering::Relaxed);
-                            Message::GetResp {
-                                id,
-                                key,
-                                version: 0,
-                                value: Bytes::new(),
-                                age: 0,
-                                status: GetStatus::Miss,
-                            }
-                        }
-                    }
-                }
-            };
-            Dispatch::Reply(reply)
-        }
-        Message::StatsReq => Dispatch::Reply(Message::StatsResp {
-            refetches: stats.refetches.load(Ordering::Relaxed),
-            refetch_coalesced: stats.refetch_coalesced.load(Ordering::Relaxed),
-            origin_errors: stats.origin_errors.load(Ordering::Relaxed),
-        }),
-        Message::PutReq { id, key, value, ttl } => {
-            stats.puts.fetch_add(1, Ordering::Relaxed);
-            let now = shared.clock.now();
-            let expires_at = (ttl > 0).then(|| now + SimDuration::from_nanos(ttl));
-            // Version allocation and insert must be one atomic step: done
-            // separately, two racing puts to the same key (from different
-            // event loops) could install the older version over the newer
-            // acked one. The value handle moves into the cache as-is —
-            // it is the refcounted slice the codec cut from the receive
-            // buffer, so the entire put path performs no payload copy.
-            let version = shared.cache.locked(key, |shard| {
-                let version = shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
-                shard.insert_value(key, version, value, now, expires_at);
-                version
-            });
-            Dispatch::Reply(Message::PutResp { id, key, version })
-        }
-        Message::Invalidate { seq, keys } => {
-            // A store-pushed batch: mark every cached entry in it stale
-            // under its shard lock, then ack the whole batch by seq.
-            // Keys the cache does not hold are no-ops (counted by the
-            // cache as missed invalidations), exactly like the
-            // simulation path.
-            let mut applied = 0u64;
-            for key in keys {
-                if shared.cache.apply_invalidate(key) {
-                    applied += 1;
-                }
-            }
-            stats.keys_invalidated.fetch_add(applied, Ordering::Relaxed);
-            stats.push_batches.fetch_add(1, Ordering::Relaxed);
-            Dispatch::Reply(Message::Ack { seq })
-        }
-        Message::Update { seq, items } => {
-            // A store-pushed refresh batch: re-freshen every cached
-            // entry in it. The pushed item carries the *store's*
-            // version, which lives in a different counter domain than
-            // this node's serving versions — so the node allocates a
-            // fresh serving version (under the shard lock, like a put)
-            // for each entry it refreshes, keeping the global
-            // monotonicity clients' anomaly checks rely on. Absent keys
-            // do nothing, per the paper's update semantics; pushed
-            // updates carry no TTL, so refreshed entries are fresh
-            // until invalidated or evicted.
-            let now = shared.clock.now();
-            let mut applied = 0u64;
-            for item in items {
-                let refreshed = shared.cache.locked(item.key, |shard| {
-                    if shard.contains(item.key) {
-                        let version = shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
-                        shard.apply_update_value(item.key, version, item.value, now, None)
-                    } else {
-                        // Counts the missed update without burning a
-                        // serving version on a key that is not here.
-                        shard.apply_update_value(item.key, 0, item.value, now, None)
-                    }
-                });
-                if refreshed {
-                    applied += 1;
-                }
-            }
-            stats.keys_updated.fetch_add(applied, Ordering::Relaxed);
-            stats.push_batches.fetch_add(1, Ordering::Relaxed);
-            Dispatch::Reply(Message::Ack { seq })
-        }
-        _ => Dispatch::Close,
-    }
-}
-
-/// Try to park a refused/missed bounded read on an origin refetch.
-/// `Some(Dispatch::Parked)` when the request was parked (the first
-/// parker of the key also queued the `FetchReq` — flushed at end of
-/// tick); `None` when there is no origin or it is unreachable, in
-/// which case the caller answers the fallback directly.
-#[allow(clippy::too_many_arguments)]
-fn park(
-    origin: &mut Option<OriginCtx>,
-    shared: &Shared,
-    key: u64,
-    slot: usize,
-    token: u64,
-    id: RequestId,
-    fallback_status: GetStatus,
-    fallback_age: u64,
-) -> Option<Dispatch> {
-    let ctx = origin.as_mut()?;
-    if !ctx.ensure_link() {
-        // Origin down and the retry backoff running: degrade now.
-        shared.stats.origin_errors.fetch_add(1, Ordering::Relaxed);
-        return None;
-    }
-    let waiter = Waiter { slot, token, id, fallback_status, fallback_age };
-    match ctx.table.park(key, waiter) {
-        Park::Fetch => {
-            shared.stats.refetches.fetch_add(1, Ordering::Relaxed);
-            // ensure_link() above guarantees the link is up; the if-let
-            // keeps this hot path structurally panic-free regardless.
-            if let Some(link) = ctx.link.as_mut() {
-                link.io.queue(&Message::FetchReq { key });
-            }
-        }
-        Park::Coalesced => {
-            shared.stats.refetch_coalesced.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    Some(Dispatch::Parked)
+    Ok(Conn { io: NonBlockingFramedStream::new(stream), fd, token, closing: false, in_flight: 0 })
 }

@@ -1,0 +1,279 @@
+//! Exhaustive-interleaving checks for the reactor's cross-core
+//! forwarding protocol: a forwarded get racing an owner-side
+//! invalidate or update must never produce a version-anomalous or
+//! staleness-violating response, and every forwarded operation must
+//! produce exactly one completion. Includes the mutation test proving
+//! the checker catches a broken owner that drops the completion on the
+//! refusal path.
+//!
+//! Build and run with the model-checking facade active:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg miniloom" cargo test -p fresca-serve --test miniloom
+//! ```
+//!
+//! The real `EventLoop` multiplexes sockets and cannot run under the
+//! model, so these tests model the protocol's concurrency skeleton
+//! directly — the same shape `server.rs` implements:
+//!
+//! * each loop's inbox is a mutex-protected message vector, appended
+//!   to under the lock exactly like `flush_outboxes`;
+//! * the owner drains its inbox and applies messages **in arrival
+//!   order** against a `SlabCache` it reaches through plain `&mut`
+//!   (thread-per-core ownership: the shard itself needs no lock);
+//! * completions travel back through the home loop's inbox and are
+//!   matched by request id.
+//!
+//! The nondeterminism under test is the inbox arrival order — which
+//! of two racing producers (a peer loop forwarding a client get, the
+//! store-path loop forwarding an invalidation/update part) appends
+//! first. Under `--cfg miniloom` the `parking_lot` shim is the
+//! scheduler-aware mock, so each `lock()` is a scheduling point the
+//! DFS scheduler permutes.
+
+#![cfg(miniloom)]
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use fresca_cache::slab::SlabCache;
+use fresca_cache::{BoundedGet, Capacity};
+use fresca_sim::SimTime;
+use parking_lot::Mutex;
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+const KEY: u64 = 7;
+
+/// The cross-core messages of the model: the `ForwardOp`/`Completion`
+/// subset the properties need.
+enum Op {
+    /// A peer loop forwarded a client's get for an owner-local key.
+    Get { id: u64 },
+    /// The store-path loop forwarded an invalidation part.
+    Invalidate,
+    /// The store-path loop forwarded an update part.
+    Update { version: u64, value: Bytes },
+}
+
+/// A completion delivered back to the forwarding loop's connection.
+struct Reply {
+    id: u64,
+    version: u64,
+    value: Bytes,
+    refused: bool,
+}
+
+/// Owner-side processing of one arrived message, exactly the
+/// `handle_core_msg` shape: serve gets against the owned shard via
+/// `&mut`, stage the completion into the home loop's inbox.
+fn owner_process(shard: &mut SlabCache, home: &Mutex<Vec<Reply>>, op: Op) {
+    match op {
+        Op::Get { id } => {
+            let reply = match shard.get_bounded(KEY, t(1), None) {
+                BoundedGet::Fresh(e) | BoundedGet::ServedStale(e) => {
+                    Reply { id, version: e.version, value: e.value, refused: false }
+                }
+                BoundedGet::Refused(e) => {
+                    Reply { id, version: e.version, value: Bytes::new(), refused: true }
+                }
+                BoundedGet::Miss => Reply { id, version: 0, value: Bytes::new(), refused: true },
+            };
+            home.lock().push(reply);
+        }
+        Op::Invalidate => {
+            shard.apply_invalidate(KEY);
+        }
+        Op::Update { version, value } => {
+            shard.apply_update_value(KEY, version, value, t(1), None);
+        }
+    }
+}
+
+/// Forwarded get racing an owner-side invalidate. In every
+/// interleaving the single reply must reflect the arrival order
+/// exactly: the pre-invalidate value when the get arrived first, a
+/// refusal when the invalidation did — never a served response for a
+/// key the owner had already marked known-stale (the staleness
+/// violation the per-key FIFO exists to prevent), and never a torn
+/// version/payload pair.
+#[test]
+fn forwarded_get_vs_owner_invalidate_never_serves_known_stale() {
+    let stats = miniloom::check(|| {
+        let owner_inbox: Arc<Mutex<Vec<Op>>> = Arc::new(Mutex::new(Vec::new()));
+        let home_inbox: Arc<Mutex<Vec<Reply>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut shard = SlabCache::new(Capacity::Entries(8));
+        shard.insert_value(KEY, 1, Bytes::from(vec![0xAA; 4]), t(0), None);
+
+        // Two producer loops race to stage into the owner's inbox —
+        // single-statement lock-append, like `flush_outboxes`.
+        let forwarder = {
+            let inbox = Arc::clone(&owner_inbox);
+            miniloom::thread::spawn(move || inbox.lock().push(Op::Get { id: 1 }))
+        };
+        let store_path = {
+            let inbox = Arc::clone(&owner_inbox);
+            miniloom::thread::spawn(move || inbox.lock().push(Op::Invalidate))
+        };
+        forwarder.join();
+        store_path.join();
+
+        // The owner loop's tick: drain the inbox, apply in arrival
+        // order. Record the order so the reply can be checked against
+        // the linearization it implies.
+        let arrived = std::mem::take(&mut *owner_inbox.lock());
+        let get_arrived_first =
+            matches!(arrived.first(), Some(Op::Get { .. }));
+        for op in arrived {
+            owner_process(&mut shard, &home_inbox, op);
+        }
+
+        // The home loop's tick: exactly one completion, matched by id,
+        // and its content is the linearization's — not a mixture.
+        let replies = std::mem::take(&mut *home_inbox.lock());
+        assert_eq!(replies.len(), 1, "every forwarded op completes exactly once");
+        let r = &replies[0];
+        assert_eq!(r.id, 1);
+        if get_arrived_first {
+            assert!(!r.refused, "get before invalidate serves the live entry");
+            assert_eq!(r.version, 1);
+            assert_eq!(r.value[..], [0xAA; 4][..], "version 1 must carry version 1's bytes");
+        } else {
+            assert!(r.refused, "get after invalidate must refuse — serving would violate the \
+                     staleness contract");
+        }
+        // Quiescent owner state: the invalidation always lands.
+        assert!(
+            matches!(shard.get_bounded(KEY, t(1), None), BoundedGet::Refused(_)),
+            "the key ends known-stale in every interleaving"
+        );
+    })
+    .expect("forwarded get vs invalidate must be consistent in every interleaving");
+    assert!(stats.complete);
+    assert!(stats.executions > 1, "the inbox race must produce multiple schedules");
+}
+
+/// Forwarded get racing an owner-side update: the reply is version 1
+/// with version 1's payload or version 2 with version 2's payload —
+/// versions never regress behind what the arrival order implies, and
+/// version/payload are never torn.
+#[test]
+fn forwarded_get_vs_owner_update_is_version_coherent() {
+    miniloom::model(|| {
+        let owner_inbox: Arc<Mutex<Vec<Op>>> = Arc::new(Mutex::new(Vec::new()));
+        let home_inbox: Arc<Mutex<Vec<Reply>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut shard = SlabCache::new(Capacity::Entries(8));
+        shard.insert_value(KEY, 1, Bytes::from(vec![0xAA; 4]), t(0), None);
+
+        let forwarder = {
+            let inbox = Arc::clone(&owner_inbox);
+            miniloom::thread::spawn(move || inbox.lock().push(Op::Get { id: 9 }))
+        };
+        let store_path = {
+            let inbox = Arc::clone(&owner_inbox);
+            miniloom::thread::spawn(move || {
+                inbox.lock().push(Op::Update { version: 2, value: Bytes::from(vec![0xBB; 8]) })
+            })
+        };
+        forwarder.join();
+        store_path.join();
+
+        let arrived = std::mem::take(&mut *owner_inbox.lock());
+        let get_arrived_first = matches!(arrived.first(), Some(Op::Get { .. }));
+        for op in arrived {
+            owner_process(&mut shard, &home_inbox, op);
+        }
+
+        let replies = std::mem::take(&mut *home_inbox.lock());
+        assert_eq!(replies.len(), 1);
+        let r = &replies[0];
+        assert!(!r.refused, "a live entry is servable before and after an update");
+        if get_arrived_first {
+            assert_eq!(r.version, 1, "get before update sees the pre-update entry");
+            assert_eq!(r.value[..], [0xAA; 4][..]);
+        } else {
+            assert_eq!(r.version, 2, "get after update must see it — regressing to \
+                       version 1 would be the version anomaly clients check for");
+            assert_eq!(r.value[..], [0xBB; 8][..]);
+        }
+        // The update lands in every interleaving.
+        match shard.get_bounded(KEY, t(1), None) {
+            BoundedGet::Fresh(e) | BoundedGet::ServedStale(e) => {
+                assert_eq!(e.version, 2);
+                assert_eq!(e.value[..], [0xBB; 8][..]);
+            }
+            other => panic!("updated entry must stay servable, got {other:?}"),
+        }
+    });
+}
+
+/// Mutation test: a *broken* owner that forgets to stage the
+/// completion when the forwarded get finds the entry invalidated —
+/// the forwarded request would hang forever on its home loop (the
+/// connection's in-flight count never drains). The checker must find
+/// the interleaving where the invalidation arrives first and the
+/// reply count comes up short, and hand back a deterministic
+/// replayable schedule.
+#[test]
+fn broken_owner_dropping_refusal_completion_is_caught() {
+    let broken = || {
+        let owner_inbox: Arc<Mutex<Vec<Op>>> = Arc::new(Mutex::new(Vec::new()));
+        let home_inbox: Arc<Mutex<Vec<Reply>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut shard = SlabCache::new(Capacity::Entries(8));
+        shard.insert_value(KEY, 1, Bytes::from(vec![0xAA; 4]), t(0), None);
+
+        let forwarder = {
+            let inbox = Arc::clone(&owner_inbox);
+            miniloom::thread::spawn(move || inbox.lock().push(Op::Get { id: 1 }))
+        };
+        let store_path = {
+            let inbox = Arc::clone(&owner_inbox);
+            miniloom::thread::spawn(move || inbox.lock().push(Op::Invalidate))
+        };
+        forwarder.join();
+        store_path.join();
+
+        let arrived = std::mem::take(&mut *owner_inbox.lock());
+        for op in arrived {
+            match op {
+                Op::Get { id } => match shard.get_bounded(KEY, t(1), None) {
+                    BoundedGet::Fresh(e) | BoundedGet::ServedStale(e) => {
+                        home_inbox.lock().push(Reply {
+                            id,
+                            version: e.version,
+                            value: e.value,
+                            refused: false,
+                        });
+                    }
+                    // BROKEN: refusals produce no completion — the
+                    // home connection waits forever.
+                    BoundedGet::Refused(_) | BoundedGet::Miss => {}
+                },
+                op => owner_process(&mut shard, &home_inbox, op),
+            }
+        }
+
+        let replies = std::mem::take(&mut *home_inbox.lock());
+        assert_eq!(replies.len(), 1, "every forwarded op completes exactly once");
+    };
+
+    let failure = miniloom::check(broken)
+        .expect_err("the invalidate-first interleaving must expose the dropped completion");
+    assert!(
+        failure.message.contains("completes exactly once"),
+        "expected the completion-count assertion, got: {failure}"
+    );
+    assert!(!failure.schedule.is_empty());
+    let printed = failure.to_string();
+    assert!(printed.contains("replayable schedule"), "{printed}");
+
+    // Deterministic replay: the schedule alone reproduces the failure.
+    let replayed = miniloom::replay(broken, &failure.schedule)
+        .expect("replaying the schedule reproduces the dropped completion");
+    assert_eq!(replayed.message, failure.message);
+}

@@ -35,6 +35,9 @@ const LOAD_REPORT_KEYS: &[&str] = &[
     "refetches",
     "refetch_coalesced",
     "origin_errors",
+    "cross_core_forwards",
+    "slab_entries",
+    "slab_capacity",
 ];
 
 /// Top-level keys of `baseline check --json` output, in declaration

@@ -56,7 +56,7 @@ fn main() -> std::io::Result<()> {
 
     // A backend invalidation marks the entry known-stale: refused at any
     // bound until the next write heals it.
-    handle.cache().apply_invalidate(7);
+    handle.invalidate(7);
     let got = client.get(7, None)?;
     println!("get key 7 after invalidation     -> {:?}", got.status);
 

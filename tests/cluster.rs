@@ -34,6 +34,7 @@ fn spawn_cluster(n: usize) -> (Vec<ServerHandle>, Vec<String>) {
                     shards: 8,
                     event_loops: 1,
                     origin: None,
+                    pin_threshold: 512,
                 },
             )
             .expect("bind ephemeral localhost port")

@@ -35,6 +35,7 @@ fn spawn_server(origin: Option<SocketAddr>) -> server::ServerHandle {
             shards: 8,
             event_loops: 1,
             origin,
+            pin_threshold: 512,
         },
     )
     .expect("bind ephemeral localhost port")

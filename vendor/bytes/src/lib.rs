@@ -115,6 +115,15 @@ impl Bytes {
     pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
         Arc::ptr_eq(&self.data, &other.data)
     }
+
+    /// Length in bytes of the *backing allocation* this handle pins,
+    /// regardless of how small the view is. A 100 B slice of a 64 KiB
+    /// read chunk reports 65536 — the quantity a receive-buffer pinning
+    /// heuristic compares against the view length to decide whether a
+    /// long-lived small value should be re-materialized.
+    pub fn allocation_size(&self) -> usize {
+        self.data.len()
+    }
 }
 
 impl Default for Bytes {
