@@ -28,6 +28,13 @@
 //!   touched through plain `&mut` by exactly one loop, so a lock
 //!   acquisition appearing in that path means the partitioning
 //!   invariant was broken, not that a lock was needed.
+//! * **R6 `panic-free-reconnect`** — the client-side reconnect paths
+//!   (`connect`/`reconnect_with_backoff` in `crates/serve/src/client.rs`,
+//!   `connect`/`refresh`/`swap_view`/`with_owner` in
+//!   `crates/serve/src/cluster.rs`) contain no `unwrap`/`expect`
+//!   calls. These functions run exactly when a peer has died or the
+//!   ring is mid-swap; a panic there turns one dead node into a dead
+//!   client, defeating the whole point of bounded-retry reconnection.
 //!
 //! The tokenizer understands comments (line, nested block), string
 //! literals (plain, raw, byte, byte-raw), char literals vs lifetimes,
@@ -1035,6 +1042,67 @@ fn rule_lock_free_serve_path(root: &Path, path: &Path, tokens: &[Token], report:
 }
 
 // ---------------------------------------------------------------------------
+// R6: panic-free reconnect path
+// ---------------------------------------------------------------------------
+
+/// Files holding the client-side reconnect machinery.
+pub const RECONNECT_PATH_FILES: &[&str] =
+    &["crates/serve/src/client.rs", "crates/serve/src/cluster.rs"];
+
+/// The functions that run while a peer is dead or the ring is
+/// mid-swap. Socket errors here are *expected* — the chaos schedule
+/// kills nodes on purpose — so every failure must flow into the
+/// retry/backoff loop as a value, never a panic.
+pub const RECONNECT_PATH_FNS: &[&str] =
+    &["connect", "reconnect_with_backoff", "refresh", "swap_view", "with_owner"];
+
+fn rule_panic_free_reconnect(root: &Path, path: &Path, tokens: &[Token], report: &mut Report) {
+    let spans = cfg_test_spans(tokens);
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_reconnect_fn = tokens[i].is_ident("fn")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident
+                    && RECONNECT_PATH_FNS.contains(&t.text.as_str()));
+        if !is_reconnect_fn {
+            i += 1;
+            continue;
+        }
+        let fn_name = tokens[i + 1].text.clone();
+        let mut open = i + 2;
+        while open < tokens.len() && !tokens[open].is_punct('{') {
+            open += 1;
+        }
+        let end = matching_close(tokens, open, '{', '}');
+        for k in open..end.min(tokens.len()) {
+            let t = &tokens[k];
+            if t.kind != TokenKind::Ident || in_spans(&spans, t.line) {
+                continue;
+            }
+            if PANIC_METHODS.contains(&t.text.as_str())
+                && k > 0
+                && tokens[k - 1].is_punct('.')
+                && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                report.violations.push(Violation {
+                    rule: "panic-free-reconnect",
+                    file: rel(root, path),
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` inside `{fn_name}`: a socket failure on the reconnect \
+                         path must feed the retry loop as an error — a panic here turns \
+                         one dead node into a dead client",
+                        t.text
+                    ),
+                });
+            }
+        }
+        i = end.max(i + 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -1060,6 +1128,9 @@ pub fn lint_workspace(root: &Path) -> Report {
         }
         if *path == root.join(SERVE_PATH_FILE) {
             rule_lock_free_serve_path(root, path, &tokens, &mut report);
+        }
+        if RECONNECT_PATH_FILES.iter().any(|f| *path == root.join(f)) {
+            rule_panic_free_reconnect(root, path, &tokens, &mut report);
         }
     }
     report.violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));

@@ -437,6 +437,63 @@ fn serve_path_test_modules_are_exempt() {
 }
 
 // ---------------------------------------------------------------------------
+// R6: panic-free reconnect path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unwrap_on_reconnect_path_is_flagged_at_its_line() {
+    // The mutation the rule exists to catch: someone "simplifies" the
+    // retry loop by unwrapping the reconnect attempt — correct until
+    // the first chaos kill, then the whole client dies with the node.
+    let fx = Fixture::new("reconnect-unwrap");
+    fx.file(
+        "crates/serve/src/cluster.rs",
+        "fn with_owner(&mut self, key: u64) -> u64 {\n\
+         \x20   let conn = PipelinedClient::connect(self.addr_for(key)).unwrap();\n\
+         \x20   conn.id()\n\
+         }\n\
+         fn refresh(&mut self) -> bool {\n\
+         \x20   self.probe().expect(\"ring reply\")\n\
+         }\n",
+    );
+    let report = fx.lint();
+    let v = violations(&report, "panic-free-reconnect");
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![2, 6], "both panicking sites: {v:?}");
+    assert!(v[0].message.contains("with_owner") && v[0].message.contains(".unwrap()"));
+    assert!(v[1].message.contains("refresh") && v[1].message.contains(".expect()"));
+}
+
+#[test]
+fn reconnect_rule_is_scoped_to_its_fns_files_and_production_code() {
+    // `connect` in push.rs, an unrelated fn in client.rs, and test-mod
+    // unwraps are all out of scope — the rule polices exactly the
+    // client/cluster reconnect machinery.
+    let fx = Fixture::new("reconnect-elsewhere");
+    fx.file(
+        "crates/serve/src/push.rs",
+        "fn connect(addr: &str) -> Conn { Conn::dial(addr).unwrap() }\n",
+    )
+    .file(
+        "crates/serve/src/client.rs",
+        "fn parse_probe(line: &str) -> u64 {\n\
+         \x20   line.parse().unwrap()\n\
+         }\n\
+         fn reconnect_with_backoff(&mut self) -> u32 {\n\
+         \x20   self.attempts + 1\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn connect() { TcpStream::connect(\"x\").unwrap(); }\n\
+         }\n",
+    );
+    assert!(
+        violations(&fx.lint(), "panic-free-reconnect").is_empty(),
+        "only reconnect-path fns in client.rs/cluster.rs are in scope"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Report plumbing
 // ---------------------------------------------------------------------------
 

@@ -71,6 +71,24 @@ const TAG_FETCH_RESP: u8 = 17;
 const TAG_READ_STATS: u8 = 18;
 const TAG_STATS_REQ: u8 = 19;
 const TAG_STATS_RESP: u8 = 20;
+// Membership tags: versioned ring epochs, join/leave requests, and the
+// handoff-completion marker. Node addresses travel as u16-length-prefixed
+// UTF-8; the member list as a u32 count of such entries.
+const TAG_RING_UPDATE: u8 = 21;
+const TAG_RING_ACK: u8 = 22;
+const TAG_RING_REQ: u8 = 23;
+const TAG_JOIN_REQ: u8 = 24;
+const TAG_LEAVE_REQ: u8 = 25;
+const TAG_HANDOFF_DONE: u8 = 26;
+
+/// Maximum accepted length of one member address string. Addresses are
+/// host:port text; anything beyond this is a corrupted or hostile frame.
+pub const MAX_MEMBER_LEN: usize = 256;
+
+/// Maximum accepted member count in one `RingUpdate`. Far above any
+/// deployable cluster size, low enough that a corrupted count cannot
+/// drive a large allocation.
+pub const MAX_MEMBERS: usize = 4096;
 
 /// Decode errors. Encoding is infallible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -330,6 +348,9 @@ impl FrameCodec {
                 cross_core_forwards,
                 slab_entries,
                 slab_capacity,
+                epoch,
+                handoff_in,
+                handoff_out,
             } => {
                 out.put_u8(TAG_STATS_RESP);
                 out.put_u64(*refetches);
@@ -338,6 +359,44 @@ impl FrameCodec {
                 out.put_u64(*cross_core_forwards);
                 out.put_u64(*slab_entries);
                 out.put_u64(*slab_capacity);
+                out.put_u64(*epoch);
+                out.put_u64(*handoff_in);
+                out.put_u64(*handoff_out);
+            }
+            Message::RingUpdate { epoch, members } => {
+                debug_assert!(members.len() <= MAX_MEMBERS, "member count exceeds limit");
+                out.put_u8(TAG_RING_UPDATE);
+                out.put_u64(*epoch);
+                out.put_u32(members.len() as u32);
+                for m in members {
+                    debug_assert!(m.len() <= MAX_MEMBER_LEN, "member address too long");
+                    out.put_u16(m.len() as u16);
+                    out.extend_from_slice(m.as_bytes());
+                }
+            }
+            Message::RingAck { epoch } => {
+                out.put_u8(TAG_RING_ACK);
+                out.put_u64(*epoch);
+            }
+            Message::RingReq => {
+                out.put_u8(TAG_RING_REQ);
+            }
+            Message::JoinReq { node } => {
+                debug_assert!(node.len() <= MAX_MEMBER_LEN, "member address too long");
+                out.put_u8(TAG_JOIN_REQ);
+                out.put_u16(node.len() as u16);
+                out.extend_from_slice(node.as_bytes());
+            }
+            Message::LeaveReq { node } => {
+                debug_assert!(node.len() <= MAX_MEMBER_LEN, "member address too long");
+                out.put_u8(TAG_LEAVE_REQ);
+                out.put_u16(node.len() as u16);
+                out.extend_from_slice(node.as_bytes());
+            }
+            Message::HandoffDone { epoch, keys } => {
+                out.put_u8(TAG_HANDOFF_DONE);
+                out.put_u64(*epoch);
+                out.put_u64(*keys);
             }
         }
     }
@@ -549,7 +608,7 @@ impl FrameCodec {
             }
             TAG_STATS_REQ => Ok(Message::StatsReq),
             TAG_STATS_RESP => {
-                Self::need(frame, 48, "stats-resp")?;
+                Self::need(frame, 72, "stats-resp")?;
                 Ok(Message::StatsResp {
                     refetches: frame.get_u64(),
                     refetch_coalesced: frame.get_u64(),
@@ -557,10 +616,55 @@ impl FrameCodec {
                     cross_core_forwards: frame.get_u64(),
                     slab_entries: frame.get_u64(),
                     slab_capacity: frame.get_u64(),
+                    epoch: frame.get_u64(),
+                    handoff_in: frame.get_u64(),
+                    handoff_out: frame.get_u64(),
                 })
+            }
+            TAG_RING_UPDATE => {
+                Self::need(frame, 12, "ring-update header")?;
+                let epoch = frame.get_u64();
+                let n = frame.get_u32() as usize;
+                if n > MAX_MEMBERS {
+                    return Err(CodecError::Malformed("ring-update member count"));
+                }
+                let mut members = Vec::with_capacity(n);
+                for _ in 0..n {
+                    members.push(Self::take_member(frame, "ring-update member")?);
+                }
+                Ok(Message::RingUpdate { epoch, members })
+            }
+            TAG_RING_ACK => {
+                Self::need(frame, 8, "ring-ack")?;
+                Ok(Message::RingAck { epoch: frame.get_u64() })
+            }
+            TAG_RING_REQ => Ok(Message::RingReq),
+            TAG_JOIN_REQ => {
+                Ok(Message::JoinReq { node: Self::take_member(frame, "join-req node")? })
+            }
+            TAG_LEAVE_REQ => {
+                Ok(Message::LeaveReq { node: Self::take_member(frame, "leave-req node")? })
+            }
+            TAG_HANDOFF_DONE => {
+                Self::need(frame, 16, "handoff-done")?;
+                Ok(Message::HandoffDone { epoch: frame.get_u64(), keys: frame.get_u64() })
             }
             t => Err(CodecError::UnknownTag(t)),
         }
+    }
+
+    /// Decode one u16-length-prefixed UTF-8 member address. Rejects
+    /// lengths over [`MAX_MEMBER_LEN`] and non-UTF-8 bytes as
+    /// [`CodecError::Malformed`].
+    fn take_member(frame: &mut BytesMut, what: &'static str) -> Result<String, CodecError> {
+        Self::need(frame, 2, what)?;
+        let len = frame.get_u16() as usize;
+        if len > MAX_MEMBER_LEN {
+            return Err(CodecError::Malformed(what));
+        }
+        Self::need(frame, len, what)?;
+        let raw = frame.split_to(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::Malformed(what))
     }
 
     fn request_id(frame: &mut BytesMut) -> Result<RequestId, CodecError> {
@@ -702,7 +806,20 @@ mod tests {
                 cross_core_forwards: 9,
                 slab_entries: 1024,
                 slab_capacity: 2048,
+                epoch: 3,
+                handoff_in: 17,
+                handoff_out: 4,
             },
+            Message::RingUpdate {
+                epoch: 7,
+                members: vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+            },
+            Message::RingUpdate { epoch: 0, members: vec![] },
+            Message::RingAck { epoch: 7 },
+            Message::RingReq,
+            Message::JoinReq { node: "10.0.0.3:7003".into() },
+            Message::LeaveReq { node: "10.0.0.3:7003".into() },
+            Message::HandoffDone { epoch: 8, keys: 512 },
         ];
         for m in msgs {
             assert_eq!(roundtrip(&m), m);
@@ -839,6 +956,57 @@ mod tests {
         let mut codec = FrameCodec::new();
         codec.feed(&frame);
         assert_eq!(codec.next(), Err(CodecError::Malformed("update item header")));
+    }
+
+    #[test]
+    fn rejects_ring_update_member_count_beyond_limit() {
+        // A ring-update header claiming an absurd member count must be
+        // refused before any per-member allocation happens.
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 12);
+        frame.put_u8(TAG_RING_UPDATE);
+        frame.put_u64(1); // epoch
+        frame.put_u32((MAX_MEMBERS as u32) + 1);
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("ring-update member count")));
+    }
+
+    #[test]
+    fn rejects_truncated_and_non_utf8_members() {
+        // A member entry whose declared length runs past the frame end.
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 12 + 2 + 3);
+        frame.put_u8(TAG_RING_UPDATE);
+        frame.put_u64(1); // epoch
+        frame.put_u32(1); // one member
+        frame.put_u16(100); // claims 100 bytes, only 3 present
+        frame.put_slice(b"abc");
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("ring-update member")));
+
+        // A join-req whose address bytes are not UTF-8.
+        let mut frame = BytesMut::new();
+        frame.put_u32(5 + 2 + 2);
+        frame.put_u8(TAG_JOIN_REQ);
+        frame.put_u16(2);
+        frame.put_slice(&[0xFF, 0xFE]);
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("join-req node")));
+
+        // A member length field over MAX_MEMBER_LEN is refused even if
+        // the frame claims to contain that many bytes.
+        let mut frame = BytesMut::new();
+        let too_long = (MAX_MEMBER_LEN as u16) + 1;
+        frame.put_u32(5 + 2 + too_long as u32);
+        frame.put_u8(TAG_LEAVE_REQ);
+        frame.put_u16(too_long);
+        frame.put_bytes(b'a', too_long as usize);
+        let mut codec = FrameCodec::new();
+        codec.feed(&frame);
+        assert_eq!(codec.next(), Err(CodecError::Malformed("leave-req node")));
     }
 
     #[test]

@@ -321,6 +321,68 @@ pub enum Message {
         /// Allocated slab slots (live + free-listed) across all owned
         /// shards — the slab memory high-water mark.
         slab_capacity: u64,
+        /// Membership epoch this node is currently serving under (0 when
+        /// the node has never adopted a membership — solo operation).
+        epoch: u64,
+        /// Keys received via streaming handoff (`Update` batches closed
+        /// by a [`Message::HandoffDone`]) since the node started.
+        handoff_in: u64,
+        /// Keys this node streamed out to new owners on epoch changes.
+        handoff_out: u64,
+    },
+    /// Controller/peer → cache server (or server → client, answering a
+    /// [`Message::RingReq`]): the authoritative member list for a
+    /// membership epoch. A node adopts the update iff `epoch` is newer
+    /// than its current one, then streams every key it no longer owns to
+    /// the key's new owner as bulk [`Message::Update`] batches.
+    RingUpdate {
+        /// Monotone membership epoch; higher wins, ties are ignored.
+        epoch: u64,
+        /// Every member's advertised address, in ring order. Placement
+        /// is a pure function of this list (and the vnode count), so all
+        /// participants that adopt the same epoch compute the same ring.
+        members: Vec<String>,
+    },
+    /// Cache server → sender: membership update acknowledged. Echoes the
+    /// epoch the node is on *after* processing — the sender can tell an
+    /// adoption (`epoch` matches the update) from a stale update the
+    /// node ignored (`epoch` is higher).
+    RingAck {
+        /// The node's current epoch after processing the update.
+        epoch: u64,
+    },
+    /// Any client → cache server: ask for the current membership. The
+    /// server answers with a [`Message::RingUpdate`] carrying its
+    /// current epoch and member list (epoch 0 and an empty list when the
+    /// node is solo).
+    RingReq,
+    /// Joining node (or operator) → any member: add `node` to the
+    /// membership. The receiving member bumps the epoch, adopts the new
+    /// ring, broadcasts the resulting [`Message::RingUpdate`] to every
+    /// other member, and replies with that same update so the joiner
+    /// learns the full membership it just entered.
+    JoinReq {
+        /// Advertised address of the node joining the ring.
+        node: String,
+    },
+    /// Operator (or a departing node) → any member: remove `node` from
+    /// the membership. Same epoch-bump/broadcast/reply contract as
+    /// [`Message::JoinReq`]; the reply is the post-departure
+    /// [`Message::RingUpdate`].
+    LeaveReq {
+        /// Advertised address of the node leaving the ring.
+        node: String,
+    },
+    /// Handing-off node → new owner: the streaming handoff for `epoch`
+    /// on this connection is complete; `keys` entries were transferred
+    /// (as acked [`Message::Update`] batches preceding this frame).
+    /// Fire-and-forget — the per-batch `Ack`s already confirmed receipt;
+    /// this frame closes the receiver's `handoff_in` accounting.
+    HandoffDone {
+        /// Epoch whose ownership transfer this stream completed.
+        epoch: u64,
+        /// Number of keys streamed ahead of this marker.
+        keys: u64,
     },
 }
 
@@ -360,7 +422,15 @@ impl Message {
             Message::FetchResp { value, .. } => HDR + 8 + 8 + 4 + value.len(),
             Message::ReadStats { entries } => HDR + 4 + entries.len() * 12,
             Message::StatsReq => HDR,
-            Message::StatsResp { .. } => HDR + 6 * 8,
+            Message::StatsResp { .. } => HDR + 9 * 8,
+            // Membership strings travel as u16 length + UTF-8 bytes.
+            Message::RingUpdate { members, .. } => {
+                HDR + 8 + 4 + members.iter().map(|m| 2 + m.len()).sum::<usize>()
+            }
+            Message::RingAck { .. } => HDR + 8,
+            Message::RingReq => HDR,
+            Message::JoinReq { node } | Message::LeaveReq { node } => HDR + 2 + node.len(),
+            Message::HandoffDone { .. } => HDR + 8 + 8,
         }
     }
 
@@ -479,9 +549,12 @@ mod tests {
                 cross_core_forwards: 4,
                 slab_entries: 5,
                 slab_capacity: 6,
+                epoch: 7,
+                handoff_in: 8,
+                handoff_out: 9,
             }
             .wire_size(),
-            53
+            77
         );
         // A fetch response is cheaper than an update batch for the same
         // value: no seq, no per-item framing — it answers exactly one key.
@@ -490,6 +563,25 @@ mod tests {
             items: vec![UpdateItem { key: 1, version: 3, value: crate::payload::pattern(1, 100) }],
         };
         assert!(resp.wire_size() < upd.wire_size());
+    }
+
+    #[test]
+    fn membership_wire_sizes() {
+        let members = vec!["127.0.0.1:7001".to_string(), "127.0.0.1:7002".to_string()];
+        let update = Message::RingUpdate { epoch: 3, members: members.clone() };
+        // header + epoch + count + per-member (u16 len + bytes).
+        assert_eq!(update.wire_size(), 5 + 8 + 4 + 2 * (2 + 14));
+        assert_eq!(Message::RingAck { epoch: 3 }.wire_size(), 13);
+        assert_eq!(Message::RingReq.wire_size(), 5);
+        assert_eq!(
+            Message::JoinReq { node: "127.0.0.1:7003".into() }.wire_size(),
+            5 + 2 + 14
+        );
+        assert_eq!(
+            Message::LeaveReq { node: "127.0.0.1:7003".into() }.wire_size(),
+            5 + 2 + 14
+        );
+        assert_eq!(Message::HandoffDone { epoch: 3, keys: 512 }.wire_size(), 21);
     }
 
     #[test]

@@ -55,7 +55,24 @@
 //! commits. `--fail-on-violations` exits non-zero when the run observed
 //! staleness violations, version anomalies, or checksum mismatches —
 //! the CI smoke-test contract.
+//!
+//! ## Chaos runs
+//!
+//! `--chaos <schedule>` (with `--addrs` and `--spawn-serve`) runs the
+//! cluster under a deterministic kill/restart schedule: loadgen spawns
+//! one `serve` child per address, replays the schedule against the
+//! live-membership cluster, and mid-run SIGKILLs and respawns victims
+//! chosen by the schedule (a pure function of `--seed`), driving the
+//! leave/join protocol around each death. The report gains a `chaos`
+//! section: per-node availability windows, operations lost, reconnects,
+//! and handoff counters. With `--fail-on-violations` the run also fails
+//! when any window exceeds `--max-window-secs`, a killed node never
+//! recovered, or a restarted node did not converge back to the final
+//! epoch with handed-off keys — the CI `chaos-smoke` contract.
+//! `--serve-bin` overrides the `serve` binary path (default: next to
+//! the running loadgen).
 
+use fresca_serve::chaos::{ChaosSchedule, Supervisor};
 use fresca_serve::cli::arg;
 use fresca_serve::loadgen::{self, LoadGenConfig, Mode, ValueDist};
 use fresca_sim::SimDuration;
@@ -63,7 +80,95 @@ use fresca_workload::{
     scenario, MetaLikeConfig, PoissonMixConfig, PoissonZipfConfig, ReplayConfig, ScenarioParams,
     TimedOp, TwitterLikeConfig, WireOp, WorkloadGen,
 };
-use std::net::{SocketAddr, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Owns the `serve` child processes of a chaos run: SIGKILL on `kill`,
+/// respawn-and-wait on `restart`. Children are killed on drop so an
+/// aborted run leaves no strays.
+struct ProcSupervisor {
+    bin: PathBuf,
+    names: Vec<String>,
+    children: Vec<Option<Child>>,
+}
+
+impl ProcSupervisor {
+    /// Spawn one `serve` per name (the name is both the bind address
+    /// and the advertised ring identity) and wait until every node
+    /// accepts connections.
+    fn launch(bin: PathBuf, names: Vec<String>) -> Result<Self, String> {
+        let mut sup =
+            ProcSupervisor { children: names.iter().map(|_| None).collect(), bin, names };
+        for i in 0..sup.names.len() {
+            let child = sup.spawn_node(i).map_err(|e| {
+                format!("cannot spawn {} for {}: {e}", sup.bin.display(), sup.names[i])
+            })?;
+            sup.children[i] = Some(child);
+        }
+        for name in sup.names.clone() {
+            if !wait_accepting(&name, Duration::from_secs(10)) {
+                return Err(format!("node {name} never started accepting connections"));
+            }
+        }
+        Ok(sup)
+    }
+
+    fn spawn_node(&self, i: usize) -> std::io::Result<Child> {
+        Command::new(&self.bin)
+            .args([
+                "--addr",
+                &self.names[i],
+                "--advertise",
+                &self.names[i],
+                // Keep child stdout quiet on its own cadence.
+                "--stats-every",
+                "3600",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+    }
+}
+
+/// Poll until `addr` accepts a TCP connection (the server is serving).
+fn wait_accepting(addr: &str, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if TcpStream::connect(addr).is_ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+impl Supervisor for ProcSupervisor {
+    fn kill(&mut self, node: usize) {
+        if let Some(mut child) = self.children.get_mut(node).and_then(Option::take) {
+            // Child::kill is SIGKILL: the abrupt-death case, no drain.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn restart(&mut self, node: usize) -> bool {
+        let Ok(child) = self.spawn_node(node) else { return false };
+        self.children[node] = Some(child);
+        wait_accepting(&self.names[node], Duration::from_secs(10))
+    }
+}
+
+impl Drop for ProcSupervisor {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().filter_map(Option::take) {
+            let mut child = child;
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -76,7 +181,9 @@ fn main() {
              [--seed 42] [--rate 10] [--horizon-secs 1000] [--mode closed|open] \
              [--conns 4] [--pipeline 16] [--time-scale 0.001] [--ttl-ms 500] [--bound-ms 0] \
              [--value-bytes fixed:N|uniform:MIN:MAX|zipf:MAX] \
-             [--json BENCH_serve.json] [--fail-on-violations]"
+             [--json BENCH_serve.json] [--fail-on-violations] \
+             [--chaos kill-one|rolling --spawn-serve [--serve-bin PATH] \
+              [--max-window-secs 30]]"
         );
         return;
     }
@@ -95,6 +202,10 @@ fn main() {
     let value_bytes_s = arg(&args, "--value-bytes", String::new());
     let json_path = arg(&args, "--json", String::new());
     let fail_on_violations = has_flag("--fail-on-violations");
+    let chaos_s = arg(&args, "--chaos", String::new());
+    let spawn_serve = has_flag("--spawn-serve");
+    let serve_bin = arg(&args, "--serve-bin", String::new());
+    let max_window_secs: f64 = arg(&args, "--max-window-secs", 30.0);
 
     let value_bytes = if value_bytes_s.is_empty() {
         None
@@ -212,24 +323,84 @@ fn main() {
                 (name, addr)
             })
             .collect();
-        println!(
-            "replaying {} ops of {schedule_name} (seed {seed}) across {} nodes [{mode_name}, \
-             pipeline {pipeline}, {vnodes} vnodes]",
-            ops.len(),
-            nodes.len(),
-        );
-        match loadgen::run_cluster(&nodes, &ops, &config, vnodes) {
-            Ok(mut cluster) => {
-                // A fanned-out run is a different experiment than a
-                // single-node replay of the same schedule — suffix the
-                // identity so baseline gating never compares across the
-                // two shapes.
-                cluster.set_identity(&format!("{schedule_name}-cluster"), seed);
-                (cluster.aggregate.clone(), Some(cluster))
+        if !chaos_s.is_empty() {
+            // Chaos: this process must own the servers to SIGKILL them.
+            if !spawn_serve {
+                eprintln!("loadgen: --chaos requires --spawn-serve (loadgen must own the serve processes it kills)");
+                std::process::exit(2);
             }
-            Err(e) => {
-                eprintln!("loadgen: {e}");
-                std::process::exit(1);
+            // The schedule spans the replay's wall-clock duration.
+            let duration = ops
+                .last()
+                .map(|op| Duration::from_nanos(op.at.as_nanos()))
+                .unwrap_or(Duration::ZERO);
+            let Some(schedule) =
+                ChaosSchedule::generate(&chaos_s, seed, duration, nodes.len())
+            else {
+                eprintln!(
+                    "loadgen: bad --chaos {chaos_s:?} for {} nodes (try {})",
+                    nodes.len(),
+                    fresca_serve::chaos::SCHEDULES.join("|")
+                );
+                std::process::exit(2);
+            };
+            let bin = if serve_bin.is_empty() {
+                // Default: the serve binary next to the running loadgen.
+                std::env::current_exe()
+                    .ok()
+                    .and_then(|p| p.parent().map(|d| d.join("serve")))
+                    .unwrap_or_else(|| PathBuf::from("serve"))
+            } else {
+                PathBuf::from(&serve_bin)
+            };
+            let names: Vec<String> = nodes.iter().map(|(n, _)| n.clone()).collect();
+            let mut sup = match ProcSupervisor::launch(bin, names) {
+                Ok(sup) => sup,
+                Err(e) => {
+                    eprintln!("loadgen: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "replaying {} ops of {schedule_name} (seed {seed}) across {} nodes under \
+                 chaos schedule {chaos_s} ({} events over {:.1}s)",
+                ops.len(),
+                nodes.len(),
+                schedule.events.len(),
+                duration.as_secs_f64(),
+            );
+            match loadgen::run_cluster_chaos(
+                &nodes, &ops, &config, vnodes, &schedule, &mut sup, seed,
+            ) {
+                Ok(mut cluster) => {
+                    cluster.set_identity(&format!("{schedule_name}-chaos"), seed);
+                    (cluster.aggregate.clone(), Some(cluster))
+                }
+                Err(e) => {
+                    eprintln!("loadgen: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            println!(
+                "replaying {} ops of {schedule_name} (seed {seed}) across {} nodes [{mode_name}, \
+                 pipeline {pipeline}, {vnodes} vnodes]",
+                ops.len(),
+                nodes.len(),
+            );
+            match loadgen::run_cluster(&nodes, &ops, &config, vnodes) {
+                Ok(mut cluster) => {
+                    // A fanned-out run is a different experiment than a
+                    // single-node replay of the same schedule — suffix the
+                    // identity so baseline gating never compares across the
+                    // two shapes.
+                    cluster.set_identity(&format!("{schedule_name}-cluster"), seed);
+                    (cluster.aggregate.clone(), Some(cluster))
+                }
+                Err(e) => {
+                    eprintln!("loadgen: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     } else {
@@ -275,5 +446,39 @@ fn main() {
             report.staleness_violations, report.version_anomalies, report.checksum_mismatches
         );
         std::process::exit(3);
+    }
+    // Chaos gates: every killed node must come back inside the window
+    // bound, converged to the final epoch, with keys handed back to it.
+    if fail_on_violations {
+        if let Some(chaos) = cluster.as_ref().and_then(|c| c.chaos.as_ref()) {
+            let bound = Duration::from_secs_f64(max_window_secs.max(0.0));
+            if !chaos.windows_bounded(bound) {
+                eprintln!(
+                    "loadgen: FAILED — an unavailability window exceeded {max_window_secs}s \
+                     (or a killed node never recovered)"
+                );
+                std::process::exit(3);
+            }
+            for w in &chaos.windows {
+                if w.killed_at_secs < 0.0 || w.restarted_at_secs < 0.0 {
+                    continue;
+                }
+                if w.epoch != chaos.final_epoch {
+                    eprintln!(
+                        "loadgen: FAILED — restarted node {} is at epoch {} (cluster is at {})",
+                        w.node, w.epoch, chaos.final_epoch
+                    );
+                    std::process::exit(3);
+                }
+                if w.handoff_in == 0 {
+                    eprintln!(
+                        "loadgen: FAILED — restarted node {} received no handed-off keys; \
+                         ownership was not restored",
+                        w.node
+                    );
+                    std::process::exit(3);
+                }
+            }
+        }
     }
 }

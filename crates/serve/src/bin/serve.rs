@@ -3,7 +3,7 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7440] [--shards 16] [--capacity-entries 65536]
 //!       [--event-loops 2] [--origin 127.0.0.1:7500] [--stats-every 5]
-//!       [--pin-threshold 512]
+//!       [--pin-threshold 512] [--advertise NAME]
 //! ```
 //!
 //! Binds the address, then prints a serving-counter line every
@@ -17,11 +17,53 @@
 //! missed then refetch through it instead of failing — see
 //! `fresca_serve::server`'s module docs. `--pin-threshold` sets the
 //! receive-buffer pinning cutoff in bytes (0 disables re-pinning).
+//!
+//! `--advertise` sets the exact name this node appears under in ring
+//! member lists (defaults to the bound address). Every cluster
+//! participant must spell a member identically — placement hashes the
+//! name — so set it when peers reach this node under a different
+//! address than it bound (NAT, 0.0.0.0 binds).
+//!
+//! **SIGTERM drains before exiting**: no new connections are accepted,
+//! but every reply already queued — including requests forwarded
+//! cross-core or parked on an origin refetch — is written back before
+//! the process exits, and the final stats line is printed. SIGKILL (as
+//! the chaos harness sends) is the abrupt-death case; clients observe
+//! dropped connections and re-route.
 
 use fresca_cache::{CacheConfig, Capacity, EvictionPolicy};
 use fresca_serve::cli::arg;
 use fresca_serve::server::{self, ServerConfig};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Set from the signal handler; polled by the main loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    // A relaxed atomic store is async-signal-safe.
+    TERM.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    // The lib crate forbids unsafe code; the binary installs the one
+    // process-global hook the lib cannot.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the C library's handler registration;
+    // `on_term` is an `extern "C" fn(i32)` performing only an atomic
+    // store, which is async-signal-safe. No Rust state is touched from
+    // the handler.
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,7 +72,7 @@ fn main() {
             "usage: serve [--addr 127.0.0.1:7440] [--shards 16] \
              [--capacity-entries 65536] [--event-loops 2] \
              [--origin 127.0.0.1:7500] [--stats-every 5] \
-             [--pin-threshold 512]"
+             [--pin-threshold 512] [--advertise NAME]"
         );
         return;
     }
@@ -42,6 +84,7 @@ fn main() {
     let stats_every: u64 = arg(&args, "--stats-every", 5);
     let pin_threshold: usize =
         arg(&args, "--pin-threshold", fresca_net::pin::DEFAULT_PIN_THRESHOLD);
+    let advertise = arg(&args, "--advertise", String::new());
 
     let origin = if origin_s.is_empty() {
         None
@@ -63,23 +106,40 @@ fn main() {
         origin,
         pin_threshold,
     };
-    let handle = match server::spawn(&addr, config) {
+    let advertise = (!advertise.is_empty()).then_some(advertise);
+    let handle = match server::spawn_with_identity(&addr, config, advertise) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("serve: cannot bind {addr}: {e}");
             std::process::exit(1);
         }
     };
+    install_sigterm_handler();
     println!(
-        "serving on {} ({} shards, {:?}, {} event loops{})",
+        "serving on {} as {} ({} shards, {:?}, {} event loops{})",
         handle.addr(),
+        handle.advertise(),
         shards,
         capacity,
         handle.event_loops(),
         origin.map(|o| format!(", origin {o}")).unwrap_or_default()
     );
+    // Poll the TERM flag at a fine grain so a drain starts promptly,
+    // printing stats on the coarse --stats-every cadence.
+    let tick = Duration::from_millis(100);
+    let stats_every = Duration::from_secs(stats_every.max(1));
+    let mut last_stats = Instant::now();
     loop {
-        std::thread::sleep(Duration::from_secs(stats_every.max(1)));
-        println!("{}", handle.stats());
+        std::thread::sleep(tick);
+        if TERM.load(Ordering::Relaxed) {
+            println!("SIGTERM: draining queued replies and in-flight requests");
+            let stats = handle.shutdown_graceful();
+            println!("{stats}");
+            return;
+        }
+        if last_stats.elapsed() >= stats_every {
+            last_stats = Instant::now();
+            println!("{}", handle.stats());
+        }
     }
 }

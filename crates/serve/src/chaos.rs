@@ -1,0 +1,429 @@
+//! Deterministic chaos schedules and the controller that executes them:
+//! kill and restart cache nodes mid-run, drive the membership protocol
+//! around each death, and report per-node availability windows.
+//!
+//! A [`ChaosSchedule`] is a **pure function of its seed** — like a
+//! workload scenario, the same `(name, seed, duration, nodes)` always
+//! produces the same kill/restart times and victims, so a chaos run
+//! that trips a bug is replayable byte-for-byte. The schedule itself
+//! knows nothing about processes; a [`Supervisor`] implementation
+//! supplies the actual kill/respawn (SIGKILL of a `serve` child in the
+//! `loadgen` binary, abrupt in-process shutdown in tests).
+//!
+//! The controller ([`run_schedule`]) is the cluster's operator during
+//! the run. Around each event it drives the membership protocol from
+//! the outside, exactly as a human (or an orchestrator) would:
+//!
+//! * **kill** — SIGKILL the victim, then send `LeaveReq` to a
+//!   surviving member. The survivor bumps the epoch, adopts the
+//!   shrunken ring, and announces it; clients re-route the victim's
+//!   keys to their new owners on the next epoch refresh.
+//! * **restart** — respawn the victim (it comes back empty, in solo
+//!   state), then send `JoinReq` for it to a surviving member. The
+//!   epoch bumps again, survivors stream the keys the victim now owns
+//!   back to it, and full ownership is restored.
+//!
+//! What the load generator observed around those events lands in a
+//! [`ChaosReport`]: per-node availability windows (killed → recovered),
+//! error/refusal attribution, and the handoff counters that prove
+//! ownership moved.
+
+use crate::client::CacheClient;
+use fresca_net::payload;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What a chaos event does to its victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Abruptly kill the node (SIGKILL — no drain, no goodbye).
+    Kill,
+    /// Respawn the node on its old address and rejoin it to the ring.
+    Restart,
+}
+
+/// One scheduled membership disruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Offset into the run at which the event fires.
+    pub at: Duration,
+    /// Index of the victim in the node list.
+    pub node: usize,
+    /// Kill or restart.
+    pub action: ChaosAction,
+}
+
+/// A named, seed-deterministic kill/restart schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// Schedule name as given on the command line.
+    pub name: String,
+    /// Events in firing order.
+    pub events: Vec<ChaosEvent>,
+}
+
+/// Registered schedule names, for CLI help and validation.
+pub const SCHEDULES: &[&str] = &["kill-one", "rolling"];
+
+impl ChaosSchedule {
+    /// Build the named schedule for a run of `duration` over `nodes`
+    /// cluster members. Deterministic in every argument; `None` for an
+    /// unknown name or a cluster too small to disrupt (chaos needs at
+    /// least two nodes so a survivor can process leaves and joins).
+    pub fn generate(name: &str, seed: u64, duration: Duration, nodes: usize) -> Option<Self> {
+        if nodes < 2 {
+            return None;
+        }
+        // Per-schedule jitter stream: mix the seed so `kill-one` and
+        // `rolling` at the same seed do not correlate.
+        let mut state = payload::mix(seed ^ payload::mix(name.len() as u64));
+        let mut draw = move |range: std::ops::Range<f64>| {
+            state = payload::mix(state);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            range.start + u * (range.end - range.start)
+        };
+        let frac = |d: Duration, f: f64| Duration::from_secs_f64(d.as_secs_f64() * f);
+        let events = match name {
+            // One victim dies ~40% in and comes back ~65% in: long
+            // enough down to open a measurable window, early enough
+            // back that post-restart handoff is exercised under load.
+            "kill-one" => {
+                let victim = (payload::mix(seed) % nodes as u64) as usize;
+                vec![
+                    ChaosEvent {
+                        at: frac(duration, draw(0.35..0.45)),
+                        node: victim,
+                        action: ChaosAction::Kill,
+                    },
+                    ChaosEvent {
+                        at: frac(duration, draw(0.60..0.70)),
+                        node: victim,
+                        action: ChaosAction::Restart,
+                    },
+                ]
+            }
+            // Every node dies and returns once, one at a time, evenly
+            // spaced — the whole cluster survives a full rolling crash.
+            "rolling" => {
+                let slot = duration.as_secs_f64() / nodes as f64;
+                (0..nodes)
+                    .flat_map(|i| {
+                        let base = slot * i as f64;
+                        [
+                            ChaosEvent {
+                                at: Duration::from_secs_f64(base + slot * draw(0.10..0.20)),
+                                node: i,
+                                action: ChaosAction::Kill,
+                            },
+                            ChaosEvent {
+                                at: Duration::from_secs_f64(base + slot * draw(0.50..0.60)),
+                                node: i,
+                                action: ChaosAction::Restart,
+                            },
+                        ]
+                    })
+                    .collect()
+            }
+            _ => return None,
+        };
+        Some(ChaosSchedule { name: name.to_string(), events })
+    }
+}
+
+/// What actually kills and respawns nodes. The schedule and controller
+/// stay process-agnostic: the `loadgen` binary implements this with
+/// SIGKILLed child processes, tests with in-process server handles.
+pub trait Supervisor: Send {
+    /// Abruptly kill node `i`. Must not block past the kill itself.
+    fn kill(&mut self, node: usize);
+    /// Respawn node `i` on its old address; returns `true` once it is
+    /// accepting connections again.
+    fn restart(&mut self, node: usize) -> bool;
+}
+
+/// Live cluster state shared between the chaos controller thread and
+/// the load-driving thread: which nodes are currently down, each
+/// node's restart incarnation (version floors reset across it — a
+/// restarted node's version counter starts over), and the epoch +
+/// member list the controller last learned from a membership reply.
+#[derive(Debug)]
+pub struct ChaosShared {
+    /// Restart count per node; bumped after each successful respawn.
+    pub incarnations: Vec<AtomicU32>,
+    /// True from kill until successful respawn.
+    pub down: Vec<AtomicBool>,
+    /// Last epoch the controller saw in a membership reply.
+    pub epoch: AtomicU64,
+    /// Member list at that epoch.
+    pub view: Mutex<Vec<String>>,
+}
+
+impl ChaosShared {
+    /// State for an `n`-node cluster, all up, at epoch `epoch` with
+    /// member list `view`.
+    pub fn new(n: usize, epoch: u64, view: Vec<String>) -> Self {
+        ChaosShared {
+            incarnations: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            down: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            epoch: AtomicU64::new(epoch),
+            view: Mutex::new(view),
+        }
+    }
+
+    /// Snapshot the current member list. The lock is held only for the
+    /// clone, so callers never hold it across socket I/O or sleeps.
+    pub fn view_snapshot(&self) -> Vec<String> {
+        let members = self.view.lock().clone();
+        members
+    }
+}
+
+/// Availability window and attribution for one node of a chaos run.
+/// Times are seconds from run start; `-1.0` marks "never happened".
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NodeWindow {
+    /// The node's ring name.
+    pub node: String,
+    /// When the schedule killed it (`-1.0` = never killed).
+    pub killed_at_secs: f64,
+    /// When the supervisor had it accepting connections again.
+    pub restarted_at_secs: f64,
+    /// When the load generator first completed an operation against it
+    /// after the restart — the close of the unavailability window.
+    pub recovered_at_secs: f64,
+    /// Operations lost to this node's death: submitted or in flight on
+    /// a connection that died, or targeted at it while down.
+    pub error_ops: u64,
+    /// Reads refused (`RefusedStale`) against this node during the run
+    /// — the per-window freshness-violation attribution.
+    pub refusals: u64,
+    /// Entries this node installed from handoff streams (post-restart
+    /// ownership restoration shows up here).
+    pub handoff_in: u64,
+    /// Entries this node streamed out to new owners.
+    pub handoff_out: u64,
+    /// The node's membership epoch at end of run.
+    pub epoch: u64,
+}
+
+impl NodeWindow {
+    /// Width of the unavailability window in seconds, when it both
+    /// opened and closed.
+    pub fn window_secs(&self) -> Option<f64> {
+        (self.killed_at_secs >= 0.0 && self.recovered_at_secs >= 0.0)
+            .then_some(self.recovered_at_secs - self.killed_at_secs)
+    }
+}
+
+/// What a chaos run did and observed, attached to the cluster report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosReport {
+    /// Schedule name (reproducible together with the report's seed).
+    pub schedule: String,
+    /// Nodes killed.
+    pub kills: u64,
+    /// Nodes respawned.
+    pub restarts: u64,
+    /// Successful client reconnects across the run.
+    pub reconnects: u64,
+    /// Operations lost to dead nodes/connections (not retried — each
+    /// is attributed to its node's window).
+    pub error_ops: u64,
+    /// Membership epoch when the run ended.
+    pub final_epoch: u64,
+    /// Per-node availability windows, in member-list order.
+    pub windows: Vec<NodeWindow>,
+}
+
+impl ChaosReport {
+    /// True when every killed node recovered and no unavailability
+    /// window exceeded `bound` — the CI gate against unbounded (or
+    /// never-closing) windows.
+    pub fn windows_bounded(&self, bound: Duration) -> bool {
+        self.windows.iter().all(|w| {
+            if w.killed_at_secs < 0.0 {
+                return true;
+            }
+            match w.window_secs() {
+                Some(secs) => secs <= bound.as_secs_f64(),
+                None => false,
+            }
+        })
+    }
+}
+
+/// How long the controller keeps retrying the post-event membership
+/// call (leave after a kill, join after a restart) against surviving
+/// nodes before giving up. Survivors may briefly refuse connections
+/// while absorbing the burst the death caused.
+const MEMBERSHIP_RETRY_FOR: Duration = Duration::from_secs(5);
+
+/// Execute `schedule` against a live cluster: sleep to each event,
+/// kill/restart through the supervisor, and drive the leave/join
+/// protocol against a surviving member. Returns the per-node
+/// `(killed_at, restarted_at)` stamps (seconds from `start`).
+///
+/// Runs on its own thread for the duration of the load; the driver
+/// thread watches `shared` for epoch changes and down flags.
+pub fn run_schedule(
+    schedule: &ChaosSchedule,
+    supervisor: &mut dyn Supervisor,
+    nodes: &[(String, SocketAddr)],
+    start: Instant,
+    shared: &ChaosShared,
+) -> Vec<(f64, f64)> {
+    let mut stamps = vec![(-1.0, -1.0); nodes.len()];
+    for event in &schedule.events {
+        if let Some(wait) = event.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let i = event.node;
+        if i >= nodes.len() {
+            continue;
+        }
+        match event.action {
+            ChaosAction::Kill => {
+                supervisor.kill(i);
+                if let Some(flag) = shared.down.get(i) {
+                    flag.store(true, Ordering::Release);
+                }
+                stamps[i].0 = start.elapsed().as_secs_f64();
+                // Tell a survivor the victim is gone; the epoch bump
+                // re-routes the victim's keys to their new owners.
+                membership_call(nodes, i, shared, |client, name| client.leave(name));
+            }
+            ChaosAction::Restart => {
+                if !supervisor.restart(i) {
+                    continue;
+                }
+                if let Some(inc) = shared.incarnations.get(i) {
+                    inc.fetch_add(1, Ordering::Release);
+                }
+                if let Some(flag) = shared.down.get(i) {
+                    flag.store(false, Ordering::Release);
+                }
+                stamps[i].1 = start.elapsed().as_secs_f64();
+                // Rejoin through a survivor: the epoch bumps again and
+                // survivors stream the rejoined node's keys back.
+                membership_call(nodes, i, shared, |client, name| client.join(name));
+            }
+        }
+    }
+    stamps
+}
+
+/// Drive one membership RPC (join or leave of `nodes[victim]`) against
+/// the first reachable *surviving* node, retrying briefly. On success
+/// the returned view updates `shared`. Failures after the retry budget
+/// are swallowed: the run continues and the stuck epoch shows up in
+/// the report's anomaly gates instead of wedging the controller.
+fn membership_call(
+    nodes: &[(String, SocketAddr)],
+    victim: usize,
+    shared: &ChaosShared,
+    call: impl Fn(&mut CacheClient, &str) -> std::io::Result<(u64, Vec<String>)>,
+) {
+    let deadline = Instant::now() + MEMBERSHIP_RETRY_FOR;
+    let victim_name = match nodes.get(victim) {
+        Some((name, _)) => name.as_str(),
+        None => return,
+    };
+    loop {
+        for (j, (_, addr)) in nodes.iter().enumerate() {
+            if j == victim || shared.down.get(j).is_some_and(|d| d.load(Ordering::Acquire)) {
+                continue;
+            }
+            let outcome = CacheClient::connect(addr).and_then(|mut c| call(&mut c, victim_name));
+            if let Ok((epoch, members)) = outcome {
+                shared.epoch.store(epoch, Ordering::Release);
+                *shared.view.lock() = members;
+                return;
+            }
+        }
+        if Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_pure_functions_of_their_inputs() {
+        let d = Duration::from_secs(10);
+        let a = ChaosSchedule::generate("kill-one", 42, d, 3).unwrap();
+        let b = ChaosSchedule::generate("kill-one", 42, d, 3).unwrap();
+        assert_eq!(a, b, "same inputs, same schedule");
+        let c = ChaosSchedule::generate("kill-one", 43, d, 3).unwrap();
+        assert!(a != c, "a different seed moves the events");
+        // Kill precedes restart, both within the run, same victim.
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.events[0].action, ChaosAction::Kill);
+        assert_eq!(a.events[1].action, ChaosAction::Restart);
+        assert_eq!(a.events[0].node, a.events[1].node);
+        assert!(a.events[0].at < a.events[1].at);
+        assert!(a.events[1].at < d);
+    }
+
+    #[test]
+    fn rolling_visits_every_node_and_small_clusters_are_refused() {
+        let d = Duration::from_secs(30);
+        let s = ChaosSchedule::generate("rolling", 7, d, 3).unwrap();
+        assert_eq!(s.events.len(), 6, "kill+restart per node");
+        for i in 0..3 {
+            let mine: Vec<_> = s.events.iter().filter(|e| e.node == i).collect();
+            assert_eq!(mine.len(), 2);
+            assert_eq!(mine[0].action, ChaosAction::Kill);
+            assert!(mine[0].at < mine[1].at);
+        }
+        assert!(ChaosSchedule::generate("kill-one", 1, d, 1).is_none(), "no survivor, no chaos");
+        assert!(ChaosSchedule::generate("nope", 1, d, 3).is_none(), "unknown name");
+        for name in SCHEDULES {
+            assert!(ChaosSchedule::generate(name, 1, d, 3).is_some(), "{name} registered");
+        }
+    }
+
+    #[test]
+    fn windows_bounded_requires_recovery() {
+        let w = |killed: f64, recovered: f64| NodeWindow {
+            node: "a:1".into(),
+            killed_at_secs: killed,
+            restarted_at_secs: recovered,
+            recovered_at_secs: recovered,
+            error_ops: 0,
+            refusals: 0,
+            handoff_in: 0,
+            handoff_out: 0,
+            epoch: 2,
+        };
+        let report = |windows: Vec<NodeWindow>| ChaosReport {
+            schedule: "kill-one".into(),
+            kills: 1,
+            restarts: 1,
+            reconnects: 1,
+            error_ops: 0,
+            final_epoch: 2,
+            windows,
+        };
+        let bound = Duration::from_secs(5);
+        // Never killed: trivially bounded. Killed and recovered fast: ok.
+        assert!(report(vec![w(-1.0, -1.0), w(2.0, 4.5)]).windows_bounded(bound));
+        // Window wider than the bound: fails.
+        assert!(!report(vec![w(2.0, 9.0)]).windows_bounded(bound));
+        // Killed but never recovered: fails — that is the unbounded case.
+        assert!(!report(vec![w(2.0, -1.0)]).windows_bounded(bound));
+        assert_eq!(w(2.0, 4.5).window_secs(), Some(2.5));
+        assert_eq!(w(2.0, -1.0).window_secs(), None);
+        // The report serializes for BENCH_chaos.json.
+        let json = serde_json::to_string(&report(vec![w(2.0, 4.5)])).unwrap();
+        for field in ["schedule", "windows", "recovered_at_secs", "handoff_in"] {
+            assert!(json.contains(field), "chaos JSON missing {field}: {json}");
+        }
+    }
+}

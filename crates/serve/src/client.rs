@@ -9,11 +9,12 @@
 //! (and its submit timestamp) it answers.
 
 use bytes::Bytes;
+use fresca_net::payload;
 use fresca_net::{FramedStream, GetStatus, Message, NonBlockingFramedStream, PollRecv, RequestId};
 use fresca_sim::SimDuration;
 use minipoll::{Interest, PollSet};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::time::{Duration, Instant};
 
@@ -62,6 +63,96 @@ pub struct ServerProbe {
     pub slab_entries: u64,
     /// Allocated slab slots across all owned shards (gauge).
     pub slab_capacity: u64,
+    /// The node's membership epoch at probe time (gauge; 0 = solo).
+    pub epoch: u64,
+    /// Entries installed by inbound key handoff streams so far.
+    pub handoff_in: u64,
+    /// Entries streamed out to new owners after membership changes.
+    pub handoff_out: u64,
+}
+
+/// Why a pipelined connection could not be (re)established — the typed
+/// form of a client-side connection failure, so callers can tell a
+/// transient peer death (reconnect, re-route, retry) from an exhausted
+/// retry budget (give up and report).
+#[derive(Debug)]
+pub enum ConnError {
+    /// The established connection died mid-use; requests that were in
+    /// flight on it are gone and must be re-submitted after a
+    /// reconnect.
+    Io(io::Error),
+    /// Bounded reconnect gave up: every one of `attempts` connect
+    /// attempts failed, `last` being the final error.
+    RetriesExhausted {
+        /// How many connect attempts were made.
+        attempts: u32,
+        /// The error the last attempt failed with.
+        last: io::Error,
+    },
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Io(e) => write!(f, "connection failed: {e}"),
+            ConnError::RetriesExhausted { attempts, last } => {
+                write!(f, "reconnect gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+impl From<ConnError> for io::Error {
+    fn from(e: ConnError) -> io::Error {
+        match e {
+            ConnError::Io(inner) => inner,
+            ConnError::RetriesExhausted { ref last, .. } => {
+                io::Error::new(last.kind(), e.to_string())
+            }
+        }
+    }
+}
+
+/// Deterministic exponential backoff with jitter for bounded
+/// reconnects: attempt `n` sleeps `base · 2ⁿ⁻¹` (capped), scaled by a
+/// jitter factor in `[0.5, 1.0)` drawn from a seeded SplitMix stream —
+/// the same seed always produces the same retry timing, so chaos runs
+/// stay reproducible. Attempt 0 is immediate (a node that just came
+/// back should not wait out a full backoff step).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    max_attempts: u32,
+    state: u64,
+}
+
+impl Backoff {
+    /// A policy sleeping `base · 2ⁿ⁻¹` (jittered, capped at `cap`)
+    /// before retry `n`, giving up after `max_attempts` attempts.
+    pub fn new(base: Duration, cap: Duration, max_attempts: u32, seed: u64) -> Self {
+        Backoff { base, cap, max_attempts: max_attempts.max(1), state: payload::mix(seed) }
+    }
+
+    /// How many attempts this policy allows before giving up.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The (jittered) sleep before attempt `attempt` (0-based; attempt
+    /// 0 is immediate). Advances the jitter stream.
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self.base.saturating_mul(1u32 << (attempt - 1).min(16));
+        let capped = exp.min(self.cap);
+        self.state = payload::mix(self.state);
+        let jitter = 0.5 + 0.5 * (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(jitter)
+    }
 }
 
 /// A completed pipelined request, as handed back by
@@ -171,6 +262,9 @@ impl CacheClient {
                 cross_core_forwards,
                 slab_entries,
                 slab_capacity,
+                epoch,
+                handoff_in,
+                handoff_out,
             } => Ok(ServerProbe {
                 refetches,
                 refetch_coalesced,
@@ -178,7 +272,42 @@ impl CacheClient {
                 cross_core_forwards,
                 slab_entries,
                 slab_capacity,
+                epoch,
+                handoff_in,
+                handoff_out,
             }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the node for its current membership view (`RingReq` →
+    /// `RingUpdate`): the epoch and member list clients rebuild their
+    /// rings from after a reconnect or an epoch-change refusal.
+    pub fn ring(&mut self) -> io::Result<(u64, Vec<String>)> {
+        self.framed.send(&Message::RingReq)?;
+        match self.must_recv()? {
+            Message::RingUpdate { epoch, members } => Ok((epoch, members)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the node to add `node` to the ring (`JoinReq`). Answers with
+    /// the view after the join — epoch bumped if the member was new,
+    /// unchanged if the join was an idempotent retry.
+    pub fn join(&mut self, node: &str) -> io::Result<(u64, Vec<String>)> {
+        self.framed.send(&Message::JoinReq { node: node.to_string() })?;
+        match self.must_recv()? {
+            Message::RingUpdate { epoch, members } => Ok((epoch, members)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the node to remove `node` from the ring (`LeaveReq`).
+    /// Answers with the view after the leave, like [`join`](Self::join).
+    pub fn leave(&mut self, node: &str) -> io::Result<(u64, Vec<String>)> {
+        self.framed.send(&Message::LeaveReq { node: node.to_string() })?;
+        match self.must_recv()? {
+            Message::RingUpdate { epoch, members } => Ok((epoch, members)),
             other => Err(unexpected(&other)),
         }
     }
@@ -231,6 +360,7 @@ pub struct PipelinedClient {
     poll: PollSet,
     next_id: u64,
     in_flight: usize,
+    addr: SocketAddr,
 }
 
 impl PipelinedClient {
@@ -239,6 +369,7 @@ impl PipelinedClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
+        let addr = stream.peer_addr()?;
         let fd = stream.as_raw_fd();
         Ok(PipelinedClient {
             io: NonBlockingFramedStream::new(stream),
@@ -246,7 +377,44 @@ impl PipelinedClient {
             poll: PollSet::new(),
             next_id: 0,
             in_flight: 0,
+            addr,
         })
+    }
+
+    /// The address this client connected (and reconnects) to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replace a dead connection with a fresh one to the same address,
+    /// retrying under `policy`'s bounded exponential backoff. Requests
+    /// that were in flight on the old connection are *gone* — the
+    /// caller re-submits them (their ids will never be reused: the id
+    /// counter survives the reconnect). Returns how many connect
+    /// attempts it took; [`ConnError::RetriesExhausted`] when the
+    /// budget runs out.
+    pub fn reconnect_with_backoff(&mut self, policy: &mut Backoff) -> Result<u32, ConnError> {
+        let mut last =
+            io::Error::new(io::ErrorKind::NotConnected, "reconnect not yet attempted");
+        for attempt in 0..policy.max_attempts() {
+            let delay = policy.delay(attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            match Self::connect(self.addr) {
+                Ok(fresh) => {
+                    let next_id = self.next_id;
+                    *self = fresh;
+                    // Ids keep climbing across reconnects so a response
+                    // matched by id can never be confused with a
+                    // pre-reconnect request's.
+                    self.next_id = next_id;
+                    return Ok(attempt + 1);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(ConnError::RetriesExhausted { attempts: policy.max_attempts(), last })
     }
 
     fn alloc_id(&mut self) -> RequestId {

@@ -67,9 +67,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod loadgen;
+pub mod membership;
 pub mod origin;
 pub mod push;
 pub mod ring;
@@ -143,9 +145,11 @@ pub mod cli {
     }
 }
 
-pub use client::{CacheClient, GetOutcome, PipelinedClient, Response, ServerProbe};
+pub use chaos::{ChaosEvent, ChaosReport, ChaosSchedule, NodeWindow};
+pub use client::{Backoff, CacheClient, ConnError, GetOutcome, PipelinedClient, Response, ServerProbe};
 pub use cluster::ClusterClient;
 pub use loadgen::{ClusterReport, LoadGenConfig, LoadReport, Mode, NodeReport};
+pub use membership::Membership;
 pub use origin::{OriginHandle, OriginState};
 pub use push::{BatchReceipt, PushConfig, PushPolicy, PushStats, StorePusher};
 pub use ring::HashRing;

@@ -34,7 +34,8 @@
 //! [`LoadReport`] per node plus the merged aggregate (aggregate
 //! percentiles are computed over the pooled samples, not averaged).
 
-use crate::client::{PipelinedClient, Response, ServerProbe};
+use crate::chaos::{self, ChaosReport, ChaosSchedule, ChaosShared, NodeWindow, Supervisor};
+use crate::client::{Backoff, CacheClient, PipelinedClient, Response, ServerProbe};
 use crate::ring::HashRing;
 use fresca_net::{payload, GetStatus, RequestId};
 use fresca_workload::{TimedOp, WireOp};
@@ -42,6 +43,7 @@ use serde::Serialize;
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Load-generation mode.
@@ -207,6 +209,10 @@ pub struct LoadReport {
     pub value_bytes_read: u64,
     /// Payload bytes written across all puts.
     pub value_bytes_written: u64,
+    /// Successful reconnects to nodes whose connection died mid-run.
+    /// Zero outside chaos runs — a load generator connection dying
+    /// under stable membership is an error, not a retry.
+    pub reconnects: u64,
     /// Mean request latency in microseconds.
     pub mean_latency_us: f64,
     /// Median request latency in microseconds.
@@ -309,6 +315,9 @@ impl std::fmt::Display for LoadReport {
                 self.cross_core_forwards, self.slab_entries, self.slab_capacity
             )?;
         }
+        if self.reconnects > 0 {
+            writeln!(f, "reconnects: {}", self.reconnects)?;
+        }
         Ok(())
     }
 }
@@ -326,6 +335,7 @@ struct WorkerResult {
     checksum_mismatches: u64,
     value_bytes_read: u64,
     value_bytes_written: u64,
+    reconnects: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -341,6 +351,7 @@ impl WorkerResult {
         self.checksum_mismatches += other.checksum_mismatches;
         self.value_bytes_read += other.value_bytes_read;
         self.value_bytes_written += other.value_bytes_written;
+        self.reconnects += other.reconnects;
         self.latencies_us.extend(other.latencies_us);
     }
 }
@@ -538,6 +549,12 @@ pub struct ClusterReport {
     pub aggregate: LoadReport,
     /// Per-node breakdown, in member-list order.
     pub nodes: Vec<NodeReport>,
+    /// Chaos-run extension: what the kill/restart schedule did and the
+    /// per-node availability windows it opened. `None` (and absent from
+    /// the JSON) outside [`run_cluster_chaos`], so stable-membership
+    /// reports keep their exact old shape.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub chaos: Option<ChaosReport>,
 }
 
 impl ClusterReport {
@@ -575,6 +592,41 @@ impl std::fmt::Display for ClusterReport {
                 n.report.p99_latency_us,
                 n.report.version_anomalies
             )?;
+        }
+        if let Some(chaos) = &self.chaos {
+            writeln!(
+                f,
+                "chaos: {} ({} kills, {} restarts, {} reconnects, {} ops lost, final epoch {})",
+                chaos.schedule,
+                chaos.kills,
+                chaos.restarts,
+                chaos.reconnects,
+                chaos.error_ops,
+                chaos.final_epoch
+            )?;
+            for w in &chaos.windows {
+                if w.killed_at_secs < 0.0 {
+                    continue;
+                }
+                match w.window_secs() {
+                    Some(secs) => writeln!(
+                        f,
+                        "  {}: down {:.2}s (killed {:.2}s, back {:.2}s)  {} ops lost  handoff in/out {}/{}",
+                        w.node,
+                        secs,
+                        w.killed_at_secs,
+                        w.recovered_at_secs,
+                        w.error_ops,
+                        w.handoff_in,
+                        w.handoff_out
+                    )?,
+                    None => writeln!(
+                        f,
+                        "  {}: killed {:.2}s, NEVER RECOVERED  {} ops lost",
+                        w.node, w.killed_at_secs, w.error_ops
+                    )?,
+                }
+            }
         }
         Ok(())
     }
@@ -638,7 +690,325 @@ pub fn run_cluster(
     }
     let mut aggregate = build_report(aggregate, wall);
     attribute_refetches(&mut aggregate, ServerProbe::default(), totals);
-    Ok(ClusterReport { aggregate, nodes: node_reports })
+    Ok(ClusterReport { aggregate, nodes: node_reports, chaos: None })
+}
+
+/// Replay a schedule against a live-membership cluster while a
+/// [`ChaosSchedule`] kills and restarts nodes under it, measuring what
+/// churn costs: per-node availability windows, operations lost,
+/// reconnects, and — via the usual trackers — any staleness violation,
+/// version anomaly, or checksum mismatch the churn induced.
+///
+/// The run is **deadline-paced** regardless of `config.mode` (the
+/// chaos events fire at wall-clock offsets, so the load must span wall
+/// time; a closed loop could finish before the first kill). One driver
+/// thread owns a pipelined connection per node and routes every op by
+/// the *current* membership view: the chaos controller (a second
+/// thread) SIGKILLs the victim, tells a survivor it left, and the
+/// epoch bump re-routes the victim's keys — so ops lost to a death are
+/// bounded by the leave-adoption latency, not the node's downtime.
+///
+/// Version floors are tracked per node and reset when a node's restart
+/// *incarnation* changes: a respawned node allocates versions from a
+/// fresh counter, so floors from its previous life would be false
+/// anomalies. Cross-incarnation staleness still cannot hide — values
+/// are checksummed against their key's deterministic pattern, and
+/// handoff only ever moves servably-fresh entries.
+///
+/// On return the cluster's membership has been seeded (every node
+/// joined through node 0) and the [`ChaosReport`] is attached to the
+/// [`ClusterReport::chaos`] field.
+pub fn run_cluster_chaos(
+    nodes: &[(String, SocketAddr)],
+    ops: &[TimedOp],
+    config: &LoadGenConfig,
+    vnodes: usize,
+    schedule: &ChaosSchedule,
+    supervisor: &mut dyn Supervisor,
+    seed: u64,
+) -> io::Result<ClusterReport> {
+    if nodes.len() < 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "chaos runs need at least two nodes (a survivor processes leaves and joins)",
+        ));
+    }
+    // Seed the cluster's own membership to the full node list: join
+    // every member through node 0; the announcements fan the final
+    // epoch out to everyone.
+    let mut admin = CacheClient::connect(nodes[0].1)?;
+    let mut view = (0u64, Vec::new());
+    for (name, _) in nodes {
+        view = admin.join(name)?;
+    }
+    let shared = ChaosShared::new(nodes.len(), view.0, view.1);
+    let before: Vec<ServerProbe> =
+        nodes.iter().map(|&(_, addr)| probe_refetch_stats(addr)).collect();
+    let started = Instant::now();
+    let (stamps, driven) = std::thread::scope(|s| {
+        let controller =
+            s.spawn(|| chaos::run_schedule(schedule, supervisor, nodes, started, &shared));
+        let driven = chaos_drive(nodes, ops, config, vnodes, &shared, started, seed);
+        (controller.join().expect("chaos controller panicked"), driven)
+    });
+    let driven = driven?;
+    let wall = started.elapsed();
+    // Post-run probes: killed nodes have restarted by now (the
+    // controller waited for them), so these see the post-handoff state.
+    let after: Vec<ServerProbe> =
+        nodes.iter().map(|&(_, addr)| probe_refetch_stats(addr)).collect();
+    let mut windows = Vec::with_capacity(nodes.len());
+    let mut aggregate = WorkerResult::default();
+    let mut node_reports = Vec::with_capacity(nodes.len());
+    let mut totals = ServerProbe::default();
+    for (i, (name, _)) in nodes.iter().enumerate() {
+        let r = &driven.results[i];
+        // A reconnect that happened before the kill cannot close the
+        // kill's window.
+        let recovered = driven.recovered_at[i];
+        let recovered =
+            if stamps[i].0 >= 0.0 && recovered < stamps[i].0 { -1.0 } else { recovered };
+        windows.push(NodeWindow {
+            node: name.clone(),
+            killed_at_secs: stamps[i].0,
+            restarted_at_secs: stamps[i].1,
+            recovered_at_secs: recovered,
+            error_ops: driven.error_ops[i],
+            refusals: r.refused,
+            handoff_in: after[i].handoff_in,
+            handoff_out: after[i].handoff_out,
+            epoch: after[i].epoch,
+        });
+        let mut report = build_report(r.clone(), wall);
+        attribute_refetches(&mut report, before[i], after[i]);
+        totals.refetches += report.refetches;
+        totals.refetch_coalesced += report.refetch_coalesced;
+        totals.origin_errors += report.origin_errors;
+        totals.cross_core_forwards += report.cross_core_forwards;
+        totals.slab_entries += report.slab_entries;
+        totals.slab_capacity += report.slab_capacity;
+        node_reports.push(NodeReport { addr: name.clone(), report });
+        aggregate.merge(r.clone());
+    }
+    let chaos_report = ChaosReport {
+        schedule: schedule.name.clone(),
+        kills: stamps.iter().filter(|s| s.0 >= 0.0).count() as u64,
+        restarts: stamps.iter().filter(|s| s.1 >= 0.0).count() as u64,
+        reconnects: aggregate.reconnects,
+        error_ops: driven.error_ops.iter().sum(),
+        final_epoch: shared.epoch.load(Ordering::Acquire),
+        windows,
+    };
+    let mut aggregate = build_report(aggregate, wall);
+    attribute_refetches(&mut aggregate, ServerProbe::default(), totals);
+    Ok(ClusterReport { aggregate, nodes: node_reports, chaos: Some(chaos_report) })
+}
+
+/// What the chaos driver thread measured, per node.
+struct ChaosDriven {
+    results: Vec<WorkerResult>,
+    error_ops: Vec<u64>,
+    /// Seconds from run start of the last successful reconnect (−1 =
+    /// never reconnected).
+    recovered_at: Vec<f64>,
+}
+
+/// The chaos load driver: one thread, one pipelined connection per
+/// node, every op routed by the current membership view at its
+/// scheduled deadline. Connection failures are contained to the node
+/// that died — its in-flight ops are counted lost, its version floors
+/// kept (unless it restarted), and reconnects are paced by a seeded
+/// [`Backoff`] so runs stay reproducible.
+fn chaos_drive(
+    nodes: &[(String, SocketAddr)],
+    ops: &[TimedOp],
+    config: &LoadGenConfig,
+    vnodes: usize,
+    shared: &ChaosShared,
+    started: Instant,
+    seed: u64,
+) -> io::Result<ChaosDriven> {
+    let n = nodes.len();
+    let dist = config.value_bytes;
+    let index_of: HashMap<&str, usize> =
+        nodes.iter().enumerate().map(|(i, (name, _))| (name.as_str(), i)).collect();
+    let mut clients: Vec<Option<PipelinedClient>> = Vec::with_capacity(n);
+    for &(_, addr) in nodes {
+        clients.push(Some(PipelinedClient::connect(addr)?));
+    }
+    let mut trackers: Vec<Tracker> = (0..n).map(|_| Tracker::new(dist)).collect();
+    let mut results: Vec<WorkerResult> = vec![WorkerResult::default(); n];
+    let mut error_ops = vec![0u64; n];
+    let mut recovered_at = vec![-1.0f64; n];
+    let mut inc_seen = vec![0u32; n];
+    let mut policies: Vec<Backoff> = (0..n)
+        .map(|i| {
+            Backoff::new(
+                Duration::from_millis(25),
+                Duration::from_millis(500),
+                u32::MAX,
+                seed ^ payload::mix(i as u64),
+            )
+        })
+        .collect();
+    let mut attempts = vec![0u32; n];
+    let mut retry_at: Vec<Instant> = vec![started; n];
+    // Routing view: starts at whatever the seeding joins produced.
+    let mut seen_epoch = shared.epoch.load(Ordering::Acquire);
+    let mut ring = HashRing::try_from_members(vnodes, &shared.view_snapshot())?;
+
+    // The connection to `i` failed: its in-flight ops are lost (counted
+    // to the node's window), its pending map cleared. Version floors
+    // survive — the *node* may still be alive (and its versions
+    // monotone); floors only reset when the restart incarnation moves.
+    fn fail_node(
+        i: usize,
+        clients: &mut [Option<PipelinedClient>],
+        trackers: &mut [Tracker],
+        error_ops: &mut [u64],
+        attempts: &mut [u32],
+        retry_at: &mut [Instant],
+    ) {
+        error_ops[i] += trackers[i].issued_at.len() as u64;
+        trackers[i].issued_at.clear();
+        clients[i] = None;
+        attempts[i] = 0;
+        retry_at[i] = Instant::now();
+    }
+
+    for (index, op) in ops.iter().enumerate() {
+        let deadline = started + Duration::from_nanos(op.at.as_nanos());
+        // Until the deadline, collect completions from every live node.
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let mut progressed = false;
+            for i in 0..n {
+                let Some(client) = clients[i].as_mut() else { continue };
+                if client.in_flight() == 0 {
+                    continue;
+                }
+                match client.try_complete() {
+                    Ok(Some((id, resp))) => {
+                        trackers[i].completed(&mut results[i], id, resp, Instant::now())?;
+                        progressed = true;
+                    }
+                    Ok(None) => {}
+                    Err(_) => fail_node(
+                        i,
+                        &mut clients,
+                        &mut trackers,
+                        &mut error_ops,
+                        &mut attempts,
+                        &mut retry_at,
+                    ),
+                }
+            }
+            if !progressed {
+                let wait = deadline
+                    .saturating_duration_since(Instant::now())
+                    .min(Duration::from_millis(1));
+                if wait.is_zero() {
+                    break;
+                }
+                std::thread::sleep(wait);
+            }
+        }
+        // Adopt a newer membership view if the controller moved the
+        // epoch (leave after a kill, join after a restart).
+        let epoch = shared.epoch.load(Ordering::Acquire);
+        if epoch != seen_epoch {
+            seen_epoch = epoch;
+            let members = shared.view_snapshot();
+            if let Ok(fresh) = HashRing::try_from_members(vnodes, &members) {
+                ring = fresh;
+            }
+        }
+        let key = op.op.key();
+        let Some(i) = ring.node_for(key).and_then(|name| index_of.get(name).copied()) else {
+            continue;
+        };
+        // Make sure we hold a connection to the owner, reconnecting
+        // (backoff-paced) if ours died and the node is believed up.
+        if clients[i].is_none()
+            && !shared.down[i].load(Ordering::Acquire)
+            && Instant::now() >= retry_at[i]
+        {
+            match PipelinedClient::connect(nodes[i].1) {
+                Ok(fresh) => {
+                    clients[i] = Some(fresh);
+                    results[i].reconnects += 1;
+                    recovered_at[i] = started.elapsed().as_secs_f64();
+                    let inc = shared.incarnations[i].load(Ordering::Acquire);
+                    if inc != inc_seen[i] {
+                        // The node restarted: its version counter (and
+                        // cache) began again, so old floors are void.
+                        inc_seen[i] = inc;
+                        trackers[i] = Tracker::new(dist);
+                    }
+                }
+                Err(_) => {
+                    attempts[i] += 1;
+                    let delay = policies[i].delay(attempts[i]);
+                    retry_at[i] = Instant::now() + delay;
+                }
+            }
+        }
+        let Some(client) = clients[i].as_mut() else {
+            // The owner is down (or unreachable): the op is lost and
+            // attributed to the node's availability window.
+            error_ops[i] += 1;
+            continue;
+        };
+        match submit(client, &op.op, dist, index as u64, &mut results[i]) {
+            Ok(id) => {
+                match op.op {
+                    WireOp::Get { .. } => results[i].gets += 1,
+                    WireOp::Put { .. } => results[i].puts += 1,
+                }
+                trackers[i].issued(id, deadline);
+            }
+            Err(_) => {
+                error_ops[i] += 1;
+                fail_node(
+                    i,
+                    &mut clients,
+                    &mut trackers,
+                    &mut error_ops,
+                    &mut attempts,
+                    &mut retry_at,
+                );
+            }
+        }
+    }
+    // Drain what is still in flight; a connection dying here loses its
+    // tail like any other death.
+    for i in 0..n {
+        while let Some(client) = clients[i].as_mut() {
+            if client.in_flight() == 0 {
+                break;
+            }
+            match client.complete_timeout(Duration::from_secs(1)) {
+                Ok(Some((id, resp))) => {
+                    trackers[i].completed(&mut results[i], id, resp, Instant::now())?;
+                }
+                Ok(None) | Err(_) => {
+                    fail_node(
+                        i,
+                        &mut clients,
+                        &mut trackers,
+                        &mut error_ops,
+                        &mut attempts,
+                        &mut retry_at,
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    Ok(ChaosDriven { results, error_ops, recovered_at })
 }
 
 /// Closed loop on one connection: keep up to `depth` requests in flight,
@@ -749,6 +1119,7 @@ fn build_report(mut r: WorkerResult, wall: Duration) -> LoadReport {
         checksum_mismatches: r.checksum_mismatches,
         value_bytes_read: r.value_bytes_read,
         value_bytes_written: r.value_bytes_written,
+        reconnects: r.reconnects,
         mean_latency_us: mean,
         p50_latency_us: percentile(&r.latencies_us, 0.50),
         p99_latency_us: percentile(&r.latencies_us, 0.99),
@@ -833,6 +1204,7 @@ mod tests {
                 NodeReport { addr: "a:1".into(), report: build_report(node(8, 0), wall) },
                 NodeReport { addr: "b:2".into(), report: build_report(node(4, 2), wall) },
             ],
+            chaos: None,
         };
         assert_eq!(report.aggregate.gets, 14);
         assert_eq!(report.aggregate.refused_stale, 2);
@@ -936,6 +1308,7 @@ mod tests {
                 addr: "a:1".into(),
                 report: build_report(WorkerResult::default(), Duration::from_secs(1)),
             }],
+            chaos: None,
         };
         cluster.set_identity("diurnal", 7);
         assert_eq!(cluster.aggregate.scenario, "diurnal");

@@ -1,0 +1,168 @@
+//! Versioned cluster membership: the epoch-stamped member list every
+//! node, client, and store-push participant routes by.
+//!
+//! Membership is a tiny replicated state machine with one rule: **adopt
+//! a `RingUpdate` iff its epoch is strictly newer than yours**. Epochs
+//! are totally ordered `u64`s; each successful join or leave bumps the
+//! epoch by one on the node that processed it, and the new
+//! `(epoch, members)` pair is broadcast to every other member. Because
+//! adoption is monotone, broadcasts may arrive duplicated, reordered,
+//! or not at all without ever moving a node backwards — a node that
+//! missed an update converges the moment it sees any newer one (or is
+//! asked for its view via `RingReq` and answers with what it has).
+//!
+//! Epoch 0 is the **solo** state: the empty member list, meaning "I am
+//! not part of a named ring — serve everything". A single-node server
+//! never leaves epoch 0 and behaves exactly as before membership
+//! existed; the cluster machinery only engages once a `JoinReq` or
+//! `RingUpdate` installs a non-empty list.
+//!
+//! Join and leave are idempotent: joining a member already present or
+//! removing one already absent changes nothing and does **not** bump
+//! the epoch — the caller is answered with the current view, so a
+//! retried `JoinReq` (the operator's client reconnected mid-reply)
+//! cannot split the cluster into gratuitous epochs.
+
+use crate::ring::HashRing;
+
+/// The epoch-stamped member list. See the module docs for the adoption
+/// and bump rules; [`HashRing`] placement is derived from it on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    /// Totally ordered view version; higher wins.
+    pub epoch: u64,
+    /// Ring member names (advertised addresses), in the order the ring
+    /// hashes them. Every participant must spell them identically.
+    pub members: Vec<String>,
+}
+
+impl Membership {
+    /// The solo state: epoch 0, no named members — this node serves
+    /// every key and the cluster machinery stays disengaged.
+    pub fn solo() -> Self {
+        Membership { epoch: 0, members: Vec::new() }
+    }
+
+    /// Adopt `(epoch, members)` iff it is strictly newer than the
+    /// current view. Returns `true` when the view changed.
+    pub fn adopt(&mut self, epoch: u64, members: &[String]) -> bool {
+        if epoch <= self.epoch {
+            return false;
+        }
+        self.epoch = epoch;
+        self.members = members.to_vec();
+        true
+    }
+
+    /// Process a join: if `node` is not yet a member, append it, bump
+    /// the epoch, and return the new view for broadcasting. `None`
+    /// means the join was an idempotent no-op (already a member).
+    pub fn apply_join(&mut self, node: &str) -> Option<(u64, Vec<String>)> {
+        if self.members.iter().any(|m| m == node) {
+            return None;
+        }
+        self.members.push(node.to_string());
+        self.epoch += 1;
+        Some((self.epoch, self.members.clone()))
+    }
+
+    /// Process a leave: if `node` is a member, remove it, bump the
+    /// epoch, and return the new view for broadcasting. `None` means
+    /// the leave was an idempotent no-op (not a member).
+    pub fn apply_leave(&mut self, node: &str) -> Option<(u64, Vec<String>)> {
+        let before = self.members.len();
+        self.members.retain(|m| m != node);
+        if self.members.len() == before {
+            return None;
+        }
+        self.epoch += 1;
+        Some((self.epoch, self.members.clone()))
+    }
+
+    /// True when `node` is in the current member list.
+    pub fn contains(&self, node: &str) -> bool {
+        self.members.iter().any(|m| m == node)
+    }
+
+    /// The consistent-hash ring this view places keys on, or `None` in
+    /// the solo state (no named members — the local node owns all keys)
+    /// or if the member list is somehow invalid (duplicates).
+    pub fn ring(&self, vnodes: usize) -> Option<HashRing> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let names: Vec<&str> = self.members.iter().map(String::as_str).collect();
+        HashRing::try_from_members(vnodes, &names).ok()
+    }
+}
+
+impl Default for Membership {
+    fn default() -> Self {
+        Membership::solo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn solo_is_epoch_zero_and_ringless() {
+        let solo = Membership::solo();
+        assert_eq!(solo.epoch, 0);
+        assert!(solo.members.is_empty());
+        assert!(solo.ring(8).is_none(), "solo state derives no ring");
+        assert_eq!(Membership::default(), solo);
+    }
+
+    #[test]
+    fn adopt_only_strictly_newer_epochs() {
+        let mut view = Membership::solo();
+        assert!(view.adopt(3, &m(&["a:1", "b:2"])));
+        assert_eq!(view.epoch, 3);
+        // Same epoch: refused, even with a different list.
+        assert!(!view.adopt(3, &m(&["c:3"])));
+        assert_eq!(view.members, m(&["a:1", "b:2"]));
+        // Older epoch: refused.
+        assert!(!view.adopt(2, &m(&["c:3"])));
+        // Newer: adopted wholesale.
+        assert!(view.adopt(10, &m(&["c:3"])));
+        assert_eq!((view.epoch, view.members.clone()), (10, m(&["c:3"])));
+    }
+
+    #[test]
+    fn join_and_leave_bump_epoch_and_are_idempotent() {
+        let mut view = Membership::solo();
+        let (e1, list1) = view.apply_join("a:1").expect("first join changes the view");
+        assert_eq!((e1, list1), (1, m(&["a:1"])));
+        // Idempotent: joining again is a no-op at the same epoch.
+        assert!(view.apply_join("a:1").is_none());
+        assert_eq!(view.epoch, 1);
+        let (e2, _) = view.apply_join("b:2").expect("second member joins");
+        assert_eq!(e2, 2);
+        assert!(view.contains("a:1") && view.contains("b:2"));
+        // Leave removes and bumps; leaving a stranger is a no-op.
+        assert!(view.apply_leave("c:3").is_none());
+        assert_eq!(view.epoch, 2);
+        let (e3, list3) = view.apply_leave("a:1").expect("member leaves");
+        assert_eq!((e3, list3), (3, m(&["b:2"])));
+        assert!(!view.contains("a:1"));
+    }
+
+    #[test]
+    fn ring_derivation_matches_member_list() {
+        let mut view = Membership::solo();
+        view.adopt(1, &m(&["a:1", "b:2", "c:3"]));
+        let ring = view.ring(64).expect("three members make a ring");
+        assert_eq!(ring.nodes(), ["a:1", "b:2", "c:3"]);
+        // Placement agrees with a ring built directly from the names.
+        let direct = HashRing::try_from_members(64, &["a:1", "b:2", "c:3"]).unwrap();
+        for key in 0..256u64 {
+            assert_eq!(ring.node_for(key), direct.node_for(key));
+        }
+    }
+}

@@ -95,14 +95,18 @@
 //! frames, which is what feeds the adaptive invalidate-vs-update
 //! policy's `E[W]` estimator.
 
+use crate::membership::Membership;
+use crate::ring::DEFAULT_VNODES;
 use crate::ServeClock;
 use bytes::Bytes;
+use fresca_cache::entry::Freshness;
 use fresca_cache::refetch::{Park, RefetchTable};
 use fresca_cache::slab::SlabCache;
 use fresca_cache::{BoundedGet, CacheConfig, Capacity};
 use fresca_net::pin::{repin_small, DEFAULT_PIN_THRESHOLD};
 use fresca_net::{
-    GetStatus, Message, NonBlockingFramedStream, PollRecv, ReadStat, RequestId, UpdateItem,
+    FramedStream, GetStatus, Message, NonBlockingFramedStream, PollRecv, ReadStat, RequestId,
+    UpdateItem,
 };
 use fresca_sim::SimDuration;
 use minipoll::{Interest, PollSet, Readiness};
@@ -179,6 +183,8 @@ struct ServerStats {
     refetch_coalesced: AtomicU64,
     origin_errors: AtomicU64,
     cross_core_forwards: AtomicU64,
+    handoff_in: AtomicU64,
+    handoff_out: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -229,6 +235,14 @@ pub struct ServerStatsSnapshot {
     /// Allocated slab slots across every owned shard — the storage
     /// high-water mark (gauge).
     pub slab_capacity: u64,
+    /// Current membership epoch (0 = solo, see [`crate::membership`]).
+    pub epoch: u64,
+    /// Entries installed by inbound key handoff streams (a joining or
+    /// rebalancing peer streamed them here as install-mode updates).
+    pub handoff_in: u64,
+    /// Entries streamed out to their new owners after a membership
+    /// change moved them off this node.
+    pub handoff_out: u64,
 }
 
 impl ServerStats {
@@ -252,6 +266,9 @@ impl ServerStats {
             cross_core_forwards: self.cross_core_forwards.load(Ordering::Relaxed),
             slab_entries: 0,
             slab_capacity: 0,
+            epoch: 0,
+            handoff_in: self.handoff_in.load(Ordering::Relaxed),
+            handoff_out: self.handoff_out.load(Ordering::Relaxed),
         }
     }
 }
@@ -263,7 +280,8 @@ impl std::fmt::Display for ServerStatsSnapshot {
             "gets={} puts={} fresh={} stale_served={} refused={} misses={} \
              refetches={} coalesced={} origin_errs={} forwards={} \
              push_batches={} keys_invalidated={} keys_updated={} \
-             slab={}/{} conns={} open={} proto_errs={}",
+             slab={}/{} conns={} open={} proto_errs={} \
+             epoch={} handoff_in={} handoff_out={}",
             self.gets,
             self.puts,
             self.fresh,
@@ -281,7 +299,10 @@ impl std::fmt::Display for ServerStatsSnapshot {
             self.slab_capacity,
             self.connections,
             self.open_connections,
-            self.protocol_errors
+            self.protocol_errors,
+            self.epoch,
+            self.handoff_in,
+            self.handoff_out
         )
     }
 }
@@ -331,6 +352,17 @@ impl Topology {
     }
 }
 
+/// Work for the handoff streamer thread: blocking sends of membership
+/// announcements and bulk key transfers, kept off the event loops.
+enum HandoffCmd {
+    /// Stream `items` to `dest` as install-mode `Update` batches under
+    /// epoch `epoch` (announced first via `RingUpdate`), closing with
+    /// `HandoffDone`.
+    Stream { dest: String, epoch: u64, members: Vec<String>, items: Vec<UpdateItem> },
+    /// Announce a membership change to `dest` (no keys to move).
+    Announce { dest: String, epoch: u64, members: Vec<String> },
+}
+
 /// Everything an event loop needs to dispatch requests.
 struct Shared {
     stats: Arc<ServerStats>,
@@ -341,11 +373,25 @@ struct Shared {
     versions: AtomicU64,
     clock: ServeClock,
     stop: AtomicBool,
+    /// Graceful-shutdown mode: with `stop` set, event loops drain every
+    /// queued reply and in-flight forwarded request before exiting
+    /// instead of closing connections immediately.
+    drain: AtomicBool,
     topo: Topology,
     /// Per-loop slab gauges, published by each owner at end of tick and
     /// summed for stats and `StatsResp`.
     slab_entries: Vec<AtomicU64>,
     slab_capacity: Vec<AtomicU64>,
+    /// The epoch-stamped member list this node routes ownership by.
+    /// Locked only for short view reads/updates on membership frames —
+    /// never held across I/O or shard access.
+    membership: Mutex<Membership>,
+    /// The name this node appears under in member lists (its advertised
+    /// address; defaults to the bound address).
+    advertise: String,
+    /// Queue into the handoff streamer thread. Behind a mutex only to
+    /// be `Sync`; membership changes are rare, contention is nil.
+    handoff_tx: Mutex<mpsc::Sender<HandoffCmd>>,
 }
 
 impl Shared {
@@ -353,7 +399,15 @@ impl Shared {
         let mut snap = self.stats.snapshot();
         snap.slab_entries = self.slab_entries.iter().map(|g| g.load(Ordering::Relaxed)).sum();
         snap.slab_capacity = self.slab_capacity.iter().map(|g| g.load(Ordering::Relaxed)).sum();
+        snap.epoch = self.membership.lock().epoch;
         snap
+    }
+
+    /// Hand work to the streamer thread; a send failure means the
+    /// streamer exited (process teardown) and the handoff degrades to
+    /// cold misses at the new owner — by design never an error.
+    fn send_handoff(&self, cmd: HandoffCmd) {
+        let _ = self.handoff_tx.lock().send(cmd);
     }
 }
 
@@ -369,8 +423,10 @@ enum ForwardOp {
     /// batch `batch`.
     InvalidateKeys { batch: u64, keys: Vec<u64> },
     /// The sub-batch of a store-pushed `Update` owned by the
-    /// destination.
-    UpdateItems { batch: u64, items: Vec<UpdateItem> },
+    /// destination. `install` is true for handoff streams (see
+    /// [`Conn::handoff`]): absent keys are installed instead of
+    /// counting as missed updates.
+    UpdateItems { batch: u64, items: Vec<UpdateItem>, install: bool },
 }
 
 /// What a completed cross-core operation sends back to the home loop.
@@ -393,6 +449,11 @@ enum CoreMsg {
     /// answered over the one-shot channel (`true` if the key was
     /// cached). Always addressed to the key's owner loop.
     Invalidate { key: u64, reply: mpsc::Sender<bool> },
+    /// The membership view changed: rescan this loop's owned shards and
+    /// stream entries that now belong to other nodes to the handoff
+    /// thread. Broadcast to every loop by whichever loop adopted the
+    /// new view.
+    Rebalance,
 }
 
 /// A store-push batch waiting on forwarded sub-batches; the `Ack` goes
@@ -459,21 +520,47 @@ impl std::fmt::Debug for LoopHandle {
 
 /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
 /// serving in background threads. Returns once the listener is bound, so
-/// clients may connect immediately.
+/// clients may connect immediately. The node advertises itself in
+/// member lists under its bound address; multi-node deployments whose
+/// peers reach them under a different spelling use
+/// [`spawn_with_identity`].
 pub fn spawn<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<ServerHandle> {
+    spawn_with_identity(addr, config, None)
+}
+
+/// [`spawn`], with an explicit advertised name — the exact string this
+/// node appears under in ring member lists. Every cluster participant
+/// must spell a member identically (ring placement hashes the name), so
+/// the advertised name is part of the cluster's configuration, not a
+/// cosmetic label.
+pub fn spawn_with_identity<A: ToSocketAddrs>(
+    addr: A,
+    config: ServerConfig,
+    advertise: Option<String>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let num_loops = config.event_loops.max(1);
     let shards = config.shards.max(1).next_power_of_two();
     let topo = Topology { shard_mask: shards as u64 - 1, num_loops };
+    let stats = Arc::new(ServerStats::default());
+    let (handoff_tx, handoff_rx) = mpsc::channel();
+    {
+        let stats = Arc::clone(&stats);
+        std::thread::spawn(move || run_handoff_streamer(handoff_rx, stats));
+    }
     let shared = Arc::new(Shared {
-        stats: Arc::new(ServerStats::default()),
+        stats,
         versions: AtomicU64::new(0),
         clock: ServeClock::start(),
         stop: AtomicBool::new(false),
+        drain: AtomicBool::new(false),
         topo,
         slab_entries: (0..num_loops).map(|_| AtomicU64::new(0)).collect(),
         slab_capacity: (0..num_loops).map(|_| AtomicU64::new(0)).collect(),
+        membership: Mutex::new(Membership::solo()),
+        advertise: advertise.unwrap_or_else(|| addr.to_string()),
+        handoff_tx: Mutex::new(handoff_tx),
     });
 
     // Every loop's inbox and wake endpoint exist before any thread
@@ -570,12 +657,40 @@ impl ServerHandle {
         self.loops.len()
     }
 
+    /// The node's current membership view (epoch + member list).
+    pub fn membership(&self) -> Membership {
+        self.shared.membership.lock().clone()
+    }
+
+    /// The name this node advertises in ring member lists.
+    pub fn advertise(&self) -> &str {
+        &self.shared.advertise
+    }
+
     /// Stop the server: the accept thread and every event-loop thread are
     /// joined, closing all established connections. Requests already
     /// received are answered before their connection closes only if their
     /// responses were already written; clients with requests in flight
     /// observe EOF.
     pub fn shutdown(mut self) -> ServerStatsSnapshot {
+        self.stop_threads();
+        self.shared.snapshot()
+    }
+
+    /// Stop the server *gracefully*: no new connections or requests are
+    /// accepted, but every reply already queued and every request still
+    /// in flight (forwarded cross-core, parked on an origin refetch, or
+    /// pending in a store-push batch) is answered and drained to the
+    /// socket before its connection closes. This is what SIGTERM maps
+    /// to in the `serve` binary — a killed node owes its clients every
+    /// response for requests it already read.
+    pub fn shutdown_graceful(mut self) -> ServerStatsSnapshot {
+        self.shared.drain.store(true, Ordering::Release);
+        self.stop_threads();
+        self.shared.snapshot()
+    }
+
+    fn stop_threads(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -588,7 +703,6 @@ impl ServerHandle {
         for l in self.loops.drain(..) {
             let _ = l.join.join();
         }
-        self.shared.snapshot()
     }
 }
 
@@ -616,6 +730,14 @@ struct Conn {
     /// owed every response, including the ones completing on another
     /// core.
     in_flight: u32,
+    /// True once a `RingUpdate` arrived on this connection — the marker
+    /// a handoff streamer sends before its `Update` batches. Updates on
+    /// a handoff connection run in *install mode*: absent keys are
+    /// installed instead of being counted as missed updates, which is
+    /// what moves ownership of a key's bytes between nodes. Store-push
+    /// connections never send `RingUpdate`, so their updates keep the
+    /// paper's update-in-place semantics.
+    handoff: bool,
 }
 
 /// A parked bounded read, waiting on an origin refetch of its key at
@@ -763,6 +885,16 @@ const OUTBOUND_HIGH_WATER: usize = 1 << 20;
 /// neighbours.
 const MAX_FRAMES_PER_TICK: usize = 128;
 
+/// Poll cadence while a graceful drain is in progress: the exit
+/// condition (all connections server-wide answered and closed) is
+/// global, so each loop re-checks it on this timer.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
+
+/// How long a graceful drain waits for unresponsive peers before
+/// closing whatever is left. Clients that read their sockets drain in
+/// milliseconds; this bounds shutdown against ones that do not.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
 /// What `dispatch` decided for one request.
 enum Dispatch {
     /// Answer with this message.
@@ -774,6 +906,9 @@ enum Dispatch {
     /// Not a request this node answers — protocol error, close after
     /// draining what was already queued.
     Close,
+    /// Handled with no reply owed (fire-and-forget frames like
+    /// `HandoffDone`).
+    Nothing,
 }
 
 /// One event-loop thread: the poll reactor plus the slab shards this
@@ -800,6 +935,11 @@ struct EventLoop {
     pending: HashMap<u64, PendingBatch>,
     next_batch: u64,
     pin_threshold: usize,
+    /// Graceful-shutdown drain in progress: no new reads, exit once
+    /// every connection has received everything it is owed (or the
+    /// drain grace period expires).
+    draining: bool,
+    drain_started: Option<Instant>,
 }
 
 impl EventLoop {
@@ -841,6 +981,8 @@ impl EventLoop {
             pending: HashMap::new(),
             next_batch: 0,
             pin_threshold: config.pin_threshold,
+            draining: false,
+            drain_started: None,
         }
     }
 
@@ -914,7 +1056,16 @@ impl EventLoop {
                 poll.push(conn.fd, interest);
                 slot_of.push(slot);
             }
-            let timeout = if backlog { Some(Duration::ZERO) } else { None };
+            let timeout = if backlog {
+                Some(Duration::ZERO)
+            } else if self.draining {
+                // While draining, wake on a short timer too: the exit
+                // condition is global (every loop's connections gone),
+                // which no local readiness event announces.
+                Some(DRAIN_POLL)
+            } else {
+                None
+            };
             if poll.poll(timeout).is_err() {
                 // poll(2) only fails for ENOMEM/EFAULT/EINVAL; none are
                 // recoverable from here.
@@ -927,8 +1078,12 @@ impl EventLoop {
                 let mut buf = [0u8; 64];
                 while matches!(self.wake_rx.read(&mut buf), Ok(n) if n > 0) {}
                 if self.shared.stop.load(Ordering::Acquire) {
-                    self.close_all();
-                    return;
+                    if self.shared.drain.load(Ordering::Acquire) {
+                        self.begin_drain();
+                    } else {
+                        self.close_all();
+                        return;
+                    }
                 }
                 // Take the whole inbox out under the lock, act after
                 // releasing it: registration does syscalls per socket, and
@@ -1010,7 +1165,52 @@ impl EventLoop {
             // completions) and publish the slab gauges.
             self.flush_outboxes();
             self.publish_gauges();
+
+            // A draining loop exits once every connection — on every
+            // loop, since cross-core completions may still be owed to a
+            // peer's client — has been answered and dropped, or the
+            // grace period for unresponsive peers expires.
+            if self.draining && self.drain_done() {
+                self.close_all();
+                return;
+            }
         }
+    }
+
+    /// Enter graceful-drain mode: every connection stops reading new
+    /// requests (marked closing) but keeps its queued replies and
+    /// in-flight completions; fully-drained connections drop now.
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.drain_started = Some(Instant::now());
+        for slot in 0..self.conns.len() {
+            let Some(mut conn) = self.conns[slot].take() else { continue };
+            conn.closing = true;
+            let done = match conn.io.flush() {
+                Ok(_) => !conn.io.wants_write() && conn.in_flight == 0,
+                Err(_) => true,
+            };
+            if done {
+                self.free.push(slot);
+                self.shared.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                self.conns[slot] = Some(conn);
+            }
+        }
+    }
+
+    /// True when the drain has nothing left to wait for: every
+    /// connection server-wide has been answered and closed, or the
+    /// grace period expired (a peer that will not read its replies does
+    /// not get to hold shutdown hostage forever).
+    fn drain_done(&self) -> bool {
+        if self.drain_started.is_some_and(|t| t.elapsed() >= DRAIN_GRACE) {
+            return true;
+        }
+        self.shared.stats.open_connections.load(Ordering::Relaxed) == 0
     }
 
     /// Stage a cross-core message for `dest`, delivered at end of tick.
@@ -1079,8 +1279,8 @@ impl EventLoop {
                     self.shared.stats.keys_invalidated.fetch_add(applied, Ordering::Relaxed);
                     self.stage_done(from, slot, token, Completion::BatchPart { batch });
                 }
-                ForwardOp::UpdateItems { batch, items } => {
-                    let applied = self.serve_update(items);
+                ForwardOp::UpdateItems { batch, items, install } => {
+                    let applied = self.serve_update(items, install);
                     self.shared.stats.keys_updated.fetch_add(applied, Ordering::Relaxed);
                     self.stage_done(from, slot, token, Completion::BatchPart { batch });
                 }
@@ -1110,6 +1310,7 @@ impl EventLoop {
                 };
                 let _ = reply.send(hit);
             }
+            CoreMsg::Rebalance => self.rebalance(),
         }
     }
 
@@ -1256,14 +1457,14 @@ impl EventLoop {
         if !conn.closing
             && (readiness.readable() || readiness.error() || conn.io.has_buffered_frame())
         {
-            let token = conn.token;
             let mut budget = MAX_FRAMES_PER_TICK;
             while budget > 0 && conn.io.pending_out() <= OUTBOUND_HIGH_WATER {
                 budget -= 1;
                 match conn.io.poll_recv_with(scratch) {
-                    Ok(PollRecv::Msg(msg)) => match self.dispatch(msg, slot, token) {
+                    Ok(PollRecv::Msg(msg)) => match self.dispatch(msg, conn, slot) {
                         Dispatch::Reply(reply) => conn.io.queue(&reply),
                         Dispatch::Pending => conn.in_flight += 1,
+                        Dispatch::Nothing => {}
                         Dispatch::Close => {
                             // Not a request this node answers (neither
                             // serving-path nor store-path): the peer is
@@ -1316,8 +1517,12 @@ impl EventLoop {
     /// `Update`) come from a store-push node, split by owner, and are
     /// acknowledged by `seq` once every sub-batch completes; `StatsReq`
     /// comes from a load generator pinning down the refetch and
-    /// forwarding counters.
-    fn dispatch(&mut self, msg: Message, slot: usize, token: u64) -> Dispatch {
+    /// forwarding counters. Membership frames (`RingReq`, `RingUpdate`,
+    /// `JoinReq`, `LeaveReq`, `HandoffDone`) are control-plane traffic
+    /// on the same socket — see [`crate::membership`] for the adoption
+    /// rules they follow.
+    fn dispatch(&mut self, msg: Message, conn: &mut Conn, slot: usize) -> Dispatch {
+        let token = conn.token;
         match msg {
             Message::GetReq { id, key, max_staleness } => {
                 self.shared.stats.gets.fetch_add(1, Ordering::Relaxed);
@@ -1350,6 +1555,9 @@ impl EventLoop {
                     cross_core_forwards: snap.cross_core_forwards,
                     slab_entries: snap.slab_entries,
                     slab_capacity: snap.slab_capacity,
+                    epoch: snap.epoch,
+                    handoff_in: snap.handoff_in,
+                    handoff_out: snap.handoff_out,
                 })
             }
             Message::PutReq { id, key, value, ttl } => {
@@ -1419,14 +1627,147 @@ impl EventLoop {
                         part.push(item);
                     }
                 }
-                let applied = self.serve_update(local);
+                // Handoff streams reuse the Update machinery in install
+                // mode (see `Conn::handoff`): absent keys are installed,
+                // moving ownership, instead of counting as missed
+                // updates.
+                let install = conn.handoff;
+                let applied = self.serve_update(local, install);
                 self.shared.stats.keys_updated.fetch_add(applied, Ordering::Relaxed);
                 self.shared.stats.push_batches.fetch_add(1, Ordering::Relaxed);
-                self.finish_batch(slot, token, seq, remote, |batch, items| {
-                    ForwardOp::UpdateItems { batch, items }
+                self.finish_batch(slot, token, seq, remote, move |batch, items| {
+                    ForwardOp::UpdateItems { batch, items, install }
                 })
             }
+            Message::RingReq => {
+                // Answer with the current view, whatever it is — the
+                // reply a client uses to (re)discover the ring after an
+                // epoch change or a reconnect.
+                let view = self.shared.membership.lock().clone();
+                Dispatch::Reply(Message::RingUpdate { epoch: view.epoch, members: view.members })
+            }
+            Message::RingUpdate { epoch, members } => {
+                // A peer (or handoff streamer) pushes its view: adopt
+                // iff strictly newer, rebalance if adopted, and echo the
+                // epoch we hold *after* processing. The sender of a
+                // handoff stream announces itself this way, so the
+                // connection flips into install mode either way.
+                conn.handoff = true;
+                let adopted = self.shared.membership.lock().adopt(epoch, &members);
+                if adopted {
+                    self.broadcast_rebalance();
+                }
+                let now = self.shared.membership.lock().epoch;
+                Dispatch::Reply(Message::RingAck { epoch: now })
+            }
+            Message::JoinReq { node } => {
+                let changed = self.shared.membership.lock().apply_join(&node);
+                self.membership_changed(changed, None)
+            }
+            Message::LeaveReq { node } => {
+                let changed = self.shared.membership.lock().apply_leave(&node);
+                // The departing node is the one member the new view no
+                // longer names — and the one that must hear about the
+                // change, because its rebalance is what streams every
+                // key it owned over to the survivors.
+                self.membership_changed(changed, Some(&node))
+            }
+            Message::HandoffDone { .. } => {
+                // Fire-and-forget close of a handoff stream; the moved
+                // entries were already counted as they installed.
+                Dispatch::Nothing
+            }
             _ => Dispatch::Close,
+        }
+    }
+
+    /// Finish a join/leave: on a view change, rebalance locally and
+    /// broadcast the new view to every *other* member (via the handoff
+    /// thread — announcing is blocking I/O and stays off the reactor),
+    /// plus `departed` on a leave, so the leaver learns to hand its
+    /// keys off. Either way the caller is answered with the current
+    /// view.
+    fn membership_changed(
+        &mut self,
+        changed: Option<(u64, Vec<String>)>,
+        departed: Option<&str>,
+    ) -> Dispatch {
+        if let Some((epoch, members)) = changed {
+            self.broadcast_rebalance();
+            for dest in members.iter().map(String::as_str).chain(departed) {
+                if dest != self.shared.advertise {
+                    self.shared.send_handoff(HandoffCmd::Announce {
+                        dest: dest.to_string(),
+                        epoch,
+                        members: members.clone(),
+                    });
+                }
+            }
+            return Dispatch::Reply(Message::RingUpdate { epoch, members });
+        }
+        let view = self.shared.membership.lock().clone();
+        Dispatch::Reply(Message::RingUpdate { epoch: view.epoch, members: view.members })
+    }
+
+    /// Tell every event loop (this one inline) to rescan its owned
+    /// shards against the just-adopted view and stream moved keys out.
+    fn broadcast_rebalance(&mut self) {
+        for dest in 0..self.shared.topo.num_loops {
+            if dest == self.loop_id {
+                self.rebalance();
+            } else {
+                self.forward(dest, CoreMsg::Rebalance);
+            }
+        }
+    }
+
+    /// Rescan this loop's owned shards against the current membership
+    /// view: entries whose owner is now another node are removed here
+    /// and handed to the streamer thread, grouped per destination.
+    /// Only *servably fresh* entries travel — an invalidated or
+    /// TTL-expired entry must not be resurrected as fresh on the new
+    /// owner, so those are simply dropped (a cold miss there, never a
+    /// silent staleness violation). Handoff is an optimisation, not a
+    /// correctness requirement: any key that fails to move is re-fetched
+    /// or re-written at its new owner like any cold key.
+    fn rebalance(&mut self) {
+        let view = self.shared.membership.lock().clone();
+        // Solo nodes (empty view) keep everything: there is no
+        // "elsewhere" to stream to. A node *absent* from a non-empty
+        // view is the graceful-leave case — every key it holds now
+        // belongs to some survivor, so the scan below (where `owner ==
+        // advertise` never matches) drains its shards completely.
+        let Some(ring) = view.ring(DEFAULT_VNODES) else { return };
+        let now = self.shared.clock.now();
+        let mut moved: HashMap<String, Vec<UpdateItem>> = HashMap::new();
+        for shard in &mut self.shards {
+            let keys: Vec<u64> = shard.keys().collect();
+            for key in keys {
+                let Some(owner) = ring.node_for(key) else { continue };
+                if owner == self.shared.advertise {
+                    continue;
+                }
+                if let Some(entry) = shard.peek(key) {
+                    let servable = entry.state == Freshness::Fresh
+                        && entry.expires_at.is_none_or(|at| now < at);
+                    if servable {
+                        moved.entry(owner.to_string()).or_default().push(UpdateItem {
+                            key,
+                            version: entry.version,
+                            value: entry.value.clone(),
+                        });
+                    }
+                }
+                shard.remove(key);
+            }
+        }
+        for (dest, items) in moved {
+            self.shared.send_handoff(HandoffCmd::Stream {
+                dest,
+                epoch: view.epoch,
+                members: view.members.clone(),
+                items,
+            });
         }
     }
 
@@ -1590,8 +1931,12 @@ impl EventLoop {
     }
 
     /// Owner-local share of a store-pushed update batch; returns how
-    /// many entries were re-freshened.
-    fn serve_update(&mut self, items: Vec<UpdateItem>) -> u64 {
+    /// many entries were re-freshened. With `install` set (the batch
+    /// arrived on a handoff stream), absent keys are *installed* with a
+    /// fresh serving version instead of counting as missed updates —
+    /// that is the receiving half of key handoff, and the only path
+    /// that relaxes the paper's update-in-place semantics.
+    fn serve_update(&mut self, items: Vec<UpdateItem>, install: bool) -> u64 {
         let now = self.shared.clock.now();
         let mut applied = 0u64;
         for item in items {
@@ -1601,6 +1946,16 @@ impl EventLoop {
             let refreshed = if shard.contains(item.key) {
                 let version = self.shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
                 shard.apply_update_value(item.key, version, value, now, None)
+            } else if install {
+                // Handoff install: the donor streamed a key this node
+                // now owns. Fresh serving version from this node's
+                // counter (the donor's versions are a different
+                // domain), no TTL — fresh until invalidated/evicted,
+                // exactly like a refetch install.
+                let version = self.shared.versions.fetch_add(1, Ordering::Relaxed) + 1;
+                shard.insert_value(item.key, version, value, now, None);
+                self.shared.stats.handoff_in.fetch_add(1, Ordering::Relaxed);
+                true
             } else {
                 // Counts the missed update without burning a serving
                 // version on a key that is not here.
@@ -1653,11 +2008,101 @@ impl EventLoop {
     }
 }
 
+/// How many entries ride each handoff `Update` batch: big enough to
+/// amortise the per-batch ack round-trip, small enough to keep frames
+/// far from the codec's size cap.
+const HANDOFF_CHUNK: usize = 512;
+
+/// Connect timeout for handoff/announce destinations. A member that
+/// cannot be reached in this window is skipped — its keys degrade to
+/// cold misses, never to a stuck streamer.
+const HANDOFF_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// The handoff streamer: one background thread per server doing all the
+/// *blocking* membership I/O — announcing view changes to peers and
+/// streaming moved keys to their new owners — so the event loops never
+/// wait on a peer's socket. Commands arrive from the loops over an
+/// mpsc channel; the thread exits when every sender is gone (server
+/// teardown). Failures are deliberately silent: handoff is an
+/// optimisation, and a dead peer's share of keys simply misses cold at
+/// its next owner.
+fn run_handoff_streamer(rx: mpsc::Receiver<HandoffCmd>, stats: Arc<ServerStats>) {
+    // Cached connections per destination, with a per-destination
+    // sequence counter for the Update/Ack machinery.
+    let mut conns: HashMap<String, (FramedStream<TcpStream>, u64)> = HashMap::new();
+    while let Ok(cmd) = rx.recv() {
+        let (dest, epoch, members, items) = match cmd {
+            HandoffCmd::Stream { dest, epoch, members, items } => {
+                (dest, epoch, members, Some(items))
+            }
+            HandoffCmd::Announce { dest, epoch, members } => (dest, epoch, members, None),
+        };
+        if stream_to(&mut conns, &dest, epoch, &members, items.as_deref(), &stats).is_err() {
+            // Peer unreachable or confused: drop the cached connection
+            // and move on. No retry — a newer epoch will re-announce,
+            // and unmoved keys are cold misses by design.
+            conns.remove(&dest);
+        }
+    }
+}
+
+/// One announce-or-stream exchange with `dest`: `RingUpdate` →
+/// `RingAck`, then (when streaming) chunked `Update` → `Ack` rounds
+/// closed by a fire-and-forget `HandoffDone`.
+fn stream_to(
+    conns: &mut HashMap<String, (FramedStream<TcpStream>, u64)>,
+    dest: &str,
+    epoch: u64,
+    members: &[String],
+    items: Option<&[UpdateItem]>,
+    stats: &ServerStats,
+) -> io::Result<()> {
+    if !conns.contains_key(dest) {
+        let addr = dest.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "member name resolves to no address")
+        })?;
+        let stream = TcpStream::connect_timeout(&addr, HANDOFF_CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        conns.insert(dest.to_string(), (FramedStream::new(stream), 0));
+    }
+    let Some((framed, next_seq)) = conns.get_mut(dest) else { return Ok(()) };
+    // Announce the view first: this flips the receiving connection into
+    // install mode and lets the peer adopt the epoch if it missed it.
+    framed.send(&Message::RingUpdate { epoch, members: members.to_vec() })?;
+    match framed.recv()? {
+        Some(Message::RingAck { .. }) => {}
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "expected RingAck")),
+    }
+    let Some(items) = items else { return Ok(()) };
+    let mut moved = 0u64;
+    for chunk in items.chunks(HANDOFF_CHUNK) {
+        *next_seq += 1;
+        let seq = *next_seq;
+        framed.send(&Message::Update { seq, items: chunk.to_vec() })?;
+        match framed.recv()? {
+            Some(Message::Ack { seq: acked }) if acked == seq => moved += chunk.len() as u64,
+            _ => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "expected handoff Ack"))
+            }
+        }
+    }
+    framed.send(&Message::HandoffDone { epoch, keys: moved })?;
+    stats.handoff_out.fetch_add(moved, Ordering::Relaxed);
+    Ok(())
+}
+
 /// Put an accepted socket into non-blocking mode and wrap it for the
 /// reactor.
 fn register(stream: TcpStream, token: u64) -> io::Result<Conn> {
     stream.set_nodelay(true)?;
     stream.set_nonblocking(true)?;
     let fd = stream.as_raw_fd();
-    Ok(Conn { io: NonBlockingFramedStream::new(stream), fd, token, closing: false, in_flight: 0 })
+    Ok(Conn {
+        io: NonBlockingFramedStream::new(stream),
+        fd,
+        token,
+        closing: false,
+        in_flight: 0,
+        handoff: false,
+    })
 }

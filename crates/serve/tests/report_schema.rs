@@ -26,6 +26,7 @@ const LOAD_REPORT_KEYS: &[&str] = &[
     "checksum_mismatches",
     "value_bytes_read",
     "value_bytes_written",
+    "reconnects",
     "mean_latency_us",
     "p50_latency_us",
     "p99_latency_us",
@@ -118,8 +119,11 @@ fn cluster_report_nests_aggregate_and_per_node_reports() {
                 report: LoadReport { ops: 6, ..LoadReport::default() },
             },
         ],
+        chaos: None,
     };
     let json = to_value(&cluster);
+    // `chaos` is absent unless a chaos schedule ran — stable-membership
+    // reports (and every stored baseline) keep the two-key shape.
     assert_eq!(keys_of(&json), ["aggregate", "nodes"]);
     assert_eq!(keys_of(json.get("aggregate").expect("aggregate")), LOAD_REPORT_KEYS);
     let nodes = json.get("nodes").and_then(JsonValue::as_seq).expect("nodes is an array");
@@ -130,6 +134,62 @@ fn cluster_report_nests_aggregate_and_per_node_reports() {
     }
     assert_eq!(nodes[0].get("addr").and_then(JsonValue::as_str), Some("127.0.0.1:7001"));
     assert_eq!(as_u64(nodes[1].get("report").and_then(|r| r.get("ops")).expect("ops")), 6);
+}
+
+/// Keys of the `chaos` extension block, in declaration order — present
+/// only on chaos-run reports, consumed by the CI `chaos-smoke` job.
+const CHAOS_REPORT_KEYS: &[&str] =
+    &["schedule", "kills", "restarts", "reconnects", "error_ops", "final_epoch", "windows"];
+
+/// Keys of each per-node availability window inside `chaos.windows`.
+const NODE_WINDOW_KEYS: &[&str] = &[
+    "node",
+    "killed_at_secs",
+    "restarted_at_secs",
+    "recovered_at_secs",
+    "error_ops",
+    "refusals",
+    "handoff_in",
+    "handoff_out",
+    "epoch",
+];
+
+#[test]
+fn chaos_run_appends_its_ledger_after_the_stable_keys() {
+    use fresca_serve::chaos::{ChaosReport, NodeWindow};
+    let cluster = ClusterReport {
+        aggregate: LoadReport::default(),
+        nodes: vec![],
+        chaos: Some(ChaosReport {
+            schedule: "kill-one".into(),
+            kills: 1,
+            restarts: 1,
+            reconnects: 2,
+            error_ops: 3,
+            final_epoch: 5,
+            windows: vec![NodeWindow {
+                node: "127.0.0.1:7001".into(),
+                killed_at_secs: 1.5,
+                restarted_at_secs: 2.5,
+                recovered_at_secs: 2.75,
+                error_ops: 3,
+                refusals: 0,
+                handoff_in: 40,
+                handoff_out: 0,
+                epoch: 5,
+            }],
+        }),
+    };
+    let json = to_value(&cluster);
+    // The extension appends; the two stable keys keep their positions so
+    // chaos-unaware consumers parse both shapes identically.
+    assert_eq!(keys_of(&json), ["aggregate", "nodes", "chaos"]);
+    let chaos = json.get("chaos").expect("chaos block");
+    assert_eq!(keys_of(chaos), CHAOS_REPORT_KEYS, "ChaosReport JSON keys drifted");
+    let windows = chaos.get("windows").and_then(JsonValue::as_seq).expect("windows");
+    assert_eq!(keys_of(&windows[0]), NODE_WINDOW_KEYS, "NodeWindow JSON keys drifted");
+    assert_eq!(as_u64(chaos.get("final_epoch").expect("final_epoch")), 5);
+    assert_eq!(as_f64(windows[0].get("killed_at_secs").expect("killed_at")), 1.5);
 }
 
 #[test]
@@ -146,6 +206,7 @@ fn report_carries_scenario_identity() {
     let mut cluster = ClusterReport {
         aggregate: LoadReport::default(),
         nodes: vec![NodeReport { addr: "127.0.0.1:7001".into(), report: LoadReport::default() }],
+        chaos: None,
     };
     cluster.set_identity("diurnal", 7);
     let json = to_value(&cluster);

@@ -127,7 +127,7 @@ pub fn names() -> Vec<&'static str> {
     SCENARIOS.iter().map(|s| s.name).collect()
 }
 
-static SCENARIOS: [ScenarioDef; 6] = [
+static SCENARIOS: [ScenarioDef; 7] = [
     ScenarioDef {
         name: "flash-crowd",
         summary: "Zipf traffic with a 16-key hot set taking 60% of ops; \
@@ -176,6 +176,15 @@ static SCENARIOS: [ScenarioDef; 6] = [
         default_rate: 15_000.0,
         default_duration_secs: 3,
         build: push_storm,
+    },
+    ScenarioDef {
+        name: "churn",
+        summary: "steady mixed traffic with long TTLs and loose bounds, \
+                  shaped for membership churn: run under `loadgen --chaos` \
+                  to measure freshness while nodes die and rejoin",
+        default_rate: 12_000.0,
+        default_duration_secs: 6,
+        build: churn,
     },
 ];
 
@@ -539,6 +548,43 @@ fn push_storm(p: &ScenarioParams) -> Vec<TimedOp> {
     out
 }
 
+/// Keyspace size of the `churn` scenario.
+pub const CHURN_KEYS: u64 = 2048;
+
+/// `churn`: a steady 75%-read Zipf stream whose freshness parameters
+/// are shaped for *membership* churn rather than data churn: 60s TTLs
+/// keep entries servably fresh for the whole CI-sized run (so a node
+/// join triggers real key handoff, not an empty stream), and a 30s
+/// read bound keeps every get on the bounded path without ever being
+/// refusable by age alone. On stable membership it is violation-free
+/// like every scenario; its real habitat is `loadgen --chaos`, where a
+/// node is SIGKILLed and rejoined mid-run and the run must stay free
+/// of staleness violations, version anomalies, and checksum mismatches
+/// while keys re-route and hand off around the death.
+fn churn(p: &ScenarioParams) -> Vec<TimedOp> {
+    let f = RngFactory::new(p.seed);
+    let mut out = Vec::new();
+    stream_ops(
+        &f,
+        &StreamSpec {
+            label: "churn",
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + p.duration,
+            rate: p.rate,
+            num_keys: CHURN_KEYS,
+            key_base: 0,
+            zipf: 0.9,
+            read_ratio: 0.75,
+            ttl: Some(SimDuration::from_secs(60)),
+            bound: Some(SimDuration::from_secs(30)),
+            size_min: 32,
+            size_max: 256,
+        },
+        &mut out,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,14 +595,14 @@ mod tests {
 
     #[test]
     fn registry_finds_every_scenario_by_name() {
-        assert_eq!(all().len(), 6);
+        assert_eq!(all().len(), 7);
         for def in all() {
             assert!(std::ptr::eq(find(def.name).unwrap(), def));
             assert!(!def.summary.is_empty());
             assert!(def.default_rate > 0.0 && def.default_duration_secs > 0);
         }
         assert!(find("no-such-scenario").is_none());
-        assert_eq!(names().len(), 6);
+        assert_eq!(names().len(), 7);
     }
 
     #[test]
@@ -586,6 +632,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn churn_keeps_entries_servably_fresh_for_handoff() {
+        let ops = find("churn").unwrap().build(&small(11));
+        let mut gets = 0usize;
+        for op in &ops {
+            match op.op {
+                WireOp::Get { key, max_staleness } => {
+                    gets += 1;
+                    // Every read is bounded (the chaos run must exercise
+                    // the bounded path), with a bound no correct server
+                    // can violate by age alone in a CI-sized run.
+                    assert_eq!(max_staleness, Some(SimDuration::from_secs(30)));
+                    assert!(key < CHURN_KEYS);
+                }
+                WireOp::Put { key, ttl, .. } => {
+                    // TTLs dwarf the run: entries stay servably fresh,
+                    // so a mid-run join hands off real keys.
+                    assert_eq!(ttl, Some(SimDuration::from_secs(60)));
+                    assert!(key < CHURN_KEYS);
+                }
+            }
+        }
+        let ratio = gets as f64 / ops.len() as f64;
+        assert!((ratio - 0.75).abs() < 0.03, "read ratio {ratio}");
     }
 
     #[test]

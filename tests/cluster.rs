@@ -255,3 +255,197 @@ fn loadgen_fans_out_across_the_cluster() {
         .sum();
     assert_eq!(total_served, ops.len() as u64);
 }
+
+/// A graceful leave loses zero acknowledged writes: the departing node
+/// streams every servably-fresh entry it owns to the survivors (the
+/// handoff the leave announce triggers), and a client that swaps to
+/// the post-leave ring finds every key it wrote — served fresh, bytes
+/// intact — at the key's new owner.
+#[test]
+fn graceful_leave_hands_every_acked_write_to_the_survivors() {
+    use fresca_serve::ring::DEFAULT_VNODES;
+    use std::time::{Duration, Instant};
+
+    let (handles, addrs) = spawn_cluster(3);
+    let mut admin = fresca_serve::CacheClient::connect(addrs[0].as_str()).unwrap();
+    for a in &addrs {
+        admin.join(a).unwrap();
+    }
+    // The server-side rebalance ring uses DEFAULT_VNODES; the client
+    // must agree or the two would route the same key differently.
+    let mut client = ClusterClient::connect(&addrs, DEFAULT_VNODES).unwrap();
+    assert!(client.refresh().unwrap());
+    assert_eq!(client.members().len(), 3);
+
+    // Acked writes, no TTL: servably fresh forever, so every one of
+    // them is eligible for handoff.
+    let keys: Vec<u64> = (0..128).collect();
+    for &key in &keys {
+        client.put(key, payload::pattern(key, 24), None).unwrap();
+    }
+    let victim = client.ring().node_for(keys[0]).unwrap().to_string();
+    let victim_keys: Vec<u64> =
+        keys.iter().copied().filter(|&k| client.ring().node_for(k) == Some(victim.as_str())).collect();
+    assert!(!victim_keys.is_empty(), "the victim owns a share of the key space");
+
+    admin.leave(&victim).unwrap();
+    assert!(client.refresh().unwrap(), "the client adopts the post-leave view");
+    assert_eq!(client.members().len(), 2);
+    assert!(!client.members().contains(&victim));
+
+    // Handoff is asynchronous (announce → victim rebalance → streamer),
+    // so poll: every key must eventually serve fresh from its new
+    // owner. Zero acked writes may be lost.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for &key in &keys {
+        loop {
+            let got = client.get(key, None).unwrap();
+            if got.status == GetStatus::Fresh {
+                assert!(payload::verify(key, &got.value), "key {key} corrupted in handoff");
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "key {key} never reached its new owner (status {:?})",
+                got.status
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // The books agree: the victim streamed out exactly its share, the
+    // survivors installed exactly that many entries.
+    let mut handoff_in = 0;
+    let mut victim_out = 0;
+    for (handle, addr) in handles.into_iter().zip(&addrs) {
+        let s = handle.shutdown();
+        if *addr == victim {
+            victim_out = s.handoff_out;
+        } else {
+            handoff_in += s.handoff_in;
+        }
+    }
+    assert_eq!(victim_out, victim_keys.len() as u64, "victim streamed exactly its share");
+    assert_eq!(handoff_in, victim_keys.len() as u64, "survivors installed exactly that share");
+}
+
+/// The chaos harness end to end, in process: a three-node cluster, a
+/// deterministic kill-one schedule that abruptly kills the victim
+/// mid-run and restarts it, and a freshness-checking driver. The run
+/// must stay clean — zero staleness violations, version anomalies, or
+/// checksum mismatches — with the outage bounded, the ring epoch
+/// settled on every node, and ownership (with data) restored to the
+/// restarted node via handoff.
+#[test]
+fn chaos_kill_restart_stays_clean_and_restores_ownership() {
+    use fresca_serve::chaos::{ChaosSchedule, Supervisor};
+    use fresca_serve::ring::DEFAULT_VNODES;
+    use fresca_serve::server::ServerHandle;
+    use std::time::Duration;
+
+    fn node_config() -> ServerConfig {
+        ServerConfig {
+            cache: CacheConfig { capacity: Capacity::Unbounded, eviction: EvictionPolicy::Lru },
+            shards: 8,
+            event_loops: 1,
+            origin: None,
+            pin_threshold: 512,
+        }
+    }
+
+    /// Kill = abrupt in-process shutdown (connections die mid-stream,
+    /// the in-process stand-in for SIGKILL); restart = rebind the same
+    /// address under the same advertised name, cache empty.
+    struct InProcSupervisor {
+        slots: Vec<Option<ServerHandle>>,
+        addrs: Vec<String>,
+    }
+
+    impl Supervisor for InProcSupervisor {
+        fn kill(&mut self, node: usize) {
+            if let Some(h) = self.slots[node].take() {
+                h.shutdown();
+            }
+        }
+        fn restart(&mut self, node: usize) -> bool {
+            match server::spawn_with_identity(
+                self.addrs[node].as_str(),
+                node_config(),
+                Some(self.addrs[node].clone()),
+            ) {
+                Ok(h) => {
+                    self.slots[node] = Some(h);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+    }
+
+    let (handles, addrs) = spawn_cluster(3);
+    let nodes: Vec<(String, std::net::SocketAddr)> =
+        handles.iter().zip(&addrs).map(|(h, a)| (a.clone(), h.addr())).collect();
+    let mut supervisor =
+        InProcSupervisor { slots: handles.into_iter().map(Some).collect(), addrs: addrs.clone() };
+
+    // Long TTLs and loose bounds (the churn shape): surviving entries
+    // stay servably fresh across the outage, so the rejoin handoff has
+    // something to stream back and a late read is never refused.
+    let trace = PoissonZipfConfig {
+        rate: 150.0,
+        num_keys: 256,
+        read_ratio: 0.7,
+        horizon: SimDuration::from_secs(6),
+        ..Default::default()
+    }
+    .generate(23);
+    let ops = ReplayConfig {
+        ttl: Some(SimDuration::from_secs(60)),
+        max_staleness: Some(SimDuration::from_secs(30)),
+        time_scale: 1.0,
+    }
+    .map_trace(&trace);
+    let duration = Duration::from_nanos(ops.last().unwrap().at.as_nanos());
+    let schedule = ChaosSchedule::generate("kill-one", 42, duration, 3).unwrap();
+
+    let report = loadgen::run_cluster_chaos(
+        &nodes,
+        &ops,
+        &LoadGenConfig {
+            mode: Mode::Closed { connections: 2 },
+            pipeline: 8,
+            value_bytes: Some(loadgen::ValueDist::Uniform { min: 16, max: 512 }),
+        },
+        DEFAULT_VNODES,
+        &schedule,
+        &mut supervisor,
+        42,
+    )
+    .unwrap();
+
+    // The core promise: churn may cost availability and hit ratio,
+    // never correctness.
+    assert!(report.is_clean(), "staleness/anomaly/checksum violations under chaos: {report}");
+
+    let chaos = report.chaos.as_ref().expect("chaos runs attach a chaos report");
+    assert_eq!(chaos.schedule, "kill-one");
+    assert_eq!(chaos.kills, 1);
+    assert_eq!(chaos.restarts, 1);
+    assert!(chaos.reconnects >= 1, "the driver reconnected to the restarted node");
+    // Epoch ledger: 3 seeding joins + leave on kill + join on restart.
+    assert_eq!(chaos.final_epoch, 5, "{chaos:?}");
+    assert!(
+        chaos.windows_bounded(Duration::from_secs(10)),
+        "unavailability window unbounded: {chaos:?}"
+    );
+    let killed: Vec<_> = chaos.windows.iter().filter(|w| w.killed_at_secs >= 0.0).collect();
+    assert_eq!(killed.len(), 1, "kill-one kills exactly one node");
+    let w = killed[0];
+    assert!(w.restarted_at_secs > w.killed_at_secs);
+    assert!(w.recovered_at_secs >= w.killed_at_secs, "recovery stamped after the kill");
+    assert_eq!(w.epoch, chaos.final_epoch, "the restarted node converged to the final view");
+    assert!(
+        w.handoff_in > 0,
+        "rejoin handoff restored no data to the restarted node: {w:?}"
+    );
+}

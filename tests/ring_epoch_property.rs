@@ -1,0 +1,121 @@
+//! Property tests for the membership epoch state machine and the
+//! consistent-hash ring's minimal-remapping guarantee — the two pieces
+//! the live-membership protocol leans on. A ring swap is only safe to
+//! do mid-run because (a) every epoch names exactly one owner per key,
+//! agreed on by every participant that holds the same member list, and
+//! (b) a single join or leave remaps only the ~K/n keys that touch the
+//! changed node, so a swap costs a bounded slice of the cache, not all
+//! of it.
+
+use fresca_serve::{HashRing, Membership};
+use proptest::prelude::*;
+
+/// Sampled key universe per case. Large enough that expected-share
+/// bounds are statistically comfortable, small enough to keep the
+/// suite fast.
+const KEYS: u64 = 4096;
+
+fn owners(ring: &HashRing) -> Vec<String> {
+    (0..KEYS).map(|k| ring.node_for(k).expect("non-empty ring owns every key").to_string()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Drive the membership state machine through an arbitrary
+    /// join/leave sequence: the epoch moves exactly on real changes
+    /// (idempotent re-joins and phantom leaves are no-ops), and at
+    /// every epoch with members, two rings built independently from
+    /// the same view give every key the same single owner — the
+    /// agreement a client and a server rely on when they each rebuild
+    /// the ring from a `RingUpdate`.
+    #[test]
+    fn epoch_moves_only_on_change_and_views_agree_on_one_owner(
+        ops in proptest::collection::vec((0usize..6, any::<bool>()), 1..32),
+        vnodes in 16usize..96,
+    ) {
+        let mut m = Membership::solo();
+        prop_assert_eq!(m.epoch, 0, "solo starts at epoch 0");
+        for (node, join) in ops {
+            let name = format!("node-{node}");
+            let before_epoch = m.epoch;
+            let was_member = m.contains(&name);
+            let changed = if join { m.apply_join(&name) } else { m.apply_leave(&name) };
+            match changed {
+                Some((epoch, ref members)) => {
+                    // A real change: epoch strictly advances by one and
+                    // the returned view reflects the operation.
+                    prop_assert_eq!(epoch, before_epoch + 1);
+                    prop_assert_eq!(m.epoch, epoch);
+                    prop_assert_eq!(join, !was_member, "change implies the op was effective");
+                    prop_assert_eq!(members.contains(&name), join);
+                }
+                None => {
+                    // Idempotent no-op: joining a member / leaving a
+                    // stranger must not burn an epoch, or retried admin
+                    // RPCs would wedge every client into needless swaps.
+                    prop_assert_eq!(m.epoch, before_epoch);
+                    prop_assert_eq!(join, was_member);
+                }
+            }
+            if let Some(ring) = m.ring(vnodes) {
+                let again = m.ring(vnodes).expect("same view, same ring");
+                for key in (0..KEYS).step_by(61) {
+                    let owner = ring.node_for(key).expect("one owner");
+                    prop_assert!(m.contains(owner), "owner {owner} is a member");
+                    prop_assert_eq!(again.node_for(key), Some(owner), "independent builds agree");
+                }
+            } else {
+                prop_assert!(m.members.is_empty(), "only an empty view has no ring");
+            }
+        }
+    }
+
+    /// One membership change remaps only the keys that touch the
+    /// changed node: a join steals ~K/(n+1) keys for the newcomer and
+    /// moves nothing between survivors; the inverse leave restores the
+    /// exact prior placement. This is what bounds a node death's cost
+    /// to its own share of the key space.
+    #[test]
+    fn single_join_or_leave_moves_only_the_changed_nodes_share(
+        n in 2usize..8,
+        vnodes in 48usize..128,
+    ) {
+        let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+        let mut ring = HashRing::from_nodes(vnodes, &names);
+        let before = owners(&ring);
+
+        prop_assert!(ring.add_node("newcomer"));
+        let after_join = owners(&ring);
+        let mut moved = 0u64;
+        for (b, a) in before.iter().zip(&after_join) {
+            if a != b {
+                prop_assert_eq!(a.as_str(), "newcomer", "keys only ever move *to* the joiner");
+                moved += 1;
+            }
+        }
+        // The newcomer's share is K/(n+1) in expectation; with `vnodes`
+        // placement points the spread is modest. Assert a generous
+        // envelope — the invariant under test is "about one share",
+        // not a perfect balance bound.
+        let share = KEYS / (n as u64 + 1);
+        prop_assert!(moved >= share / 4, "joiner took {moved} of ~{share} expected keys");
+        prop_assert!(moved <= share * 3, "joiner took {moved}, far over its ~{share} share");
+
+        // The inverse leave hands exactly those keys back: placement is
+        // a pure function of the member set, not of its history.
+        prop_assert!(ring.remove_node("newcomer"));
+        prop_assert_eq!(owners(&ring), before, "leave restores the prior placement exactly");
+
+        // And a leave of an original member moves only *its* keys.
+        let victim = names[0].clone();
+        prop_assert!(ring.remove_node(&victim));
+        let after_leave = owners(&ring);
+        for (key, (b, a)) in before.iter().zip(&after_leave).enumerate() {
+            if b != a {
+                prop_assert_eq!(b, &victim, "key {key} moved but its owner never left");
+            }
+            prop_assert!(a != &victim, "key {key} still owned by the departed node");
+        }
+    }
+}

@@ -447,3 +447,62 @@ fn server_drops_connections_that_leave_the_accepted_paths() {
     assert_eq!(stats.protocol_errors, 1);
     assert_eq!(stats.push_batches, 1);
 }
+
+/// SIGTERM maps to [`server::ServerHandle::shutdown_graceful`]: every
+/// request the server already read is answered, and every reply still
+/// queued server-side is written to the socket before its connection
+/// closes. A pipelined client holding a burst of uncollected replies
+/// across the drain loses none of them — the no-reply-lost contract
+/// the `serve` binary's SIGTERM handler advertises.
+#[test]
+fn graceful_shutdown_loses_no_queued_reply() {
+    let handle = spawn_server();
+    let mut client = fresca_serve::PipelinedClient::connect(handle.addr()).unwrap();
+
+    // Seed values big enough that hundreds of replies cannot all hide
+    // in kernel socket buffers: the drain must flush a real
+    // server-side outbound queue, not find it already empty.
+    const KEYS: u64 = 16;
+    const GETS: u64 = 512;
+    for key in 0..KEYS {
+        let id = client.submit_put(key, payload::pattern(key, 4096), None).unwrap();
+        let (done, resp) = client.complete().unwrap();
+        assert_eq!(done, id);
+        assert!(matches!(resp, fresca_serve::Response::Put { .. }));
+    }
+
+    // Pipeline a read burst and collect nothing yet.
+    let mut expected = std::collections::HashSet::new();
+    for i in 0..GETS {
+        expected.insert(client.submit_get(i % KEYS, None).unwrap());
+    }
+    // Wait until the server has read and processed the whole burst —
+    // from that point every reply is queued and owed.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if handle.stats().gets >= GETS {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "server never processed the burst");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Drain on a second thread (it blocks until every reply is out)
+    // while this thread collects completions like a live client.
+    let drainer = std::thread::spawn(move || handle.shutdown_graceful());
+    for _ in 0..GETS {
+        let (id, resp) = client.complete().expect("reply lost in graceful shutdown");
+        assert!(expected.remove(&id), "duplicate or unknown reply id");
+        match resp {
+            fresca_serve::Response::Get { key, outcome } => {
+                assert_eq!(outcome.status, GetStatus::Fresh);
+                assert!(payload::verify(key, &outcome.value), "drained reply corrupted");
+            }
+            other => panic!("expected a get reply, got {other:?}"),
+        }
+    }
+    assert!(expected.is_empty(), "all {GETS} replies accounted for");
+    let stats = drainer.join().expect("drain thread");
+    assert_eq!(stats.gets, GETS, "the drained server processed the whole burst");
+    assert_eq!(stats.open_connections, 0, "every connection drained and closed");
+}

@@ -7,7 +7,8 @@
 //! `Deserialize` reads back out of one, and `serde_json` is a printer and
 //! parser for that tree. The public *names* (`serde::Serialize`,
 //! `#[derive(Serialize, Deserialize)]`, `#[serde(transparent)]`,
-//! `#[serde(skip)]`, `serde_json::to_string_pretty`/`from_str`) match the
+//! `#[serde(skip)]`, `#[serde(skip_serializing_if = "...")]`,
+//! `serde_json::to_string_pretty`/`from_str`) match the
 //! real crates, so user code is source-compatible for the subset the
 //! fresca workspace uses and the real dependency can be swapped back in
 //! by editing manifests only.

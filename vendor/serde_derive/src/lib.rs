@@ -2,9 +2,10 @@
 //!
 //! Hand-rolled over `proc_macro` (no `syn`/`quote` available offline).
 //! Parses structs and enums — named, tuple, and unit shapes — honouring
-//! `#[serde(transparent)]` and `#[serde(skip)]`, and emits impls of the
-//! stand-in's `to_value`/`from_value` trait methods. Generated code
-//! refers to the traits via the `::serde` crate path.
+//! `#[serde(transparent)]`, `#[serde(skip)]`, and (on named struct
+//! fields) `#[serde(skip_serializing_if = "path::to::pred")]`, and
+//! emits impls of the stand-in's `to_value`/`from_value` trait methods.
+//! Generated code refers to the traits via the `::serde` crate path.
 
 #![forbid(unsafe_code)]
 
@@ -14,6 +15,11 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    /// Predicate path from `skip_serializing_if = "..."`: the field is
+    /// omitted from the serialized map when `pred(&self.field)` holds,
+    /// and an absent key deserializes to `Default::default()` (the
+    /// matching read-side behaviour for the `Option::is_none` idiom).
+    skip_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -36,23 +42,59 @@ enum Item {
     Enum { name: String, variants: Vec<Variant> },
 }
 
+/// The serde markers one field/item can carry.
+#[derive(Debug, Default)]
+struct Attrs {
+    transparent: bool,
+    skip: bool,
+    skip_if: Option<String>,
+}
+
 /// Scan one attribute group body for `serde(...)` markers.
-fn scan_serde_attr(tokens: &[TokenTree], transparent: &mut bool, skip: &mut bool) {
+fn scan_serde_attr(tokens: &[TokenTree], attrs: &mut Attrs) {
     let mut iter = tokens.iter();
     while let Some(tt) = iter.next() {
         if let TokenTree::Ident(id) = tt {
             if id.to_string() == "serde" {
                 if let Some(TokenTree::Group(g)) = iter.next() {
-                    for inner in g.stream() {
-                        if let TokenTree::Ident(m) = inner {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let mut i = 0;
+                    while i < inner.len() {
+                        if let TokenTree::Ident(m) = &inner[i] {
                             match m.to_string().as_str() {
-                                "transparent" => *transparent = true,
+                                "transparent" => attrs.transparent = true,
                                 "skip" | "skip_serializing" | "skip_deserializing" => {
-                                    *skip = true
+                                    attrs.skip = true
+                                }
+                                "skip_serializing_if" => {
+                                    // `skip_serializing_if = "path::pred"` —
+                                    // the predicate arrives as a quoted
+                                    // string literal after the `=`.
+                                    match (inner.get(i + 1), inner.get(i + 2)) {
+                                        (
+                                            Some(TokenTree::Punct(eq)),
+                                            Some(TokenTree::Literal(lit)),
+                                        ) if eq.as_char() == '=' => {
+                                            let raw = lit.to_string();
+                                            let pred = raw.trim_matches('"').to_string();
+                                            assert!(
+                                                !pred.is_empty() && !pred.contains('"'),
+                                                "serde_derive: skip_serializing_if needs a \
+                                                 plain string path, got {raw}"
+                                            );
+                                            attrs.skip_if = Some(pred);
+                                            i += 2;
+                                        }
+                                        other => panic!(
+                                            "serde_derive: malformed skip_serializing_if \
+                                             (expected = \"path\"), found {other:?}"
+                                        ),
+                                    }
                                 }
                                 _ => {}
                             }
                         }
+                        i += 1;
                     }
                 }
             }
@@ -61,14 +103,14 @@ fn scan_serde_attr(tokens: &[TokenTree], transparent: &mut bool, skip: &mut bool
 }
 
 /// Consume leading attributes from `pos`, reporting serde markers.
-fn eat_attrs(tokens: &[TokenTree], pos: &mut usize, transparent: &mut bool, skip: &mut bool) {
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize, attrs: &mut Attrs) {
     loop {
         match (tokens.get(*pos), tokens.get(*pos + 1)) {
             (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
                 let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-                scan_serde_attr(&inner, transparent, skip);
+                scan_serde_attr(&inner, attrs);
                 *pos += 2;
             }
             _ => break,
@@ -133,14 +175,14 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             continue;
         }
         let mut pos = 0;
-        let (mut transparent, mut skip) = (false, false);
-        eat_attrs(&piece, &mut pos, &mut transparent, &mut skip);
+        let mut attrs = Attrs::default();
+        eat_attrs(&piece, &mut pos, &mut attrs);
         eat_vis(&piece, &mut pos);
         let name = match piece.get(pos) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             other => panic!("serde_derive: expected field name, found {other:?}"),
         };
-        fields.push(Field { name, skip });
+        fields.push(Field { name, skip: attrs.skip, skip_if: attrs.skip_if });
     }
     fields
 }
@@ -151,9 +193,9 @@ fn parse_tuple_fields(body: TokenStream) -> Vec<bool> {
         .filter(|p| !p.is_empty())
         .map(|piece| {
             let mut pos = 0;
-            let (mut transparent, mut skip) = (false, false);
-            eat_attrs(&piece, &mut pos, &mut transparent, &mut skip);
-            skip
+            let mut attrs = Attrs::default();
+            eat_attrs(&piece, &mut pos, &mut attrs);
+            attrs.skip
         })
         .collect()
 }
@@ -165,8 +207,8 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
             continue;
         }
         let mut pos = 0;
-        let (mut transparent, mut skip) = (false, false);
-        eat_attrs(&piece, &mut pos, &mut transparent, &mut skip);
+        let mut attrs = Attrs::default();
+        eat_attrs(&piece, &mut pos, &mut attrs);
         let name = match piece.get(pos) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             other => panic!("serde_derive: expected variant name, found {other:?}"),
@@ -189,8 +231,9 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut pos = 0;
-    let (mut transparent, mut skip) = (false, false);
-    eat_attrs(&tokens, &mut pos, &mut transparent, &mut skip);
+    let mut attrs = Attrs::default();
+    eat_attrs(&tokens, &mut pos, &mut attrs);
+    let transparent = attrs.transparent;
     eat_vis(&tokens, &mut pos);
 
     let kind = match tokens.get(pos) {
@@ -265,6 +308,33 @@ fn gen_serialize(item: &Item) -> String {
                     if *transparent {
                         assert_eq!(live.len(), 1, "transparent needs exactly one field");
                         format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+                    } else if live.iter().any(|f| f.skip_if.is_some()) {
+                        // Conditional fields: build the entry list with
+                        // pushes so a skipped field leaves no key at all
+                        // (not a null), matching real serde.
+                        let pushes: Vec<String> = live
+                            .iter()
+                            .map(|f| {
+                                let push = format!(
+                                    "entries.push((\"{n}\".to_string(), \
+                                     ::serde::Serialize::to_value(&self.{n})));",
+                                    n = f.name
+                                );
+                                match &f.skip_if {
+                                    Some(pred) => format!(
+                                        "if !{pred}(&self.{n}) {{ {push} }}",
+                                        n = f.name
+                                    ),
+                                    None => push,
+                                }
+                            })
+                            .collect();
+                        format!(
+                            "{{ let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                               {}\n\
+                               ::serde::Value::Map(entries) }}",
+                            pushes.join("\n")
+                        )
                     } else {
                         let items: Vec<String> = live
                             .iter()
@@ -353,6 +423,16 @@ fn gen_named_constructor(path: &str, fields: &[Field], src: &str) -> String {
         .map(|f| {
             if f.skip {
                 format!("{n}: ::std::default::Default::default(),", n = f.name)
+            } else if f.skip_if.is_some() {
+                // A field the writer may omit reads back as its default
+                // when the key is absent (the `Option::is_none` idiom).
+                format!(
+                    "{n}: match ::serde::map_get({src}, \"{n}\") {{\n\
+                         Some(val) => ::serde::Deserialize::from_value(val)?,\n\
+                         None => ::std::default::Default::default(),\n\
+                     }},",
+                    n = f.name
+                )
             } else {
                 format!(
                     "{n}: ::serde::Deserialize::from_value(\
